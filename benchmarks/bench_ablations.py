@@ -1,0 +1,250 @@
+"""Ablations on DeWrite's design choices (beyond the paper's figures).
+
+DESIGN.md calls these out: the history-window length (§III-A), the
+prediction-based NVM access scheme (§III-B2), metadata colocation
+(§III-C), and the verify-read bound.  Each ablation flips one switch on
+the same traces and reports what it buys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+
+from repro.analysis.experiments import ExperimentSettings
+from repro.analysis.reporting import Table
+from repro.core.config import DeWriteConfig
+from repro.core.dewrite import DeWriteController
+from repro.nvm.memory import NvmMainMemory
+from repro.system.simulator import simulate
+
+
+def _run(settings: ExperimentSettings, config: DeWriteConfig) -> dict[str, float]:
+    reductions, latencies, accuracies, meta_reads = [], [], [], []
+    for profile in settings.profiles():
+        trace = settings.trace_for(profile)
+        controller = DeWriteController(NvmMainMemory(), config=config)
+        simulate(controller, trace, settings.core_config)
+        stats = controller.stats
+        reductions.append(stats.write_reduction)
+        latencies.append(stats.write_latency.mean_ns)
+        accuracies.append(stats.prediction_accuracy)
+        meta_reads.append(stats.metadata_reads / max(stats.writes_requested, 1))
+    return {
+        "write_reduction": statistics.fmean(reductions),
+        "write_latency_ns": statistics.fmean(latencies),
+        "prediction_accuracy": statistics.fmean(accuracies),
+        "metadata_reads_per_write": statistics.fmean(meta_reads),
+    }
+
+
+def _scoped(settings: ExperimentSettings) -> ExperimentSettings:
+    return dataclasses.replace(
+        settings,
+        applications=tuple(settings.applications)[:8],
+        accesses=min(settings.accesses, 12_000),
+    )
+
+
+def test_ablation_history_window(benchmark, settings, publish):
+    scoped = _scoped(settings)
+
+    def sweep() -> Table:
+        table = Table(
+            "Ablation — history window length (paper picks 3)",
+            ["window", "prediction_accuracy", "write_reduction", "write_latency_ns"],
+        )
+        for window in (1, 3, 5, 8):
+            metrics = _run(scoped, DeWriteConfig(history_window=window))
+            table.add_row(
+                window,
+                metrics["prediction_accuracy"],
+                metrics["write_reduction"],
+                metrics["write_latency_ns"],
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(table, "ablation_history_window")
+
+    accuracy = table.column("prediction_accuracy")
+    assert accuracy[1] > accuracy[0], "3-bit window must beat 1-bit (Fig. 4)"
+    # Beyond 3 bits the paper reports negligible gains; in our traces wide
+    # windows even lose slightly (they lag at genuine run transitions) —
+    # either way, nothing close to the 1->3 improvement.
+    assert accuracy[3] <= accuracy[1] + 0.005, "windows beyond 3 must not keep improving"
+    assert accuracy[1] - accuracy[3] < 0.04, "nor collapse"
+
+
+def test_ablation_pna(benchmark, settings, publish):
+    scoped = _scoped(settings)
+
+    def sweep() -> Table:
+        table = Table(
+            "Ablation — prediction-based NVM access (PNA, SIII-B2)",
+            ["pna", "write_reduction", "write_latency_ns", "metadata_reads_per_write"],
+        )
+        for enabled in (True, False):
+            metrics = _run(scoped, DeWriteConfig(enable_pna=enabled))
+            table.add_row(
+                "on" if enabled else "off",
+                metrics["write_reduction"],
+                metrics["write_latency_ns"],
+                metrics["metadata_reads_per_write"],
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(table, "ablation_pna")
+
+    on, off = table.rows
+    assert on[3] < off[3], "PNA must cut metadata NVM reads"
+    assert off[1] - on[1] < 0.05, "PNA misses few duplicates (paper: ~1.5 %)"
+    assert on[2] <= off[2] * 1.05, "PNA must not hurt write latency"
+
+
+def test_ablation_parallel_encryption(benchmark, settings, publish):
+    scoped = _scoped(settings)
+
+    def sweep() -> Table:
+        table = Table(
+            "Ablation — prediction-steered parallel encryption (SIII-A)",
+            ["parallelism", "write_latency_ns"],
+        )
+        for enabled in (True, False):
+            metrics = _run(scoped, DeWriteConfig(enable_parallel_encryption=enabled))
+            table.add_row("on" if enabled else "off", metrics["write_latency_ns"])
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(table, "ablation_parallelism")
+
+    on, off = table.rows
+    assert on[1] < off[1], "overlapping AES with detection must cut write latency"
+
+
+def test_ablation_metadata_persistence(benchmark, settings, publish):
+    """§V: crash-consistency policies for the dirty metadata cache."""
+    from repro.core.persistence import (
+        MetadataPersistenceConfig,
+        MetadataPersistencePolicy,
+    )
+
+    scoped = _scoped(settings)
+
+    def sweep() -> Table:
+        table = Table(
+            "Ablation — metadata persistence policy (SV)",
+            ["policy", "metadata_writes_per_write", "write_latency_ns", "vuln_window_ns"],
+        )
+        policies = [
+            MetadataPersistenceConfig(policy=MetadataPersistencePolicy.BATTERY_BACKED),
+            MetadataPersistenceConfig(
+                policy=MetadataPersistencePolicy.PERIODIC_WRITEBACK,
+                writeback_interval_ns=100_000.0,
+            ),
+            MetadataPersistenceConfig(policy=MetadataPersistencePolicy.WRITE_THROUGH),
+        ]
+        for persistence in policies:
+            writes_per_write, latencies = [], []
+            for profile in scoped.profiles():
+                controller = DeWriteController(
+                    NvmMainMemory(), config=DeWriteConfig(persistence=persistence)
+                )
+                simulate(controller, scoped.trace_for(profile), scoped.core_config)
+                stats = controller.stats
+                writes_per_write.append(
+                    stats.metadata_writebacks / max(stats.writes_requested, 1)
+                )
+                latencies.append(stats.write_latency.mean_ns)
+            table.add_row(
+                persistence.policy.value,
+                statistics.fmean(writes_per_write),
+                statistics.fmean(latencies),
+                persistence.vulnerability_window_ns(),
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(table, "ablation_persistence")
+
+    battery, periodic, through = table.rows
+    assert battery[1] <= periodic[1] <= through[1], (
+        "metadata write traffic must grow as the vulnerability window shrinks"
+    )
+    assert through[3] == 0.0 and battery[3] == 0.0
+    assert periodic[3] > 0.0
+
+
+def test_ablation_dedup_granularity(benchmark, settings, publish):
+    """Dedup granularity: the paper picks 256 B lines to bound metadata
+    overhead (SIII-B1); smaller lines find more duplicates but pay
+    proportionally more metadata per byte."""
+    import dataclasses as dc
+
+    from repro.analysis.experiments import ExperimentSettings
+    from repro.nvm.config import NvmConfig, NvmOrganization
+    from repro.workloads.generator import generate_trace
+
+    scoped = _scoped(settings)
+
+    def sweep() -> Table:
+        table = Table(
+            "Ablation — deduplication granularity",
+            ["line_bytes", "write_reduction", "metadata_fraction"],
+        )
+        for line_bytes in (64, 128, 256):
+            reductions = []
+            config = DeWriteConfig(line_size_bytes=line_bytes)
+            for profile in scoped.profiles()[:4]:
+                trace = generate_trace(
+                    profile, min(scoped.accesses, 8_000), seed=scoped.seed,
+                    line_size_bytes=line_bytes,
+                )
+                nvm = NvmMainMemory(
+                    NvmConfig(
+                        organization=NvmOrganization(
+                            capacity_bytes=2**30, line_size_bytes=line_bytes
+                        )
+                    )
+                )
+                controller = DeWriteController(nvm, config=config)
+                simulate(controller, trace, scoped.core_config)
+                reductions.append(controller.stats.write_reduction)
+            table.add_row(
+                line_bytes,
+                statistics.fmean(reductions),
+                config.metadata_overhead_fraction(),
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(table, "ablation_granularity")
+
+    fractions = table.column("metadata_fraction")
+    assert fractions[0] > fractions[1] > fractions[2], (
+        "metadata overhead must shrink with coarser lines (the paper's "
+        "reason for 256 B granularity)"
+    )
+
+
+def test_ablation_verify_read_bound(benchmark, settings, publish):
+    scoped = _scoped(settings)
+
+    def sweep() -> Table:
+        table = Table(
+            "Ablation — verify reads per detection",
+            ["max_verify_reads", "write_reduction", "write_latency_ns"],
+        )
+        for bound in (1, 2, 4):
+            metrics = _run(scoped, DeWriteConfig(max_verify_reads=bound))
+            table.add_row(bound, metrics["write_reduction"], metrics["write_latency_ns"])
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(table, "ablation_verify_reads")
+
+    reductions = table.column("write_reduction")
+    # Collision chains are ~length 1 (Fig. 6): one verify read already
+    # captures nearly all duplicates.
+    assert reductions[2] - reductions[0] < 0.02

@@ -1,0 +1,26 @@
+"""Fig. 4 — duplication-state prediction accuracy.
+
+Paper: 92.1 % accuracy recording one previous write, 93.6 % with the
+3-bit history window; longer windows add almost nothing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import prediction_accuracy_survey
+
+
+def test_fig04_prediction_accuracy(benchmark, settings, publish):
+    table = benchmark.pedantic(
+        prediction_accuracy_survey,
+        args=(settings,),
+        kwargs={"windows": (1, 3, 5)},
+        rounds=1,
+        iterations=1,
+    )
+    publish(table, "fig04_prediction")
+
+    average = table.row_for("AVERAGE")
+    window1, window3, window5 = average[1], average[2], average[3]
+    assert 0.88 <= window1 <= 0.96, "window=1 should land near the paper's 92.1 %"
+    assert window3 > window1, "the 3-bit window must beat last-value (paper: +1.5 %)"
+    assert abs(window5 - window3) < 0.02, "wider windows add little (paper's finding)"

@@ -1,0 +1,18 @@
+"""Fig. 6 — CRC-32 hash collision probability.
+
+Paper: collisions (hash match, byte-compare mismatch) occur for less than
+0.01 % of writes on average — cheap enough that the verify read, not a
+cryptographic digest, resolves them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import collision_survey
+
+
+def test_fig06_collision_rate(benchmark, settings, publish):
+    table = benchmark.pedantic(collision_survey, args=(settings,), rounds=1, iterations=1)
+    publish(table, "fig06_collisions")
+
+    average = table.row_for("AVERAGE")
+    assert average[3] < 1e-3, "collision rate must stay below the paper's 0.01 % scale"

@@ -1,0 +1,24 @@
+"""Fig. 7 — distribution of line reference counts.
+
+Paper: more than 99.999 % of lines keep a reference count below 255, so an
+8-bit saturating reference field suffices; saturated lines simply stop
+serving as dedup targets.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import reference_count_survey
+from repro.workloads.profiles import profile_by_name
+
+
+def test_fig07_reference_counts(benchmark, settings, publish):
+    table = benchmark.pedantic(
+        reference_count_survey, args=(settings,), rounds=1, iterations=1
+    )
+    publish(table, "fig07_references")
+
+    for row in table.rows:
+        profile = profile_by_name(row[0])
+        if profile.dup_ratio < 0.8:
+            assert row[3] > 0.98, f"{row[0]}: references should rarely saturate"
+        assert row[2] <= 255, "the 8-bit field must never be exceeded"

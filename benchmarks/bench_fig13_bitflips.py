@@ -1,0 +1,31 @@
+"""Fig. 13 — average bit flips per write under bit-level techniques.
+
+Paper: encryption's diffusion pins DCW at 50 % and FNW at 43 %; DEUCE's
+word-granular re-encryption reaches 24 %; putting DeWrite in front halves
+each (50→22 %, 43→19 %, 24→11 %), while Silent Shredder helps far less.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import bit_flip_comparison
+
+
+def test_fig13_bit_flips(benchmark, settings, publish):
+    table = benchmark.pedantic(bit_flip_comparison, args=(settings,), rounds=1, iterations=1)
+    publish(table, "fig13_bitflips")
+
+    average = table.row_for("AVERAGE")
+    dcw, fnw, deuce = average[1], average[2], average[3]
+    shredder = {"dcw": average[4], "fnw": average[5], "deuce": average[6]}
+    dewrite = {"dcw": average[7], "fnw": average[8], "deuce": average[9]}
+
+    assert 0.47 <= dcw <= 0.53, "diffusion pins DCW at ~50 %"
+    assert 0.40 <= fnw <= 0.46, "FNW lands at ~43 %"
+    assert 0.15 <= deuce <= 0.30, "DEUCE lands near the paper's 24 %"
+    for technique, alone in (("dcw", dcw), ("fnw", fnw), ("deuce", deuce)):
+        assert dewrite[technique] < 0.6 * alone, (
+            f"DeWrite must cut {technique} flips by roughly half or more"
+        )
+        assert dewrite[technique] < shredder[technique], (
+            f"DeWrite must beat Silent Shredder in front of {technique}"
+        )

@@ -1,0 +1,27 @@
+"""Fig. 15 — write latency of the direct way, the parallel way and DeWrite.
+
+Paper: normalised to the direct way, the parallel way is fastest (always
+speculating), DeWrite matches it almost exactly thanks to ~93 % prediction
+accuracy, and the direct way pays ~27 % extra latency from serialising
+detection before encryption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.experiments import integration_mode_comparison
+
+
+def test_fig15_mode_write_latency(benchmark, settings, publish):
+    scoped = dataclasses.replace(settings, accesses=min(settings.accesses, 20_000))
+    table = benchmark.pedantic(
+        integration_mode_comparison, args=(scoped,), rounds=1, iterations=1
+    )
+    publish(table, "fig15_20_modes")
+
+    average = table.row_for("AVERAGE")
+    direct, parallel, dewrite = average[1], average[2], average[3]
+    assert parallel < direct, "the parallel way must beat the direct way on latency"
+    assert dewrite <= parallel * 1.08, "DeWrite must sit near the parallel way (Fig. 15)"
+    assert parallel <= 0.98, "serialisation must cost the direct way visibly"

@@ -1,0 +1,28 @@
+"""Fig. 16 — memory read speedup over the traditional secure NVM.
+
+Paper: 3.1x average, from two effects: eliminated duplicate writes stop
+blocking reads at their banks, and the address-mapping lookup adds almost
+nothing.  As with Fig. 14 the closed-loop core model compresses absolute
+ratios; orderings and the >1 direction are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import system_comparison_table
+from repro.workloads.profiles import profile_by_name
+
+
+def test_fig16_read_speedup(benchmark, settings, publish):
+    table = benchmark.pedantic(
+        system_comparison_table, args=(settings,), rounds=1, iterations=1
+    )
+    publish(table, "fig14_16_17_19_system")
+
+    average = table.row_for("AVERAGE")
+    assert average[3] > 1.15, "reads must speed up on average"
+
+    rows = [row for row in table.rows if row[0] != "AVERAGE"]
+    heavy = [r for r in rows if profile_by_name(r[0]).dup_ratio > 0.85]
+    assert all(r[3] > 1.4 for r in heavy), "heavy duplicators gain the most read speedup"
+    light = [r for r in rows if profile_by_name(r[0]).dup_ratio < 0.25]
+    assert all(r[3] > 0.85 for r in light), "non-dup apps must stay near parity"

@@ -1,0 +1,28 @@
+"""Fig. 17 — relative IPC of DeWrite over the traditional secure NVM.
+
+Paper: +82 % IPC on average.  The gain comes from shorter read stalls and
+cheaper persistent writes; it therefore tracks each application's write
+reduction, which is the asserted shape.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import system_comparison_table
+
+
+def test_fig17_ipc(benchmark, settings, publish):
+    table = benchmark.pedantic(
+        system_comparison_table, args=(settings,), rounds=1, iterations=1
+    )
+    publish(table, "fig14_16_17_19_system")
+
+    average = table.row_for("AVERAGE")
+    assert average[4] > 1.25, "IPC must improve substantially on average"
+
+    rows = [row for row in table.rows if row[0] != "AVERAGE"]
+    by_reduction = sorted(rows, key=lambda r: r[1])
+    low = sum(r[4] for r in by_reduction[:6]) / 6
+    high = sum(r[4] for r in by_reduction[-6:]) / 6
+    assert high > low, "IPC gains must track write reduction"
+    assert max(r[4] for r in rows) > 2.0, "heavy duplicators should gain 2x+"
+    assert min(r[4] for r in rows) > 0.9, "no app should lose meaningful IPC"

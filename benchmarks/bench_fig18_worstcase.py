@@ -1,0 +1,26 @@
+"""Fig. 18 — worst-case performance with zero duplicate writes.
+
+Paper: on a randomised-array benchmark with no duplication at all, DeWrite
+degrades IPC by less than 3 %: prediction keeps detection off the write
+critical path, PNA avoids useless hash-table reads, and the metadata cache
+absorbs the bookkeeping.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import ExperimentSettings, worst_case_comparison
+
+
+def test_fig18_worst_case(benchmark, settings, publish):
+    table = benchmark.pedantic(
+        worst_case_comparison,
+        args=(ExperimentSettings(accesses=settings.accesses, seed=settings.seed),),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table, "fig18_worstcase")
+
+    assert table.row_for("write_reduction")[2] == 0.0, "nothing to deduplicate"
+    assert table.row_for("ipc")[3] > 0.97, "IPC loss must stay under the paper's 3 %"
+    assert table.row_for("write_latency_ns")[3] < 1.08
+    assert table.row_for("read_latency_ns")[3] < 1.10

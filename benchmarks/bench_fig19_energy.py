@@ -1,0 +1,26 @@
+"""Fig. 19 — energy consumption of the secure NVM system.
+
+Paper: DeWrite cuts total energy (NVM array + AES circuit + dedup logic)
+by 40 % on average — eliminated writes save both array programming energy
+and their encryption energy, while the CRC+compare dedup logic is noise.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import evaluate_all, system_comparison_table
+
+
+def test_fig19_energy(benchmark, settings, publish):
+    table = benchmark.pedantic(
+        system_comparison_table, args=(settings,), rounds=1, iterations=1
+    )
+    publish(table, "fig14_16_17_19_system")
+
+    average = table.row_for("AVERAGE")
+    assert 0.45 <= average[5] <= 0.75, "average energy should drop toward the paper's -40 %"
+
+    # Component sanity on one heavy duplicator: the dedup logic must be a
+    # negligible slice of DeWrite's own energy (§IV-D).
+    results = evaluate_all(settings)
+    heavy = results["lbm"].dewrite.energy_breakdown
+    assert heavy["dedup_logic_nj"] < 0.05 * heavy["total_nj"]

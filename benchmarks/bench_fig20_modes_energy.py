@@ -1,0 +1,27 @@
+"""Fig. 20 — energy of the direct way, DeWrite and the parallel way.
+
+Paper: normalised to the parallel way, the direct way is cheapest (never
+speculates an encryption), DeWrite matches it almost exactly, and the
+parallel way wastes ~32 % more energy encrypting lines that turn out to be
+duplicates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.experiments import integration_mode_comparison
+
+
+def test_fig20_mode_energy(benchmark, settings, publish):
+    scoped = dataclasses.replace(settings, accesses=min(settings.accesses, 20_000))
+    table = benchmark.pedantic(
+        integration_mode_comparison, args=(scoped,), rounds=1, iterations=1
+    )
+    publish(table, "fig15_20_modes")
+
+    average = table.row_for("AVERAGE")
+    direct, parallel, dewrite = average[4], average[5], average[6]
+    assert direct < parallel, "the direct way must beat the parallel way on energy"
+    assert dewrite <= direct * 1.08, "DeWrite must sit near the direct way (Fig. 20)"
+    assert direct <= 0.95, "speculative encryption must cost the parallel way visibly"

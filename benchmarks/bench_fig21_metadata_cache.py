@@ -1,0 +1,43 @@
+"""Fig. 21 — metadata cache hit rate vs cache size and prefetch granularity.
+
+Paper: 512 KB per table (128 KB for the FSM cache) with a prefetch
+granularity of 256 entries achieves >98 % hit rates; bigger caches add
+little, which is how the total stays inside the 2 MB budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.experiments import metadata_cache_sweep
+
+
+def test_fig21_metadata_cache(benchmark, settings, publish):
+    # The sweep runs (sizes x granularities x apps) full simulations; scope
+    # the application set to keep the matrix tractable.
+    scoped = dataclasses.replace(
+        settings,
+        applications=tuple(settings.applications)[:6],
+        accesses=min(settings.accesses, 15_000),
+    )
+    table = benchmark.pedantic(
+        metadata_cache_sweep,
+        args=(scoped,),
+        kwargs={"cache_sizes_kb": (32, 128, 512), "prefetch_entries": (64, 256)},
+        rounds=1,
+        iterations=1,
+    )
+    publish(table, "fig21_metadata_cache")
+
+    def rows_for(size_kb, prefetch):
+        for row in table.rows:
+            if row[0] == size_kb and row[1] == prefetch:
+                return row
+        raise AssertionError(f"missing sweep point {size_kb} KB / {prefetch}")
+
+    paper_point = rows_for(512, 256)
+    for column, name in ((2, "hash"), (3, "address_map"), (4, "inverted_hash"), (5, "fsm")):
+        assert paper_point[column] > 0.90, f"{name} cache should exceed 90 % at the paper point"
+
+    small_point = rows_for(32, 256)
+    assert paper_point[3] >= small_point[3] - 0.02, "hit rate must not degrade with size"

@@ -1,0 +1,37 @@
+"""§V — the related-work schemes, measured on the same traces.
+
+The paper's related-work section argues: out-of-line memory deduplication
+cannot reduce writes (duplicates are detected after the write); Silent
+Shredder only removes zero lines; i-NVMM buys speed by sending plaintext
+over the bus.  This benchmark runs them all and prints the receipts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.experiments import related_work_comparison
+
+
+def test_sec5_related_work(benchmark, settings, publish):
+    scoped = dataclasses.replace(
+        settings,
+        applications=tuple(settings.applications)[:6],
+        accesses=min(settings.accesses, 12_000),
+    )
+    table = benchmark.pedantic(
+        related_work_comparison, args=(scoped,), rounds=1, iterations=1
+    )
+    publish(table, "sec5_related_work")
+
+    dewrite = table.row_for("DeWrite")
+    out_of_line = table.row_for("out-of-line page dedup")
+    shredder = table.row_for("Silent Shredder")
+    i_nvmm = table.row_for("i-NVMM")
+    baseline = table.row_for("traditional secure NVM")
+
+    assert out_of_line[1] == 0.0, "out-of-line dedup eliminates no writes (SV)"
+    assert dewrite[1] > shredder[1] > 0.0, "DeWrite > zero-only elimination"
+    assert dewrite[3] == 0.0, "DeWrite never sends plaintext over the bus"
+    assert i_nvmm[3] > 0.0, "i-NVMM's exposure is real and counted"
+    assert dewrite[4] < baseline[4], "DeWrite saves energy vs the baseline"

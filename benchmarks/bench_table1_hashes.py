@@ -1,0 +1,41 @@
+"""Table I — hash engines and duplication-detection latency.
+
+Part (a): CRC-32 is 15 ns / 32 bit vs SHA-1's 321 ns / 160 bit and MD5's
+312 ns / 128 bit.  Part (b): DeWrite detects a duplicate in ~91 ns and a
+non-duplicate in 15 ns (plus t_Q'), while trusted-fingerprint traditional
+dedup pays >312 ns on every line — more than an NVM write.
+
+The second benchmark measures the end-to-end consequence on write latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.experiments import table1_detection_latency, traditional_dedup_comparison
+
+
+def test_table1a_detection_model(benchmark, publish):
+    table = benchmark.pedantic(table1_detection_latency, rounds=1, iterations=1)
+    publish(table, "table1_detection_model")
+
+    dewrite = table.row_for("DeWrite")
+    assert dewrite[4] < 100  # ~91 ns duplicate detection
+    assert dewrite[5] == 15.0
+    for row in table.rows:
+        if row[0] == "traditional dedup":
+            assert row[4] > 300, "cryptographic detection exceeds the NVM write"
+
+
+def test_table1b_end_to_end_dedup_comparison(benchmark, settings, publish):
+    small = dataclasses.replace(
+        settings,
+        applications=tuple(settings.applications[:6]),
+        accesses=min(settings.accesses, 10_000),
+    )
+    table = benchmark.pedantic(
+        traditional_dedup_comparison, args=(small,), rounds=1, iterations=1
+    )
+    publish(table, "table1_end_to_end")
+    for row in table.rows:
+        assert row[3] > 1.0, f"DeWrite must beat SHA-1 dedup on {row[0]}"

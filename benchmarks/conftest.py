@@ -1,0 +1,56 @@
+"""Shared scaffolding for the per-figure benchmark suite.
+
+Every ``bench_*`` file regenerates one table/figure of the paper.  Scale is
+controlled by environment variables so CI smoke runs and full reproductions
+share one code path:
+
+- ``REPRO_BENCH_ACCESSES`` — trace length per application (default 20000)
+- ``REPRO_BENCH_APPS``      — comma-separated subset (default: all 20)
+
+Rendered tables are printed and archived under ``benchmarks/results/`` so
+EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings
+from repro.analysis.reporting import Table
+from repro.workloads.profiles import ALL_PROFILES
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _selected_apps() -> tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_APPS", "")
+    if not raw:
+        return tuple(p.name for p in ALL_PROFILES)
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """Experiment scale for this benchmark session."""
+    return ExperimentSettings(
+        accesses=int(os.environ.get("REPRO_BENCH_ACCESSES", "20000")),
+        seed=1,
+        applications=_selected_apps(),
+    )
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Print a result table and archive it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _publish(table: Table, artifact: str) -> Table:
+        rendered = table.render()
+        print("\n" + rendered)
+        (RESULTS_DIR / f"{artifact}.txt").write_text(rendered + "\n")
+        return table
+
+    return _publish

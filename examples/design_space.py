@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the public experiment API.
+
+Reproduces the paper's two tuning studies interactively:
+
+- Fig. 4 / §III-A — how long should the duplication history window be?
+- Fig. 21 / §IV-E2 — how big must the metadata caches be, and how much
+  does prefetch granularity matter?
+
+and adds the repository's own ablations (PNA, verify-read bound).
+
+Run:  python examples/design_space.py  [--accesses N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+
+from repro.analysis import (
+    ExperimentSettings,
+    metadata_cache_sweep,
+    prediction_accuracy_survey,
+)
+from repro.analysis.reporting import Table
+from repro.core.config import DeWriteConfig
+from repro.core.dewrite import DeWriteController
+from repro.nvm.memory import NvmMainMemory
+from repro.system import simulate
+
+
+def history_window_study(settings: ExperimentSettings) -> None:
+    print(prediction_accuracy_survey(settings, windows=(1, 2, 3, 5, 8)).render())
+    print()
+
+
+def cache_sizing_study(settings: ExperimentSettings) -> None:
+    table = metadata_cache_sweep(
+        settings,
+        cache_sizes_kb=(64, 256, 512),
+        prefetch_entries=(64, 256, 1024),
+    )
+    print(table.render())
+    print()
+
+
+def pna_and_verify_study(settings: ExperimentSettings) -> None:
+    table = Table(
+        "PNA and verify-read bound vs eliminated writes",
+        ["configuration", "write_reduction", "mean_write_ns", "metadata_reads"],
+    )
+    configs = {
+        "paper defaults": DeWriteConfig(),
+        "PNA off": DeWriteConfig(enable_pna=False),
+        "1 verify read": DeWriteConfig(max_verify_reads=1),
+        "4 verify reads": DeWriteConfig(max_verify_reads=4),
+    }
+    for label, config in configs.items():
+        reductions, latencies, reads = [], [], []
+        for profile in settings.profiles():
+            controller = DeWriteController(NvmMainMemory(), config=config)
+            simulate(controller, settings.trace_for(profile), settings.core_config)
+            reductions.append(controller.stats.write_reduction)
+            latencies.append(controller.stats.write_latency.mean_ns)
+            reads.append(controller.stats.metadata_reads)
+        table.add_row(
+            label,
+            statistics.fmean(reductions),
+            statistics.fmean(latencies),
+            statistics.fmean(reads),
+        )
+    print(table.render())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=8_000)
+    args = parser.parse_args()
+
+    settings = ExperimentSettings(
+        accesses=args.accesses,
+        applications=("lbm", "cactusADM", "mcf", "sjeng", "gcc", "vips"),
+    )
+    history_window_study(settings)
+    cache_sizing_study(settings)
+    pna_and_verify_study(settings)
+
+
+if __name__ == "__main__":
+    main()

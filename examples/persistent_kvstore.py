@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""A persistent key-value store on encrypted NVM, with and without DeWrite.
+
+The scenario the paper's introduction motivates: persistent memory keeps
+application data structures durable, so every store is flushed and fenced
+— writes sit on the critical path.  A KV store checkpointing mostly-
+unchanged values (session tables, configuration snapshots, mostly-idle
+counters) produces highly duplicated line writes; DeWrite cancels them.
+
+The store maps fixed-size records onto 256 B lines, runs the same update/
+checkpoint/lookup workload against the traditional secure-NVM controller
+and against DeWrite on identical devices, and compares latency, endurance
+and energy.
+
+Run:  python examples/persistent_kvstore.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import DeWriteController, MemoryController, NvmMainMemory
+from repro.baselines import TraditionalSecureNvmController
+
+LINE = 256
+RECORDS = 512
+CHECKPOINT_EVERY = 200
+OPERATIONS = 4_000
+
+
+class PersistentKvStore:
+    """A line-granular persistent KV store over any secure-NVM controller."""
+
+    def __init__(self, controller: MemoryController) -> None:
+        self._controller = controller
+        self._now = 0.0
+        self.write_ns = 0.0
+        self.read_ns = 0.0
+
+    def put(self, key: int, value: bytes) -> None:
+        """Durably store one record (flush + fence: the core waits)."""
+        record = value.ljust(LINE, b"\x00")[:LINE]
+        outcome = self._controller.write(key, record, self._now)
+        self.write_ns += outcome.latency_ns
+        self._now = outcome.complete_ns + 50.0
+
+    def get(self, key: int) -> bytes:
+        """Load one record."""
+        outcome = self._controller.read(key, self._now)
+        self.read_ns += outcome.latency_ns
+        self._now = outcome.complete_ns + 50.0
+        return outcome.data.rstrip(b"\x00")
+
+
+def run_workload(store: PersistentKvStore, seed: int = 42) -> None:
+    """Updates + periodic full checkpoints + lookups."""
+    rng = random.Random(seed)
+    values = {key: f"user-{key}:session=idle".encode() for key in range(RECORDS)}
+    # Initial population.
+    for key, value in values.items():
+        store.put(key, value)
+
+    for op in range(OPERATIONS):
+        if op % CHECKPOINT_EVERY == 0:
+            # Checkpoint: rewrite every record; most are unchanged, so the
+            # lines are duplicates of what the device already holds.
+            for key in range(RECORDS):
+                store.put(key, values[key])
+        key = rng.randrange(RECORDS)
+        if rng.random() < 0.3:
+            values[key] = f"user-{key}:session={rng.randrange(10**6)}".encode()
+            store.put(key, values[key])
+        else:
+            assert store.get(key) == values[key]
+
+
+def main() -> None:
+    systems = {
+        "traditional secure NVM": TraditionalSecureNvmController(NvmMainMemory()),
+        "DeWrite": DeWriteController(NvmMainMemory()),
+    }
+    results = {}
+    for name, controller in systems.items():
+        store = PersistentKvStore(controller)
+        run_workload(store)
+        nvm = controller.nvm
+        results[name] = {
+            "array writes": nvm.writes,
+            "bit flips": nvm.wear.summary().total_bit_flips,
+            "mean put latency (ns)": store.write_ns / controller.stats.writes_requested,
+            "mean get latency (ns)": store.read_ns / max(controller.stats.reads_requested, 1),
+            "energy (uJ)": nvm.energy.total_nj / 1000.0,
+        }
+
+    print(f"{'metric':28s}{'traditional':>16s}{'DeWrite':>12s}{'ratio':>9s}")
+    for metric in results["DeWrite"]:
+        base = results["traditional secure NVM"][metric]
+        ours = results["DeWrite"][metric]
+        ratio = base / ours if ours else float("inf")
+        print(f"{metric:28s}{base:16,.1f}{ours:12,.1f}{ratio:8.2f}x")
+
+    dewrite = systems["DeWrite"]
+    print(
+        f"\nDeWrite cancelled {dewrite.stats.writes_deduplicated:,} of "
+        f"{dewrite.stats.writes_requested:,} durable writes "
+        f"({dewrite.stats.write_reduction:.0%}) — checkpoints of unchanged "
+        f"records never touch the array."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: a DeWrite secure-NVM controller in thirty lines.
+
+Builds the banked NVM device, attaches the DeWrite controller, writes a
+few 256 B lines (some duplicated), reads them back, and prints what the
+deduplication layer did.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DeWriteController, NvmMainMemory
+
+
+def main() -> None:
+    nvm = NvmMainMemory()  # 16 GB PCM model: 75 ns reads, 300 ns writes
+    controller = DeWriteController(nvm)  # dedup + counter-mode encryption
+
+    page_of_zeros = bytes(256)
+    config_block = b"server=alpha;retries=3;".ljust(256, b"\x00")
+
+    now = 0.0
+    workload = [
+        (0, config_block),  # unique: stored (encrypted)
+        (1, page_of_zeros),  # unique: first zero line
+        (2, page_of_zeros),  # duplicate of line 1 -> write cancelled
+        (3, config_block),  # duplicate of line 0 -> write cancelled
+        (4, config_block),  # another duplicate
+    ]
+    for address, data in workload:
+        outcome = controller.write(address, data, now)
+        status = "DEDUPLICATED" if outcome.deduplicated else "stored"
+        print(f"write line {address}: {status:13s} latency {outcome.latency_ns:7.1f} ns")
+        now = outcome.complete_ns + 500.0
+
+    # Reads are redirected through the address-mapping table transparently.
+    for address, expected in workload:
+        outcome = controller.read(address, now)
+        assert outcome.data == expected, f"line {address} corrupted!"
+        now = outcome.complete_ns + 500.0
+    print("\nall lines read back correctly (decrypted + redirected)")
+
+    stats = controller.stats
+    print(f"\nwrites requested:      {stats.writes_requested}")
+    print(f"writes deduplicated:   {stats.writes_deduplicated}")
+    print(f"write reduction:       {stats.write_reduction:.0%}")
+    print(f"NVM array writes:      {nvm.writes}")
+    print(f"ciphertext at rest:    {nvm.peek(0) != config_block}")
+    print(f"energy so far:         {nvm.energy.total_nj:.0f} nJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""DeWrite reproduction — deduplicating writes for encrypted NVM main memory.
+
+A from-scratch Python implementation of the MICRO 2018 paper *Improving the
+Performance and Endurance of Encrypted Non-volatile Main Memory through
+Deduplicating Writes* (Zuo, Hua, Zhao, Zhou, Guo), including the banked NVM
+timing/energy simulator, the encryption substrate, all baselines and the
+full evaluation harness.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quick taste::
+
+    from repro import DeWriteController, NvmMainMemory
+
+    nvm = NvmMainMemory()
+    controller = DeWriteController(nvm)
+    controller.write(0, b"\x00" * 256, arrival_ns=0.0)
+    outcome = controller.write(1, b"\x00" * 256, arrival_ns=500.0)
+    assert outcome.deduplicated  # second zero line never reached the array
+"""
+
+from repro.core import (
+    DeWriteConfig,
+    DeWriteController,
+    DeWriteStats,
+    MemoryController,
+    MetadataCacheConfig,
+    ReadOutcome,
+    WriteOutcome,
+)
+from repro.nvm import NvmConfig, NvmMainMemory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeWriteController",
+    "DeWriteConfig",
+    "MetadataCacheConfig",
+    "DeWriteStats",
+    "MemoryController",
+    "WriteOutcome",
+    "ReadOutcome",
+    "NvmMainMemory",
+    "NvmConfig",
+    "__version__",
+]

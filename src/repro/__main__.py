@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands:
+
+- ``compare``  — run one application under the traditional secure NVM and
+  under DeWrite, print the side-by-side report;
+- ``figure``   — regenerate one of the paper's tables/figures by id;
+- ``list``     — enumerate the available figure ids and applications.
+
+Examples::
+
+    python -m repro compare --app lbm --accesses 20000
+    python -m repro figure fig13 --apps lbm,mcf,vips
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments as ex
+from repro.workloads.profiles import ALL_PROFILES, profile_by_name
+
+_FIGURES = {
+    "fig2": ("duplicate lines written to memory", lambda s: ex.duplication_survey(s)),
+    "fig4": ("prediction accuracy", lambda s: ex.prediction_accuracy_survey(s)),
+    "table1": ("detection latency model", lambda s: ex.table1_detection_latency(s)),
+    "fig6": ("CRC-32 collision rate", lambda s: ex.collision_survey(s)),
+    "fig7": ("reference counts", lambda s: ex.reference_count_survey(s)),
+    "fig12": ("write reduction", lambda s: ex.write_reduction_survey(s)),
+    "fig13": ("bit flips under DCW/FNW/DEUCE", lambda s: ex.bit_flip_comparison(s)),
+    "system": ("write/read speedup, IPC, energy (Figs. 14/16/17/19)",
+               lambda s: ex.system_comparison_table(s)),
+    "modes": ("direct vs parallel vs DeWrite (Figs. 15/20)",
+              lambda s: ex.integration_mode_comparison(s)),
+    "fig18": ("worst case, no duplicates", lambda s: ex.worst_case_comparison(s)),
+    "fig21": ("metadata cache sizing", lambda s: ex.metadata_cache_sweep(s)),
+    "storage": ("metadata storage overhead (SIV-E1)",
+                lambda s: ex.storage_overhead_table(s)),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DeWrite (MICRO 2018) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="baseline vs DeWrite on one application")
+    compare.add_argument("--app", default="lbm", help="application name (see `list`)")
+    compare.add_argument("--accesses", type=int, default=20_000)
+    compare.add_argument("--seed", type=int, default=1)
+
+    figure = sub.add_parser("figure", help="regenerate one paper table/figure")
+    figure.add_argument("id", choices=sorted(_FIGURES))
+    figure.add_argument("--apps", default="", help="comma-separated subset (default: all)")
+    figure.add_argument("--accesses", type=int, default=20_000)
+    figure.add_argument("--seed", type=int, default=1)
+    figure.add_argument(
+        "--chart", default="", metavar="COLUMN",
+        help="also render COLUMN as an ASCII bar chart",
+    )
+    figure.add_argument(
+        "--json", default="", metavar="PATH", help="also dump the table as JSON"
+    )
+
+    regress = sub.add_parser(
+        "regress", help="compare two exported figure JSONs for drift"
+    )
+    regress.add_argument("reference", help="reference JSON (from figure --json)")
+    regress.add_argument("current", help="current JSON to check")
+    regress.add_argument("--tolerance", type=float, default=0.05,
+                         help="relative tolerance per cell (default 5 %%)")
+
+    sub.add_parser("list", help="list figure ids and applications")
+    return parser
+
+
+def _settings(args: argparse.Namespace) -> ex.ExperimentSettings:
+    if getattr(args, "apps", ""):
+        applications = tuple(name.strip() for name in args.apps.split(",") if name.strip())
+    else:
+        applications = tuple(p.name for p in ALL_PROFILES)
+    return ex.ExperimentSettings(
+        accesses=args.accesses, seed=args.seed, applications=applications
+    )
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    profile = profile_by_name(args.app)
+    settings = ex.ExperimentSettings(
+        accesses=args.accesses, seed=args.seed, applications=(profile.name,)
+    )
+    result = ex.run_app_comparison(profile, settings)
+    speedups = result.speedups
+    print(f"application: {profile.name}  ({profile.suite}, {profile.threads} thread(s))")
+    print(f"trace: {args.accesses} accesses, seed {args.seed}\n")
+    rows = [
+        ("mean write latency (ns)",
+         result.baseline.mean_write_latency_ns, result.dewrite.mean_write_latency_ns),
+        ("mean read latency (ns)",
+         result.baseline.mean_read_latency_ns, result.dewrite.mean_read_latency_ns),
+        ("IPC (x1000)", result.baseline.ipc * 1000, result.dewrite.ipc * 1000),
+        ("energy (uJ)", result.baseline.energy_nj / 1000, result.dewrite.energy_nj / 1000),
+        ("NVM bit flips",
+         float(result.baseline.wear.total_bit_flips), float(result.dewrite.wear.total_bit_flips)),
+    ]
+    print(f"{'metric':26s}{'baseline':>12s}{'dewrite':>12s}")
+    for name, base, ours in rows:
+        print(f"{name:26s}{base:12,.1f}{ours:12,.1f}")
+    print(
+        f"\nwrite reduction {result.dewrite.write_reduction:.0%} | "
+        f"write speedup {speedups['write_speedup']:.2f}x | "
+        f"read speedup {speedups['read_speedup']:.2f}x | "
+        f"IPC {speedups['ipc_ratio']:.2f}x | "
+        f"energy {speedups['energy_ratio']:.2f}x"
+    )
+    return 0
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    _, runner = _FIGURES[args.id]
+    table = runner(_settings(args))
+    print(table.render())
+    if args.chart:
+        from repro.analysis.charts import render_bar_chart
+
+        reference = 1.0 if ("speedup" in args.chart or "ratio" in args.chart) else None
+        print()
+        print(render_bar_chart(table, args.chart, reference=reference))
+    if args.json:
+        from repro.analysis.export import dump_json, table_to_dict
+
+        dump_json(table_to_dict(table), args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _run_regress(args: argparse.Namespace) -> int:
+    from repro.analysis.export import load_json
+    from repro.analysis.regression import compare_tables
+
+    report = compare_tables(
+        load_json(args.reference),
+        load_json(args.current),
+        relative_tolerance=args.tolerance,
+    )
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+def _run_list() -> int:
+    print("figures:")
+    for key, (description, _) in sorted(_FIGURES.items()):
+        print(f"  {key:8s} {description}")
+    print("\napplications:")
+    for profile in ALL_PROFILES:
+        print(
+            f"  {profile.name:14s} {profile.suite:6s} dup={profile.dup_ratio:.0%} "
+            f"zero={profile.zero_line_fraction:.0%}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "compare":
+            return _run_compare(args)
+        if args.command == "figure":
+            return _run_figure(args)
+        if args.command == "regress":
+            return _run_regress(args)
+        return _run_list()
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Evaluation harness: one runner per table/figure of the paper.
+
+:mod:`repro.analysis.experiments` exposes a function per evaluation
+artifact (Fig. 2 through Fig. 21, Table I, §IV-E1) returning a
+:class:`repro.analysis.reporting.Table` whose rows mirror what the paper
+plots; the benchmark suite calls these and prints them.
+:class:`ExperimentSettings` scales everything (trace length, app subset)
+so smoke tests and full runs share one code path.
+"""
+
+from repro.analysis.experiments import (
+    ComparisonResult,
+    ExperimentSettings,
+    bit_flip_comparison,
+    collision_survey,
+    duplication_survey,
+    evaluate_all,
+    integration_mode_comparison,
+    metadata_cache_sweep,
+    prediction_accuracy_survey,
+    reference_count_survey,
+    run_app_comparison,
+    storage_overhead_table,
+    system_comparison_table,
+    table1_detection_latency,
+    traditional_dedup_comparison,
+    worst_case_comparison,
+    write_reduction_survey,
+)
+from repro.analysis.charts import render_bar_chart
+from repro.analysis.export import dump_json, load_json, report_to_dict, table_to_dict
+from repro.analysis.regression import RegressionReport, compare_tables
+from repro.analysis.reporting import Table
+
+__all__ = [
+    "ExperimentSettings",
+    "ComparisonResult",
+    "Table",
+    "duplication_survey",
+    "prediction_accuracy_survey",
+    "table1_detection_latency",
+    "collision_survey",
+    "reference_count_survey",
+    "evaluate_all",
+    "run_app_comparison",
+    "system_comparison_table",
+    "bit_flip_comparison",
+    "integration_mode_comparison",
+    "worst_case_comparison",
+    "metadata_cache_sweep",
+    "storage_overhead_table",
+    "write_reduction_survey",
+    "traditional_dedup_comparison",
+    "render_bar_chart",
+    "table_to_dict",
+    "report_to_dict",
+    "dump_json",
+    "load_json",
+    "compare_tables",
+    "RegressionReport",
+]

@@ -1,0 +1,54 @@
+"""JSON export of experiment tables and simulation reports.
+
+Downstream tooling (plotting scripts, regression trackers) consumes these
+instead of parsing rendered text.  Everything emitted is plain JSON types.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+from repro.analysis.reporting import Table
+from repro.system.metrics import SimulationReport
+
+
+def table_to_dict(table: Table) -> dict[str, Any]:
+    """A table as ``{title, headers, rows, notes}`` with listified rows."""
+    return {
+        "title": table.title,
+        "headers": list(table.headers),
+        "rows": [list(row) for row in table.rows],
+        "notes": list(table.notes),
+    }
+
+
+def report_to_dict(report: SimulationReport) -> dict[str, Any]:
+    """A simulation report flattened to JSON types."""
+    return {
+        "workload": report.workload,
+        "controller": report.controller,
+        "instructions": report.instructions,
+        "total_cycles": report.total_cycles,
+        "ipc": report.ipc,
+        "makespan_ns": report.makespan_ns,
+        "mean_write_latency_ns": report.mean_write_latency_ns,
+        "mean_read_latency_ns": report.mean_read_latency_ns,
+        "energy_nj": report.energy_nj,
+        "energy_breakdown": dict(report.energy_breakdown),
+        "mean_bank_wait_ns": report.mean_bank_wait_ns,
+        "wear": dataclasses.asdict(report.wear),
+        "stats": report.stats.as_dict(),
+    }
+
+
+def dump_json(payload: Any, path: str | pathlib.Path) -> None:
+    """Write any exported structure as pretty-printed JSON."""
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_json(path: str | pathlib.Path) -> Any:
+    """Read back a previously dumped structure."""
+    return json.loads(pathlib.Path(path).read_text())

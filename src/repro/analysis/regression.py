@@ -1,0 +1,107 @@
+"""Result-regression comparison: did a code change move the numbers?
+
+A reproduction repo lives or dies by knowing when its figures drift.
+:func:`compare_tables` diffs two exported tables (current run vs a
+committed reference JSON) cell by cell with a relative tolerance and
+reports every drift; `python -m repro figure <id> --json new.json`
+produces the inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One cell whose value moved beyond tolerance."""
+
+    row_key: Any
+    column: str
+    reference: float
+    current: float
+
+    @property
+    def relative_change(self) -> float:
+        """Signed relative change vs the reference."""
+        if self.reference == 0:
+            return float("inf") if self.current else 0.0
+        return (self.current - self.reference) / abs(self.reference)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.row_key}/{self.column}: {self.reference:g} -> {self.current:g} "
+            f"({self.relative_change:+.1%})"
+        )
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Outcome of comparing two exported tables."""
+
+    drifts: list[Drift]
+    missing_rows: list[Any]
+    extra_rows: list[Any]
+    cells_compared: int
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing drifted and the row sets match."""
+        return not self.drifts and not self.missing_rows and not self.extra_rows
+
+    def summary(self) -> str:
+        """One-paragraph human description."""
+        if self.clean:
+            return f"clean: {self.cells_compared} cells within tolerance"
+        lines = [
+            f"{len(self.drifts)} drifted cells, {len(self.missing_rows)} missing rows, "
+            f"{len(self.extra_rows)} extra rows (of {self.cells_compared} cells compared)"
+        ]
+        lines.extend(str(d) for d in self.drifts[:20])
+        if len(self.drifts) > 20:
+            lines.append(f"... and {len(self.drifts) - 20} more")
+        return "\n".join(lines)
+
+
+def compare_tables(
+    reference: dict[str, Any],
+    current: dict[str, Any],
+    relative_tolerance: float = 0.05,
+    absolute_tolerance: float = 1e-9,
+) -> RegressionReport:
+    """Compare two ``table_to_dict`` exports keyed on their first column.
+
+    Non-numeric cells must match exactly; numeric cells may move within
+    ``relative_tolerance`` (or ``absolute_tolerance`` near zero).
+    """
+    if reference["headers"] != current["headers"]:
+        raise ValueError(
+            f"header mismatch: {reference['headers']} vs {current['headers']}"
+        )
+    headers = reference["headers"]
+    reference_rows = {row[0]: row for row in reference["rows"]}
+    current_rows = {row[0]: row for row in current["rows"]}
+
+    drifts: list[Drift] = []
+    compared = 0
+    for key, ref_row in reference_rows.items():
+        cur_row = current_rows.get(key)
+        if cur_row is None:
+            continue
+        for column, ref_value, cur_value in zip(headers[1:], ref_row[1:], cur_row[1:]):
+            compared += 1
+            if isinstance(ref_value, (int, float)) and isinstance(cur_value, (int, float)):
+                delta = abs(cur_value - ref_value)
+                limit = max(absolute_tolerance, relative_tolerance * abs(ref_value))
+                if delta > limit:
+                    drifts.append(Drift(key, column, float(ref_value), float(cur_value)))
+            elif ref_value != cur_value:
+                drifts.append(Drift(key, column, float("nan"), float("nan")))
+
+    return RegressionReport(
+        drifts=drifts,
+        missing_rows=[k for k in reference_rows if k not in current_rows],
+        extra_rows=[k for k in current_rows if k not in reference_rows],
+        cells_compared=compared,
+    )

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for experiment results.
+
+Each experiment returns a :class:`Table`; benchmarks print it, tests assert
+on its rows, and EXPERIMENTS.md embeds the rendered output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:,.0f}"
+        if magnitude >= 10:
+            return f"{value:.1f}"
+        if magnitude >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled, aligned, plain-text table of experiment rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the header arity)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text annotation rendered under the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, by header name."""
+        try:
+            index = list(self.headers).index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r}; have {list(self.headers)}") from None
+        return [row[index] for row in self.rows]
+
+    def row_for(self, key: Any) -> Sequence[Any]:
+        """First row whose first cell equals ``key``."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(f"no row keyed {key!r}")
+
+    def render(self) -> str:
+        """Monospace rendering with aligned columns."""
+        cells = [[str(h) for h in self.headers]]
+        cells.extend([_format_cell(v) for v in row] for row in self.rows)
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.headers))]
+        lines = [self.title, "-" * len(self.title)]
+        for i, row in enumerate(cells):
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,42 @@
+"""Every scheme DeWrite is compared against in the paper's evaluation.
+
+- :class:`TraditionalSecureNvmController` — counter-mode encryption, no
+  deduplication; the denominator of Figs. 12/14/16/17/18/19.
+- :class:`SilentShredderController` — zero-line write elimination (Awad et
+  al.), the line-level competitor in Figs. 2/13.
+- :func:`traditional_dedup_controller` — SHA-1/MD5 fingerprint in-line
+  dedup with trusted fingerprints and serial encryption (Table I).
+- :func:`direct_way_controller` / :func:`parallel_way_controller` — the two
+  strawman dedup⊕encryption integrations of Fig. 3 (Figs. 15/20).
+- :mod:`repro.baselines.bit_reduction` — DCW / FNW / DEUCE bit-level
+  write-reduction models and the combined analyzer behind Fig. 13.
+"""
+
+from repro.baselines.bit_reduction import (
+    BitFlipAnalyzer,
+    BitFlipReport,
+    FnwLineState,
+    dcw_flips,
+    deuce_flips,
+)
+from repro.baselines.i_nvmm import INvmmController
+from repro.baselines.modes import direct_way_controller, parallel_way_controller
+from repro.baselines.out_of_line import OutOfLinePageDedupController
+from repro.baselines.secure_nvm import TraditionalSecureNvmController
+from repro.baselines.silent_shredder import SilentShredderController
+from repro.baselines.traditional_dedup import traditional_dedup_controller
+
+__all__ = [
+    "TraditionalSecureNvmController",
+    "SilentShredderController",
+    "INvmmController",
+    "OutOfLinePageDedupController",
+    "traditional_dedup_controller",
+    "direct_way_controller",
+    "parallel_way_controller",
+    "BitFlipAnalyzer",
+    "BitFlipReport",
+    "FnwLineState",
+    "dcw_flips",
+    "deuce_flips",
+]

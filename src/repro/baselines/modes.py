@@ -1,0 +1,37 @@
+"""The two strawman dedup⊕encryption integrations of Fig. 3.
+
+- The **direct way** (Fig. 3a) detects duplication first and only then
+  encrypts non-duplicates: minimal energy (nothing speculative) but the
+  full detection latency serialises in front of every stored write.
+- The **parallel way** (Fig. 3b) always encrypts concurrently with
+  detection: minimal latency but every duplicate's encryption is wasted
+  energy.
+
+DeWrite (``mode="predictive"``) picks per-write between them using the
+history-window prediction; Figs. 15 and 20 quantify the trade.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DeWriteConfig
+from repro.core.dewrite import DeWriteController
+from repro.crypto.counter_mode import CounterModeEngine
+from repro.nvm.memory import NvmMainMemory
+
+
+def direct_way_controller(
+    nvm: NvmMainMemory,
+    config: DeWriteConfig | None = None,
+    cme: CounterModeEngine | None = None,
+) -> DeWriteController:
+    """DeWrite's machinery with strictly serial detection → encryption."""
+    return DeWriteController(nvm, config=config, mode="direct", cme=cme)
+
+
+def parallel_way_controller(
+    nvm: NvmMainMemory,
+    config: DeWriteConfig | None = None,
+    cme: CounterModeEngine | None = None,
+) -> DeWriteController:
+    """DeWrite's machinery with unconditional speculative encryption."""
+    return DeWriteController(nvm, config=config, mode="parallel", cme=cme)

@@ -1,0 +1,61 @@
+"""Traditional in-line deduplication (Table I's comparison point).
+
+Storage-style dedup fingerprints every line with a cryptographic hash
+(SHA-1 or MD5), trusts fingerprint equality as proof of duplication (no
+verifying read), and — being a bolt-on in front of encryption — serialises
+detection before the AES engine.  Table Ib prices its detection at
+≥312 ns + t_Q for *every* line, duplicate or not, which exceeds the NVM
+write itself; DeWrite's entire §III-B is the answer to that number.
+
+The controller is a configuration of :class:`repro.core.dewrite.
+DeWriteController`: same tables, same caches, different fingerprint engine
+(321/312 ns, 160/128-bit digests that pack fewer entries per cache block),
+``trust_fingerprint`` (skip the verify read) and the serial ``direct``
+integration mode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import DeWriteConfig
+from repro.core.dewrite import DeWriteController
+from repro.crypto.counter_mode import CounterModeEngine
+from repro.hashes.latency import model_for
+from repro.nvm.memory import NvmMainMemory
+
+
+def traditional_dedup_controller(
+    nvm: NvmMainMemory,
+    fingerprint: str = "sha1",
+    base_config: DeWriteConfig | None = None,
+    cme: CounterModeEngine | None = None,
+) -> DeWriteController:
+    """Build the traditional-dedup baseline on a given NVM device.
+
+    Args:
+        nvm: the shared device model.
+        fingerprint: ``"sha1"`` or ``"md5"``.
+        base_config: starting configuration (paper defaults when omitted);
+            fingerprint scheme, trust, hash-entry size and the disabled
+            prediction/PNA/parallelism are overridden on top of it.
+        cme: optional shared counter-mode engine.
+    """
+    if fingerprint not in ("sha1", "md5"):
+        raise ValueError(f"traditional dedup uses sha1 or md5, not {fingerprint!r}")
+    base = base_config if base_config is not None else DeWriteConfig()
+    model = model_for(fingerprint)
+    # Hash-table entry grows to digest + address + reference (Table Ia's
+    # digest sizes): fewer entries fit each cache block, raising t_Q.
+    hash_entry_bits = model.digest_bits + 32 + 8
+    metadata_cache = dataclasses.replace(base.metadata_cache, hash_entry_bits=hash_entry_bits)
+    config = dataclasses.replace(
+        base,
+        fingerprint=fingerprint,
+        trust_fingerprint=True,
+        enable_prediction=False,
+        enable_pna=False,
+        enable_parallel_encryption=False,
+        metadata_cache=metadata_cache,
+    )
+    return DeWriteController(nvm, config=config, mode="direct", cme=cme)

@@ -1,0 +1,62 @@
+"""DeWrite core: the paper's contribution.
+
+The public entry point is :class:`DeWriteController` — a drop-in secure-NVM
+memory controller that deduplicates line writes in-line (§III-B), overlaps
+deduplication with counter-mode encryption under a history-window predictor
+(§III-A), and colocates the encryption counters inside the dedup metadata
+(§III-C).  The supporting pieces (predictor, tables, caches, engine) are
+exported for experiments and ablations.
+"""
+
+from repro.core.config import DeWriteConfig, MetadataCacheConfig
+from repro.core.colocation import (
+    ColocationReport,
+    StorageOverhead,
+    audit_colocation,
+    counter_mode_overhead,
+    deuce_overhead,
+    dewrite_overhead,
+)
+from repro.core.dedup_engine import DedupEngine, DetectionResult, MetadataSystem
+from repro.core.dewrite import DeWriteController, IntegrationMode
+from repro.core.interface import MemoryController, ReadOutcome, WriteOutcome
+from repro.core.metadata_cache import CacheAccess, MetadataCache
+from repro.core.persistence import MetadataPersistenceConfig, MetadataPersistencePolicy
+from repro.core.predictor import HistoryWindowPredictor
+from repro.core.stats import DeWriteStats, LatencyAccumulator
+from repro.core.tables import (
+    DedupIndex,
+    DedupIndexError,
+    MetadataLayout,
+    MetadataTouch,
+)
+
+__all__ = [
+    "DeWriteController",
+    "IntegrationMode",
+    "DeWriteConfig",
+    "MetadataCacheConfig",
+    "MemoryController",
+    "WriteOutcome",
+    "ReadOutcome",
+    "HistoryWindowPredictor",
+    "MetadataPersistenceConfig",
+    "MetadataPersistencePolicy",
+    "DedupEngine",
+    "DetectionResult",
+    "MetadataSystem",
+    "MetadataCache",
+    "CacheAccess",
+    "DedupIndex",
+    "DedupIndexError",
+    "MetadataLayout",
+    "MetadataTouch",
+    "DeWriteStats",
+    "LatencyAccumulator",
+    "StorageOverhead",
+    "ColocationReport",
+    "dewrite_overhead",
+    "deuce_overhead",
+    "counter_mode_overhead",
+    "audit_colocation",
+]

@@ -1,0 +1,147 @@
+"""Configuration of the DeWrite memory controller.
+
+Groups every knob of §III plus the latency constants of §III-B/IV-A.  The
+ablation benchmarks flip the ``enable_*`` switches; everything else defaults
+to the paper's configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.persistence import MetadataPersistenceConfig
+from repro.hashes.latency import CRC32_MODEL
+
+
+@dataclass(frozen=True)
+class MetadataCacheConfig:
+    """Sizing of the on-chip metadata cache (§IV-E2, Fig. 21).
+
+    The paper settles on 512 KB for each of the hash, address-mapping and
+    inverted-hash caches plus 128 KB for the FSM cache (1664 KB < the 2 MB
+    budget).  Prefetch granularity applies to the three sequentially stored
+    tables; the hash table has no locality so its cache holds single entries.
+    """
+
+    hash_cache_bytes: int = 512 * 1024
+    address_map_cache_bytes: int = 512 * 1024
+    inverted_hash_cache_bytes: int = 512 * 1024
+    fsm_cache_bytes: int = 128 * 1024
+    prefetch_entries: int = 256
+
+    # Per-entry storage costs (paper §IV-E1): 4 B + 1 flag bit for
+    # address-map and inverted-hash entries, 9 B per hash entry, 1 bit per
+    # FSM entry.
+    address_map_entry_bits: int = 33
+    inverted_hash_entry_bits: int = 33
+    hash_entry_bits: int = 72
+    fsm_entry_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.prefetch_entries <= 0:
+            raise ValueError("prefetch granularity must be positive")
+
+    @property
+    def hash_cache_entries(self) -> int:
+        """Single hash entries the hash cache can hold."""
+        return self.hash_cache_bytes * 8 // self.hash_entry_bits
+
+    @property
+    def address_map_cache_blocks(self) -> int:
+        """Prefetch blocks the address-mapping cache can hold."""
+        return self.address_map_cache_bytes * 8 // (
+            self.address_map_entry_bits * self.prefetch_entries
+        )
+
+    @property
+    def inverted_hash_cache_blocks(self) -> int:
+        """Prefetch blocks the inverted-hash cache can hold."""
+        return self.inverted_hash_cache_bytes * 8 // (
+            self.inverted_hash_entry_bits * self.prefetch_entries
+        )
+
+    @property
+    def fsm_cache_blocks(self) -> int:
+        """Prefetch blocks the FSM cache can hold."""
+        return self.fsm_cache_bytes * 8 // (self.fsm_entry_bits * self.prefetch_entries)
+
+
+@dataclass(frozen=True)
+class DeWriteConfig:
+    """Full controller configuration (paper defaults)."""
+
+    line_size_bytes: int = 256
+    counter_bits: int = 28
+    reference_cap: int = 255
+    history_window: int = 3
+
+    # Fingerprinting scheme.  DeWrite uses CRC-32 plus a verifying read
+    # (§III-B1); the traditional-dedup baseline of Table I uses a trusted
+    # cryptographic fingerprint (``"sha1"``/``"md5"``, no verify read).
+    fingerprint: str = "crc32"
+    trust_fingerprint: bool = False
+    # Hardware bound on verify reads per detection (collision chains are
+    # practically length 1 — Fig. 6 — so 2 covers them with margin).
+    max_verify_reads: int = 2
+
+    # Latency constants (ns).
+    crc_latency_ns: float = CRC32_MODEL.latency_ns
+    aes_latency_ns: float = 96.0
+    compare_latency_ns: float = 0.5
+    xor_latency_ns: float = 0.5
+    # Metadata lines are direct-encrypted, so a metadata-cache miss pays the
+    # block-decrypt latency on top of the NVM read (§III-B1).
+    metadata_decrypt_ns: float = 96.0
+
+    # Feature switches (ablations).
+    enable_prediction: bool = True
+    enable_pna: bool = True
+    enable_parallel_encryption: bool = True
+    enable_colocation: bool = True
+
+    metadata_cache: MetadataCacheConfig = field(default_factory=MetadataCacheConfig)
+    # Crash-consistency policy for dirty metadata (paper §V survey).
+    persistence: MetadataPersistenceConfig = field(default_factory=MetadataPersistenceConfig)
+
+    def __post_init__(self) -> None:
+        if self.history_window < 1:
+            raise ValueError("history window must hold at least one outcome")
+        if not 1 <= self.reference_cap <= 255:
+            raise ValueError("reference cap must fit the 8-bit reference field")
+        if self.line_size_bytes <= 0 or self.line_size_bytes % 16:
+            raise ValueError("line size must be a positive multiple of 16")
+        if self.fingerprint not in ("crc32", "sha1", "md5"):
+            raise ValueError(f"unknown fingerprint scheme {self.fingerprint!r}")
+        if self.trust_fingerprint and self.fingerprint == "crc32":
+            raise ValueError("CRC-32 fingerprints collide and must not be trusted")
+
+    @property
+    def fingerprint_latency_ns(self) -> float:
+        """Hardware latency of the configured fingerprint engine (Table Ia)."""
+        if self.fingerprint == "crc32":
+            return self.crc_latency_ns
+        from repro.hashes.latency import model_for
+
+        return model_for(self.fingerprint).latency_ns
+
+    def metadata_bits_per_line(self) -> float:
+        """Dedup metadata footprint per data line, in bits (§IV-E1).
+
+        Address-map entry + inverted-hash entry + (up to) one hash entry +
+        one FSM bit.  With colocation the encryption counters ride in the
+        null slots for free; without it they add ``counter_bits`` per line.
+        """
+        mc = self.metadata_cache
+        bits = (
+            mc.address_map_entry_bits
+            + mc.inverted_hash_entry_bits
+            + mc.hash_entry_bits
+            + mc.fsm_entry_bits
+        )
+        if not self.enable_colocation:
+            bits += self.counter_bits
+        return float(bits)
+
+    def metadata_overhead_fraction(self) -> float:
+        """Metadata storage as a fraction of data capacity (≈6.25 %)."""
+        return self.metadata_bits_per_line() / (self.line_size_bytes * 8)

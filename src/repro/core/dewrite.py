@@ -1,0 +1,264 @@
+"""The DeWrite memory controller (paper §III, Figs. 5/10/11).
+
+Write path: predict the duplication state from the 3-bit history window
+(§III-A); run the dedup logic (§III-B); for predicted non-duplicates start
+counter-mode encryption *in parallel* with detection, for predicted
+duplicates skip encryption until detection says otherwise.  A confirmed
+duplicate cancels the NVM write and only updates metadata; a unique line is
+encrypted under its destination line's bumped counter and written through
+the banked NVM.  All metadata updates ride the write-back metadata cache.
+
+Read path: address-mapping lookup (possibly redirected to a deduplicated
+line), counter fetch, NVM read with the OTP generated in parallel, XOR.
+
+The same class also implements the paper's two strawman integration modes
+(Fig. 3): ``mode="direct"`` always serialises detection before encryption,
+``mode="parallel"`` always encrypts concurrently; ``mode="predictive"`` is
+DeWrite.  Figs. 15 and 20 compare the three.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.core.config import DeWriteConfig
+from repro.core.dedup_engine import DedupEngine, MetadataSystem
+from repro.core.interface import MemoryController, ReadOutcome, WriteOutcome
+from repro.core.predictor import HistoryWindowPredictor
+from repro.core.stats import DeWriteStats
+from repro.core.tables import DedupIndex, MetadataLayout, MetadataTouch
+from repro.crypto.counter_mode import CounterModeEngine
+from repro.hashes.crc32 import line_fingerprint
+from repro.nvm.memory import NvmMainMemory
+
+IntegrationMode = Literal["predictive", "direct", "parallel"]
+
+
+class DeWriteController(MemoryController):
+    """Secure NVM memory controller with in-line cache-line deduplication."""
+
+    def __init__(
+        self,
+        nvm: NvmMainMemory,
+        config: DeWriteConfig | None = None,
+        mode: IntegrationMode = "predictive",
+        cme: CounterModeEngine | None = None,
+    ) -> None:
+        super().__init__(nvm)
+        if mode not in ("predictive", "direct", "parallel"):
+            raise ValueError(f"unknown integration mode {mode!r}")
+        self.config = config if config is not None else DeWriteConfig()
+        if self.config.line_size_bytes != self.line_size:
+            raise ValueError(
+                f"controller line size {self.config.line_size_bytes} != "
+                f"device line size {self.line_size}"
+            )
+        self.mode = mode
+        mc = self.config.metadata_cache
+        org = nvm.config.organization
+        self.layout = MetadataLayout(
+            total_lines=org.total_lines,
+            line_size_bytes=org.line_size_bytes,
+            address_map_entry_bits=mc.address_map_entry_bits,
+            inverted_hash_entry_bits=mc.inverted_hash_entry_bits,
+            hash_entry_bits=mc.hash_entry_bits,
+            fsm_entry_bits=mc.fsm_entry_bits,
+        )
+        self.index = DedupIndex(
+            total_lines=self.layout.data_lines, reference_cap=self.config.reference_cap
+        )
+        self.metadata = MetadataSystem(self.config, self.layout, nvm)
+        self.cme = cme if cme is not None else CounterModeEngine()
+        self.engine = DedupEngine(self.config, self.index, self.metadata, nvm, self.cme)
+        self.predictor = HistoryWindowPredictor(window=self.config.history_window)
+        self.stats = DeWriteStats()
+
+    # -- write path (Fig. 10) ------------------------------------------------
+
+    def write(self, address: int, data: bytes, arrival_ns: float) -> WriteOutcome:
+        """Service one line write."""
+        self._check_line(data)
+        self._check_data_address(address)
+        stats = self.stats
+        stats.writes_requested += 1
+
+        predicted_dup = self._predict()
+        crc = self._fingerprint(data)
+        detection = self.engine.detect(data, crc, arrival_ns, predicted_dup)
+        self.nvm.energy.add_dedup_op()
+        stats.verify_reads += detection.verify_reads
+        stats.crc_collisions += detection.collisions
+        stats.capped_reference_rejects += detection.capped_rejects
+        if detection.verify_reads:
+            stats.hash_matches += 1
+        if detection.pna_skipped and self.engine.truth_has_duplicate(data, crc):
+            stats.missed_duplicates_pna += 1
+
+        if detection.is_duplicate:
+            outcome = self._commit_duplicate(address, detection, predicted_dup, arrival_ns)
+        else:
+            outcome = self._commit_unique(address, data, crc, detection, predicted_dup, arrival_ns)
+
+        self._score_prediction(predicted_dup, outcome.deduplicated)
+        stats.write_latency.add(outcome.latency_ns)
+        self._sync_metadata_stats()
+        return outcome
+
+    def _commit_duplicate(
+        self,
+        address: int,
+        detection,
+        predicted_dup: bool,
+        arrival_ns: float,
+    ) -> WriteOutcome:
+        """Cancel the write; record the address mapping (§III-B2)."""
+        stats = self.stats
+        stats.writes_deduplicated += 1
+        touches: list[MetadataTouch] = list(detection.touches)
+        self.index.apply_duplicate(address, detection.duplicate_target, touches)
+        done = detection.done_ns
+        self.metadata.replay(touches, done)
+        if self._encrypted_in_parallel(predicted_dup):
+            # The speculative encryption was wasted: energy only (§III-A).
+            self.nvm.energy.add_aes_line()
+            stats.wasted_encryptions += 1
+        return WriteOutcome(
+            latency_ns=done - arrival_ns, deduplicated=True, complete_ns=done
+        )
+
+    def _commit_unique(
+        self,
+        address: int,
+        data: bytes,
+        crc: int,
+        detection,
+        predicted_dup: bool,
+        arrival_ns: float,
+    ) -> WriteOutcome:
+        """Encrypt and write a non-duplicate line."""
+        stats = self.stats
+        stats.writes_stored += 1
+        touches: list[MetadataTouch] = list(detection.touches)
+        dest = self.index.apply_unique(address, crc, touches)
+        counter = self.index.bump_counter(dest, touches)
+        ciphertext = self.cme.encrypt(data, dest, counter)
+        self.nvm.energy.add_aes_line()
+
+        if self._encrypted_in_parallel(predicted_dup):
+            # Encryption started at arrival, concurrently with detection;
+            # the write issues once both have finished.
+            issue = max(arrival_ns + self.config.aes_latency_ns, detection.done_ns)
+        else:
+            # Serial: detection first, then AES (the direct way / a
+            # predicted-duplicate misprediction).
+            issue = detection.done_ns + self.config.aes_latency_ns
+            if self.mode == "predictive" and predicted_dup:
+                stats.serialized_detections += 1
+
+        write = self.nvm.write(dest, ciphertext, issue)
+        self.metadata.replay(touches, write.complete_ns)
+        return WriteOutcome(
+            latency_ns=write.complete_ns - arrival_ns,
+            deduplicated=False,
+            complete_ns=write.complete_ns,
+        )
+
+    # -- read path (Fig. 11) ---------------------------------------------------
+
+    def read(self, address: int, arrival_ns: float) -> ReadOutcome:
+        """Service one line read."""
+        self._check_data_address(address)
+        stats = self.stats
+        stats.reads_requested += 1
+        now = arrival_ns
+
+        # Address-mapping lookup is on the critical path (§IV-C2).
+        now += self.metadata.access("address_map", address, write=False, now_ns=now, blocking=True)
+        physical = self.index.physical_of(address)
+
+        if physical is None:
+            # Never-written line: the array read happens regardless; the
+            # device returns the erased (all-zero) pattern.
+            read = self.nvm.read(address, now)
+            now = read.complete_ns + self.config.xor_latency_ns
+            data = bytes(self.line_size)
+        else:
+            if physical != address:
+                stats.reads_redirected += 1
+            # Counter fetch so the OTP overlaps the array read (Fig. 1).
+            slot = self.index.counter_slot(physical)
+            table = "address_map" if slot == "overflow" else slot
+            now += self.metadata.access(table, physical, write=False, now_ns=now, blocking=True)
+            counter = self.index.peek_counter(physical)
+            read = self.nvm.read(physical, now)
+            self.nvm.energy.add_aes_line()  # OTP generation for decryption
+            now = read.complete_ns + self.config.xor_latency_ns
+            data = self.cme.decrypt(read.data, physical, counter)
+
+        latency = now - arrival_ns
+        stats.read_latency.add(latency)
+        self._sync_metadata_stats()
+        return ReadOutcome(latency_ns=latency, data=data, complete_ns=now)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def flush_metadata(self, now_ns: float = 0.0) -> int:
+        """Force all dirty metadata back to NVM; returns lines written."""
+        flushed = self.metadata.flush(now_ns)
+        self._sync_metadata_stats()
+        return flushed
+
+    def check_invariants(self) -> None:
+        """Assert the dedup index is internally consistent (testing aid)."""
+        self.index.check_invariants()
+
+    # -- internals -----------------------------------------------------------
+
+    def _fingerprint(self, data: bytes) -> int:
+        """Line fingerprint under the configured scheme, as an integer key.
+
+        The cryptographic paths use the stdlib engines for speed; the
+        from-scratch implementations in :mod:`repro.hashes` are asserted
+        bit-identical to them by the test suite.
+        """
+        if self.config.fingerprint == "crc32":
+            return line_fingerprint(data)
+        import hashlib
+
+        digest = hashlib.new(self.config.fingerprint, data).digest()
+        return int.from_bytes(digest, "big")
+
+    def _predict(self) -> bool:
+        """Duplication-state prediction steering PNA (all modes use it)."""
+        if not self.config.enable_prediction:
+            return False
+        return self.predictor.predict()
+
+    def _encrypted_in_parallel(self, predicted_dup: bool) -> bool:
+        """Whether encryption ran concurrently with detection (§III-A).
+
+        The integration mode decides: the direct way is always serial, the
+        parallel way always speculates, DeWrite speculates only on writes
+        predicted non-duplicate.
+        """
+        if self.mode == "direct":
+            return False
+        if self.mode == "parallel":
+            return True
+        return self.config.enable_parallel_encryption and not predicted_dup
+
+    def _score_prediction(self, predicted_dup: bool, was_duplicate: bool) -> None:
+        if self.config.enable_prediction:
+            self.predictor.complete(predicted_dup, was_duplicate)
+            self.stats.predictions = self.predictor.predictions
+            self.stats.correct_predictions = self.predictor.correct
+
+    def _sync_metadata_stats(self) -> None:
+        self.stats.metadata_reads = self.metadata.metadata_reads
+        self.stats.metadata_writebacks = self.metadata.metadata_writebacks
+
+    def _check_data_address(self, address: int) -> None:
+        if not 0 <= address < self.layout.data_lines:
+            raise IndexError(
+                f"data line {address} out of range [0, {self.layout.data_lines})"
+            )

@@ -1,0 +1,57 @@
+"""Common interface of all memory controllers (DeWrite and baselines).
+
+Every controller in this repository — DeWrite, the traditional secure NVM,
+the direct/parallel integration modes, traditional SHA-1 dedup, Silent
+Shredder — services the same two requests against the same
+:class:`repro.nvm.NvmMainMemory` device, so the system simulator and all
+experiments are controller-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.nvm.memory import NvmMainMemory
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """Result of one line-write request as the CPU observes it.
+
+    ``latency_ns`` is arrival-to-persistence: in persistent memory the core
+    stalls until the write (or its elimination) completes (§I/§III).
+    """
+
+    latency_ns: float
+    deduplicated: bool
+    complete_ns: float
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """Result of one line-read request."""
+
+    latency_ns: float
+    data: bytes
+    complete_ns: float
+
+
+class MemoryController(abc.ABC):
+    """A secure-NVM memory controller servicing 256 B line requests."""
+
+    def __init__(self, nvm: NvmMainMemory) -> None:
+        self.nvm = nvm
+        self.line_size = nvm.config.organization.line_size_bytes
+
+    @abc.abstractmethod
+    def write(self, address: int, data: bytes, arrival_ns: float) -> WriteOutcome:
+        """Service a line write arriving at ``arrival_ns``."""
+
+    @abc.abstractmethod
+    def read(self, address: int, arrival_ns: float) -> ReadOutcome:
+        """Service a line read arriving at ``arrival_ns``."""
+
+    def _check_line(self, data: bytes) -> None:
+        if len(data) != self.line_size:
+            raise ValueError(f"line must be {self.line_size} bytes, got {len(data)}")

@@ -1,0 +1,159 @@
+"""On-chip metadata cache (paper §III-B2, Fig. 21).
+
+Secure-NVM designs already carry a write-back counter cache in the memory
+controller; DeWrite reuses it to buffer the hot entries of all four dedup
+tables.  We model four logical caches (hash, address-map, inverted-hash,
+FSM) sharing the 2 MB budget:
+
+- the three *sequentially stored* tables cache fixed-size **prefetch
+  blocks** — one NVM access loads ``prefetch_entries`` consecutive entries,
+  exploiting the address locality §III-B2 describes;
+- the **hash cache** holds individual entries (hash values have no
+  locality to prefetch).
+
+The cache only models *presence and dirtiness*; table contents always live
+in the functional :class:`repro.core.tables.DedupIndex`, so there is no
+coherence problem to get wrong.  A miss costs the caller an NVM metadata
+read (plus the direct-encryption decrypt latency); evicting a dirty block
+costs a posted NVM metadata write — the source of the ~2.6 % extra writes
+§IV-B reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheAccess:
+    """Outcome of one cache access."""
+
+    hit: bool
+    block: int
+    evicted_dirty_block: int | None = None
+
+
+class MetadataCache:
+    """LRU, write-back, write-allocate cache over table entries."""
+
+    def __init__(self, name: str, capacity_blocks: int, entries_per_block: int = 1) -> None:
+        """Create a cache.
+
+        Args:
+            name: label for reports ("hash", "address_map", ...).
+            capacity_blocks: how many blocks fit (0 disables caching — every
+                access misses, nothing is retained).
+            entries_per_block: prefetch granularity; entry index // this
+                value is the block index.
+        """
+        if capacity_blocks < 0:
+            raise ValueError("capacity must be non-negative")
+        if entries_per_block < 1:
+            raise ValueError("entries_per_block must be at least 1")
+        self.name = name
+        self.capacity_blocks = capacity_blocks
+        self.entries_per_block = entries_per_block
+        self._blocks: OrderedDict[int, bool] = OrderedDict()  # block -> dirty
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def block_of(self, entry_index: int) -> int:
+        """Block an entry index falls into."""
+        return entry_index // self.entries_per_block
+
+    def probe(self, entry_index: int) -> bool:
+        """Whether the entry's block is resident, with no side effects.
+
+        Used by the PNA scheme, which must know if the hash entry is cached
+        before deciding whether to pay the in-NVM query on a miss.
+        """
+        return self.block_of(entry_index) in self._blocks
+
+    def access(self, entry_index: int, write: bool, is_insert: bool = False) -> CacheAccess:
+        """Touch one entry; allocate its block on miss.
+
+        Returns whether it hit and, when the allocation evicted a dirty
+        block, that block's index (the caller schedules its writeback).
+        ``is_insert`` marks the creation of a brand-new entry: the
+        allocation is not a failed lookup, so it is excluded from the
+        hit/miss statistics (Fig. 21 measures query hit rates).
+        """
+        block = self.block_of(entry_index)
+        if block in self._blocks:
+            if not is_insert:
+                self.hits += 1
+            self._blocks.move_to_end(block)
+            if write:
+                self._blocks[block] = True
+            return CacheAccess(hit=True, block=block)
+
+        if not is_insert:
+            self.misses += 1
+        evicted: int | None = None
+        if self.capacity_blocks == 0:
+            # Degenerate cache: nothing retained; a write goes straight out.
+            if write:
+                self.writebacks += 1
+                evicted = block
+            return CacheAccess(hit=False, block=block, evicted_dirty_block=evicted)
+
+        if len(self._blocks) >= self.capacity_blocks:
+            victim, dirty = self._blocks.popitem(last=False)
+            if dirty:
+                self.writebacks += 1
+                evicted = victim
+        self._blocks[block] = write
+        return CacheAccess(hit=False, block=block, evicted_dirty_block=evicted)
+
+    def flush(self) -> list[int]:
+        """Write back and drop every dirty block (e.g. at shutdown).
+
+        Returns the dirty block indices in LRU order.
+        """
+        dirty = [block for block, is_dirty in self._blocks.items() if is_dirty]
+        self.writebacks += len(dirty)
+        self._blocks.clear()
+        return dirty
+
+    def mark_clean(self, entry_index: int) -> None:
+        """Clear the dirty bit of an entry's block (write-through policy:
+        the update has already reached NVM, so eviction owes nothing)."""
+        block = self.block_of(entry_index)
+        if block in self._blocks:
+            self._blocks[block] = False
+
+    def dirty_blocks(self) -> list[int]:
+        """Currently dirty blocks (in LRU order), without side effects."""
+        return [block for block, dirty in self._blocks.items() if dirty]
+
+    def clean_all(self) -> None:
+        """Clear every dirty bit (after a bulk writeback)."""
+        for block in self._blocks:
+            self._blocks[block] = False
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss/writeback counters, keeping contents resident.
+
+        Used after a warmup phase so hit rates reflect steady state, the
+        way the paper warms caches for 10 M instructions before measuring.
+        """
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction (Fig. 21's y-axis)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def resident_blocks(self) -> int:
+        """Blocks currently cached."""
+        return len(self._blocks)

@@ -1,0 +1,112 @@
+"""Statistics gathered by the DeWrite controller.
+
+One counter object feeds every figure: write-reduction (Fig. 12), missed
+duplicates and metadata-eviction writes (§IV-B's 1.5 % + 2.6 %), prediction
+accuracy (Fig. 4), collision rate (Fig. 6), reference saturation (Fig. 7),
+latency sums (Figs. 14–16) and energy (via the NVM account).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyAccumulator:
+    """Mean/total tracker for one latency population."""
+
+    total_ns: float = 0.0
+    count: int = 0
+    max_ns: float = 0.0
+
+    def add(self, latency_ns: float) -> None:
+        """Record one observation."""
+        self.total_ns += latency_ns
+        self.count += 1
+        if latency_ns > self.max_ns:
+            self.max_ns = latency_ns
+
+    @property
+    def mean_ns(self) -> float:
+        """Average latency, 0 when empty."""
+        return self.total_ns / self.count if self.count else 0.0
+
+
+@dataclass
+class DeWriteStats:
+    """Event counters of one controller run."""
+
+    # Write-path outcomes.
+    writes_requested: int = 0
+    writes_deduplicated: int = 0
+    writes_stored: int = 0
+
+    # Why potential duplicates were not eliminated.
+    missed_duplicates_pna: int = 0
+    capped_reference_rejects: int = 0
+
+    # Detection internals.
+    hash_matches: int = 0
+    verify_reads: int = 0
+    crc_collisions: int = 0  # hash matched, byte compare failed
+
+    # Prediction (mirrors the predictor's own counters for convenience).
+    predictions: int = 0
+    correct_predictions: int = 0
+    wasted_encryptions: int = 0  # predicted non-dup, was dup (energy cost)
+    serialized_detections: int = 0  # predicted dup, was non-dup (latency cost)
+
+    # Metadata traffic.
+    metadata_reads: int = 0
+    metadata_writebacks: int = 0
+
+    # Read path.
+    reads_requested: int = 0
+    reads_redirected: int = 0  # served from a deduplicated (remapped) line
+
+    # Latency populations.
+    write_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    read_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+
+    @property
+    def write_reduction(self) -> float:
+        """Fraction of requested line writes eliminated (Fig. 12's metric)."""
+        if not self.writes_requested:
+            return 0.0
+        return self.writes_deduplicated / self.writes_requested
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Fraction of duplication-state predictions that were right (Fig. 4)."""
+        if not self.predictions:
+            return 0.0
+        return self.correct_predictions / self.predictions
+
+    @property
+    def collision_rate(self) -> float:
+        """CRC matches that failed the byte compare, per write (Fig. 6)."""
+        if not self.writes_requested:
+            return 0.0
+        return self.crc_collisions / self.writes_requested
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat summary for reports."""
+        return {
+            "writes_requested": self.writes_requested,
+            "writes_deduplicated": self.writes_deduplicated,
+            "writes_stored": self.writes_stored,
+            "write_reduction": self.write_reduction,
+            "missed_duplicates_pna": self.missed_duplicates_pna,
+            "capped_reference_rejects": self.capped_reference_rejects,
+            "crc_collisions": self.crc_collisions,
+            "collision_rate": self.collision_rate,
+            "prediction_accuracy": self.prediction_accuracy,
+            "wasted_encryptions": self.wasted_encryptions,
+            "serialized_detections": self.serialized_detections,
+            "metadata_reads": self.metadata_reads,
+            "metadata_writebacks": self.metadata_writebacks,
+            "reads_requested": self.reads_requested,
+            "reads_redirected": self.reads_redirected,
+            "mean_write_latency_ns": self.write_latency.mean_ns,
+            "mean_read_latency_ns": self.read_latency.mean_ns,
+        }

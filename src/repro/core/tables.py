@@ -1,0 +1,364 @@
+"""DeWrite's four deduplication data structures (paper §III-B2).
+
+The controller separates *function* from *timing*: this module is the purely
+functional state machine over the four tables —
+
+- **address mapping table**: logical line -> physical line holding its data
+  (many-to-one once lines deduplicate);
+- **hash table**: CRC-32 -> {physical line: 8-bit reference count}, the
+  duplication index (collision chains allowed, references saturate at 255);
+- **inverted hash table**: physical line -> CRC of its stored content, used
+  to clean stale hashes on rewrite;
+- **free space management (FSM) table**: 1 bit per line, free/used.
+
+Every mutating method appends :class:`MetadataTouch` records naming the
+table entries it read or wrote; the controller replays those through the
+metadata cache to charge timing, so the functional core stays trivially
+testable (the property tests drive it directly).
+
+Counters for counter-mode encryption are kept per *physical* line and never
+reset (pad-uniqueness invariant, §II-B); where each counter physically
+resides — the null slot of the address-mapping entry, the null slot of the
+inverted-hash entry, or the rare overflow region — is the colocation scheme
+of §III-C, implemented in :meth:`DedupIndex.counter_slot`.
+
+One gap in the paper is patched here and counted: §III-C claims one of the
+two slots of line X is always null, but when logical X is deduplicated
+*and* physical X was reallocated to hold another line's data, both slots
+are occupied.  Those counters go to a small overflow store
+(``overflow_counters`` statistic tracks how rare this is).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Literal
+
+TableName = Literal["address_map", "inverted_hash", "hash_table", "fsm"]
+
+TABLE_NAMES: tuple[TableName, ...] = ("address_map", "inverted_hash", "hash_table", "fsm")
+
+
+@dataclass(frozen=True)
+class MetadataTouch:
+    """One access to a metadata table entry (for the timing layer).
+
+    ``insert`` marks the creation of a brand-new hash entry: there is
+    nothing to fetch from NVM, so a cache miss allocates without a read.
+    """
+
+    table: TableName
+    index: int
+    write: bool
+    insert: bool = False
+
+
+class DedupIndexError(RuntimeError):
+    """Internal invariant of the dedup index was violated."""
+
+
+class DedupIndex:
+    """Functional state of all four tables plus the colocated counters."""
+
+    def __init__(self, total_lines: int, reference_cap: int = 255) -> None:
+        if total_lines <= 0:
+            raise ValueError("total_lines must be positive")
+        if reference_cap < 1:
+            raise ValueError("reference cap must be at least 1")
+        self.total_lines = total_lines
+        self.reference_cap = reference_cap
+
+        self._mapping: dict[int, int] = {}  # logical -> physical (written lines only)
+        self._stored: dict[int, int] = {}  # physical -> crc of live content
+        self._hash_table: dict[int, dict[int, int]] = {}  # crc -> {physical: ref}
+        self._counters: dict[int, int] = {}  # physical -> write counter
+
+        # Freed physical lines are recycled LIFO; fresh allocations grow
+        # downward from the top of the device so they stay clear of the
+        # logical addresses applications touch first.
+        self._free_stack: list[int] = []
+        self._next_fresh = total_lines - 1
+
+        self.relocations = 0
+        self.pinned_lines = 0  # entries whose reference saturated at the cap
+
+    # -- queries ---------------------------------------------------------
+
+    def locate(self, logical: int, touches: list[MetadataTouch]) -> int | None:
+        """Physical line holding ``logical``'s data, or None if never written."""
+        touches.append(MetadataTouch("address_map", logical, write=False))
+        return self._mapping.get(logical)
+
+    def is_written(self, logical: int) -> bool:
+        """Whether the logical line has ever been written."""
+        return logical in self._mapping
+
+    def candidates(self, crc: int) -> list[tuple[int, int]]:
+        """(physical, reference) entries currently indexed under ``crc``."""
+        entry = self._hash_table.get(crc)
+        if not entry:
+            return []
+        return list(entry.items())
+
+    def content_crc(self, physical: int) -> int | None:
+        """CRC of the content stored at a physical line (inverted table)."""
+        return self._stored.get(physical)
+
+    def holds_data(self, physical: int) -> bool:
+        """FSM view: whether the physical line holds live content."""
+        return physical in self._stored
+
+    def reference_of(self, physical: int) -> int:
+        """Reference count of the content at ``physical`` (0 if free)."""
+        crc = self._stored.get(physical)
+        if crc is None:
+            return 0
+        return self._hash_table[crc][physical]
+
+    # -- counters & colocation ------------------------------------------
+
+    def counter_slot(self, physical: int) -> TableName | Literal["overflow"]:
+        """Where the per-line counter of ``physical`` resides (§III-C).
+
+        If logical ``physical`` is not deduplicated its address-map slot is
+        null and hosts the counter; else if physical ``physical`` holds no
+        data its inverted-hash slot is null and hosts it; else both slots
+        are occupied and the counter overflows.
+        """
+        if self._mapping.get(physical, physical) == physical:
+            return "address_map"
+        if physical not in self._stored:
+            return "inverted_hash"
+        return "overflow"
+
+    def counter_of(self, physical: int, touches: list[MetadataTouch]) -> int:
+        """Current encryption counter of a physical line."""
+        self._touch_counter(physical, touches, write=False)
+        return self._counters.get(physical, 0)
+
+    def peek_counter(self, physical: int) -> int:
+        """Counter value without recording a metadata touch (timing-free)."""
+        return self._counters.get(physical, 0)
+
+    def physical_of(self, logical: int) -> int | None:
+        """Mapping lookup without recording a metadata touch (timing-free)."""
+        return self._mapping.get(logical)
+
+    def bump_counter(self, physical: int, touches: list[MetadataTouch]) -> int:
+        """Increment and return the counter (called once per physical write)."""
+        value = self._counters.get(physical, 0) + 1
+        self._counters[physical] = value
+        self._touch_counter(physical, touches, write=True)
+        return value
+
+    def overflow_counters(self) -> int:
+        """How many counters currently live in the overflow store."""
+        return sum(1 for p in self._counters if self.counter_slot(p) == "overflow")
+
+    def _touch_counter(
+        self, physical: int, touches: list[MetadataTouch], write: bool
+    ) -> None:
+        slot = self.counter_slot(physical)
+        if slot == "overflow":
+            # The overflow store is tiny and on-chip in our patched design;
+            # charge it as an address-map touch so it is not free.
+            touches.append(MetadataTouch("address_map", physical, write=write))
+        else:
+            touches.append(MetadataTouch(slot, physical, write=write))
+
+    # -- state transitions -------------------------------------------------
+
+    def apply_duplicate(
+        self, logical: int, target: int, touches: list[MetadataTouch]
+    ) -> None:
+        """Record that ``logical``'s new content duplicates line ``target``.
+
+        The caller (dedup engine) has already verified byte equality and
+        that ``target``'s reference is below the cap.
+        """
+        crc = self._stored.get(target)
+        if crc is None:
+            raise DedupIndexError(f"duplicate target {target} holds no data")
+        old = self._mapping.get(logical)
+        if old == target:
+            # Rewrite of identical content already mapped there: pure no-op.
+            return
+        ref = self._hash_table[crc][target]
+        if ref >= self.reference_cap:
+            raise DedupIndexError(f"target {target} reference saturated; caller must reject")
+        self._release(logical, touches)
+        self._mapping[logical] = target
+        self._hash_table[crc][target] = ref + 1
+        if ref + 1 == self.reference_cap:
+            self.pinned_lines += 1
+        touches.append(MetadataTouch("address_map", logical, write=True))
+        touches.append(MetadataTouch("hash_table", crc, write=True))
+
+    def apply_unique(self, logical: int, crc: int, touches: list[MetadataTouch]) -> int:
+        """Store new unique content for ``logical``; returns the destination.
+
+        Picks the logical line's own physical slot when free (the common
+        case), otherwise allocates via the FSM table (a relocation).
+        """
+        self._release(logical, touches)
+        if logical not in self._stored:
+            dest = logical
+        else:
+            dest = self._allocate()
+            self.relocations += 1
+        self._stored[dest] = crc
+        fresh_bucket = crc not in self._hash_table
+        self._hash_table.setdefault(crc, {})[dest] = 1
+        self._mapping[logical] = dest
+        touches.append(MetadataTouch("inverted_hash", dest, write=True))
+        touches.append(MetadataTouch("hash_table", crc, write=True, insert=fresh_bucket))
+        touches.append(MetadataTouch("address_map", logical, write=True))
+        touches.append(MetadataTouch("fsm", dest, write=True))
+        return dest
+
+    def _release(self, logical: int, touches: list[MetadataTouch]) -> None:
+        """Drop ``logical``'s reference to its current content, freeing the
+        physical line when it was the last reference."""
+        old = self._mapping.pop(logical, None)
+        if old is None:
+            return
+        crc_old = self._stored.get(old)
+        if crc_old is None:
+            raise DedupIndexError(f"mapping of {logical} points at empty line {old}")
+        touches.append(MetadataTouch("inverted_hash", old, write=False))
+        refs = self._hash_table[crc_old]
+        ref = refs[old]
+        if ref >= self.reference_cap:
+            # Saturated entries lost their exact count; they stay pinned.
+            return
+        if ref == 1:
+            del refs[old]
+            if not refs:
+                del self._hash_table[crc_old]
+            del self._stored[old]
+            self._free_stack.append(old)
+            touches.append(MetadataTouch("hash_table", crc_old, write=True))
+            touches.append(MetadataTouch("inverted_hash", old, write=True))
+            touches.append(MetadataTouch("fsm", old, write=True))
+        else:
+            refs[old] = ref - 1
+            touches.append(MetadataTouch("hash_table", crc_old, write=True))
+
+    def _allocate(self) -> int:
+        """Pop a free physical line (recycled first, then fresh top-down)."""
+        while self._free_stack:
+            candidate = self._free_stack.pop()
+            if candidate not in self._stored:
+                return candidate
+        while self._next_fresh >= 0 and self._next_fresh in self._stored:
+            self._next_fresh -= 1
+        if self._next_fresh < 0:
+            raise DedupIndexError("NVM device is full; no free line to allocate")
+        fresh = self._next_fresh
+        self._next_fresh -= 1
+        return fresh
+
+    # -- analysis helpers --------------------------------------------------
+
+    def reference_histogram(self) -> Counter[int]:
+        """Distribution of reference counts over live lines (Fig. 7)."""
+        histogram: Counter[int] = Counter()
+        for refs in self._hash_table.values():
+            for ref in refs.values():
+                histogram[ref] += 1
+        return histogram
+
+    def live_lines(self) -> int:
+        """Physical lines currently holding data."""
+        return len(self._stored)
+
+    def deduplicated_logicals(self) -> int:
+        """Logical lines currently mapped away from their own slot."""
+        return sum(1 for logical, phys in self._mapping.items() if phys != logical)
+
+    def check_invariants(self) -> None:
+        """Assert cross-table consistency (used heavily by property tests).
+
+        Invariants:
+        - every mapping target holds data;
+        - stored/inverted and hash-table entries mirror each other;
+        - each entry's reference equals the number of logicals mapped to it
+          (exact below the cap; at least the cap once saturated).
+        """
+        mapped_refs: Counter[int] = Counter(self._mapping.values())
+        for logical, phys in self._mapping.items():
+            if phys not in self._stored:
+                raise DedupIndexError(f"mapping {logical}->{phys} targets an empty line")
+        for phys, crc in self._stored.items():
+            entry = self._hash_table.get(crc)
+            if entry is None or phys not in entry:
+                raise DedupIndexError(f"stored line {phys} missing from hash table")
+            ref = entry[phys]
+            if ref < self.reference_cap and ref != mapped_refs.get(phys, 0):
+                raise DedupIndexError(
+                    f"line {phys}: reference {ref} != mapped logicals {mapped_refs.get(phys, 0)}"
+                )
+        for crc, entries in self._hash_table.items():
+            for phys in entries:
+                if self._stored.get(phys) != crc:
+                    raise DedupIndexError(f"hash entry {crc:#x}->{phys} not mirrored in inverted table")
+
+
+@dataclass(frozen=True)
+class MetadataLayout:
+    """Physical placement of the four tables inside the NVM (§III-B2).
+
+    The metadata region sits at the top of the device; each table occupies a
+    contiguous run of lines.  The timing layer maps a (table, cache-block)
+    pair to a concrete NVM line so metadata traffic contends for banks like
+    any other access.
+    """
+
+    total_lines: int
+    line_size_bytes: int
+    address_map_entry_bits: int = 33
+    inverted_hash_entry_bits: int = 33
+    hash_entry_bits: int = 72
+    fsm_entry_bits: int = 1
+
+    def _table_lines(self, entry_bits: int) -> int:
+        line_bits = self.line_size_bytes * 8
+        return max(1, (self.total_lines * entry_bits + line_bits - 1) // line_bits)
+
+    @property
+    def table_lines(self) -> dict[TableName, int]:
+        """Lines occupied by each table."""
+        return {
+            "address_map": self._table_lines(self.address_map_entry_bits),
+            "inverted_hash": self._table_lines(self.inverted_hash_entry_bits),
+            "hash_table": self._table_lines(self.hash_entry_bits),
+            "fsm": self._table_lines(self.fsm_entry_bits),
+        }
+
+    @property
+    def metadata_lines(self) -> int:
+        """Total lines consumed by metadata."""
+        return sum(self.table_lines.values())
+
+    @property
+    def data_lines(self) -> int:
+        """Lines left for application data."""
+        remaining = self.total_lines - self.metadata_lines
+        if remaining <= 0:
+            raise ValueError("device too small to host the metadata region")
+        return remaining
+
+    def table_base(self, table: TableName) -> int:
+        """First NVM line of a table's region."""
+        base = self.data_lines
+        for name in TABLE_NAMES:
+            if name == table:
+                return base
+            base += self.table_lines[name]
+        raise KeyError(f"unknown table {table!r}")
+
+    def nvm_line_for(self, table: TableName, block_index: int) -> int:
+        """NVM line backing one metadata cache block of ``table``."""
+        lines = self.table_lines[table]
+        return self.table_base(table) + block_index % lines

@@ -1,0 +1,99 @@
+"""Split counters with overflow-triggered page re-encryption.
+
+The paper assumes 28-bit per-line counters (§III-C) and never discusses
+what happens when one overflows — but counter-mode security forbids pad
+reuse (§II-B), so a real controller must handle it.  The standard answer
+(Yan et al.'s split counters, as used by DEUCE-class designs) pairs a
+small per-line *minor* counter with a per-page *major* counter:
+
+    pad = PRF(key, line address, major || minor)
+
+When a line's minor counter is about to wrap, the page's major counter is
+bumped, every minor counter in the page resets, and **every line of the
+page is re-encrypted** under the new major — an expensive but rare burst
+of reads and writes.
+
+:class:`SplitCounterStore` is the bookkeeping state machine; the baseline
+secure-NVM controller integrates it behind ``use_split_counters`` so the
+re-encryption storm is measurable (tests shrink ``minor_bits`` to trigger
+it quickly; at the realistic 28 bits it never fires in simulation, which
+is itself the justification for the paper's silence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PageReencryption:
+    """An overflow event: these lines must be re-encrypted now.
+
+    ``old_counters`` snapshots each line's combined counter *before* the
+    major bump, which the caller needs to decrypt the stored ciphertexts.
+    """
+
+    page: int
+    lines: tuple[int, ...]
+    new_major: int
+    old_counters: dict[int, int]
+
+
+@dataclass
+class SplitCounterStore:
+    """Per-page major + per-line minor counters with overflow detection."""
+
+    minor_bits: int = 28
+    lines_per_page: int = 16  # 4 KB pages of 256 B lines
+
+    _minor: dict[int, int] = field(default_factory=dict)
+    _major: dict[int, int] = field(default_factory=dict)
+    overflows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.minor_bits < 1:
+            raise ValueError("minor counter needs at least one bit")
+        if self.lines_per_page < 1:
+            raise ValueError("pages must contain at least one line")
+
+    @property
+    def minor_limit(self) -> int:
+        """First value the minor counter cannot represent."""
+        return 1 << self.minor_bits
+
+    def page_of(self, line: int) -> int:
+        """Page a line belongs to."""
+        return line // self.lines_per_page
+
+    def counter_of(self, line: int) -> int:
+        """Current combined counter (major || minor) of a line."""
+        page = self.page_of(line)
+        return (self._major.get(page, 0) << self.minor_bits) | self._minor.get(line, 0)
+
+    def advance(self, line: int) -> tuple[int, PageReencryption | None]:
+        """Bump the line's counter for a new write.
+
+        Returns ``(combined_counter, reencryption)`` where ``reencryption``
+        is None in the common case, or the overflow event the caller must
+        service (re-encrypt every listed line under its fresh counter,
+        which :meth:`counter_of` already reflects).
+        """
+        page = self.page_of(line)
+        minor = self._minor.get(line, 0) + 1
+        if minor < self.minor_limit:
+            self._minor[line] = minor
+            return self.counter_of(line), None
+
+        # Overflow: bump the major, reset the page's minors.
+        self.overflows += 1
+        first = page * self.lines_per_page
+        page_lines = tuple(range(first, first + self.lines_per_page))
+        old_counters = {member: self.counter_of(member) for member in page_lines}
+        new_major = self._major.get(page, 0) + 1
+        self._major[page] = new_major
+        for member in page_lines:
+            self._minor[member] = 0
+        self._minor[line] = 1  # the triggering write itself
+        return self.counter_of(line), PageReencryption(
+            page=page, lines=page_lines, new_major=new_major, old_counters=old_counters
+        )

@@ -1,0 +1,44 @@
+"""Hash-function substrate for DeWrite.
+
+DeWrite's dedup logic fingerprints 256 B cache lines with a *light-weight*
+hash (CRC-32, 15 ns in hardware) and falls back to a byte-by-byte compare to
+confirm duplication, instead of trusting a *cryptographic* fingerprint
+(SHA-1 / MD5, >300 ns) the way traditional storage deduplication does
+(paper §III-B, Table I).
+
+This subpackage provides from-scratch, test-validated implementations of all
+three functions plus the hardware latency/size model of Table I:
+
+- :func:`crc32` — table-driven reflected CRC-32 (IEEE 802.3 polynomial),
+  bit-identical to ``binascii.crc32``.
+- :func:`sha1` / :func:`md5` — pure-Python digests, bit-identical to
+  ``hashlib``.
+- :class:`HashModel` / :data:`CRC32_MODEL` etc. — Table Ia's latency and
+  digest-size constants, consumed by the timing simulator.
+"""
+
+from repro.hashes.crc32 import crc32, crc32_fast, line_fingerprint
+from repro.hashes.latency import (
+    CRC32_MODEL,
+    MD5_MODEL,
+    SHA1_MODEL,
+    HashModel,
+    model_for,
+)
+from repro.hashes.md5 import md5, md5_hexdigest
+from repro.hashes.sha1 import sha1, sha1_hexdigest
+
+__all__ = [
+    "crc32",
+    "crc32_fast",
+    "line_fingerprint",
+    "sha1",
+    "sha1_hexdigest",
+    "md5",
+    "md5_hexdigest",
+    "HashModel",
+    "CRC32_MODEL",
+    "SHA1_MODEL",
+    "MD5_MODEL",
+    "model_for",
+]

@@ -1,0 +1,52 @@
+"""Hardware latency/size model for the hash circuits (paper Table Ia).
+
+The timing simulator never times the *Python* hash computation — it charges
+the latency the paper's cited hardware implementations exhibit.  This module
+is the single source of those constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HashModel:
+    """Latency and digest size of one hardware hash engine.
+
+    Attributes:
+        name: human-readable engine name.
+        latency_ns: time for one line digest in the paper's hardware model.
+        digest_bits: digest width; smaller digests pack more entries per
+            metadata-cache block, which is why CRC-32 also wins on t_Q
+            (paper §III-B1).
+    """
+
+    name: str
+    latency_ns: float
+    digest_bits: int
+
+    @property
+    def digest_bytes(self) -> int:
+        """Digest width in whole bytes."""
+        return self.digest_bits // 8
+
+
+CRC32_MODEL = HashModel(name="CRC-32", latency_ns=15.0, digest_bits=32)
+SHA1_MODEL = HashModel(name="SHA-1", latency_ns=321.0, digest_bits=160)
+MD5_MODEL = HashModel(name="MD5", latency_ns=312.0, digest_bits=128)
+
+_MODELS = {m.name.lower(): m for m in (CRC32_MODEL, SHA1_MODEL, MD5_MODEL)}
+
+
+def model_for(name: str) -> HashModel:
+    """Look up a hash model by name (case-insensitive, dash-insensitive —
+    ``"crc-32"``, ``"crc32"``, ``"sha1"`` all resolve)."""
+    key = name.lower()
+    if key not in _MODELS:
+        key = key.replace("sha1", "sha-1").replace("crc32", "crc-32")
+    try:
+        return _MODELS[key]
+    except KeyError:
+        known = ", ".join(sorted(_MODELS))
+        raise KeyError(f"unknown hash model {name!r}; known: {known}") from None

@@ -1,0 +1,83 @@
+"""From-scratch MD5, the second cryptographic fingerprint of Table I.
+
+MD5 appears in the paper's Table I (312 ns, 128-bit digest) as the other
+cryptographic hash traditional deduplication relies on.  Implemented per
+RFC 1321 and validated against ``hashlib.md5`` in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+_MASK = 0xFFFFFFFF
+
+# Per-round left-rotate amounts (RFC 1321 §3.4).
+_SHIFTS = (
+    [7, 12, 17, 22] * 4
+    + [5, 9, 14, 20] * 4
+    + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4
+)
+
+# Binary integer parts of abs(sin(i+1)) * 2^32 — the RFC's T table.
+_SINES = tuple(int(abs(math.sin(i + 1)) * (1 << 32)) & _MASK for i in range(64))
+
+_INIT_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+
+def _rotl(value: int, amount: int) -> int:
+    value &= _MASK
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+def _pad(message: bytes) -> bytes:
+    """Append the 1-bit, zero padding and 64-bit *little*-endian length."""
+    length_bits = (len(message) * 8) & 0xFFFFFFFFFFFFFFFF
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    return padded + struct.pack("<Q", length_bits)
+
+
+def _compress(state: tuple[int, int, int, int], block: bytes) -> tuple[int, int, int, int]:
+    """One MD5 compression round over a 64-byte block."""
+    m = struct.unpack("<16I", block)
+    a, b, c, d = state
+
+    for i in range(64):
+        if i < 16:
+            f = (b & c) | (~b & d)
+            g = i
+        elif i < 32:
+            f = (d & b) | (~d & c)
+            g = (5 * i + 1) % 16
+        elif i < 48:
+            f = b ^ c ^ d
+            g = (3 * i + 5) % 16
+        else:
+            f = c ^ (b | (~d & _MASK))
+            g = (7 * i) % 16
+        f = (f + a + _SINES[i] + m[g]) & _MASK
+        a, d, c = d, c, b
+        b = (b + _rotl(f, _SHIFTS[i])) & _MASK
+
+    return (
+        (state[0] + a) & _MASK,
+        (state[1] + b) & _MASK,
+        (state[2] + c) & _MASK,
+        (state[3] + d) & _MASK,
+    )
+
+
+def md5(message: bytes) -> bytes:
+    """Compute the 16-byte MD5 digest of ``message``."""
+    state = _INIT_STATE
+    padded = _pad(message)
+    for offset in range(0, len(padded), 64):
+        state = _compress(state, padded[offset : offset + 64])
+    return struct.pack("<4I", *state)
+
+
+def md5_hexdigest(message: bytes) -> str:
+    """Hex form of :func:`md5`, matching ``hashlib.md5(...).hexdigest()``."""
+    return md5(message).hex()

@@ -1,0 +1,77 @@
+"""From-scratch SHA-1, the cryptographic fingerprint of traditional dedup.
+
+Traditional in-line deduplication (storage systems, CAFTL, CA-SSD — paper
+§V) fingerprints data with SHA-1 and trusts fingerprint equality as proof of
+duplication.  DeWrite's Table I argues this is too slow for main memory: a
+hardware SHA-1 engine needs ~321 ns per line, more than an entire NVM write.
+
+We implement SHA-1 per FIPS 180-1 so the traditional-dedup baseline is
+functionally real (collision-free fingerprints in practice), and validate it
+against ``hashlib.sha1`` in the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(value: int, amount: int) -> int:
+    value &= _MASK
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+def _pad(message: bytes) -> bytes:
+    """Append the 1-bit, zero padding and 64-bit big-endian length."""
+    length_bits = len(message) * 8
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    return padded + struct.pack(">Q", length_bits)
+
+
+def _compress(state: tuple[int, int, int, int, int], block: bytes) -> tuple[int, int, int, int, int]:
+    """One SHA-1 compression round over a 64-byte block."""
+    w = list(struct.unpack(">16I", block))
+    for t in range(16, 80):
+        w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+
+    a, b, c, d, e = state
+    for t in range(80):
+        if t < 20:
+            f = (b & c) | (~b & d)
+            k = 0x5A827999
+        elif t < 40:
+            f = b ^ c ^ d
+            k = 0x6ED9EBA1
+        elif t < 60:
+            f = (b & c) | (b & d) | (c & d)
+            k = 0x8F1BBCDC
+        else:
+            f = b ^ c ^ d
+            k = 0xCA62C1D6
+        temp = (_rotl(a, 5) + f + e + k + w[t]) & _MASK
+        a, b, c, d, e = temp, a, _rotl(b, 30), c, d
+
+    return (
+        (state[0] + a) & _MASK,
+        (state[1] + b) & _MASK,
+        (state[2] + c) & _MASK,
+        (state[3] + d) & _MASK,
+        (state[4] + e) & _MASK,
+    )
+
+
+def sha1(message: bytes) -> bytes:
+    """Compute the 20-byte SHA-1 digest of ``message``."""
+    state = _H0
+    padded = _pad(message)
+    for offset in range(0, len(padded), 64):
+        state = _compress(state, padded[offset : offset + 64])
+    return struct.pack(">5I", *state)
+
+
+def sha1_hexdigest(message: bytes) -> str:
+    """Hex form of :func:`sha1`, matching ``hashlib.sha1(...).hexdigest()``."""
+    return sha1(message).hex()

@@ -1,0 +1,172 @@
+"""The banked NVM main-memory device.
+
+Functionally it is a sparse array of encrypted lines; temporally it is a set
+of independently busy banks with asymmetric read/write service times; and it
+feeds the wear and energy trackers on every access.  Memory controllers
+(DeWrite and all baselines) sit on top of this one class, so every design is
+measured against the identical device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nvm.bank import Bank
+from repro.nvm.config import NvmConfig
+from repro.nvm.energy import EnergyAccount
+from repro.nvm.wear import WearTracker
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Timing outcome of one array access."""
+
+    address: int
+    start_ns: float
+    complete_ns: float
+    arrival_ns: float
+    data: bytes | None = None
+
+    @property
+    def wait_ns(self) -> float:
+        """Queueing delay before the bank began service."""
+        return self.start_ns - self.arrival_ns
+
+    @property
+    def latency_ns(self) -> float:
+        """Arrival-to-completion latency (what the requester observes)."""
+        return self.complete_ns - self.arrival_ns
+
+
+class NvmMainMemory:
+    """Banked, wear-tracked, energy-tracked non-volatile main memory.
+
+    Addresses are line indices.  Unwritten lines read as all-zero bytes,
+    modelling a fresh (or shredded) device.
+    """
+
+    def __init__(self, config: NvmConfig | None = None) -> None:
+        self.config = config if config is not None else NvmConfig()
+        org = self.config.organization
+        self._lines: dict[int, bytes] = {}
+        self._banks = [Bank(index=i) for i in range(org.total_banks)]
+        self._zero_line = bytes(org.line_size_bytes)
+        self.wear = WearTracker()
+        self.energy = EnergyAccount(
+            config=self.config.energy, line_size_bytes=org.line_size_bytes
+        )
+        self.reads = 0
+        self.writes = 0
+
+    # -- timed device interface ---------------------------------------------
+
+    def read(self, address: int, arrival_ns: float) -> AccessResult:
+        """Service one line read through its bank.
+
+        A read of the line currently latched in the bank's row buffer is a
+        row hit: it skips the array access (``row_hit_ns``, ~10 % energy).
+        """
+        self._check_address(address)
+        bank = self._banks[self.config.organization.bank_of(address)]
+        row_hit = bank.open_line == address
+        service = self.config.timing.row_hit_ns if row_hit else self.config.timing.read_ns
+        start, complete = bank.schedule_read(
+            arrival_ns, service, bypass_cap_ns=self.config.timing.write_ns
+        )
+        if row_hit:
+            bank.row_hits += 1
+        bank.open_line = address
+        self.energy.add_line_read(row_hit=row_hit)
+        self.reads += 1
+        return AccessResult(
+            address=address,
+            start_ns=start,
+            complete_ns=complete,
+            arrival_ns=arrival_ns,
+            data=self._lines.get(address, self._zero_line),
+        )
+
+    def write(
+        self,
+        address: int,
+        data: bytes,
+        arrival_ns: float,
+        bits_written: int | None = None,
+    ) -> AccessResult:
+        """Service one line write through its bank.
+
+        Args:
+            address: physical line index.
+            data: new line contents (ciphertext, for secure controllers).
+            arrival_ns: request arrival time.
+            bits_written: cells the write circuit programs; defaults to the
+                full line (naive write).  Bit-level reduction baselines pass
+                their own figure; wear always additionally records the true
+                number of flipped cells.
+        """
+        self._check_address(address)
+        line_size = self.config.organization.line_size_bytes
+        if len(data) != line_size:
+            raise ValueError(f"line must be {line_size} bytes, got {len(data)}")
+        bank = self._banks[self.config.organization.bank_of(address)]
+        start, complete = bank.schedule(arrival_ns, self.config.timing.write_ns)
+        bank.open_line = address
+
+        old = self._lines.get(address, self._zero_line)
+        flips = self._bit_flips(old, data)
+        if bits_written is None:
+            bits_written = line_size * 8
+        self.wear.record_write(address, bit_flips=flips, bits_written=bits_written)
+        self.energy.add_line_write(bits_written)
+        self._lines[address] = data
+        self.writes += 1
+        return AccessResult(
+            address=address, start_ns=start, complete_ns=complete, arrival_ns=arrival_ns
+        )
+
+    # -- functional (untimed) interface ----------------------------------------
+
+    def peek(self, address: int) -> bytes:
+        """Read line contents with no timing or energy effect (testing aid)."""
+        self._check_address(address)
+        return self._lines.get(address, self._zero_line)
+
+    def contains(self, address: int) -> bool:
+        """Whether the line has ever been written."""
+        return address in self._lines
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def banks(self) -> list[Bank]:
+        """Bank objects, exposing per-bank queueing statistics."""
+        return self._banks
+
+    def mean_bank_wait_ns(self) -> float:
+        """Mean queueing delay across all serviced requests."""
+        serviced = sum(b.serviced_requests for b in self._banks)
+        if not serviced:
+            return 0.0
+        return sum(b.total_wait_ns for b in self._banks) / serviced
+
+    def reset_timing(self) -> None:
+        """Clear bank occupancy and counters but keep stored data."""
+        for bank in self._banks:
+            bank.reset()
+        self.reads = 0
+        self.writes = 0
+        self.wear.reset()
+        self.energy.reset()
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _bit_flips(old: bytes, new: bytes) -> int:
+        return (int.from_bytes(old, "little") ^ int.from_bytes(new, "little")).bit_count()
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.config.organization.total_lines:
+            raise IndexError(
+                f"line address {address} out of range "
+                f"[0, {self.config.organization.total_lines})"
+            )

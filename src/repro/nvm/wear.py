@@ -1,0 +1,89 @@
+"""Wear and endurance accounting for the NVM array.
+
+PCM cells endure ~10^7–10^8 writes (paper §I); the whole point of DeWrite is
+to stretch that budget by eliminating duplicate line writes and (combined
+with bit-level techniques) reducing bit flips.  The tracker records, per
+line, how many times it was written, and globally how many cells actually
+flipped, so the endurance experiments (Figs. 12/13) and the lifetime
+estimates in the endurance example can be computed from one source.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WearSummary:
+    """Aggregate wear statistics of one simulation run."""
+
+    total_line_writes: int
+    total_bit_flips: int
+    total_bits_written: int
+    max_line_writes: int
+    distinct_lines_written: int
+
+    @property
+    def mean_flips_per_write(self) -> float:
+        """Average flipped cells per line write (Fig. 13's y-axis, in bits)."""
+        if not self.total_line_writes:
+            return 0.0
+        return self.total_bit_flips / self.total_line_writes
+
+
+class WearTracker:
+    """Per-line write counts plus global bit-flip totals."""
+
+    def __init__(self) -> None:
+        self._line_writes: Counter[int] = Counter()
+        self._total_bit_flips = 0
+        self._total_bits_written = 0
+
+    def record_write(self, line_address: int, bit_flips: int, bits_written: int) -> None:
+        """Record one physical line write.
+
+        Args:
+            line_address: the physical line that was programmed.
+            bit_flips: cells whose value actually changed.
+            bits_written: cells the write circuit programmed (equals
+                ``bit_flips`` under DCW-style differential writes, or the
+                full line width under naive writes).
+        """
+        if bit_flips < 0 or bits_written < 0:
+            raise ValueError("wear quantities must be non-negative")
+        self._line_writes[line_address] += 1
+        self._total_bit_flips += bit_flips
+        self._total_bits_written += bits_written
+
+    def writes_to(self, line_address: int) -> int:
+        """Write count of one line."""
+        return self._line_writes[line_address]
+
+    def summary(self) -> WearSummary:
+        """Aggregate statistics snapshot."""
+        return WearSummary(
+            total_line_writes=sum(self._line_writes.values()),
+            total_bit_flips=self._total_bit_flips,
+            total_bits_written=self._total_bits_written,
+            max_line_writes=max(self._line_writes.values(), default=0),
+            distinct_lines_written=len(self._line_writes),
+        )
+
+    def lifetime_factor(self, baseline: "WearTracker") -> float:
+        """Endurance improvement vs a baseline run of the same workload.
+
+        Lifetime under uniform wear levelling is inversely proportional to
+        total cell flips, so the factor is baseline flips / our flips.
+        """
+        ours = self.summary().total_bit_flips
+        theirs = baseline.summary().total_bit_flips
+        if ours == 0:
+            return float("inf") if theirs else 1.0
+        return theirs / ours
+
+    def reset(self) -> None:
+        """Clear all recorded wear."""
+        self._line_writes.clear()
+        self._total_bit_flips = 0
+        self._total_bits_written = 0

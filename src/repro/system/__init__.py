@@ -1,0 +1,21 @@
+"""Trace-driven system model: the gem5 substitute.
+
+DeWrite lives in the memory controller, so the CPU side only needs to
+(1) replay each core's post-LLC access stream with realistic timing and
+(2) convert memory stalls into IPC.  :class:`SystemSimulator` does both:
+cores issue accesses in global arrival order; reads and persistent writes
+stall the issuing core (the §III persistent-memory ordering argument),
+LLC-writeback writes post to the banks without stalling — which is what
+builds the bank queues that eliminated writes then dissolve (Figs. 14/16).
+"""
+
+from repro.system.cpu import CoreModelConfig
+from repro.system.metrics import SimulationReport
+from repro.system.simulator import SystemSimulator, simulate
+
+__all__ = [
+    "CoreModelConfig",
+    "SimulationReport",
+    "SystemSimulator",
+    "simulate",
+]

@@ -1,0 +1,39 @@
+"""Core timing model parameters.
+
+A deliberately simple in-order-issue stall model (DESIGN.md §1 documents
+this substitution for gem5's out-of-order cores): instructions retire at
+``base_cpi`` when memory is quiet; a read exposes ``read_stall_exposure``
+of its latency to the pipeline (out-of-order machinery hides the rest);
+a persistent write exposes its full latency (clwb+fence ordering, §III);
+a posted writeback exposes nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoreModelConfig:
+    """Per-core execution model."""
+
+    clock_ghz: float = 2.0
+    base_cpi: float = 1.0
+    read_stall_exposure: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+        if self.base_cpi <= 0:
+            raise ValueError("base CPI must be positive")
+        if not 0.0 <= self.read_stall_exposure <= 1.0:
+            raise ValueError("read stall exposure must be in [0, 1]")
+
+    @property
+    def ns_per_instruction(self) -> float:
+        """Compute time of one instruction."""
+        return self.base_cpi / self.clock_ghz
+
+    def cycles(self, ns: float) -> float:
+        """Convert nanoseconds to core cycles."""
+        return ns * self.clock_ghz

@@ -1,0 +1,53 @@
+"""Aggregated results of one system simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stats import DeWriteStats
+from repro.nvm.wear import WearSummary
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Everything the evaluation figures need from one run."""
+
+    workload: str
+    controller: str
+    instructions: int
+    total_cycles: float
+    ipc: float
+    makespan_ns: float
+    mean_write_latency_ns: float
+    mean_read_latency_ns: float
+    energy_nj: float
+    energy_breakdown: dict[str, float]
+    wear: WearSummary
+    stats: DeWriteStats
+    mean_bank_wait_ns: float
+
+    @property
+    def write_reduction(self) -> float:
+        """Fraction of requested line writes eliminated."""
+        return self.stats.write_reduction
+
+    def speedup_vs(self, baseline: "SimulationReport") -> dict[str, float]:
+        """Write/read/IPC ratios against a baseline run of the same trace
+        (the paper's Figs. 14, 16, 17 metrics)."""
+        if baseline.workload != self.workload:
+            raise ValueError(
+                f"cannot compare runs of different workloads "
+                f"({self.workload!r} vs {baseline.workload!r})"
+            )
+
+        def ratio(a: float, b: float) -> float:
+            return a / b if b else float("inf")
+
+        return {
+            "write_speedup": ratio(
+                baseline.mean_write_latency_ns, self.mean_write_latency_ns
+            ),
+            "read_speedup": ratio(baseline.mean_read_latency_ns, self.mean_read_latency_ns),
+            "ipc_ratio": ratio(self.ipc, baseline.ipc),
+            "energy_ratio": ratio(self.energy_nj, baseline.energy_nj),
+        }

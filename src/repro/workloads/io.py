@@ -1,0 +1,108 @@
+"""Trace serialisation: save/load memory traces as compact binary files.
+
+Traces drive every experiment, and regenerating a large one costs far more
+than re-reading it.  The format is a small self-describing binary: a
+header, then one fixed-width record per access with the line payloads of
+writes appended in order.  Round-tripping is exact (a tested invariant),
+so saved traces make experiments bit-reproducible across sessions.
+
+Format (little-endian):
+
+    magic  b"DWTR"           4 bytes
+    version u16              currently 1
+    line_size u16
+    threads u16
+    name_len u16, name utf-8
+    count u32
+    records: count x (core u16, flags u8, address u64, gap u32)
+        flags bit0 = is write, bit1 = persistent
+    payloads: line_size bytes per write record, in record order
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+import struct
+
+from repro.workloads.trace import MemoryAccess, Trace
+
+_MAGIC = b"DWTR"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHHH")
+_RECORD = struct.Struct("<HBQI")
+
+_FLAG_WRITE = 0x01
+_FLAG_PERSISTENT = 0x02
+
+
+def save_trace(trace: Trace, path: str | pathlib.Path, line_size_bytes: int = 256) -> None:
+    """Write a trace to ``path`` in the DWTR binary format."""
+    name_bytes = trace.name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        raise ValueError("trace name too long")
+    buffer = io.BytesIO()
+    buffer.write(
+        _HEADER.pack(_MAGIC, _VERSION, line_size_bytes, trace.threads, len(name_bytes))
+    )
+    buffer.write(name_bytes)
+    buffer.write(struct.pack("<I", len(trace.accesses)))
+
+    payloads = io.BytesIO()
+    for access in trace.accesses:
+        flags = 0
+        if access.op == "write":
+            flags |= _FLAG_WRITE
+            if access.persistent:
+                flags |= _FLAG_PERSISTENT
+            if len(access.data) != line_size_bytes:
+                raise ValueError(
+                    f"access at line {access.address} has {len(access.data)}-byte "
+                    f"payload, expected {line_size_bytes}"
+                )
+            payloads.write(access.data)
+        buffer.write(_RECORD.pack(access.core, flags, access.address, access.gap_instructions))
+    buffer.write(payloads.getvalue())
+    pathlib.Path(path).write_bytes(buffer.getvalue())
+
+
+def load_trace(path: str | pathlib.Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    raw = pathlib.Path(path).read_bytes()
+    view = memoryview(raw)
+    magic, version, line_size, threads, name_len = _HEADER.unpack_from(view, 0)
+    if magic != _MAGIC:
+        raise ValueError(f"not a DWTR trace file: bad magic {magic!r}")
+    if version != _VERSION:
+        raise ValueError(f"unsupported trace version {version}")
+    offset = _HEADER.size
+    name = bytes(view[offset : offset + name_len]).decode("utf-8")
+    offset += name_len
+    (count,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+
+    records = []
+    for _ in range(count):
+        records.append(_RECORD.unpack_from(view, offset))
+        offset += _RECORD.size
+
+    accesses: list[MemoryAccess] = []
+    for core, flags, address, gap in records:
+        if flags & _FLAG_WRITE:
+            data = bytes(view[offset : offset + line_size])
+            offset += line_size
+            accesses.append(
+                MemoryAccess(
+                    core=core,
+                    op="write",
+                    address=address,
+                    data=data,
+                    gap_instructions=gap,
+                    persistent=bool(flags & _FLAG_PERSISTENT),
+                )
+            )
+        else:
+            accesses.append(
+                MemoryAccess(core=core, op="read", address=address, gap_instructions=gap)
+            )
+    return Trace(name=name, accesses=accesses, threads=threads)

@@ -1,0 +1,70 @@
+"""Ground-truth duplication oracle (the measurement behind Fig. 2).
+
+A line write is *duplicate* when an identical line already resides in
+(logical) main memory at the moment of the write — the definition §II-C
+uses when reporting that 58 % of written lines are duplicates and 16 % are
+zero lines.  The oracle maintains the logical memory image with content
+reference counts, so the check is exact and O(1) per write.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+def is_zero_line(data: bytes) -> bool:
+    """Whether the line is all zeroes (Silent Shredder's target)."""
+    return not any(data)
+
+
+class DedupOracle:
+    """Exact duplicate-line detector over the logical memory image."""
+
+    def __init__(self) -> None:
+        self._memory: dict[int, bytes] = {}
+        self._refcounts: Counter[bytes] = Counter()
+        self.writes = 0
+        self.duplicates = 0
+        self.zero_writes = 0
+        self.zero_duplicates = 0
+
+    def observe_write(self, address: int, data: bytes) -> bool:
+        """Record one line write; returns whether it was a duplicate.
+
+        A rewrite of a line with its own current content (a silent store)
+        counts as duplicate — the content is resident.
+        """
+        self.writes += 1
+        duplicate = self._refcounts[data] > 0
+        zero = is_zero_line(data)
+        if duplicate:
+            self.duplicates += 1
+            if zero:
+                self.zero_duplicates += 1
+        if zero:
+            self.zero_writes += 1
+
+        old = self._memory.get(address)
+        if old is not None:
+            remaining = self._refcounts[old] - 1
+            if remaining:
+                self._refcounts[old] = remaining
+            else:
+                del self._refcounts[old]
+        self._memory[address] = data
+        self._refcounts[data] += 1
+        return duplicate
+
+    @property
+    def duplicate_ratio(self) -> float:
+        """Fraction of observed writes that were duplicates (Fig. 2)."""
+        return self.duplicates / self.writes if self.writes else 0.0
+
+    @property
+    def zero_ratio(self) -> float:
+        """Fraction of observed writes that were zero lines (Fig. 2)."""
+        return self.zero_writes / self.writes if self.writes else 0.0
+
+    def resident_content(self, data: bytes) -> bool:
+        """Whether identical content currently resides in memory."""
+        return self._refcounts[data] > 0

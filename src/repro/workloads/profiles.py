@@ -1,0 +1,236 @@
+"""Per-application workload profiles for the paper's 20 benchmarks.
+
+Each profile parameterises the synthetic trace generator with the memory-
+stream statistics that drive every evaluation figure.  Values are anchored
+to everything the paper states numerically:
+
+- duplicate-line ratios average 58 %, range 18.6 %–98.4 % (Fig. 2);
+  cactusADM, libquantum, lbm and blackscholes exceed 80 %; bzip2 and vips
+  are non-duplicate-heavy; sjeng's duplicates are dominated by zero lines;
+- zero-line writes average 16 % (Fig. 2 / Silent Shredder comparison);
+- duplication states repeat their predecessor ~92 % of the time (Fig. 4);
+- SPEC applications run single-threaded, the 8 PARSEC applications run
+  with 4 threads (§IV-A).
+
+Per-application values that the paper only shows graphically (exact bar
+heights) are synthesized to be consistent with those anchors; DESIGN.md §1
+records this substitution.  The remaining fields (write fraction, working
+set, burstiness, rewrite dirtiness, persist fraction) shape the timing and
+bit-flip behaviour and are chosen per application class (streaming,
+pointer-chasing, compute-bound) so the relative orderings the paper reports
+emerge rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Statistical description of one application's memory write stream."""
+
+    name: str
+    suite: str  # "SPEC" or "PARSEC"
+    threads: int
+    dup_ratio: float  # target fraction of duplicate line writes (Fig. 2)
+    zero_line_fraction: float  # fraction of writes that are all-zero lines
+    state_locality: float  # P(next duplication state == previous) (Fig. 4)
+    write_fraction: float  # writes / (reads + writes) reaching memory
+    working_set_lines: int  # distinct 256 B lines the app touches
+    mean_gap_instructions: int  # instructions between memory accesses
+    burst_length_mean: float  # accesses per near-back-to-back burst
+    persist_fraction: float  # writes ordered by clwb+fence (core stalls)
+    rewrite_dirtiness: float  # mean fraction of 16-bit words modified on rewrite
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("SPEC", "PARSEC"):
+            raise ValueError(f"unknown suite {self.suite!r}")
+        for field_name in (
+            "dup_ratio",
+            "zero_line_fraction",
+            "state_locality",
+            "write_fraction",
+            "persist_fraction",
+            "rewrite_dirtiness",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {value}")
+        if self.zero_line_fraction > self.dup_ratio + 0.05:
+            raise ValueError(
+                f"{self.name}: zero lines ({self.zero_line_fraction}) cannot much "
+                f"exceed the duplicate ratio ({self.dup_ratio})"
+            )
+        if self.threads < 1:
+            raise ValueError("threads must be at least 1")
+        if self.working_set_lines < 16:
+            raise ValueError("working set unrealistically small")
+
+
+def _spec(name: str, **kwargs) -> ApplicationProfile:
+    return ApplicationProfile(name=name, suite="SPEC", threads=1, **kwargs)
+
+
+def _parsec(name: str, **kwargs) -> ApplicationProfile:
+    return ApplicationProfile(name=name, suite="PARSEC", threads=4, **kwargs)
+
+
+SPEC_PROFILES: tuple[ApplicationProfile, ...] = (
+    _spec(
+        "bzip2",  # compression: churns unique data, few duplicates
+        dup_ratio=0.20, zero_line_fraction=0.05, state_locality=0.89,
+        write_fraction=0.42, working_set_lines=24_000,
+        mean_gap_instructions=180, burst_length_mean=12.0,
+        persist_fraction=0.10, rewrite_dirtiness=0.55,
+    ),
+    _spec(
+        "gcc",  # compiler: mixed allocation/initialisation behaviour
+        dup_ratio=0.45, zero_line_fraction=0.15, state_locality=0.91,
+        write_fraction=0.38, working_set_lines=32_000,
+        mean_gap_instructions=220, burst_length_mean=10.0,
+        persist_fraction=0.12, rewrite_dirtiness=0.45,
+    ),
+    _spec(
+        "mcf",  # pointer-chasing, memory bound, small gaps
+        dup_ratio=0.50, zero_line_fraction=0.10, state_locality=0.90,
+        write_fraction=0.30, working_set_lines=48_000,
+        mean_gap_instructions=90, burst_length_mean=8.0,
+        persist_fraction=0.07, rewrite_dirtiness=0.35,
+    ),
+    _spec(
+        "milc",  # lattice QCD: strided numeric kernels
+        dup_ratio=0.55, zero_line_fraction=0.12, state_locality=0.92,
+        write_fraction=0.35, working_set_lines=40_000,
+        mean_gap_instructions=140, burst_length_mean=16.0,
+        persist_fraction=0.10, rewrite_dirtiness=0.40,
+    ),
+    _spec(
+        "zeusmp",  # CFD stencils
+        dup_ratio=0.60, zero_line_fraction=0.15, state_locality=0.93,
+        write_fraction=0.40, working_set_lines=36_000,
+        mean_gap_instructions=150, burst_length_mean=16.0,
+        persist_fraction=0.10, rewrite_dirtiness=0.42,
+    ),
+    _spec(
+        "cactusADM",  # relativity solver: highly duplicated grid updates
+        dup_ratio=0.93, zero_line_fraction=0.20, state_locality=0.96,
+        write_fraction=0.45, working_set_lines=30_000,
+        mean_gap_instructions=110, burst_length_mean=24.0,
+        persist_fraction=0.12, rewrite_dirtiness=0.40,
+    ),
+    _spec(
+        "gobmk",  # game tree search: modest duplication
+        dup_ratio=0.40, zero_line_fraction=0.10, state_locality=0.90,
+        write_fraction=0.33, working_set_lines=20_000,
+        mean_gap_instructions=260, burst_length_mean=8.0,
+        persist_fraction=0.10, rewrite_dirtiness=0.48,
+    ),
+    _spec(
+        "hmmer",  # profile HMM search: compute bound
+        dup_ratio=0.35, zero_line_fraction=0.08, state_locality=0.90,
+        write_fraction=0.36, working_set_lines=16_000,
+        mean_gap_instructions=300, burst_length_mean=10.0,
+        persist_fraction=0.09, rewrite_dirtiness=0.50,
+    ),
+    _spec(
+        "sjeng",  # chess: duplicates dominated by zero (shredded) lines
+        dup_ratio=0.55, zero_line_fraction=0.50, state_locality=0.92,
+        write_fraction=0.34, working_set_lines=22_000,
+        mean_gap_instructions=240, burst_length_mean=10.0,
+        persist_fraction=0.10, rewrite_dirtiness=0.45,
+    ),
+    _spec(
+        "libquantum",  # quantum simulation: streaming, hugely duplicated
+        dup_ratio=0.88, zero_line_fraction=0.25, state_locality=0.95,
+        write_fraction=0.48, working_set_lines=28_000,
+        mean_gap_instructions=100, burst_length_mean=28.0,
+        persist_fraction=0.11, rewrite_dirtiness=0.35,
+    ),
+    _spec(
+        "lbm",  # lattice Boltzmann: the paper's 98.4 % extreme
+        dup_ratio=0.984, zero_line_fraction=0.20, state_locality=0.97,
+        write_fraction=0.50, working_set_lines=34_000,
+        mean_gap_instructions=90, burst_length_mean=32.0,
+        persist_fraction=0.12, rewrite_dirtiness=0.30,
+    ),
+    _spec(
+        "omnetpp",  # discrete-event simulation: allocator-heavy
+        dup_ratio=0.50, zero_line_fraction=0.12, state_locality=0.91,
+        write_fraction=0.37, working_set_lines=44_000,
+        mean_gap_instructions=170, burst_length_mean=10.0,
+        persist_fraction=0.11, rewrite_dirtiness=0.46,
+    ),
+)
+
+PARSEC_PROFILES: tuple[ApplicationProfile, ...] = (
+    _parsec(
+        "blackscholes",  # option pricing: duplicated option batches (>80 %)
+        dup_ratio=0.85, zero_line_fraction=0.18, state_locality=0.95,
+        write_fraction=0.40, working_set_lines=26_000,
+        mean_gap_instructions=130, burst_length_mean=20.0,
+        persist_fraction=0.10, rewrite_dirtiness=0.38,
+    ),
+    _parsec(
+        "bodytrack",  # vision: mixed
+        dup_ratio=0.55, zero_line_fraction=0.12, state_locality=0.92,
+        write_fraction=0.35, working_set_lines=30_000,
+        mean_gap_instructions=180, burst_length_mean=12.0,
+        persist_fraction=0.09, rewrite_dirtiness=0.45,
+    ),
+    _parsec(
+        "canneal",  # simulated annealing: cache-hostile random access
+        dup_ratio=0.60, zero_line_fraction=0.15, state_locality=0.91,
+        write_fraction=0.30, working_set_lines=60_000,
+        mean_gap_instructions=100, burst_length_mean=6.0,
+        persist_fraction=0.07, rewrite_dirtiness=0.40,
+    ),
+    _parsec(
+        "ferret",  # similarity search pipeline
+        dup_ratio=0.50, zero_line_fraction=0.10, state_locality=0.91,
+        write_fraction=0.33, working_set_lines=36_000,
+        mean_gap_instructions=190, burst_length_mean=10.0,
+        persist_fraction=0.09, rewrite_dirtiness=0.44,
+    ),
+    _parsec(
+        "fluidanimate",  # particle simulation: stencil-like duplication
+        dup_ratio=0.65, zero_line_fraction=0.18, state_locality=0.93,
+        write_fraction=0.42, working_set_lines=32_000,
+        mean_gap_instructions=140, burst_length_mean=18.0,
+        persist_fraction=0.11, rewrite_dirtiness=0.40,
+    ),
+    _parsec(
+        "streamcluster",  # streaming clustering: repetitive centroids
+        dup_ratio=0.75, zero_line_fraction=0.22, state_locality=0.94,
+        write_fraction=0.38, working_set_lines=28_000,
+        mean_gap_instructions=120, burst_length_mean=20.0,
+        persist_fraction=0.10, rewrite_dirtiness=0.36,
+    ),
+    _parsec(
+        "swaptions",  # Monte-Carlo pricing: mostly fresh randomness
+        dup_ratio=0.45, zero_line_fraction=0.10, state_locality=0.90,
+        write_fraction=0.36, working_set_lines=18_000,
+        mean_gap_instructions=230, burst_length_mean=10.0,
+        persist_fraction=0.09, rewrite_dirtiness=0.50,
+    ),
+    _parsec(
+        "vips",  # image pipeline: the paper's 18.6 % floor, non-dup heavy
+        dup_ratio=0.186, zero_line_fraction=0.05, state_locality=0.88,
+        write_fraction=0.44, working_set_lines=38_000,
+        mean_gap_instructions=150, burst_length_mean=14.0,
+        persist_fraction=0.10, rewrite_dirtiness=0.60,
+    ),
+)
+
+ALL_PROFILES: tuple[ApplicationProfile, ...] = SPEC_PROFILES + PARSEC_PROFILES
+
+_BY_NAME = {p.name: p for p in ALL_PROFILES}
+
+
+def profile_by_name(name: str) -> ApplicationProfile:
+    """Look up one of the 20 profiles by application name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown application {name!r}; known: {known}") from None

@@ -1,0 +1,81 @@
+"""ASCII charts and JSON export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.charts import render_bar_chart
+from repro.analysis.export import dump_json, load_json, report_to_dict, table_to_dict
+from repro.analysis.reporting import Table
+from repro.baselines.secure_nvm import TraditionalSecureNvmController
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+from repro.system.simulator import simulate
+from repro.workloads.trace import MemoryAccess, Trace
+
+
+def sample_table() -> Table:
+    table = Table("Speedups", ["app", "write_speedup"])
+    table.add_row("lbm", 4.0)
+    table.add_row("mcf", 2.0)
+    table.add_row("vips", 1.0)
+    return table
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = render_bar_chart(sample_table(), "write_speedup", width=40)
+        lines = chart.splitlines()
+        lbm = next(l for l in lines if l.strip().startswith("lbm"))
+        mcf = next(l for l in lines if l.strip().startswith("mcf"))
+        assert lbm.count("█") == 40
+        assert mcf.count("█") == 20
+
+    def test_values_printed(self):
+        chart = render_bar_chart(sample_table(), "write_speedup")
+        assert "4" in chart and "2" in chart
+
+    def test_reference_marker(self):
+        chart = render_bar_chart(sample_table(), "write_speedup", reference=1.0)
+        assert "|" in chart
+        assert "marks 1" in chart
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            render_bar_chart(sample_table(), "nope")
+
+    def test_empty_table(self):
+        table = Table("Empty", ["a", "b"])
+        assert "(no rows)" in render_bar_chart(table, "b")
+
+
+class TestJsonExport:
+    def test_table_roundtrip(self, tmp_path):
+        table = sample_table()
+        table.add_note("a note")
+        path = tmp_path / "t.json"
+        dump_json(table_to_dict(table), path)
+        loaded = load_json(path)
+        assert loaded["title"] == "Speedups"
+        assert loaded["rows"][0] == ["lbm", 4.0]
+        assert loaded["notes"] == ["a note"]
+
+    def test_report_is_json_serialisable(self, tmp_path):
+        nvm = NvmMainMemory(
+            NvmConfig(organization=NvmOrganization(capacity_bytes=1024 * 256))
+        )
+        trace = Trace(
+            "t",
+            [
+                MemoryAccess(core=0, op="write", address=0, data=bytes(256),
+                             gap_instructions=10, persistent=True),
+                MemoryAccess(core=0, op="read", address=0, gap_instructions=10),
+            ],
+        )
+        report = simulate(TraditionalSecureNvmController(nvm), trace)
+        payload = report_to_dict(report)
+        text = json.dumps(payload)  # must not raise
+        assert json.loads(text)["workload"] == "t"
+        assert payload["wear"]["total_line_writes"] >= 1

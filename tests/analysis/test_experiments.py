@@ -1,0 +1,182 @@
+"""Experiment runners at smoke scale: shapes, orderings, paper directions.
+
+These run the real pipeline on short traces and a small application subset;
+the full-scale numbers live in the benchmark suite / EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentSettings,
+    bit_flip_comparison,
+    collision_survey,
+    duplication_survey,
+    evaluate_all,
+    integration_mode_comparison,
+    metadata_cache_sweep,
+    prediction_accuracy_survey,
+    reference_count_survey,
+    storage_overhead_table,
+    system_comparison_table,
+    table1_detection_latency,
+    traditional_dedup_comparison,
+    worst_case_comparison,
+    write_reduction_survey,
+)
+
+
+@pytest.fixture(scope="module")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings(
+        accesses=5_000, seed=7, applications=("lbm", "mcf", "vips")
+    )
+
+
+class TestDuplicationSurvey:
+    def test_rows_and_ordering(self, settings):
+        table = duplication_survey(settings)
+        assert [r[0] for r in table.rows] == ["lbm", "mcf", "vips", "AVERAGE"]
+        lbm, mcf, vips = (table.row_for(n)[1] for n in ("lbm", "mcf", "vips"))
+        assert lbm > mcf > vips  # Fig. 2 ordering
+
+    def test_ratios_in_unit_interval(self, settings):
+        for row in duplication_survey(settings).rows:
+            assert 0.0 <= row[1] <= 1.0
+            assert 0.0 <= row[2] <= 1.0
+
+
+class TestPredictionSurvey:
+    def test_window_three_beats_one_on_average(self, settings):
+        table = prediction_accuracy_survey(settings)
+        average = table.row_for("AVERAGE")
+        assert average[2] > average[1]
+        assert average[1] > 0.8  # near the paper's 92 %
+
+
+class TestTable1:
+    def test_dewrite_beats_traditional_on_both_rows(self):
+        table = table1_detection_latency()
+        dewrite = table.row_for("DeWrite")
+        assert dewrite[4] == pytest.approx(90.5)
+        assert dewrite[5] == pytest.approx(15.0)
+        for row in table.rows:
+            if row[0] == "traditional dedup":
+                assert row[4] > dewrite[4]
+                assert row[5] > dewrite[5]
+
+
+class TestSystemComparison:
+    def test_dewrite_wins_where_it_should(self, settings):
+        table = system_comparison_table(settings)
+        lbm = table.row_for("lbm")
+        assert lbm[2] > 2.0  # write speedup on the 98 % dup app
+        assert lbm[3] > 1.2  # read speedup
+        assert lbm[4] > 1.5  # IPC
+        assert lbm[5] < 0.5  # energy
+        vips = table.row_for("vips")
+        assert 0.7 <= vips[2] <= 1.3  # near-parity on the non-dup app
+
+    def test_write_reduction_tracks_duplication(self, settings):
+        table = system_comparison_table(settings)
+        assert table.row_for("lbm")[1] > table.row_for("mcf")[1] > table.row_for("vips")[1]
+
+
+class TestWriteReduction:
+    def test_reduction_close_to_available(self, settings):
+        table = write_reduction_survey(settings)
+        for row in table.rows:
+            if row[0] == "AVERAGE":
+                continue
+            available, reduced = row[1], row[2]
+            assert reduced <= available + 0.03
+            assert reduced >= available - 0.12
+
+
+class TestBitFlips:
+    def test_paper_orderings(self, settings):
+        table = bit_flip_comparison(settings)
+        average = table.row_for("AVERAGE")
+        dcw, fnw, deuce = average[1], average[2], average[3]
+        assert 0.45 <= dcw <= 0.55  # diffusion defeats DCW
+        assert fnw < dcw
+        assert deuce < fnw
+        # DeWrite composes: combined columns beat standalone ones.
+        assert average[7] < dcw
+        assert average[8] < fnw
+        assert average[9] < deuce
+
+
+class TestModes:
+    def test_latency_and_energy_bracketing(self, settings):
+        table = integration_mode_comparison(settings)
+        average = table.row_for("AVERAGE")
+        direct_lat, parallel_lat, dewrite_lat = average[1], average[2], average[3]
+        direct_e, parallel_e, dewrite_e = average[4], average[5], average[6]
+        assert parallel_lat <= 1.0  # parallel at or below direct
+        assert dewrite_lat <= 1.02  # DeWrite near the parallel way
+        assert direct_e <= 1.0
+        assert dewrite_e <= 1.05  # DeWrite near the direct way
+
+
+class TestWorstCase:
+    def test_near_parity(self):
+        table = worst_case_comparison(ExperimentSettings(accesses=5_000))
+        ipc_row = table.row_for("ipc")
+        assert ipc_row[3] == pytest.approx(1.0, abs=0.05)
+        write_row = table.row_for("write_latency_ns")
+        assert write_row[3] == pytest.approx(1.0, abs=0.1)
+
+
+class TestCollisionsAndReferences:
+    def test_collision_rate_tiny(self, settings):
+        table = collision_survey(settings)
+        assert table.row_for("AVERAGE")[3] < 0.001  # paper: < 0.01 %
+
+    def test_references_below_cap(self, settings):
+        table = reference_count_survey(settings)
+        # Moderate-duplication apps keep almost all references below 255.
+        assert table.row_for("mcf")[3] > 0.99
+        assert table.row_for("vips")[3] > 0.99
+        # The 98 %-duplicate app exercises saturation: at smoke scale its
+        # live-line population is tiny, so only the cap itself is asserted.
+        assert table.row_for("lbm")[2] == 255
+
+
+class TestStorageOverhead:
+    def test_dewrite_cheapest_dedup_scheme(self):
+        table = storage_overhead_table()
+        dewrite = table.row_for("DeWrite")[2]
+        deuce = table.row_for("DEUCE")[2]
+        no_coloc = table.row_for("DeWrite (no colocation)")[2]
+        assert dewrite < no_coloc
+        assert dewrite < deuce
+        assert 0.05 <= dewrite <= 0.08  # the paper's ~6.25 %
+
+
+class TestMetadataCacheSweep:
+    def test_hit_rate_monotone_in_cache_size(self):
+        settings = ExperimentSettings(accesses=3_000, applications=("mcf",))
+        table = metadata_cache_sweep(
+            settings, cache_sizes_kb=(16, 256), prefetch_entries=(256,)
+        )
+        small = table.rows[0]
+        big = table.rows[1]
+        assert big[2] >= small[2] - 0.02  # hash cache
+        assert big[3] >= small[3] - 0.02  # address map
+
+
+class TestTraditionalDedup:
+    def test_dewrite_faster(self):
+        settings = ExperimentSettings(accesses=3_000, applications=("lbm",))
+        table = traditional_dedup_comparison(settings)
+        assert table.row_for("lbm")[3] > 1.5
+
+
+class TestCaching:
+    def test_evaluate_all_caches(self, settings):
+        first = evaluate_all(settings)
+        second = evaluate_all(settings)
+        for name in settings.applications:
+            assert first[name] is second[name]

@@ -1,0 +1,46 @@
+"""§V related-work comparison experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings, related_work_comparison
+
+
+@pytest.fixture(scope="module")
+def table():
+    settings = ExperimentSettings(accesses=3_000, seed=2, applications=("mcf", "lbm"))
+    return related_work_comparison(settings)
+
+
+class TestStructuralClaims:
+    def test_all_five_schemes_present(self, table):
+        schemes = {row[0] for row in table.rows}
+        assert schemes == {
+            "traditional secure NVM",
+            "out-of-line page dedup",
+            "Silent Shredder",
+            "i-NVMM",
+            "DeWrite",
+        }
+
+    def test_out_of_line_saves_no_writes(self, table):
+        assert table.row_for("out-of-line page dedup")[1] == 0.0
+
+    def test_dewrite_beats_shredder_on_reduction(self, table):
+        assert table.row_for("DeWrite")[1] > table.row_for("Silent Shredder")[1]
+
+    def test_only_i_nvmm_exposes_plaintext(self, table):
+        for row in table.rows:
+            if row[0] == "i-NVMM":
+                assert row[3] > 0
+            else:
+                assert row[3] == 0
+
+    def test_baseline_energy_is_unity(self, table):
+        assert table.row_for("traditional secure NVM")[4] == pytest.approx(1.0)
+
+    def test_dewrite_cheapest_encrypted_scheme(self, table):
+        dewrite = table.row_for("DeWrite")[4]
+        assert dewrite < table.row_for("traditional secure NVM")[4]
+        assert dewrite < table.row_for("out-of-line page dedup")[4]

@@ -1,0 +1,60 @@
+"""Table rendering and accessors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import Table
+
+
+class TestTable:
+    def make(self) -> Table:
+        table = Table("Demo", ["app", "value"])
+        table.add_row("lbm", 0.981)
+        table.add_row("mcf", 0.505)
+        return table
+
+    def test_row_arity_checked(self):
+        table = self.make()
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row("only-one")
+
+    def test_column_access(self):
+        assert self.make().column("value") == [0.981, 0.505]
+
+    def test_column_unknown(self):
+        with pytest.raises(KeyError, match="no column"):
+            self.make().column("bogus")
+
+    def test_row_for(self):
+        assert self.make().row_for("mcf")[1] == 0.505
+
+    def test_row_for_unknown(self):
+        with pytest.raises(KeyError):
+            self.make().row_for("gcc")
+
+    def test_render_contains_everything(self):
+        table = self.make()
+        table.add_note("a note")
+        text = table.render()
+        assert "Demo" in text
+        assert "lbm" in text
+        assert "0.981" in text
+        assert "note: a note" in text
+
+    def test_render_aligns_columns(self):
+        lines = self.make().render().splitlines()
+        data_lines = lines[2:]  # after title and underline
+        assert len({len(line) for line in data_lines}) == 1
+
+    def test_float_formatting(self):
+        table = Table("F", ["a"])
+        table.add_row(12345.6)
+        table.add_row(0.00001)
+        text = table.render()
+        assert "12,346" in text
+        assert "1.00e-05" in text
+
+    def test_str_is_render(self):
+        table = self.make()
+        assert str(table) == table.render()

@@ -1,0 +1,168 @@
+"""DCW / FNW / DEUCE bit-flip models and the combined analyzer (Fig. 13)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bit_reduction import (
+    BitFlipAnalyzer,
+    FnwLineState,
+    dcw_flips,
+    deuce_flips,
+)
+from repro.workloads.oracle import DedupOracle, is_zero_line
+
+LINE = 256
+LINE_BITS = LINE * 8
+
+
+class TestDcw:
+    def test_identical_is_zero(self):
+        assert dcw_flips(0xABCD, 0xABCD) == 0
+
+    def test_counts_xor_popcount(self):
+        assert dcw_flips(0b1010, 0b0101) == 4
+        assert dcw_flips(0, (1 << 2048) - 1) == 2048
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    def test_symmetric(self, a, b):
+        assert dcw_flips(a, b) == dcw_flips(b, a)
+
+
+class TestFnw:
+    def test_first_write_of_zero_flips_nothing(self):
+        state = FnwLineState(64, chunk_bits=32)
+        assert state.write(0) == 0
+
+    def test_worst_case_bounded_by_half_plus_flags(self):
+        # FNW's guarantee: at most half the chunk bits + one flag per chunk.
+        state = FnwLineState(LINE_BITS, chunk_bits=32)
+        rng = random.Random(1)
+        for _ in range(20):
+            flips = state.write(rng.getrandbits(LINE_BITS))
+            assert flips <= LINE_BITS // 2 + LINE_BITS // 32
+
+    def test_inversion_chosen_when_cheaper(self):
+        state = FnwLineState(32, chunk_bits=32)
+        state.write(0)  # raw = 0, flag = 0
+        # Writing all-ones plainly flips 32; inverted stores 0 (0 data
+        # flips) + 1 flag flip.
+        assert state.write((1 << 32) - 1) == 1
+
+    def test_logical_data_preserved_under_inversion(self):
+        state = FnwLineState(64, chunk_bits=32)
+        rng = random.Random(2)
+        for _ in range(10):
+            value = rng.getrandbits(64)
+            state.write(value)
+            assert state.data == value
+
+    def test_random_data_flip_fraction_near_043(self):
+        # Fig. 13: FNW on encrypted (random) data converges to ~43 %.
+        state = FnwLineState(LINE_BITS, chunk_bits=32)
+        rng = random.Random(3)
+        total = sum(state.write(rng.getrandbits(LINE_BITS)) for _ in range(60))
+        fraction = total / (60 * LINE_BITS)
+        assert 0.40 <= fraction <= 0.46
+
+    def test_invalid_chunking_rejected(self):
+        with pytest.raises(ValueError):
+            FnwLineState(100, chunk_bits=32)
+
+
+class TestDeuce:
+    def test_clean_line_flips_nothing(self):
+        flips, hybrid = deuce_flips(5, 5, old_ct=99, new_pad=1234, line_bits=64)
+        assert flips == 0
+        assert hybrid == 99
+
+    def test_only_dirty_words_reencrypted(self):
+        old_pt = 0
+        new_pt = 0xFFFF  # only word 0 modified
+        old_ct = 0
+        pad = (1 << 64) - 1
+        flips, hybrid = deuce_flips(old_pt, new_pt, old_ct, pad, line_bits=64)
+        # Word 0: new ct word = 0xFFFF ^ 0xFFFF = 0; old ct word 0 -> 0 flips.
+        assert flips == 0
+        assert hybrid == 0
+
+    def test_dirty_word_flip_count(self):
+        old_pt, new_pt = 0, 0x00FF
+        old_ct = 0xFFFF
+        pad = 0
+        flips, hybrid = deuce_flips(old_pt, new_pt, old_ct, pad, line_bits=16)
+        # new ct word = 0x00FF; old = 0xFFFF -> 8 flips.
+        assert flips == 8
+        assert hybrid == 0x00FF
+
+    def test_random_rewrites_flip_fraction_tracks_dirtiness(self):
+        rng = random.Random(4)
+        words = LINE_BITS // 16
+        old_pt = rng.getrandbits(LINE_BITS)
+        old_ct = rng.getrandbits(LINE_BITS)
+        # Modify exactly half the words.
+        new_pt = old_pt
+        for w in range(0, words, 2):
+            new_pt ^= rng.getrandbits(16) << (w * 16) or (1 << (w * 16))
+        pad = rng.getrandbits(LINE_BITS)
+        flips, _ = deuce_flips(old_pt, new_pt, old_ct, pad, LINE_BITS)
+        # Dirty half the words, each ~50 % flips -> ~25 % of the line.
+        assert 0.15 <= flips / LINE_BITS <= 0.35
+
+
+class TestAnalyzer:
+    def _writes(self, n=200, dup_every=2):
+        rng = random.Random(5)
+        base = rng.randbytes(LINE)
+        out = []
+        for i in range(n):
+            if i % dup_every == 0:
+                out.append((i % 32, base))
+            else:
+                out.append((i % 32, rng.randbytes(LINE)))
+        return out
+
+    def test_dcw_on_encrypted_data_is_half(self):
+        report = BitFlipAnalyzer().run(self._writes())
+        assert 0.47 <= report.flip_fraction("dcw") <= 0.53
+
+    def test_fnw_beats_dcw_slightly(self):
+        report = BitFlipAnalyzer().run(self._writes())
+        assert report.flip_fraction("fnw") < report.flip_fraction("dcw")
+        assert 0.40 <= report.flip_fraction("fnw") <= 0.46
+
+    def test_eliminator_zeroes_out_eliminated_writes(self):
+        writes = self._writes()
+        all_eliminated = BitFlipAnalyzer().run(writes, eliminator=lambda a, d: True)
+        assert all_eliminated.eliminated == len(writes)
+        for technique in ("dcw", "fnw", "deuce"):
+            assert all_eliminated.flip_fraction(technique) == 0.0
+
+    def test_dedup_front_end_halves_flips(self):
+        writes = self._writes(dup_every=2)
+        plain = BitFlipAnalyzer().run(writes)
+        oracle = DedupOracle()
+        deduped = BitFlipAnalyzer().run(
+            writes, eliminator=lambda a, d: oracle.observe_write(a, d)
+        )
+        assert deduped.flip_fraction("dcw") < 0.65 * plain.flip_fraction("dcw")
+
+    def test_zero_eliminator_matches_zero_share(self):
+        writes = [(i, bytes(LINE) if i % 4 == 0 else random.Random(i).randbytes(LINE))
+                  for i in range(100)]
+        report = BitFlipAnalyzer().run(writes, eliminator=lambda a, d: is_zero_line(d))
+        assert report.elimination_rate == pytest.approx(0.25)
+
+    def test_wrong_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            BitFlipAnalyzer().run([(0, b"short")])
+
+    def test_report_accounting(self):
+        writes = self._writes(n=50)
+        report = BitFlipAnalyzer().run(writes)
+        assert report.writes == 50
+        assert report.eliminated == 0
+        assert report.line_bits == LINE_BITS

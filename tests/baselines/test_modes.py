@@ -1,0 +1,68 @@
+"""Direct-way and parallel-way factory functions (Fig. 3 strawmen)."""
+
+from __future__ import annotations
+
+from repro.baselines.modes import direct_way_controller, parallel_way_controller
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+
+LINE = 256
+
+
+def make_nvm() -> NvmMainMemory:
+    return NvmMainMemory(
+        NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+    )
+
+
+def line(fill: int) -> bytes:
+    return bytes([fill]) * LINE
+
+
+class TestFactories:
+    def test_direct_mode(self):
+        assert direct_way_controller(make_nvm()).mode == "direct"
+
+    def test_parallel_mode(self):
+        assert parallel_way_controller(make_nvm()).mode == "parallel"
+
+    def test_both_are_correct_memories(self):
+        for factory in (direct_way_controller, parallel_way_controller):
+            controller = factory(make_nvm())
+            controller.write(0, line(1), 0.0)
+            controller.write(1, line(1), 10_000.0)
+            assert controller.read(1, 20_000.0).data == line(1)
+
+
+class TestFig3Tradeoff:
+    def test_latency_ordering_on_unique_writes(self):
+        # Fig. 15: parallel <= dewrite < direct for stored writes.
+        results = {}
+        for name, factory in (
+            ("direct", direct_way_controller),
+            ("parallel", parallel_way_controller),
+        ):
+            controller = factory(make_nvm())
+            total = 0.0
+            now = 0.0
+            for i in range(20):
+                outcome = controller.write(i, line(i + 1), now)
+                total += outcome.latency_ns
+                now = outcome.complete_ns + 5_000.0
+            results[name] = total / 20
+        assert results["parallel"] < results["direct"]
+
+    def test_energy_ordering_on_duplicate_writes(self):
+        # Fig. 20: direct <= dewrite < parallel on AES energy.
+        results = {}
+        for name, factory in (
+            ("direct", direct_way_controller),
+            ("parallel", parallel_way_controller),
+        ):
+            controller = factory(make_nvm())
+            now = 0.0
+            for i in range(20):
+                outcome = controller.write(i, line(1), now)
+                now = outcome.complete_ns + 5_000.0
+            results[name] = controller.nvm.energy.aes_nj
+        assert results["direct"] < results["parallel"]

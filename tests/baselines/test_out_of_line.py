@@ -1,0 +1,89 @@
+"""Out-of-line page dedup: saves capacity, never writes (§V's contrast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.out_of_line import OutOfLinePageDedupController
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+
+LINE = 256
+
+
+def make_controller(**kwargs) -> OutOfLinePageDedupController:
+    nvm = NvmMainMemory(
+        NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+    )
+    kwargs.setdefault("lines_per_page", 4)
+    kwargs.setdefault("scan_interval_writes", 8)
+    return OutOfLinePageDedupController(nvm, **kwargs)
+
+
+def fill_page(controller, page: int, pattern: int, now: float) -> float:
+    for offset in range(controller.lines_per_page):
+        address = page * controller.lines_per_page + offset
+        outcome = controller.write(address, bytes([pattern + offset]) * LINE, now)
+        now = outcome.complete_ns + 100.0
+    return now
+
+
+class TestZeroWriteReduction:
+    def test_every_write_reaches_the_array(self):
+        controller = make_controller()
+        now = fill_page(controller, 0, 1, 0.0)
+        fill_page(controller, 1, 1, now)  # identical content
+        assert controller.nvm.writes >= 8  # all 8 line writes happened
+        assert controller.stats.writes_deduplicated == 0
+        assert controller.stats.write_reduction == 0.0
+
+    def test_but_capacity_is_saved(self):
+        controller = make_controller()
+        now = fill_page(controller, 0, 1, 0.0)
+        now = fill_page(controller, 1, 1, now)
+        fill_page(controller, 2, 99, now)  # unique page, forces a scan
+        assert controller.merged_pages >= 1
+        assert controller.capacity_saved_lines >= controller.lines_per_page
+
+
+class TestMergeMechanics:
+    def test_distinct_pages_not_merged(self):
+        controller = make_controller()
+        now = fill_page(controller, 0, 1, 0.0)
+        now = fill_page(controller, 1, 50, now)
+        fill_page(controller, 2, 120, now)
+        assert controller.merged_pages == 0
+
+    def test_copy_on_write_breaks_merge(self):
+        controller = make_controller()
+        now = fill_page(controller, 0, 1, 0.0)
+        now = fill_page(controller, 1, 1, now)
+        now = fill_page(controller, 2, 99, now)
+        assert controller.merged_pages == 1
+        saved_before = controller.capacity_saved_lines
+        # Diverge the merged page: the saving is returned.
+        merged_page = next(iter(controller._merged))
+        controller.write(merged_page * 4, b"\xee" * LINE, now)
+        assert controller.capacity_saved_lines == saved_before - 4
+
+    def test_scans_counted(self):
+        controller = make_controller(scan_interval_writes=4)
+        now = 0.0
+        for i in range(12):
+            now = controller.write(i, bytes([i + 1]) * LINE, now).complete_ns + 100
+        assert controller.scans == 3
+
+    def test_still_a_correct_memory(self):
+        controller = make_controller()
+        now = fill_page(controller, 0, 1, 0.0)
+        now = fill_page(controller, 1, 1, now)
+        fill_page(controller, 2, 99, now)
+        for offset in range(4):
+            assert controller.read(offset, 10**7).data == bytes([1 + offset]) * LINE
+            assert controller.read(4 + offset, 10**7).data == bytes([1 + offset]) * LINE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_controller(lines_per_page=0)
+        with pytest.raises(ValueError):
+            make_controller(scan_interval_writes=0)

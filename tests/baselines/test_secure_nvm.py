@@ -1,0 +1,114 @@
+"""Traditional secure NVM baseline: CME correctness and timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.secure_nvm import SecureNvmConfig, TraditionalSecureNvmController
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+
+LINE = 256
+
+
+def make_controller() -> TraditionalSecureNvmController:
+    nvm = NvmMainMemory(
+        NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+    )
+    return TraditionalSecureNvmController(nvm)
+
+
+def line(fill: int) -> bytes:
+    return bytes([fill]) * LINE
+
+
+class TestFunctional:
+    def test_read_your_write(self):
+        controller = make_controller()
+        controller.write(0, line(1), 0.0)
+        assert controller.read(0, 1_000.0).data == line(1)
+
+    def test_unwritten_reads_zero(self):
+        controller = make_controller()
+        assert controller.read(7, 0.0).data == bytes(LINE)
+
+    def test_rewrites_visible(self):
+        controller = make_controller()
+        controller.write(0, line(1), 0.0)
+        controller.write(0, line(2), 1_000.0)
+        assert controller.read(0, 2_000.0).data == line(2)
+
+    def test_data_encrypted_at_rest(self):
+        controller = make_controller()
+        controller.write(0, line(5), 0.0)
+        assert controller.nvm.peek(0) != line(5)
+
+    def test_counter_increments_per_write(self):
+        controller = make_controller()
+        controller.write(0, line(1), 0.0)
+        controller.write(0, line(1), 1_000.0)
+        assert controller._counters[0] == 2
+
+    def test_rewrite_of_same_data_changes_ciphertext(self):
+        # Diffusion under counter bump (§I).
+        controller = make_controller()
+        controller.write(0, line(1), 0.0)
+        first = controller.nvm.peek(0)
+        controller.write(0, line(1), 1_000.0)
+        assert controller.nvm.peek(0) != first
+
+
+class TestNoDeduplication:
+    def test_duplicate_lines_written_anyway(self):
+        controller = make_controller()
+        controller.write(0, line(1), 0.0)
+        controller.write(1, line(1), 1_000.0)
+        assert controller.nvm.writes == 2
+        assert controller.stats.writes_deduplicated == 0
+
+
+class TestTiming:
+    def test_write_latency_includes_aes_and_array(self):
+        controller = make_controller()
+        outcome = controller.write(0, line(1), 0.0)
+        # counter-cache cold miss + AES (96) + array write (300).
+        assert outcome.latency_ns >= 96 + 300
+
+    def test_warm_write_latency(self):
+        controller = make_controller()
+        controller.write(0, line(1), 0.0)
+        outcome = controller.write(0, line(2), 100_000.0)
+        assert outcome.latency_ns == pytest.approx(96 + 300)
+
+    def test_warm_read_latency(self):
+        controller = make_controller()
+        controller.write(0, line(1), 0.0)
+        outcome = controller.read(0, 100_000.0)
+        # OTP overlapped with the 75 ns read; only the XOR shows (row hit
+        # possible if the row is still open, so allow the faster case).
+        assert outcome.latency_ns <= 75 + 0.5
+
+    def test_counter_cache_miss_penalty_on_cold_read(self):
+        controller = make_controller()
+        outcome = controller.read(12_345, 0.0)
+        assert outcome.latency_ns >= 75 + 96  # metadata fetch + decrypt
+
+    def test_stats_accumulate(self):
+        controller = make_controller()
+        controller.write(0, line(1), 0.0)
+        controller.read(0, 1_000.0)
+        assert controller.stats.writes_requested == 1
+        assert controller.stats.reads_requested == 1
+        assert controller.stats.write_latency.count == 1
+        assert controller.stats.read_latency.count == 1
+
+
+class TestConfig:
+    def test_counter_cache_blocks(self):
+        config = SecureNvmConfig()
+        assert config.counter_cache_blocks == 2 * 1024 * 1024 * 8 // (28 * 256)
+
+    def test_address_bounds(self):
+        controller = make_controller()
+        with pytest.raises(IndexError):
+            controller.write(controller.data_lines, line(0), 0.0)

@@ -1,0 +1,86 @@
+"""Traditional dedup baseline: trusted fingerprints, serial integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.traditional_dedup import traditional_dedup_controller
+from repro.core.dewrite import DeWriteController
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+
+LINE = 256
+
+
+def make_controller(fingerprint: str = "sha1"):
+    nvm = NvmMainMemory(
+        NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+    )
+    return traditional_dedup_controller(nvm, fingerprint=fingerprint)
+
+
+def line(fill: int) -> bytes:
+    return bytes([fill]) * LINE
+
+
+class TestConfiguration:
+    def test_sha1_settings(self):
+        controller = make_controller("sha1")
+        assert controller.config.fingerprint == "sha1"
+        assert controller.config.trust_fingerprint
+        assert controller.mode == "direct"
+        assert controller.config.fingerprint_latency_ns == 321.0
+
+    def test_md5_settings(self):
+        controller = make_controller("md5")
+        assert controller.config.fingerprint_latency_ns == 312.0
+
+    def test_bigger_hash_entries(self):
+        # 160-bit digests pack fewer entries per cache block (higher t_Q).
+        controller = make_controller("sha1")
+        assert controller.config.metadata_cache.hash_entry_bits == 160 + 32 + 8
+
+    def test_crc_rejected(self):
+        nvm = NvmMainMemory(
+            NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+        )
+        with pytest.raises(ValueError):
+            traditional_dedup_controller(nvm, fingerprint="crc32")
+
+
+class TestBehaviour:
+    def test_still_a_correct_memory(self):
+        controller = make_controller()
+        controller.write(0, line(1), 0.0)
+        controller.write(1, line(1), 10_000.0)
+        assert controller.read(0, 20_000.0).data == line(1)
+        assert controller.read(1, 21_000.0).data == line(1)
+
+    def test_deduplicates_without_verify_reads(self):
+        controller = make_controller()
+        controller.write(0, line(1), 0.0)
+        outcome = controller.write(1, line(1), 10_000.0)
+        assert outcome.deduplicated
+        assert controller.stats.verify_reads == 0
+
+    def test_detection_latency_exceeds_dewrite(self):
+        # Table Ib: >=312 ns per line vs DeWrite's 15/91 ns.
+        traditional = make_controller()
+        nvm = NvmMainMemory(
+            NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+        )
+        dewrite = DeWriteController(nvm)
+        traditional.write(0, line(1), 0.0)
+        dewrite.write(0, line(1), 0.0)
+        t = traditional.write(1, line(1), 100_000.0)
+        d = dewrite.write(1, line(1), 100_000.0)
+        assert t.deduplicated and d.deduplicated
+        assert t.latency_ns > d.latency_ns
+        assert t.latency_ns >= 321.0
+
+    def test_nonduplicate_pays_serial_hash_plus_aes_plus_write(self):
+        controller = make_controller()
+        controller.write(0, line(1), 0.0)
+        outcome = controller.write(1, line(2), 100_000.0)
+        assert not outcome.deduplicated
+        assert outcome.latency_ns >= 321 + 96 + 300

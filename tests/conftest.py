@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import DeWriteConfig, MetadataCacheConfig
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+
+LINE = 256
+
+
+def make_line(fill: int = 0, size: int = LINE) -> bytes:
+    """A line filled with one byte value."""
+    return bytes([fill]) * size
+
+
+def random_line(rng: random.Random, size: int = LINE) -> bytes:
+    """A random line from a seeded generator."""
+    return rng.randbytes(size)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG per test."""
+    return random.Random(0xDE57)
+
+
+@pytest.fixture
+def small_nvm() -> NvmMainMemory:
+    """A small NVM device (64 Ki lines) for fast controller tests."""
+    config = NvmConfig(
+        organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE, line_size_bytes=LINE)
+    )
+    return NvmMainMemory(config)
+
+
+@pytest.fixture
+def small_config() -> DeWriteConfig:
+    """DeWrite config with small caches so evictions actually happen."""
+    return DeWriteConfig(
+        metadata_cache=MetadataCacheConfig(
+            hash_cache_bytes=8 * 1024,
+            address_map_cache_bytes=8 * 1024,
+            inverted_hash_cache_bytes=8 * 1024,
+            fsm_cache_bytes=2 * 1024,
+            prefetch_entries=16,
+        )
+    )

@@ -1,0 +1,59 @@
+"""Colocation accounting: §IV-E1 overheads and live-counter audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.colocation import (
+    audit_colocation,
+    counter_mode_overhead,
+    deuce_overhead,
+    dewrite_overhead,
+)
+from repro.core.config import DeWriteConfig
+from repro.core.tables import DedupIndex
+
+
+class TestOverheadArithmetic:
+    def test_dewrite_overhead(self):
+        overhead = dewrite_overhead()
+        assert overhead.scheme == "DeWrite"
+        assert 0.05 <= overhead.fraction <= 0.08
+
+    def test_colocation_beats_separate_counters(self):
+        assert dewrite_overhead().bits_per_line < dewrite_overhead(
+            DeWriteConfig(enable_colocation=False)
+        ).bits_per_line
+
+    def test_deuce_overhead_matches_paper(self):
+        # 1 flag bit per 16-bit word (6.25 %) + 28-bit counter.
+        overhead = deuce_overhead()
+        assert overhead.bits_per_line == 2048 / 16 + 28
+        assert overhead.fraction == pytest.approx(0.0625 + 28 / 2048)
+
+    def test_dewrite_cheaper_than_deuce(self):
+        # The §IV-E1 claim.
+        assert dewrite_overhead().fraction < deuce_overhead().fraction
+
+    def test_counter_mode_overhead(self):
+        assert counter_mode_overhead().bits_per_line == 28.0
+
+
+class TestAudit:
+    def test_placement_distribution(self):
+        index = DedupIndex(total_lines=64)
+        touches: list = []
+        index.apply_unique(0, crc=1, touches=touches)
+        index.bump_counter(0, touches)
+        index.apply_duplicate(1, target=0, touches=touches)
+        index.bump_counter(1, touches)
+        report = audit_colocation(index)
+        assert report.total == 2
+        assert report.in_address_map_slots == 1  # line 0: not deduplicated
+        assert report.in_inverted_hash_slots == 1  # line 1: dedup'd, empty
+        assert report.overflow_fraction == 0.0
+
+    def test_empty_index(self):
+        report = audit_colocation(DedupIndex(total_lines=8))
+        assert report.total == 0
+        assert report.overflow_fraction == 0.0

@@ -1,0 +1,94 @@
+"""DeWrite configuration: validation and derived metadata arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DeWriteConfig, MetadataCacheConfig
+
+
+class TestDefaults:
+    def test_paper_constants(self):
+        config = DeWriteConfig()
+        assert config.line_size_bytes == 256
+        assert config.counter_bits == 28
+        assert config.reference_cap == 255
+        assert config.history_window == 3
+        assert config.crc_latency_ns == 15.0
+        assert config.aes_latency_ns == 96.0
+
+    def test_features_on_by_default(self):
+        config = DeWriteConfig()
+        assert config.enable_prediction
+        assert config.enable_pna
+        assert config.enable_parallel_encryption
+        assert config.enable_colocation
+
+
+class TestValidation:
+    def test_zero_history_window_rejected(self):
+        with pytest.raises(ValueError):
+            DeWriteConfig(history_window=0)
+
+    @pytest.mark.parametrize("cap", [0, 256, 1000])
+    def test_reference_cap_bounds(self, cap):
+        with pytest.raises(ValueError):
+            DeWriteConfig(reference_cap=cap)
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            DeWriteConfig(line_size_bytes=100)
+
+    def test_unknown_fingerprint_rejected(self):
+        with pytest.raises(ValueError, match="fingerprint"):
+            DeWriteConfig(fingerprint="sha256")
+
+    def test_trusted_crc_rejected(self):
+        with pytest.raises(ValueError, match="collide"):
+            DeWriteConfig(trust_fingerprint=True)
+
+    def test_trusted_sha1_allowed(self):
+        DeWriteConfig(fingerprint="sha1", trust_fingerprint=True)
+
+
+class TestFingerprintLatency:
+    def test_crc(self):
+        assert DeWriteConfig().fingerprint_latency_ns == 15.0
+
+    def test_sha1(self):
+        assert DeWriteConfig(fingerprint="sha1").fingerprint_latency_ns == 321.0
+
+    def test_md5(self):
+        assert DeWriteConfig(fingerprint="md5").fingerprint_latency_ns == 312.0
+
+
+class TestMetadataArithmetic:
+    def test_overhead_near_paper_value(self):
+        # (33 + 33 + 72 + 1) bits / 2048 = 6.8 %, the paper rounds to 6.25 %.
+        fraction = DeWriteConfig().metadata_overhead_fraction()
+        assert 0.05 <= fraction <= 0.08
+
+    def test_colocation_saves_counter_bits(self):
+        with_colocation = DeWriteConfig().metadata_bits_per_line()
+        without = DeWriteConfig(enable_colocation=False).metadata_bits_per_line()
+        assert without - with_colocation == 28.0
+
+    def test_cache_capacity_arithmetic(self):
+        cache = MetadataCacheConfig()
+        assert cache.hash_cache_entries == 512 * 1024 * 8 // 72
+        assert cache.address_map_cache_blocks == 512 * 1024 * 8 // (33 * 256)
+        assert cache.fsm_cache_blocks == 128 * 1024 * 8 // 256
+
+    def test_paper_cache_budget_under_2mb(self):
+        cache = MetadataCacheConfig()
+        total = (
+            cache.hash_cache_bytes
+            + cache.address_map_cache_bytes
+            + cache.inverted_hash_cache_bytes
+            + cache.fsm_cache_bytes
+        )
+        assert total == 1664 * 1024  # the paper's 1664 KB < 2 MB
+
+    def test_bad_prefetch_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataCacheConfig(prefetch_entries=0)

@@ -1,0 +1,249 @@
+"""Dedup engine and metadata timing layer: detection paths and accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DeWriteConfig, MetadataCacheConfig
+from repro.core.dewrite import DeWriteController
+from repro.hashes.crc32 import line_fingerprint
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+
+LINE = 256
+
+
+def make_controller(**config_kwargs) -> DeWriteController:
+    nvm = NvmMainMemory(
+        NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+    )
+    return DeWriteController(nvm, config=DeWriteConfig(**config_kwargs))
+
+
+def line(fill: int) -> bytes:
+    return bytes([fill]) * LINE
+
+
+class TestDetectionPaths:
+    def test_fresh_line_is_non_duplicate(self):
+        controller = make_controller()
+        data = line(1)
+        detection = controller.engine.detect(
+            data, line_fingerprint(data), 0.0, predicted_duplicate=True
+        )
+        assert detection.duplicate_target is None
+        assert detection.verify_reads == 0
+
+    def test_duplicate_detected_after_store(self):
+        controller = make_controller()
+        data = line(1)
+        controller.write(0, data, 0.0)
+        detection = controller.engine.detect(
+            data, line_fingerprint(data), 10_000.0, predicted_duplicate=True
+        )
+        assert detection.duplicate_target == 0
+        assert detection.verify_reads == 1
+
+    def test_detection_latency_duplicate_matches_table1(self):
+        # 15 ns CRC + 75 ns read + compare (hash entry cached, idle banks).
+        controller = make_controller()
+        data = line(1)
+        controller.write(0, data, 0.0)
+        arrival = 100_000.0
+        detection = controller.engine.detect(
+            data, line_fingerprint(data), arrival, predicted_duplicate=True
+        )
+        latency = detection.done_ns - arrival
+        assert latency == pytest.approx(15 + 75 + 0.5)
+
+    def test_detection_latency_nonduplicate_is_crc_only(self):
+        controller = make_controller()
+        data = line(2)
+        detection = controller.engine.detect(
+            data, line_fingerprint(data), 0.0, predicted_duplicate=False
+        )
+        assert detection.done_ns == pytest.approx(15.0)
+        assert detection.pna_skipped
+
+    def test_pna_skips_nvm_query_for_predicted_nondup(self):
+        controller = make_controller()
+        controller.write(0, line(1), 0.0)
+        # Evict hash cache by making a fresh controller state: simulate a
+        # miss by probing an uncached fingerprint.
+        data = line(9)
+        detection = controller.engine.detect(
+            data, line_fingerprint(data), 10_000.0, predicted_duplicate=False
+        )
+        assert detection.pna_skipped
+        assert not detection.queried_nvm_hash_table
+
+    def test_predicted_duplicate_pays_nvm_query_on_miss(self):
+        controller = make_controller()
+        data = line(9)
+        detection = controller.engine.detect(
+            data, line_fingerprint(data), 0.0, predicted_duplicate=True
+        )
+        assert detection.queried_nvm_hash_table
+        assert not detection.pna_skipped
+        # NVM metadata read + direct decrypt on the critical path.
+        assert detection.done_ns >= 15 + 75 + 96
+
+    def test_pna_disabled_always_queries(self):
+        controller = make_controller(enable_pna=False)
+        data = line(9)
+        detection = controller.engine.detect(
+            data, line_fingerprint(data), 0.0, predicted_duplicate=False
+        )
+        assert detection.queried_nvm_hash_table
+
+
+class TestReferenceCapInDetection:
+    def test_saturated_entries_skipped(self):
+        controller = make_controller(reference_cap=2)
+        data = line(3)
+        controller.write(0, data, 0.0)
+        controller.write(1, data, 1_000.0)  # ref -> 2 (cap)
+        detection = controller.engine.detect(
+            data, line_fingerprint(data), 100_000.0, predicted_duplicate=True
+        )
+        assert detection.duplicate_target is None
+        assert detection.capped_rejects == 1
+
+    def test_fresh_copy_becomes_new_target(self):
+        controller = make_controller(reference_cap=2)
+        data = line(3)
+        controller.write(0, data, 0.0)
+        controller.write(1, data, 1_000.0)  # saturates line 0
+        controller.write(2, data, 2_000.0)  # stored as a fresh copy
+        detection = controller.engine.detect(
+            data, line_fingerprint(data), 100_000.0, predicted_duplicate=True
+        )
+        assert detection.duplicate_target is not None
+        assert detection.duplicate_target != 0
+
+
+class TestCrcCollisions:
+    def test_fingerprint_collision_rejected_by_verify_read(self):
+        # Force a collision deterministically: register content A in the
+        # index *under B's fingerprint* (as a hardware bit-flip in the hash
+        # table would), then detect B.  The verify read must expose the
+        # mismatch: collision counted, no false deduplication.
+        controller = make_controller()
+        data_a = line(1)
+        data_b = line(2)
+        crc_b = line_fingerprint(data_b)
+
+        touches: list = []
+        dest = controller.index.apply_unique(0, crc=crc_b, touches=touches)
+        counter = controller.index.bump_counter(dest, touches)
+        ciphertext = controller.cme.encrypt(data_a, dest, counter)
+        controller.nvm.write(dest, ciphertext, 0.0)
+
+        detection = controller.engine.detect(data_b, crc_b, 10_000.0, predicted_duplicate=True)
+        assert detection.duplicate_target is None
+        assert detection.collisions == 1
+        assert detection.verify_reads == 1
+
+    def test_collision_then_true_duplicate_in_same_chain(self):
+        # Chain holds [collision, true duplicate]: detection must keep
+        # scanning past the collision and land on the real match.
+        controller = make_controller()
+        data_real = line(5)
+        crc_real = line_fingerprint(data_real)
+
+        touches: list = []
+        # Entry inserted first: the genuine content (checked last — the
+        # engine scans newest-first).
+        real_dest = controller.index.apply_unique(0, crc=crc_real, touches=touches)
+        real_counter = controller.index.bump_counter(real_dest, touches)
+        controller.nvm.write(
+            real_dest, controller.cme.encrypt(data_real, real_dest, real_counter), 0.0
+        )
+        # Entry inserted second: wrong content filed under crc_real — the
+        # newest entry, hence verified first, hence the collision.
+        fake_dest = controller.index.apply_unique(1, crc=crc_real, touches=touches)
+        fake_counter = controller.index.bump_counter(fake_dest, touches)
+        controller.nvm.write(
+            fake_dest, controller.cme.encrypt(line(6), fake_dest, fake_counter), 1_000.0
+        )
+
+        detection = controller.engine.detect(
+            data_real, crc_real, 100_000.0, predicted_duplicate=True
+        )
+        assert detection.duplicate_target == real_dest
+        assert detection.collisions == 1
+        assert detection.verify_reads == 2
+
+
+class TestTruthOracle:
+    def test_truth_matches_detection(self):
+        controller = make_controller()
+        data = line(5)
+        controller.write(0, data, 0.0)
+        assert controller.engine.truth_has_duplicate(data, line_fingerprint(data))
+        other = line(6)
+        assert not controller.engine.truth_has_duplicate(other, line_fingerprint(other))
+
+
+class TestMetadataSystem:
+    def small(self) -> DeWriteController:
+        nvm = NvmMainMemory(
+            NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+        )
+        config = DeWriteConfig(
+            metadata_cache=MetadataCacheConfig(
+                hash_cache_bytes=1024,
+                address_map_cache_bytes=1024,
+                inverted_hash_cache_bytes=1024,
+                fsm_cache_bytes=512,
+                prefetch_entries=8,
+            )
+        )
+        return DeWriteController(nvm, config=config)
+
+    def test_blocking_miss_adds_latency(self):
+        controller = self.small()
+        extra = controller.metadata.access("address_map", 0, False, 0.0, blocking=True)
+        assert extra >= 75 + 96  # NVM read + metadata decrypt
+
+    def test_hit_is_free(self):
+        controller = self.small()
+        controller.metadata.access("address_map", 0, False, 0.0, blocking=True)
+        assert controller.metadata.access("address_map", 0, False, 0.0, blocking=True) == 0.0
+
+    def test_posted_miss_adds_no_latency_but_reads_nvm(self):
+        controller = self.small()
+        before = controller.nvm.reads
+        extra = controller.metadata.access("fsm", 0, False, 0.0, blocking=False)
+        assert extra == 0.0
+        assert controller.nvm.reads == before + 1
+
+    def test_insert_skips_fetch(self):
+        controller = self.small()
+        before = controller.nvm.reads
+        extra = controller.metadata.access(
+            "hash_table", 123, True, 0.0, blocking=False, fetch_on_miss=False
+        )
+        assert extra == 0.0
+        assert controller.nvm.reads == before
+
+    def test_dirty_evictions_write_nvm(self):
+        controller = self.small()
+        before = controller.nvm.writes
+        # Small cache: stream enough dirty blocks to force evictions.
+        for entry in range(0, 10_000, 8):
+            controller.metadata.access("address_map", entry, True, 0.0, blocking=False)
+        assert controller.nvm.writes > before
+        assert controller.metadata.metadata_writebacks > 0
+
+    def test_flush_writes_all_dirty(self):
+        controller = self.small()
+        controller.metadata.access("fsm", 0, True, 0.0, blocking=False)
+        flushed = controller.metadata.flush(0.0)
+        assert flushed >= 1
+
+    def test_hit_rates_reported_per_table(self):
+        controller = self.small()
+        controller.metadata.access("fsm", 0, False, 0.0, blocking=False)
+        rates = controller.metadata.hit_rates()
+        assert set(rates) == {"hash_table", "address_map", "inverted_hash", "fsm"}

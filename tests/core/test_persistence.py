@@ -1,0 +1,118 @@
+"""Metadata crash-consistency policies (paper §V survey)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DeWriteConfig
+from repro.core.dewrite import DeWriteController
+from repro.core.persistence import (
+    MetadataPersistenceConfig,
+    MetadataPersistencePolicy,
+)
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+
+LINE = 256
+
+
+def make_controller(policy: MetadataPersistencePolicy, **kwargs) -> DeWriteController:
+    nvm = NvmMainMemory(
+        NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+    )
+    config = DeWriteConfig(
+        persistence=MetadataPersistenceConfig(policy=policy, **kwargs)
+    )
+    return DeWriteController(nvm, config=config)
+
+
+def line(fill: int) -> bytes:
+    return bytes([fill]) * LINE
+
+
+def run_traffic(controller: DeWriteController, writes: int = 100) -> float:
+    now = 0.0
+    for i in range(writes):
+        data = line((i % 5) + 1) if i % 2 else i.to_bytes(8, "little") + bytes(LINE - 8)
+        now = controller.write(i % 32, data, now).complete_ns + 200.0
+    return now
+
+
+class TestConfig:
+    def test_default_is_battery_backed(self):
+        assert (
+            DeWriteConfig().persistence.policy
+            is MetadataPersistencePolicy.BATTERY_BACKED
+        )
+
+    def test_vulnerability_windows(self):
+        assert MetadataPersistenceConfig().vulnerability_window_ns() == 0.0
+        assert (
+            MetadataPersistenceConfig(
+                policy=MetadataPersistencePolicy.WRITE_THROUGH
+            ).vulnerability_window_ns()
+            == 0.0
+        )
+        periodic = MetadataPersistenceConfig(
+            policy=MetadataPersistencePolicy.PERIODIC_WRITEBACK,
+            writeback_interval_ns=50_000.0,
+        )
+        assert periodic.vulnerability_window_ns() == 50_000.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataPersistenceConfig(writeback_interval_ns=0)
+
+
+class TestWriteThrough:
+    def test_no_dirty_state_ever(self):
+        controller = make_controller(MetadataPersistencePolicy.WRITE_THROUGH)
+        run_traffic(controller)
+        # A crash at any point loses nothing: no block is dirty.
+        for cache in controller.metadata.caches.values():
+            assert cache.dirty_blocks() == []
+        assert controller.flush_metadata() == 0
+
+    def test_more_metadata_writes_than_battery_backed(self):
+        through = make_controller(MetadataPersistencePolicy.WRITE_THROUGH)
+        backed = make_controller(MetadataPersistencePolicy.BATTERY_BACKED)
+        run_traffic(through)
+        run_traffic(backed)
+        assert through.metadata.metadata_writebacks > backed.metadata.metadata_writebacks
+
+    def test_still_a_correct_memory(self):
+        controller = make_controller(MetadataPersistencePolicy.WRITE_THROUGH)
+        controller.write(0, line(1), 0.0)
+        controller.write(1, line(1), 10_000.0)
+        assert controller.read(1, 20_000.0).data == line(1)
+
+
+class TestPeriodicWriteback:
+    def test_dirty_state_bounded_by_interval(self):
+        controller = make_controller(
+            MetadataPersistencePolicy.PERIODIC_WRITEBACK,
+            writeback_interval_ns=5_000.0,
+        )
+        run_traffic(controller, writes=200)
+        # Flushes happened along the way.
+        assert controller.metadata.metadata_writebacks > 0
+
+    def test_fewer_writes_than_write_through(self):
+        periodic = make_controller(
+            MetadataPersistencePolicy.PERIODIC_WRITEBACK,
+            writeback_interval_ns=20_000.0,
+        )
+        through = make_controller(MetadataPersistencePolicy.WRITE_THROUGH)
+        run_traffic(periodic, writes=200)
+        run_traffic(through, writes=200)
+        assert periodic.metadata.metadata_writebacks < through.metadata.metadata_writebacks
+
+
+class TestBatteryBacked:
+    def test_dirty_state_accumulates_until_flush(self):
+        controller = make_controller(MetadataPersistencePolicy.BATTERY_BACKED)
+        run_traffic(controller)
+        dirty = sum(len(c.dirty_blocks()) for c in controller.metadata.caches.values())
+        assert dirty > 0  # the battery is what makes this safe
+        flushed = controller.flush_metadata()
+        assert flushed == dirty

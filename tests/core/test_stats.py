@@ -1,0 +1,58 @@
+"""Statistics containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import DeWriteStats, LatencyAccumulator
+
+
+class TestLatencyAccumulator:
+    def test_empty(self):
+        acc = LatencyAccumulator()
+        assert acc.mean_ns == 0.0
+        assert acc.count == 0
+        assert acc.max_ns == 0.0
+
+    def test_accumulation(self):
+        acc = LatencyAccumulator()
+        for value in (100.0, 300.0, 200.0):
+            acc.add(value)
+        assert acc.count == 3
+        assert acc.mean_ns == 200.0
+        assert acc.max_ns == 300.0
+        assert acc.total_ns == 600.0
+
+
+class TestDeWriteStats:
+    def test_write_reduction(self):
+        stats = DeWriteStats()
+        assert stats.write_reduction == 0.0
+        stats.writes_requested = 10
+        stats.writes_deduplicated = 4
+        assert stats.write_reduction == pytest.approx(0.4)
+
+    def test_prediction_accuracy(self):
+        stats = DeWriteStats()
+        assert stats.prediction_accuracy == 0.0
+        stats.predictions = 8
+        stats.correct_predictions = 6
+        assert stats.prediction_accuracy == pytest.approx(0.75)
+
+    def test_collision_rate(self):
+        stats = DeWriteStats()
+        stats.writes_requested = 1000
+        stats.crc_collisions = 1
+        assert stats.collision_rate == pytest.approx(0.001)
+
+    def test_as_dict_complete_and_consistent(self):
+        stats = DeWriteStats()
+        stats.writes_requested = 5
+        stats.writes_deduplicated = 2
+        stats.write_latency.add(100.0)
+        snapshot = stats.as_dict()
+        assert snapshot["writes_requested"] == 5
+        assert snapshot["write_reduction"] == pytest.approx(0.4)
+        assert snapshot["mean_write_latency_ns"] == 100.0
+        # Every value must be a plain number (JSON-serialisable report).
+        assert all(isinstance(v, (int, float)) for v in snapshot.values())

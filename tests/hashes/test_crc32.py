@@ -1,0 +1,70 @@
+"""CRC-32: from-scratch implementation vs the stdlib and its own algebra."""
+
+from __future__ import annotations
+
+import binascii
+import zlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashes.crc32 import crc32, crc32_fast, line_fingerprint
+
+
+class TestAgainstStdlib:
+    def test_empty(self):
+        assert crc32(b"") == binascii.crc32(b"")
+
+    def test_single_byte_all_values(self):
+        for value in range(256):
+            data = bytes([value])
+            assert crc32(data) == binascii.crc32(data)
+
+    def test_known_vector_check_value(self):
+        # The CRC-32 "check" value of "123456789" is the canonical test.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_ascii_string(self):
+        assert crc32(b"hello world") == zlib.crc32(b"hello world")
+
+    @given(st.binary(min_size=0, max_size=1024))
+    def test_matches_binascii_on_arbitrary_input(self, data):
+        assert crc32(data) == binascii.crc32(data) & 0xFFFFFFFF
+
+    @given(st.binary(max_size=512))
+    def test_fast_path_is_same_function(self, data):
+        assert crc32(data) == crc32_fast(data)
+
+    @given(st.binary(max_size=512))
+    def test_line_fingerprint_matches(self, data):
+        assert line_fingerprint(data) == crc32(data)
+
+
+class TestAlgebraicProperties:
+    @given(st.binary(max_size=256), st.binary(max_size=256))
+    def test_incremental_equals_whole(self, a, b):
+        # crc(a || b) computed by chaining equals one-shot.
+        assert crc32(b, crc32(a)) == crc32(a + b)
+
+    def test_result_is_32_bit_unsigned(self):
+        for data in (b"", b"\xff" * 300, b"abc"):
+            value = crc32(data)
+            assert 0 <= value <= 0xFFFFFFFF
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_single_bit_flip_changes_crc(self, data):
+        # CRC-32 detects all single-bit errors.
+        flipped = bytearray(data)
+        flipped[0] ^= 0x01
+        assert crc32(bytes(flipped)) != crc32(data)
+
+    def test_distinct_lines_rarely_collide(self):
+        import random
+
+        rng = random.Random(7)
+        seen = {crc32(rng.randbytes(256)) for _ in range(2000)}
+        # Birthday bound: 2000 random 32-bit values collide with p ~ 0.05 %.
+        assert len(seen) >= 1999
+
+    def test_chaining_with_initial_zero_is_identity_start(self):
+        assert crc32(b"xyz", 0) == crc32(b"xyz")

@@ -1,0 +1,52 @@
+"""Hash latency model: Table Ia's constants and lookups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hashes.latency import CRC32_MODEL, MD5_MODEL, SHA1_MODEL, HashModel, model_for
+
+
+class TestTableIaConstants:
+    def test_crc32(self):
+        assert CRC32_MODEL.latency_ns == 15.0
+        assert CRC32_MODEL.digest_bits == 32
+
+    def test_sha1(self):
+        assert SHA1_MODEL.latency_ns == 321.0
+        assert SHA1_MODEL.digest_bits == 160
+
+    def test_md5(self):
+        assert MD5_MODEL.latency_ns == 312.0
+        assert MD5_MODEL.digest_bits == 128
+
+    def test_cryptographic_hashes_exceed_nvm_write(self):
+        # The paper's Table Ib argument: >300 ns detection per line.
+        nvm_write_ns = 300.0
+        assert SHA1_MODEL.latency_ns > nvm_write_ns
+        assert MD5_MODEL.latency_ns > nvm_write_ns
+        assert CRC32_MODEL.latency_ns < nvm_write_ns / 10
+
+    def test_digest_bytes(self):
+        assert CRC32_MODEL.digest_bytes == 4
+        assert SHA1_MODEL.digest_bytes == 20
+        assert MD5_MODEL.digest_bytes == 16
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name,model", [
+        ("crc-32", CRC32_MODEL),
+        ("CRC-32", CRC32_MODEL),
+        ("sha-1", SHA1_MODEL),
+        ("md5", MD5_MODEL),
+    ])
+    def test_model_for(self, name, model):
+        assert model_for(name) is model
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown hash model"):
+            model_for("sha-256")
+
+    def test_model_is_frozen(self):
+        with pytest.raises(Exception):
+            CRC32_MODEL.latency_ns = 1.0  # type: ignore[misc]

@@ -1,0 +1,171 @@
+"""Cross-controller integration tests.
+
+Every controller in the repository is, first of all, a memory: under
+arbitrary interleaved traffic all of them must return exactly the data a
+plain dictionary would.  On top of that, the relative behaviours the paper
+builds its argument on (who eliminates what, who pays which latency) must
+hold on the same shared traces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.modes import direct_way_controller, parallel_way_controller
+from repro.baselines.secure_nvm import TraditionalSecureNvmController
+from repro.baselines.silent_shredder import SilentShredderController
+from repro.baselines.traditional_dedup import traditional_dedup_controller
+from repro.core.dewrite import DeWriteController
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+from repro.system.simulator import simulate
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import profile_by_name
+from repro.workloads.worstcase import worst_case_trace
+
+LINE = 256
+
+
+def make_nvm() -> NvmMainMemory:
+    return NvmMainMemory(
+        NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+    )
+
+
+CONTROLLER_FACTORIES = [
+    ("dewrite", lambda: DeWriteController(make_nvm())),
+    ("traditional", lambda: TraditionalSecureNvmController(make_nvm())),
+    ("shredder", lambda: SilentShredderController(make_nvm())),
+    ("direct", lambda: direct_way_controller(make_nvm())),
+    ("parallel", lambda: parallel_way_controller(make_nvm())),
+    ("sha1-dedup", lambda: traditional_dedup_controller(make_nvm())),
+]
+
+
+@pytest.mark.parametrize("name,factory", CONTROLLER_FACTORIES)
+class TestEveryControllerIsAMemory:
+    def test_random_traffic_equals_dict(self, name, factory):
+        controller = factory()
+        rng = random.Random(hash(name) & 0xFFFF)
+        model: dict[int, bytes] = {}
+        pool = [bytes([v]) * LINE for v in range(4)] + [bytes(LINE)]
+        now = 0.0
+        for step in range(400):
+            address = rng.randrange(128)
+            if rng.random() < 0.55:
+                if rng.random() < 0.5:
+                    data = pool[rng.randrange(len(pool))]
+                else:
+                    data = step.to_bytes(8, "little") + rng.randbytes(LINE - 8)
+                outcome = controller.write(address, data, now)
+                model[address] = data
+                now = outcome.complete_ns + rng.uniform(50, 500)
+            else:
+                outcome = controller.read(address, now)
+                assert outcome.data == model.get(address, bytes(LINE)), (
+                    f"{name} corrupted line {address} at step {step}"
+                )
+                now = outcome.complete_ns + rng.uniform(50, 500)
+        for address, expected in model.items():
+            assert controller.read(address, now).data == expected
+
+
+class TestRelativeBehaviour:
+    def _shared_trace(self, app="sjeng", accesses=6_000):
+        return generate_trace(profile_by_name(app), accesses, seed=11)
+
+    def test_dewrite_eliminates_more_than_shredder(self):
+        # Fig. 2's point: all-duplicate elimination beats zero-only.
+        trace = self._shared_trace("mcf")
+        dewrite = DeWriteController(make_nvm())
+        shredder = SilentShredderController(make_nvm())
+        simulate(dewrite, trace)
+        simulate(shredder, trace)
+        assert dewrite.stats.write_reduction > shredder.stats.write_reduction
+
+    def test_dewrite_matches_shredder_on_zero_dominated_app(self):
+        # sjeng: duplicates are mostly zeros, so the gap narrows (§II-C).
+        trace = self._shared_trace("sjeng")
+        dewrite = DeWriteController(make_nvm())
+        shredder = SilentShredderController(make_nvm())
+        simulate(dewrite, trace)
+        simulate(shredder, trace)
+        gap = dewrite.stats.write_reduction - shredder.stats.write_reduction
+        assert 0.0 <= gap < 0.25
+
+    def test_nvm_array_writes_reduced_by_dedup(self):
+        trace = self._shared_trace("lbm")
+        dewrite = DeWriteController(make_nvm())
+        baseline = TraditionalSecureNvmController(make_nvm())
+        simulate(dewrite, trace)
+        simulate(baseline, trace)
+        assert dewrite.nvm.writes < 0.3 * baseline.nvm.writes
+
+    def test_wear_reduced_by_dedup(self):
+        trace = self._shared_trace("lbm")
+        dewrite = DeWriteController(make_nvm())
+        baseline = TraditionalSecureNvmController(make_nvm())
+        simulate(dewrite, trace)
+        simulate(baseline, trace)
+        assert dewrite.nvm.wear.lifetime_factor(baseline.nvm.wear) > 2.0
+
+    def test_worst_case_energy_overhead_small(self):
+        trace = worst_case_trace(num_accesses=4_000, seed=2)
+        dewrite = DeWriteController(make_nvm())
+        baseline = TraditionalSecureNvmController(make_nvm())
+        dw = simulate(dewrite, trace)
+        base = simulate(baseline, trace)
+        assert dw.energy_nj / base.energy_nj < 1.1
+
+    def test_same_trace_same_data_all_controllers(self):
+        # After replaying the same workload, every controller must expose
+        # an identical logical memory image.
+        trace = self._shared_trace("gcc", accesses=2_000)
+        final_images = []
+        addresses = sorted({a.address for a in trace})
+        for _, factory in CONTROLLER_FACTORIES:
+            controller = factory()
+            simulate(controller, trace)
+            now = 10**9
+            image = {addr: controller.read(addr, now).data for addr in addresses}
+            final_images.append(image)
+        for image in final_images[1:]:
+            assert image == final_images[0]
+
+
+class TestMetadataPersistence:
+    def test_flush_then_data_survives(self):
+        controller = DeWriteController(make_nvm())
+        data = {i: bytes([i + 1]) * LINE for i in range(32)}
+        now = 0.0
+        for address, content in data.items():
+            now = controller.write(address, content, now).complete_ns + 100
+        controller.flush_metadata(now)
+        for address, content in data.items():
+            assert controller.read(address, now + 10_000).data == content
+
+    def test_counter_never_reused_for_same_physical_line(self):
+        # Pad uniqueness across free/realloc cycles (the §III-C subtlety).
+        controller = DeWriteController(make_nvm())
+        seen: set[tuple[int, int]] = set()
+        original_encrypt = controller.cme.encrypt
+
+        def spying_encrypt(plaintext, address, counter):
+            token = (address, counter)
+            assert token not in seen, f"OTP reuse at {token}"
+            seen.add(token)
+            return original_encrypt(plaintext, address, counter)
+
+        controller.cme.encrypt = spying_encrypt
+        rng = random.Random(9)
+        now = 0.0
+        pool = [bytes([v]) * LINE for v in range(3)]
+        for step in range(300):
+            address = rng.randrange(24)
+            if rng.random() < 0.5:
+                data = pool[rng.randrange(3)]
+            else:
+                data = step.to_bytes(8, "little") + bytes(LINE - 8)
+            now = controller.write(address, data, now).complete_ns + 50

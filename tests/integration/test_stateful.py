@@ -1,0 +1,96 @@
+"""Hypothesis stateful testing: DeWrite as a rule-based state machine.
+
+Hypothesis drives arbitrary interleavings of writes (duplicate-prone and
+fresh), reads, metadata flushes and invariant checks against a dictionary
+model — and shrinks any failure to a minimal scenario.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.config import DeWriteConfig, MetadataCacheConfig
+from repro.core.dewrite import DeWriteController
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+
+LINE = 256
+ADDRESSES = 24
+POOL = [bytes([value]) * LINE for value in range(1, 6)] + [bytes(LINE)]
+
+
+class DeWriteMachine(RuleBasedStateMachine):
+    """Random traffic against the full controller, checked per step."""
+
+    contents = Bundle("contents")
+
+    @initialize()
+    def setup(self) -> None:
+        nvm = NvmMainMemory(
+            NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+        )
+        # Small caches so evictions and write-backs happen under test.
+        config = DeWriteConfig(
+            reference_cap=4,  # exercise saturation constantly
+            metadata_cache=MetadataCacheConfig(
+                hash_cache_bytes=2 * 1024,
+                address_map_cache_bytes=2 * 1024,
+                inverted_hash_cache_bytes=2 * 1024,
+                fsm_cache_bytes=1024,
+                prefetch_entries=8,
+            ),
+        )
+        self.controller = DeWriteController(nvm, config=config)
+        self.model: dict[int, bytes] = {}
+        self.now = 0.0
+        self.fresh_counter = 0
+
+    @rule(target=contents, pool_index=st.integers(0, len(POOL) - 1))
+    def pick_pool_content(self, pool_index: int) -> bytes:
+        return POOL[pool_index]
+
+    @rule(target=contents)
+    def make_fresh_content(self) -> bytes:
+        self.fresh_counter += 1
+        return self.fresh_counter.to_bytes(8, "little") + bytes(LINE - 8)
+
+    @rule(address=st.integers(0, ADDRESSES - 1), data=contents)
+    def write(self, address: int, data: bytes) -> None:
+        outcome = self.controller.write(address, data, self.now)
+        self.model[address] = data
+        self.now = outcome.complete_ns + 50.0
+
+    @rule(address=st.integers(0, ADDRESSES - 1))
+    def read(self, address: int) -> None:
+        outcome = self.controller.read(address, self.now)
+        expected = self.model.get(address, bytes(LINE))
+        assert outcome.data == expected
+        self.now = outcome.complete_ns + 50.0
+
+    @rule()
+    def flush_metadata(self) -> None:
+        self.controller.flush_metadata(self.now)
+
+    @invariant()
+    def index_is_consistent(self) -> None:
+        self.controller.check_invariants()
+
+    @invariant()
+    def accounting_is_sane(self) -> None:
+        stats = self.controller.stats
+        assert stats.writes_deduplicated + stats.writes_stored == stats.writes_requested
+        assert 0.0 <= stats.write_reduction <= 1.0
+
+
+DeWriteMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestDeWriteStateMachine = DeWriteMachine.TestCase

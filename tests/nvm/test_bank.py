@@ -1,0 +1,109 @@
+"""Bank scheduling: write backlog, read priority, drain watermark, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nvm.bank import Bank
+
+WRITE = 300.0
+READ = 75.0
+
+
+class TestWriteScheduling:
+    def test_idle_bank_services_immediately(self):
+        bank = Bank(index=0)
+        start, complete = bank.schedule(100.0, WRITE)
+        assert start == 100.0
+        assert complete == 400.0
+
+    def test_busy_bank_queues(self):
+        bank = Bank(index=0)
+        bank.schedule(0.0, WRITE)
+        start, complete = bank.schedule(50.0, WRITE)
+        assert start == 300.0
+        assert complete == 600.0
+
+    def test_late_arrival_does_not_wait(self):
+        bank = Bank(index=0)
+        bank.schedule(0.0, WRITE)
+        start, _ = bank.schedule(1000.0, WRITE)
+        assert start == 1000.0
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            Bank(index=0).schedule(0.0, -1.0)
+
+    def test_wait_statistics(self):
+        bank = Bank(index=0)
+        bank.schedule(0.0, WRITE)
+        bank.schedule(0.0, WRITE)  # waits 300
+        assert bank.total_wait_ns == 300.0
+        assert bank.serviced_requests == 2
+        assert bank.mean_wait_ns == 150.0
+
+
+class TestReadPriority:
+    def test_read_on_idle_bank(self):
+        bank = Bank(index=0)
+        start, complete = bank.schedule_read(10.0, READ, bypass_cap_ns=WRITE)
+        assert start == 10.0
+        assert complete == 85.0
+
+    def test_read_bypasses_shallow_write_queue(self):
+        bank = Bank(index=0)
+        bank.schedule(0.0, WRITE)  # in service until 300
+        start, _ = bank.schedule_read(50.0, READ, bypass_cap_ns=WRITE)
+        # Waits only for the in-service write, not a full backlog.
+        assert start == 300.0
+
+    def test_read_waits_at_most_one_write_when_shallow(self):
+        bank = Bank(index=0)
+        bank.schedule(0.0, WRITE)
+        bank.schedule(0.0, WRITE)  # backlog ends at 600 (2 writes = watermark)
+        start, _ = bank.schedule_read(0.0, READ, bypass_cap_ns=WRITE)
+        assert start <= 300.0 + 1e-9
+
+    def test_deep_backlog_forces_drain_wait(self):
+        bank = Bank(index=0)
+        for _ in range(6):
+            bank.schedule(0.0, WRITE)  # backlog ends at 1800
+        start, _ = bank.schedule_read(0.0, READ, bypass_cap_ns=WRITE, drain_watermark=2)
+        # Must wait for the backlog to shrink to ~2 writes: 1800-600=1200,
+        # plus up to one in-service write.
+        assert start >= 1200.0
+
+    def test_reads_serialise_among_themselves(self):
+        bank = Bank(index=0)
+        _, first = bank.schedule_read(0.0, READ, bypass_cap_ns=WRITE)
+        start, _ = bank.schedule_read(0.0, READ, bypass_cap_ns=WRITE)
+        assert start == first
+
+    def test_read_pushes_write_backlog_back(self):
+        bank = Bank(index=0)
+        bank.schedule(0.0, WRITE)
+        bank.schedule_read(0.0, READ, bypass_cap_ns=WRITE)
+        start, _ = bank.schedule(0.0, WRITE)
+        assert start >= 375.0  # write + stolen read service
+
+
+class TestRowBufferState:
+    def test_open_line_tracking_is_callers_job(self):
+        bank = Bank(index=0)
+        assert bank.open_line is None
+        bank.open_line = 7
+        assert bank.open_line == 7
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        bank = Bank(index=0)
+        bank.schedule(0.0, WRITE)
+        bank.schedule_read(0.0, READ, bypass_cap_ns=WRITE)
+        bank.open_line = 3
+        bank.reset()
+        assert bank.busy_until_ns == 0.0
+        assert bank.read_tail_ns == 0.0
+        assert bank.open_line is None
+        assert bank.serviced_requests == 0
+        assert bank.mean_wait_ns == 0.0

@@ -1,0 +1,89 @@
+"""NVM configuration: validation, derived quantities, address mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nvm.config import NvmConfig, NvmEnergyConfig, NvmOrganization, NvmTimingConfig
+
+
+class TestTiming:
+    def test_paper_defaults(self):
+        timing = NvmTimingConfig()
+        assert timing.read_ns == 75.0
+        assert timing.write_ns == 300.0
+        assert timing.asymmetry == 4.0  # within the paper's 3-8x band
+
+    def test_asymmetry_in_paper_band(self):
+        assert 3.0 <= NvmTimingConfig().asymmetry <= 8.0
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError):
+            NvmTimingConfig(read_ns=0)
+
+    def test_rejects_write_faster_than_read(self):
+        with pytest.raises(ValueError, match="write latency >= read"):
+            NvmTimingConfig(read_ns=100, write_ns=50)
+
+    def test_rejects_slow_row_hit(self):
+        with pytest.raises(ValueError, match="row-buffer"):
+            NvmTimingConfig(row_hit_ns=80)
+
+
+class TestEnergy:
+    def test_aes_energy_per_line(self):
+        energy = NvmEnergyConfig()
+        # 256 B = 16 AES blocks at 5.9 nJ each.
+        assert energy.aes_nj_per_line(256) == pytest.approx(16 * 5.9)
+
+    def test_read_energy_scales_with_line(self):
+        energy = NvmEnergyConfig()
+        assert energy.read_nj_per_line(512) == pytest.approx(2 * energy.read_nj_per_line(256))
+
+    def test_row_hit_read_energy_discounted(self):
+        energy = NvmEnergyConfig()
+        assert energy.read_nj_per_line(256, row_hit=True) == pytest.approx(
+            0.1 * energy.read_nj_per_line(256)
+        )
+
+    def test_write_energy_per_bits(self):
+        energy = NvmEnergyConfig()
+        assert energy.write_nj(1000) == pytest.approx(1000 * 16.82 / 1000.0)
+
+    def test_write_dominates_read_per_bit(self):
+        energy = NvmEnergyConfig()
+        assert energy.write_pj_per_bit > energy.read_pj_per_bit
+
+
+class TestOrganization:
+    def test_defaults(self):
+        org = NvmOrganization()
+        assert org.capacity_bytes == 16 * 2**30
+        assert org.line_size_bytes == 256
+        assert org.total_lines == 16 * 2**30 // 256
+
+    def test_bank_interleaving(self):
+        org = NvmOrganization()
+        banks = org.total_banks
+        assert [org.bank_of(i) for i in range(banks)] == list(range(banks))
+        assert org.bank_of(banks) == 0  # wraps round-robin
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            NvmOrganization(line_size_bytes=100)
+
+    def test_rejects_fractional_lines(self):
+        with pytest.raises(ValueError):
+            NvmOrganization(capacity_bytes=1000, line_size_bytes=256)
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            NvmOrganization(banks_per_rank=0)
+
+
+class TestNvmConfig:
+    def test_line_bits(self):
+        assert NvmConfig().line_bits == 2048
+
+    def test_endurance_default(self):
+        assert NvmConfig().cell_endurance_writes == 1e8

@@ -1,0 +1,65 @@
+"""Energy account arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nvm.config import NvmEnergyConfig
+from repro.nvm.energy import EnergyAccount
+
+
+def make_account() -> EnergyAccount:
+    return EnergyAccount(config=NvmEnergyConfig(), line_size_bytes=256)
+
+
+class TestBuckets:
+    def test_read_bucket(self):
+        account = make_account()
+        account.add_line_read()
+        assert account.nvm_read_nj == pytest.approx(2048 * 2.47 / 1000)
+        assert account.nvm_write_nj == 0.0
+
+    def test_write_bucket_default_full_line(self):
+        account = make_account()
+        account.add_line_write()
+        assert account.nvm_write_nj == pytest.approx(2048 * 16.82 / 1000)
+
+    def test_write_bucket_partial(self):
+        account = make_account()
+        account.add_line_write(bits_written=512)
+        assert account.nvm_write_nj == pytest.approx(512 * 16.82 / 1000)
+
+    def test_aes_bucket(self):
+        account = make_account()
+        account.add_aes_line()
+        assert account.aes_nj == pytest.approx(16 * 5.9)
+
+    def test_dedup_bucket(self):
+        account = make_account()
+        account.add_dedup_op()
+        assert account.dedup_logic_nj == pytest.approx(0.1)
+
+    def test_dedup_logic_negligible_vs_aes(self):
+        # The §IV-D claim that makes the prediction scheme worthwhile.
+        account = make_account()
+        account.add_aes_line()
+        account.add_dedup_op()
+        assert account.dedup_logic_nj < 0.01 * account.aes_nj
+
+
+class TestTotals:
+    def test_total_is_sum(self):
+        account = make_account()
+        account.add_line_read()
+        account.add_line_write()
+        account.add_aes_line()
+        account.add_dedup_op()
+        assert account.total_nj == pytest.approx(
+            account.nvm_read_nj + account.nvm_write_nj + account.aes_nj + account.dedup_logic_nj
+        )
+
+    def test_reset(self):
+        account = make_account()
+        account.add_line_read()
+        account.reset()
+        assert account.total_nj == 0.0

@@ -1,0 +1,67 @@
+"""Wear tracker: accounting, summaries, lifetime comparisons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nvm.wear import WearTracker
+
+
+class TestRecording:
+    def test_counts_accumulate(self):
+        tracker = WearTracker()
+        tracker.record_write(1, bit_flips=10, bits_written=100)
+        tracker.record_write(1, bit_flips=5, bits_written=50)
+        tracker.record_write(2, bit_flips=1, bits_written=1)
+        summary = tracker.summary()
+        assert summary.total_line_writes == 3
+        assert summary.total_bit_flips == 16
+        assert summary.total_bits_written == 151
+        assert summary.max_line_writes == 2
+        assert summary.distinct_lines_written == 2
+
+    def test_negative_rejected(self):
+        tracker = WearTracker()
+        with pytest.raises(ValueError):
+            tracker.record_write(0, bit_flips=-1, bits_written=0)
+
+    def test_mean_flips_per_write(self):
+        tracker = WearTracker()
+        tracker.record_write(0, bit_flips=100, bits_written=100)
+        tracker.record_write(0, bit_flips=50, bits_written=50)
+        assert tracker.summary().mean_flips_per_write == 75.0
+
+    def test_empty_summary(self):
+        summary = WearTracker().summary()
+        assert summary.total_line_writes == 0
+        assert summary.mean_flips_per_write == 0.0
+        assert summary.max_line_writes == 0
+
+
+class TestLifetime:
+    def test_lifetime_factor(self):
+        dedup = WearTracker()
+        baseline = WearTracker()
+        for _ in range(10):
+            baseline.record_write(0, bit_flips=1000, bits_written=1000)
+        for _ in range(5):
+            dedup.record_write(0, bit_flips=1000, bits_written=1000)
+        assert dedup.lifetime_factor(baseline) == 2.0
+
+    def test_zero_flips_gives_infinite_factor(self):
+        dedup = WearTracker()
+        baseline = WearTracker()
+        baseline.record_write(0, bit_flips=10, bits_written=10)
+        assert dedup.lifetime_factor(baseline) == float("inf")
+
+    def test_both_zero_is_parity(self):
+        assert WearTracker().lifetime_factor(WearTracker()) == 1.0
+
+
+class TestReset:
+    def test_reset(self):
+        tracker = WearTracker()
+        tracker.record_write(0, bit_flips=1, bits_written=1)
+        tracker.reset()
+        assert tracker.summary().total_line_writes == 0
+        assert tracker.writes_to(0) == 0

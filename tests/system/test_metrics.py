@@ -1,0 +1,67 @@
+"""Simulation reports: determinism and derived metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.secure_nvm import TraditionalSecureNvmController
+from repro.core.dewrite import DeWriteController
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+from repro.system.simulator import simulate
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import profile_by_name
+
+LINE = 256
+
+
+def make_nvm() -> NvmMainMemory:
+    return NvmMainMemory(
+        NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+    )
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_reports(self):
+        trace = generate_trace(profile_by_name("gcc"), 3_000, seed=4)
+        a = simulate(DeWriteController(make_nvm()), trace)
+        b = simulate(DeWriteController(make_nvm()), trace)
+        assert a.ipc == b.ipc
+        assert a.mean_write_latency_ns == b.mean_write_latency_ns
+        assert a.energy_nj == b.energy_nj
+        assert a.wear == b.wear
+
+    def test_different_seeds_differ(self):
+        a = simulate(
+            DeWriteController(make_nvm()),
+            generate_trace(profile_by_name("gcc"), 3_000, seed=4),
+        )
+        b = simulate(
+            DeWriteController(make_nvm()),
+            generate_trace(profile_by_name("gcc"), 3_000, seed=5),
+        )
+        assert a.mean_write_latency_ns != b.mean_write_latency_ns
+
+
+class TestDerivedMetrics:
+    def test_write_reduction_passthrough(self):
+        trace = generate_trace(profile_by_name("lbm"), 3_000, seed=1)
+        report = simulate(DeWriteController(make_nvm()), trace)
+        assert report.write_reduction == report.stats.write_reduction
+        assert report.write_reduction > 0.8
+
+    def test_speedup_keys(self):
+        trace = generate_trace(profile_by_name("mcf"), 2_000, seed=1)
+        base = simulate(TraditionalSecureNvmController(make_nvm()), trace)
+        ours = simulate(DeWriteController(make_nvm()), trace)
+        speedups = ours.speedup_vs(base)
+        assert set(speedups) == {
+            "write_speedup", "read_speedup", "ipc_ratio", "energy_ratio"
+        }
+        assert all(v > 0 for v in speedups.values())
+
+    def test_bank_wait_reported(self):
+        trace = generate_trace(profile_by_name("lbm"), 3_000, seed=1)
+        report = simulate(TraditionalSecureNvmController(make_nvm()), trace)
+        assert report.mean_bank_wait_ns >= 0.0
+        assert report.makespan_ns > 0.0

@@ -1,0 +1,168 @@
+"""System simulator: stall semantics, ordering, IPC arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.secure_nvm import TraditionalSecureNvmController
+from repro.core.dewrite import DeWriteController
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+from repro.system.cpu import CoreModelConfig
+from repro.system.simulator import SystemSimulator, simulate
+from repro.workloads.trace import MemoryAccess, Trace
+
+LINE = 256
+
+
+def make_nvm() -> NvmMainMemory:
+    return NvmMainMemory(
+        NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+    )
+
+
+def wr(address, core=0, gap=100, persistent=False, fill=1):
+    return MemoryAccess(
+        core=core, op="write", address=address, data=bytes([fill]) * LINE,
+        gap_instructions=gap, persistent=persistent,
+    )
+
+
+def rd(address, core=0, gap=100):
+    return MemoryAccess(core=core, op="read", address=address, gap_instructions=gap)
+
+
+class TestStallSemantics:
+    def test_persistent_write_stalls_core(self):
+        trace = Trace("t", [wr(0, persistent=True, fill=1), wr(1, gap=1, fill=2)])
+        controller = TraditionalSecureNvmController(make_nvm())
+        report = simulate(controller, trace)
+        # Second write arrives only after the first completes (+1 instr).
+        assert report.makespan_ns >= controller.stats.write_latency.max_ns
+
+    def test_posted_writes_do_not_stall(self):
+        config = CoreModelConfig()
+        posted = Trace("t", [wr(i, gap=10, fill=i + 1) for i in range(8)])
+        persistent = Trace(
+            "t", [wr(i, gap=10, persistent=True, fill=i + 1) for i in range(8)]
+        )
+        r_posted = simulate(TraditionalSecureNvmController(make_nvm()), posted, config)
+        r_persistent = simulate(
+            TraditionalSecureNvmController(make_nvm()), persistent, config
+        )
+        assert r_posted.total_cycles < r_persistent.total_cycles
+        assert r_posted.ipc > r_persistent.ipc
+
+    def test_read_stall_exposure_scales_cycles(self):
+        trace = Trace("t", [wr(0, persistent=True)] + [rd(0, gap=50) for _ in range(10)])
+        full = simulate(
+            TraditionalSecureNvmController(make_nvm()),
+            trace,
+            CoreModelConfig(read_stall_exposure=1.0),
+        )
+        hidden = simulate(
+            TraditionalSecureNvmController(make_nvm()),
+            trace,
+            CoreModelConfig(read_stall_exposure=0.0),
+        )
+        assert hidden.total_cycles < full.total_cycles
+        assert hidden.ipc > full.ipc
+
+
+class TestIpcArithmetic:
+    def test_compute_only_ipc_equals_inverse_cpi(self):
+        # With no memory stalls (posted writes only), IPC -> 1 / CPI.
+        trace = Trace("t", [wr(i, gap=10_000, fill=i + 1) for i in range(4)])
+        report = simulate(TraditionalSecureNvmController(make_nvm()), trace)
+        assert report.ipc == pytest.approx(1.0, abs=0.05)
+
+    def test_instructions_counted(self):
+        trace = Trace("t", [wr(0, gap=123), rd(0, gap=77)])
+        report = simulate(TraditionalSecureNvmController(make_nvm()), trace)
+        assert report.instructions == 200
+
+
+class TestMultiCore:
+    def test_cores_progress_independently(self):
+        trace = Trace(
+            "t",
+            [
+                wr(0, core=0, gap=10, persistent=True),
+                wr(1, core=1, gap=10, persistent=True, fill=2),
+                rd(0, core=0, gap=10),
+                rd(1, core=1, gap=10),
+            ],
+            threads=2,
+        )
+        report = simulate(TraditionalSecureNvmController(make_nvm()), trace)
+        assert report.instructions == 40
+        # Two cores in parallel finish faster than the serial sum.
+        serial = Trace(
+            "t",
+            [
+                wr(0, core=0, gap=10, persistent=True),
+                wr(1, core=0, gap=10, persistent=True, fill=2),
+                rd(0, core=0, gap=10),
+                rd(1, core=0, gap=10),
+            ],
+        )
+        serial_report = simulate(TraditionalSecureNvmController(make_nvm()), serial)
+        assert report.makespan_ns < serial_report.makespan_ns
+
+    def test_global_arrival_ordering(self):
+        # A later-arriving core-1 request must not be processed before an
+        # earlier core-0 request at the same bank: the earlier write claims
+        # the bank first.
+        nvm = make_nvm()
+        controller = TraditionalSecureNvmController(nvm)
+        banks = nvm.config.organization.total_banks
+        trace = Trace(
+            "t",
+            [
+                wr(0, core=0, gap=1),
+                wr(banks, core=1, gap=500, fill=2),  # same bank, arrives later
+            ],
+            threads=2,
+        )
+        simulate(controller, trace)
+        assert controller.stats.write_latency.count == 2
+
+
+class TestReportContents:
+    def test_report_fields(self):
+        trace = Trace("workload-x", [wr(0), rd(0)])
+        report = simulate(DeWriteController(make_nvm()), trace)
+        assert report.workload == "workload-x"
+        assert report.controller == "DeWriteController"
+        assert report.energy_nj > 0
+        assert report.wear.total_line_writes >= 1
+        assert report.energy_breakdown["total_nj"] == pytest.approx(report.energy_nj)
+
+    def test_speedup_requires_same_workload(self):
+        a = simulate(DeWriteController(make_nvm()), Trace("a", [wr(0)]))
+        b = simulate(DeWriteController(make_nvm()), Trace("b", [wr(0)]))
+        with pytest.raises(ValueError, match="different workloads"):
+            a.speedup_vs(b)
+
+    def test_speedup_of_identical_runs_is_unity(self):
+        trace = Trace("t", [wr(i, fill=i + 1) for i in range(10)] + [rd(0)])
+        a = simulate(TraditionalSecureNvmController(make_nvm()), trace)
+        b = simulate(TraditionalSecureNvmController(make_nvm()), trace)
+        speedups = a.speedup_vs(b)
+        for value in speedups.values():
+            assert value == pytest.approx(1.0)
+
+
+class TestCoreModelConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreModelConfig(clock_ghz=0)
+        with pytest.raises(ValueError):
+            CoreModelConfig(base_cpi=0)
+        with pytest.raises(ValueError):
+            CoreModelConfig(read_stall_exposure=1.5)
+
+    def test_conversions(self):
+        config = CoreModelConfig(clock_ghz=2.0, base_cpi=1.0)
+        assert config.ns_per_instruction == 0.5
+        assert config.cycles(100.0) == 200.0

@@ -1,0 +1,85 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_figures_and_apps(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out
+        assert "storage" in out
+        assert "lbm" in out
+        assert "vips" in out
+
+
+class TestCompare:
+    def test_compare_prints_speedups(self, capsys):
+        assert main(["compare", "--app", "lbm", "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "write reduction" in out
+        assert "write speedup" in out
+        assert "lbm" in out
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            main(["compare", "--app", "doom3", "--accesses", "100"])
+
+
+class TestFigure:
+    def test_storage_figure(self, capsys):
+        assert main(["figure", "storage"]) == 0
+        out = capsys.readouterr().out
+        assert "DEUCE" in out
+
+    def test_fig2_with_subset(self, capsys):
+        assert main(["figure", "fig2", "--apps", "mcf,vips", "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "vips" in out and "AVERAGE" in out
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestRegress:
+    def test_clean_comparison_exits_zero(self, tmp_path, capsys):
+        from repro.analysis.export import dump_json, table_to_dict
+        from repro.analysis.reporting import Table
+
+        table = Table("T", ["app", "v"])
+        table.add_row("lbm", 4.0)
+        dump_json(table_to_dict(table), tmp_path / "a.json")
+        dump_json(table_to_dict(table), tmp_path / "b.json")
+        assert main(["regress", str(tmp_path / "a.json"), str(tmp_path / "b.json")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_drift_exits_nonzero(self, tmp_path, capsys):
+        from repro.analysis.export import dump_json, table_to_dict
+        from repro.analysis.reporting import Table
+
+        a = Table("T", ["app", "v"])
+        a.add_row("lbm", 4.0)
+        b = Table("T", ["app", "v"])
+        b.add_row("lbm", 8.0)
+        dump_json(table_to_dict(a), tmp_path / "a.json")
+        dump_json(table_to_dict(b), tmp_path / "b.json")
+        assert main(["regress", str(tmp_path / "a.json"), str(tmp_path / "b.json")]) == 1
+        assert "lbm/v" in capsys.readouterr().out
+
+
+class TestTopLevelPackage:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

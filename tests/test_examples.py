@@ -1,0 +1,58 @@
+"""Every example script must run end-to-end (examples rot otherwise)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "DEDUPLICATED" in out
+        assert "all lines read back correctly" in out
+
+    def test_persistent_kvstore(self):
+        out = run_example("persistent_kvstore.py")
+        assert "DeWrite cancelled" in out
+        assert "array writes" in out
+
+    def test_endurance_study(self):
+        out = run_example(
+            "endurance_study.py", "--apps", "lbm,vips", "--accesses", "2500"
+        )
+        assert "average lifetime extension" in out
+        assert "lbm" in out
+
+    def test_endurance_study_wear_levelled(self):
+        out = run_example(
+            "endurance_study.py", "--apps", "mcf", "--accesses", "2500", "--wear-level"
+        )
+        assert "hot line b/d" in out
+
+    def test_design_space(self):
+        out = run_example("design_space.py", "--accesses", "2500")
+        assert "history window" in out.lower() or "window=1" in out
+        assert "PNA" in out
+
+    def test_stolen_dimm_audit(self):
+        out = run_example("stolen_dimm_audit.py")
+        assert "LEAKED" in out  # the strawmen leak
+        assert out.count("safe") >= 3  # the encrypted designs do not
+        assert "deduplicated AND" in out

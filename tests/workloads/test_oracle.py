@@ -1,0 +1,75 @@
+"""Duplication oracle: the Fig. 2 measurement definition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.oracle import DedupOracle, is_zero_line
+
+LINE = 256
+
+
+def line(fill: int) -> bytes:
+    return bytes([fill]) * LINE
+
+
+class TestZeroLine:
+    def test_zero_detection(self):
+        assert is_zero_line(bytes(LINE))
+        assert not is_zero_line(b"\x01" + bytes(LINE - 1))
+
+    def test_empty_is_zero(self):
+        assert is_zero_line(b"")
+
+
+class TestDuplicateDefinition:
+    def test_first_write_not_duplicate(self):
+        oracle = DedupOracle()
+        assert oracle.observe_write(0, line(1)) is False
+
+    def test_identical_content_elsewhere_is_duplicate(self):
+        oracle = DedupOracle()
+        oracle.observe_write(0, line(1))
+        assert oracle.observe_write(1, line(1)) is True
+
+    def test_silent_store_is_duplicate(self):
+        oracle = DedupOracle()
+        oracle.observe_write(0, line(1))
+        assert oracle.observe_write(0, line(1)) is True
+
+    def test_content_no_longer_resident_is_not_duplicate(self):
+        oracle = DedupOracle()
+        oracle.observe_write(0, line(1))
+        oracle.observe_write(0, line(2))  # line(1) evicted from memory
+        assert oracle.observe_write(1, line(1)) is False
+
+    def test_refcounted_residency(self):
+        oracle = DedupOracle()
+        oracle.observe_write(0, line(1))
+        oracle.observe_write(1, line(1))
+        oracle.observe_write(0, line(2))  # one copy of line(1) remains at 1
+        assert oracle.observe_write(2, line(1)) is True
+
+
+class TestStatistics:
+    def test_ratios(self):
+        oracle = DedupOracle()
+        oracle.observe_write(0, bytes(LINE))  # zero, not dup
+        oracle.observe_write(1, bytes(LINE))  # zero, dup
+        oracle.observe_write(2, line(1))  # not dup
+        oracle.observe_write(3, line(1))  # dup
+        assert oracle.writes == 4
+        assert oracle.duplicate_ratio == pytest.approx(0.5)
+        assert oracle.zero_ratio == pytest.approx(0.5)
+        assert oracle.zero_duplicates == 1
+
+    def test_resident_content_query(self):
+        oracle = DedupOracle()
+        oracle.observe_write(0, line(1))
+        assert oracle.resident_content(line(1))
+        assert not oracle.resident_content(line(2))
+
+    def test_empty_ratios(self):
+        oracle = DedupOracle()
+        assert oracle.duplicate_ratio == 0.0
+        assert oracle.zero_ratio == 0.0

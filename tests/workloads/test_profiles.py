@@ -1,0 +1,101 @@
+"""Application profiles: paper anchors and internal consistency."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    PARSEC_PROFILES,
+    SPEC_PROFILES,
+    ApplicationProfile,
+    profile_by_name,
+)
+
+
+class TestSuiteComposition:
+    def test_twenty_applications(self):
+        assert len(ALL_PROFILES) == 20
+
+    def test_twelve_spec_eight_parsec(self):
+        # §IV-A: SPEC single-threaded, 8 PARSEC apps with 4 threads.
+        assert len(SPEC_PROFILES) == 12
+        assert len(PARSEC_PROFILES) == 8
+
+    def test_spec_single_threaded(self):
+        assert all(p.threads == 1 for p in SPEC_PROFILES)
+
+    def test_parsec_four_threads(self):
+        assert all(p.threads == 4 for p in PARSEC_PROFILES)
+
+    def test_unique_names(self):
+        names = [p.name for p in ALL_PROFILES]
+        assert len(set(names)) == 20
+
+
+class TestPaperAnchors:
+    def test_average_duplication_near_58_percent(self):
+        mean = statistics.fmean(p.dup_ratio for p in ALL_PROFILES)
+        assert 0.54 <= mean <= 0.62
+
+    def test_duplication_range_matches_paper(self):
+        ratios = [p.dup_ratio for p in ALL_PROFILES]
+        assert min(ratios) == pytest.approx(0.186)
+        assert max(ratios) == pytest.approx(0.984)
+
+    def test_average_zero_lines_near_16_percent(self):
+        mean = statistics.fmean(p.zero_line_fraction for p in ALL_PROFILES)
+        assert 0.12 <= mean <= 0.20
+
+    def test_named_heavy_duplicators(self):
+        # §II-C / §IV-B name these four as >80 % duplicate apps.
+        for name in ("cactusADM", "libquantum", "lbm", "blackscholes"):
+            assert profile_by_name(name).dup_ratio > 0.8
+
+    def test_sjeng_zero_dominated(self):
+        sjeng = profile_by_name("sjeng")
+        assert sjeng.zero_line_fraction >= 0.9 * sjeng.dup_ratio - 0.1
+        assert sjeng.zero_line_fraction == max(p.zero_line_fraction for p in ALL_PROFILES)
+
+    def test_bzip2_and_vips_non_dup_heavy(self):
+        assert profile_by_name("bzip2").dup_ratio <= 0.25
+        assert profile_by_name("vips").dup_ratio <= 0.25
+
+    def test_locality_near_92_percent(self):
+        mean = statistics.fmean(p.state_locality for p in ALL_PROFILES)
+        assert 0.90 <= mean <= 0.94
+
+
+class TestValidation:
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            profile_by_name("doom3")
+
+    def test_bad_suite_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile(
+                name="x", suite="GEEKBENCH", threads=1, dup_ratio=0.5,
+                zero_line_fraction=0.1, state_locality=0.9, write_fraction=0.3,
+                working_set_lines=1000, mean_gap_instructions=100,
+                burst_length_mean=4.0, persist_fraction=0.1, rewrite_dirtiness=0.5,
+            )
+
+    def test_out_of_range_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile(
+                name="x", suite="SPEC", threads=1, dup_ratio=1.5,
+                zero_line_fraction=0.1, state_locality=0.9, write_fraction=0.3,
+                working_set_lines=1000, mean_gap_instructions=100,
+                burst_length_mean=4.0, persist_fraction=0.1, rewrite_dirtiness=0.5,
+            )
+
+    def test_zero_exceeding_dup_rejected(self):
+        with pytest.raises(ValueError, match="zero lines"):
+            ApplicationProfile(
+                name="x", suite="SPEC", threads=1, dup_ratio=0.2,
+                zero_line_fraction=0.6, state_locality=0.9, write_fraction=0.3,
+                working_set_lines=1000, mean_gap_instructions=100,
+                burst_length_mean=4.0, persist_fraction=0.1, rewrite_dirtiness=0.5,
+            )
