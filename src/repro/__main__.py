@@ -1,16 +1,21 @@
 """Command-line interface: ``python -m repro``.
 
-Three subcommands:
+Subcommands:
 
 - ``compare``  — run one application under the traditional secure NVM and
   under DeWrite, print the side-by-side report;
 - ``figure``   — regenerate one of the paper's tables/figures by id;
+- ``regress``  — compare two exported figure JSONs for drift;
+- ``check``    — run the simlint static rules and/or the runtime
+  invariant pass (see :mod:`repro.check`);
 - ``list``     — enumerate the available figure ids and applications.
 
 Examples::
 
     python -m repro compare --app lbm --accesses 20000
     python -m repro figure fig13 --apps lbm,mcf,vips
+    python -m repro check --lint src/repro
+    python -m repro check --invariants --accesses 4000
     python -m repro list
 """
 
@@ -72,6 +77,25 @@ def _build_parser() -> argparse.ArgumentParser:
     regress.add_argument("current", help="current JSON to check")
     regress.add_argument("--tolerance", type=float, default=0.05,
                          help="relative tolerance per cell (default 5 %%)")
+
+    check = sub.add_parser(
+        "check", help="simulator lint (SIM001-SIM005) and runtime invariant checks"
+    )
+    check.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    check.add_argument(
+        "--lint", action="store_true", help="run only the static lint pass"
+    )
+    check.add_argument(
+        "--invariants", action="store_true", help="run only the runtime invariant pass"
+    )
+    check.add_argument(
+        "--accesses", type=int, default=4_000,
+        help="trace length for the invariant pass (default 4000)",
+    )
+    check.add_argument("--seed", type=int, default=1)
 
     sub.add_parser("list", help="list figure ids and applications")
     return parser
@@ -150,6 +174,78 @@ def _run_regress(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _run_check(args: argparse.Namespace) -> int:
+    do_lint = args.lint or not args.invariants
+    do_invariants = args.invariants or not args.lint
+    exit_code = 0
+    if do_lint:
+        exit_code |= _run_check_lint(args.paths)
+    if do_invariants:
+        exit_code |= _run_check_invariants(args.accesses, args.seed)
+    return exit_code
+
+
+def _run_check_lint(paths: list[str]) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.check.lint import lint_paths
+
+    targets = paths if paths else [str(Path(repro.__file__).parent)]
+    report = lint_paths(targets)
+    print(report.render())
+    return 0 if report.clean else 1
+
+
+def _run_check_invariants(accesses: int, seed: int) -> int:
+    from repro.baselines.secure_nvm import TraditionalSecureNvmController
+    from repro.check.invariants import CheckedController, InvariantViolation
+    from repro.core.dewrite import DeWriteController
+    from repro.nvm.config import NvmConfig, NvmOrganization
+    from repro.nvm.memory import NvmMainMemory
+    from repro.system.simulator import simulate
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.profiles import profile_by_name
+    from repro.workloads.worstcase import worst_case_trace
+
+    line = 256
+
+    def make_nvm() -> NvmMainMemory:
+        return NvmMainMemory(
+            NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * line))
+        )
+
+    runs = [
+        ("dewrite/mcf", lambda: DeWriteController(make_nvm()),
+         generate_trace(profile_by_name("mcf"), accesses, seed=seed)),
+        ("dewrite-direct/lbm", lambda: DeWriteController(make_nvm(), mode="direct"),
+         generate_trace(profile_by_name("lbm"), accesses, seed=seed)),
+        ("secure-nvm/sjeng", lambda: TraditionalSecureNvmController(make_nvm()),
+         generate_trace(profile_by_name("sjeng"), accesses, seed=seed)),
+        ("dewrite/worstcase", lambda: DeWriteController(make_nvm()),
+         worst_case_trace(num_accesses=accesses, seed=seed)),
+    ]
+    failures = 0
+    for name, factory, trace in runs:
+        checked = CheckedController(factory())
+        try:
+            simulate(checked, trace)
+            checked.close(now_ns=10.0**12)
+        except InvariantViolation as violation:
+            failures += 1
+            print(f"invariants: FAIL {name}: {violation}")
+            continue
+        print(
+            f"invariants: ok {name} ({checked.operations} ops, "
+            f"{checked.deep_checks} deep sweeps)"
+        )
+    if failures:
+        print(f"invariants: {failures} run(s) violated conservation laws")
+        return 1
+    print(f"invariants: all {len(runs)} runs clean")
+    return 0
+
+
 def _run_list() -> int:
     print("figures:")
     for key, (description, _) in sorted(_FIGURES.items()):
@@ -173,6 +269,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_figure(args)
         if args.command == "regress":
             return _run_regress(args)
+        if args.command == "check":
+            return _run_check(args)
         return _run_list()
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.

@@ -1,0 +1,37 @@
+"""``repro.check`` — the simulator's correctness tooling ("simlint").
+
+Two halves, both exposed through ``python -m repro check``:
+
+- **Static pass** (:mod:`repro.check.lint`): an AST-based lint engine with
+  repo-specific rules (SIM001–SIM005) that catch the bug classes a
+  deterministic architecture simulator cannot tolerate — unseeded
+  randomness, wall-clock/filesystem leakage into the timing core, float
+  equality on accumulators, undeclared/unreset statistics fields, and
+  ``assert``-based invariants that vanish under ``python -O``.
+
+- **Dynamic pass** (:mod:`repro.check.invariants`): a
+  :class:`~repro.check.invariants.CheckedController` that shadows any
+  :class:`~repro.core.interface.MemoryController` and verifies the
+  conservation laws of the paper's metadata design (§III-B2/§III-C) after
+  every request: writes issued = eliminated + stored, device writes =
+  stored + metadata writebacks, dedup-index references mirror the address
+  mapping, encryption counters never decrease, and every written line
+  round-trips through decrypt∘encrypt.
+
+See docs/architecture.md ("Correctness tooling") for how to add a rule.
+"""
+
+from repro.check.invariants import CheckedController, InvariantViolation
+from repro.check.lint import LintReport, lint_paths, lint_source
+from repro.check.rules import ALL_RULES, Rule, Violation
+
+__all__ = [
+    "CheckedController",
+    "InvariantViolation",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "ALL_RULES",
+    "Rule",
+    "Violation",
+]

@@ -1,0 +1,211 @@
+"""The simlint engine: file discovery, rule dispatch, suppression, report.
+
+The engine is deliberately small — rules (:mod:`repro.check.rules`) do the
+AST work; the engine owns everything shared:
+
+- **discovery**: walk files/directories, lint every ``*.py``;
+- **context**: a repo-wide pre-scan (currently the ``*Stats`` dataclass
+  registry SIM004 consumes) shared by all rules;
+- **suppression**: a per-line ``# simlint: disable=SIM001,SIM004`` (or the
+  blanket ``# simlint: disable``) comment silences matching rules on that
+  line;
+- **reporting**: stable ``path:line:col: SIMxxx message [fix: ...]`` lines
+  and a process exit code.
+
+Entry points: :func:`lint_paths` (CLI / CI), :func:`lint_source` (tests).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.check.rules import ALL_RULES, Rule, Violation
+from repro.check.rules.sim004_stats_fields import collect_stats_declarations
+
+_DISABLE_PATTERN = re.compile(r"#\s*simlint:\s*disable(?:=(?P<rules>[A-Z0-9,\s]+))?")
+
+
+@dataclass
+class LintContext:
+    """Repo-wide facts shared by every rule during one lint run."""
+
+    stats_declared_fields: set[str] = field(default_factory=set)
+    stats_reset_fields: set[str] = field(default_factory=set)
+
+    def absorb_stats(self, tree: ast.Module) -> None:
+        """Merge one module's ``*Stats`` dataclass declarations."""
+        declared, reset_covered = collect_stats_declarations(tree)
+        self.stats_declared_fields.update(declared)
+        self.stats_reset_fields.update(reset_covered)
+
+    def ensure_stats_registry(self) -> None:
+        """Fall back to the installed ``repro.core.stats`` declarations.
+
+        Lets ``lint_paths`` run on a single out-of-tree file (or a test
+        snippet) without SIM004 flagging every known-good stats field.
+        """
+        if self.stats_declared_fields:
+            return
+        import importlib.util
+
+        spec = importlib.util.find_spec("repro.core.stats")
+        if spec is None or not spec.origin:
+            return
+        try:
+            source = Path(spec.origin).read_text(encoding="utf-8")
+            self.absorb_stats(ast.parse(source))
+        except (OSError, SyntaxError):  # pragma: no cover - defensive
+            return
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: tuple[Violation, ...]
+    files_checked: int
+    rules_run: int
+
+    @property
+    def clean(self) -> bool:
+        """Whether no violation survived suppression."""
+        return not self.violations
+
+    def render(self) -> str:
+        """Full human-readable report."""
+        lines = [violation.render() for violation in self.violations]
+        lines.append(
+            f"simlint: {len(self.violations)} violation(s) in "
+            f"{self.files_checked} file(s) ({self.rules_run} rules)"
+        )
+        return "\n".join(lines)
+
+
+def parse_suppressions(source: str) -> dict[int, set[str] | None]:
+    """Per-line suppressions: line number -> rule ids (``None`` = all)."""
+    suppressions: dict[int, set[str] | None] = {}
+    for line_number, text in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_PATTERN.search(text)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[line_number] = None
+        else:
+            ids = {token.strip() for token in rules.split(",") if token.strip()}
+            previous = suppressions.get(line_number)
+            if previous is None and line_number in suppressions:
+                continue  # blanket disable already present
+            suppressions[line_number] = (previous or set()) | ids
+    return suppressions
+
+
+def _suppressed(violation: Violation, suppressions: dict[int, set[str] | None]) -> bool:
+    if violation.line not in suppressions:
+        return False
+    rules = suppressions[violation.line]
+    return rules is None or violation.rule_id in rules
+
+
+def lint_source(
+    source: str,
+    path: Path | str,
+    rules: Sequence[Rule] | None = None,
+    context: LintContext | None = None,
+) -> list[Violation]:
+    """Lint one module's source text; returns surviving violations."""
+    path = Path(path)
+    active_rules = tuple(rules) if rules is not None else ALL_RULES
+    if context is None:
+        context = LintContext()
+        context.absorb_stats(_parse_or_none(source) or ast.Module(body=[], type_ignores=[]))
+        context.ensure_stats_registry()
+
+    tree = _parse_or_none(source)
+    if tree is None:
+        return [
+            Violation(
+                rule_id="SIM000",
+                path=str(path),
+                line=1,
+                col=1,
+                message="file does not parse as Python",
+                fixit="fix the syntax error before linting",
+            )
+        ]
+
+    suppressions = parse_suppressions(source)
+    violations: list[Violation] = []
+    for rule in active_rules:
+        if not rule.applies_to(path):
+            continue
+        for violation in rule.check(tree, path, context):
+            if not _suppressed(violation, suppressions):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint every ``*.py`` file under the given files/directories."""
+    active_rules = tuple(rules) if rules is not None else ALL_RULES
+    files = _discover(paths)
+
+    # Pass 1: build the repo-wide context (stats registry) from every file.
+    context = LintContext()
+    sources: list[tuple[Path, str]] = []
+    for file_path in files:
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise FileNotFoundError(f"cannot read lint target {file_path}: {error}") from error
+        sources.append((file_path, source))
+        tree = _parse_or_none(source)
+        if tree is not None:
+            context.absorb_stats(tree)
+    context.ensure_stats_registry()
+
+    # Pass 2: run the rules.
+    violations: list[Violation] = []
+    for file_path, source in sources:
+        violations.extend(lint_source(source, file_path, active_rules, context))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return LintReport(
+        violations=tuple(violations),
+        files_checked=len(sources),
+        rules_run=len(active_rules),
+    )
+
+
+def _discover(paths: Iterable[Path | str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py" and path.exists():
+            files.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"lint target {path} does not exist")
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for file_path in files:
+        resolved = file_path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(file_path)
+    return unique
+
+
+def _parse_or_none(source: str) -> ast.Module | None:
+    try:
+        return ast.parse(source)
+    except SyntaxError:
+        return None

@@ -1,0 +1,99 @@
+"""Rule registry for the simlint static pass.
+
+Every rule is a subclass of :class:`Rule` living in its own module of this
+package.  A rule owns one stable identifier (``SIMxxx``), a one-line
+summary, and a *fix-it* message telling the author what to write instead;
+the engine (:mod:`repro.check.lint`) handles file discovery, per-line
+``# simlint: disable=SIMxxx`` escape hatches and report formatting, so a
+rule only has to walk one parsed module and yield violations.
+
+To add a rule: create ``simNNN_short_name.py`` defining a ``Rule``
+subclass, then append an instance to :data:`ALL_RULES` here (the docs in
+docs/architecture.md walk through an example).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.check.lint import LintContext
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fixit: str
+
+    def render(self) -> str:
+        """Human-readable one-liner: ``path:line:col: SIMxxx message``."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.fixit:
+            text += f"  [fix: {self.fixit}]"
+        return text
+
+
+class Rule:
+    """Base class of all simlint rules."""
+
+    rule_id: str = "SIM000"
+    summary: str = ""
+    fixit: str = ""
+
+    def applies_to(self, path: Path) -> bool:
+        """Whether the rule runs on this file (default: every file)."""
+        return True
+
+    def check(self, tree: ast.Module, path: Path, context: "LintContext") -> list[Violation]:
+        """Return every violation of this rule in one parsed module."""
+        raise NotImplementedError
+
+    def violation(self, path: Path, node: ast.AST, message: str | None = None) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            rule_id=self.rule_id,
+            path=str(path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message if message is not None else self.summary,
+            fixit=self.fixit,
+        )
+
+
+def _build_registry() -> tuple[Rule, ...]:
+    from repro.check.rules.sim001_seeded_random import SeededRandomRule
+    from repro.check.rules.sim002_wall_clock import WallClockRule
+    from repro.check.rules.sim003_float_equality import FloatEqualityRule
+    from repro.check.rules.sim004_stats_fields import StatsFieldsRule
+    from repro.check.rules.sim005_bare_assert import BareAssertRule
+
+    return (
+        SeededRandomRule(),
+        WallClockRule(),
+        FloatEqualityRule(),
+        StatsFieldsRule(),
+        BareAssertRule(),
+    )
+
+
+ALL_RULES: tuple[Rule, ...] = _build_registry()
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """Look a rule up by its ``SIMxxx`` identifier."""
+    for rule in ALL_RULES:
+        if rule.rule_id == rule_id:
+            return rule
+    raise KeyError(f"unknown simlint rule {rule_id!r}")
+
+
+__all__ = ["Violation", "Rule", "ALL_RULES", "rule_by_id"]

@@ -1,0 +1,117 @@
+"""SIM001 — all randomness must flow through an explicitly seeded RNG.
+
+Every figure in EXPERIMENTS.md is replayed bit-for-bit from a trace seed;
+one call to the module-level ``random.random()`` (whose hidden global state
+is seeded from the OS) silently breaks that determinism.  The rule flags:
+
+- any call through the ``random`` *module* (``random.random()``,
+  ``random.randint(...)``, ``random.seed(...)``, ...) — module-level state
+  is shared and implicitly seeded;
+- ``random.Random()`` constructed *without* a seed argument, and
+  ``random.SystemRandom(...)`` (OS entropy, never reproducible);
+- names imported via ``from random import ...`` (they alias the module
+  state — ``Random`` itself must still be called with a seed, which the
+  import form hides from this check);
+- module-level ``numpy.random.*`` calls, and ``numpy.random.default_rng()``
+  without a seed.
+
+Calls on an *instance* (``rng.random()`` where ``rng = random.Random(seed)``)
+are the sanctioned pattern and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.check.rules import Rule, Violation
+
+if TYPE_CHECKING:
+    from repro.check.lint import LintContext
+
+
+class SeededRandomRule(Rule):
+    """Forbid unseeded / module-level randomness."""
+
+    rule_id = "SIM001"
+    summary = "module-level or unseeded randomness breaks trace determinism"
+    fixit = (
+        "route all randomness through an explicitly seeded instance: "
+        "rng = random.Random(seed); rng.random()"
+    )
+
+    def check(self, tree: ast.Module, path: Path, context: "LintContext") -> list[Violation]:
+        random_aliases: set[str] = set()
+        numpy_aliases: set[str] = set()
+        from_random_names: set[str] = set()
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or alias.name)
+                    elif alias.name in ("numpy", "numpy.random"):
+                        numpy_aliases.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    from_random_names.update(alias.asname or alias.name for alias in node.names)
+                elif node.module in ("numpy", "numpy.random"):
+                    # `from numpy import random` / `from numpy.random import x`
+                    for alias in node.names:
+                        if node.module == "numpy" and alias.name == "random":
+                            random_aliases.add(alias.asname or "random")
+                        elif node.module == "numpy.random":
+                            from_random_names.add(alias.asname or alias.name)
+
+        violations: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            hit = self._classify_call(node, random_aliases, numpy_aliases, from_random_names)
+            if hit is not None:
+                violations.append(self.violation(path, node, hit))
+        return violations
+
+    def _classify_call(
+        self,
+        node: ast.Call,
+        random_aliases: set[str],
+        numpy_aliases: set[str],
+        from_random_names: set[str],
+    ) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = func.value.id
+            if base in random_aliases:
+                return self._classify_module_call(func.attr, node)
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Attribute):
+            # numpy.random.<fn>(...) — e.g. np.random.rand()
+            inner = func.value
+            if (
+                isinstance(inner.value, ast.Name)
+                and inner.value.id in numpy_aliases
+                and inner.attr == "random"
+            ):
+                if func.attr == "default_rng" and (node.args or node.keywords):
+                    return None  # seeded generator construction is fine
+                return (
+                    f"call to numpy.random.{func.attr} uses module-level (unseeded) state"
+                )
+            return None
+        if isinstance(func, ast.Name) and func.id in from_random_names:
+            return (
+                f"'{func.id}' was imported from the random module; module-level "
+                "randomness is not reproducible"
+            )
+        return None
+
+    def _classify_module_call(self, attr: str, node: ast.Call) -> str | None:
+        if attr == "Random":
+            if node.args or node.keywords:
+                return None  # random.Random(seed) — the sanctioned pattern
+            return "random.Random() constructed without a seed"
+        if attr == "SystemRandom":
+            return "random.SystemRandom draws OS entropy and can never replay"
+        return f"call to random.{attr} uses the module-level (implicitly seeded) state"

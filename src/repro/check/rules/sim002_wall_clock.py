@@ -1,0 +1,103 @@
+"""SIM002 — no wall-clock or filesystem access in the simulation core.
+
+``repro.core``, ``repro.nvm`` and ``repro.crypto`` are the timed heart of
+the simulator: all time flows through explicit ``now_ns`` arguments and all
+state lives in memory.  A stray ``time.time()`` makes results
+host-dependent; a stray ``open()`` makes them environment-dependent.  I/O
+belongs in ``repro.workloads.io`` / ``repro.analysis``, which this rule
+deliberately does not police.
+
+The rule flags, inside the restricted packages only:
+
+- importing any host-environment module (``time``, ``datetime``,
+  ``os``, ``pathlib``, ``shutil``, ``tempfile``, ``io``, ``socket``);
+- calling the ``open()`` builtin.
+
+Import-level flagging is intentionally strict: the timing core has no
+legitimate use for these modules at all, so banning the import catches
+every call pattern (aliases, attribute chains) in one place.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.check.rules import Rule, Violation
+
+if TYPE_CHECKING:
+    from repro.check.lint import LintContext
+
+RESTRICTED_PACKAGES = ("core", "nvm", "crypto")
+
+FORBIDDEN_MODULES = {
+    "time": "all simulated time flows through explicit now_ns arguments",
+    "datetime": "all simulated time flows through explicit now_ns arguments",
+    "os": "the simulation core must not touch the host filesystem/environment",
+    "pathlib": "the simulation core must not touch the host filesystem",
+    "shutil": "the simulation core must not touch the host filesystem",
+    "tempfile": "the simulation core must not touch the host filesystem",
+    "io": "the simulation core must not perform I/O",
+    "socket": "the simulation core must not perform I/O",
+}
+
+
+def _is_restricted(path: Path) -> bool:
+    parts = path.parts
+    for package in RESTRICTED_PACKAGES:
+        for i, part in enumerate(parts[:-1]):
+            if part == "repro" and parts[i + 1] == package:
+                return True
+        # Tolerate lint targets copied outside a repro/ tree (tests, tmp
+        # dirs) that keep the package directory name.
+        if package in parts[:-1]:
+            return True
+    return False
+
+
+class WallClockRule(Rule):
+    """Forbid wall-clock and filesystem access in repro.core/nvm/crypto."""
+
+    rule_id = "SIM002"
+    summary = "wall-clock/filesystem access inside the timed simulation core"
+    fixit = (
+        "pass time through now_ns arguments and move I/O out to "
+        "repro.workloads.io or repro.analysis"
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        return _is_restricted(path)
+
+    def check(self, tree: ast.Module, path: Path, context: "LintContext") -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in FORBIDDEN_MODULES:
+                        violations.append(
+                            self.violation(
+                                path,
+                                node,
+                                f"import of '{alias.name}': {FORBIDDEN_MODULES[root]}",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if node.level == 0 and root in FORBIDDEN_MODULES:
+                    violations.append(
+                        self.violation(
+                            path,
+                            node,
+                            f"import from '{node.module}': {FORBIDDEN_MODULES[root]}",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id == "open":
+                    violations.append(
+                        self.violation(
+                            path, node, "open() call: the simulation core must not perform I/O"
+                        )
+                    )
+        return violations

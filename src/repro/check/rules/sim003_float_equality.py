@@ -1,0 +1,83 @@
+"""SIM003 — no ``==`` / ``!=`` on cycle/energy/latency accumulators.
+
+The simulator's timing and energy totals are floats accumulated over
+millions of additions; exact equality on them is only ever true by
+accident (and differs across platforms with different FMA/rounding
+behaviour).  Comparisons must be ordering-based (``<=``, ``>=``) or use an
+explicit tolerance (``math.isclose``).
+
+The rule recognises an accumulator by its terminal identifier — names
+ending in ``_ns``, ``_nj``, ``_pj``, ``_ghz`` or ``_cpi``, names containing
+``cycle``/``energy``/``latency``, and the bare metrics ``ipc`` /
+``makespan`` / ``asymmetry`` — on either side of an ``Eq``/``NotEq``
+comparison.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.check.rules import Rule, Violation
+
+if TYPE_CHECKING:
+    from repro.check.lint import LintContext
+
+_FLOAT_SUFFIXES = ("_ns", "_nj", "_pj", "_ghz", "_cpi")
+_FLOAT_SUBSTRINGS = ("cycle", "energy", "latency")
+_FLOAT_NAMES = frozenset({"ipc", "makespan", "asymmetry"})
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def looks_like_float_accumulator(identifier: str | None) -> bool:
+    """Whether an identifier names a cycle/energy/latency float total."""
+    if identifier is None:
+        return False
+    lowered = identifier.lower()
+    if lowered in _FLOAT_NAMES:
+        return True
+    if lowered.endswith(_FLOAT_SUFFIXES):
+        return True
+    return any(fragment in lowered for fragment in _FLOAT_SUBSTRINGS)
+
+
+class FloatEqualityRule(Rule):
+    """Forbid exact equality on float timing/energy accumulators."""
+
+    rule_id = "SIM003"
+    summary = "exact ==/!= comparison on a float cycle/energy accumulator"
+    fixit = "compare with an ordering (<=, >=) or math.isclose(a, b, rel_tol=...)"
+
+    def check(self, tree: ast.Module, path: Path, context: "LintContext") -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                # `x is None` style checks use Is/IsNot and never reach here;
+                # an explicit `== None` on an accumulator is still flagged.
+                for side in (left, right):
+                    name = _terminal_name(side)
+                    if looks_like_float_accumulator(name):
+                        violations.append(
+                            self.violation(
+                                path,
+                                node,
+                                f"'{name}' looks like a float accumulator; exact "
+                                "equality is platform-dependent",
+                            )
+                        )
+                        break
+        return violations

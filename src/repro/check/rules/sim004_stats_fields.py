@@ -1,0 +1,158 @@
+"""SIM004 — every stats field a controller mutates must be declared & reset.
+
+The evaluation pipeline reads statistics off dataclasses
+(:class:`repro.core.stats.DeWriteStats` and friends); a controller that
+invents a counter on the fly (``self.stats.bogus += 1``) creates a field
+no report knows about, and one that skips the reset path leaks state
+between warmup and measurement phases (the paper warms caches before
+measuring, so ``reset()`` coverage is load-bearing).
+
+The engine pre-scans the lint targets (falling back to the installed
+``repro.core.stats``) for ``@dataclass`` classes whose name ends in
+``Stats`` and records (a) their declared fields and (b) the ``self.X``
+assignments inside their ``reset()`` method.  This rule then flags any
+``<expr>.stats.<field>`` assignment — including through the common local
+alias ``stats = self.stats`` — whose field is missing from either set.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.check.rules import Rule, Violation
+
+if TYPE_CHECKING:
+    from repro.check.lint import LintContext
+
+
+def collect_stats_declarations(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(declared fields, reset-covered fields) of all ``*Stats`` dataclasses."""
+    declared: set[str] = set()
+    reset_covered: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or not node.name.endswith("Stats"):
+            continue
+        if not _is_dataclass(node):
+            continue
+        for item in node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                declared.add(item.target.id)
+            elif isinstance(item, ast.FunctionDef) and item.name == "reset":
+                reset_covered.update(_self_assignments(item))
+    return declared, reset_covered
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _self_assignments(func: ast.FunctionDef) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(func):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                names.add(target.attr)
+        if isinstance(node, ast.Call):
+            # self.field.reset() inside reset() also covers the field.
+            func_node = node.func
+            if (
+                isinstance(func_node, ast.Attribute)
+                and func_node.attr == "reset"
+                and isinstance(func_node.value, ast.Attribute)
+                and isinstance(func_node.value.value, ast.Name)
+                and func_node.value.value.id == "self"
+            ):
+                names.add(func_node.value.attr)
+    return names
+
+
+class StatsFieldsRule(Rule):
+    """Controllers may only mutate declared, reset-covered stats fields."""
+
+    rule_id = "SIM004"
+    summary = "stats field mutated by a controller is not declared/reset"
+    fixit = (
+        "declare the field on the Stats dataclass and assign it in its "
+        "reset() method"
+    )
+
+    def check(self, tree: ast.Module, path: Path, context: "LintContext") -> list[Violation]:
+        declared = context.stats_declared_fields
+        reset_covered = context.stats_reset_fields
+        violations: list[Violation] = []
+
+        for func in (n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)):
+            aliases = self._stats_aliases(func)
+            for node in ast.walk(func):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AugAssign):
+                    targets = [node.target]
+                for target in targets:
+                    field = self._stats_field(target, aliases)
+                    if field is None:
+                        continue
+                    if field not in declared:
+                        violations.append(
+                            self.violation(
+                                path,
+                                node,
+                                f"stats field '{field}' is not declared on any "
+                                "Stats dataclass",
+                            )
+                        )
+                    elif field not in reset_covered:
+                        violations.append(
+                            self.violation(
+                                path,
+                                node,
+                                f"stats field '{field}' is not covered by the "
+                                "Stats reset() path",
+                            )
+                        )
+        return violations
+
+    @staticmethod
+    def _stats_aliases(func: ast.FunctionDef) -> set[str]:
+        """Local names bound from ``<expr>.stats`` (e.g. ``stats = self.stats``)."""
+        aliases: set[str] = set()
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "stats"
+            ):
+                aliases.add(node.targets[0].id)
+        return aliases
+
+    @staticmethod
+    def _stats_field(target: ast.expr, aliases: set[str]) -> str | None:
+        """Field name when ``target`` is ``<expr>.stats.<field>`` or ``alias.<field>``."""
+        if not isinstance(target, ast.Attribute):
+            return None
+        base = target.value
+        if isinstance(base, ast.Attribute) and base.attr == "stats":
+            return target.attr
+        if isinstance(base, ast.Name) and base.id in aliases:
+            return target.attr
+        return None

@@ -1,0 +1,36 @@
+"""SIM005 — no bare ``assert`` statements in simulator source.
+
+``python -O`` strips ``assert`` statements, so an invariant guarded by one
+silently stops being checked exactly when someone runs the simulator
+"optimised" for a big sweep.  Production-path invariants must raise
+explicit exceptions (:class:`repro.core.tables.DedupIndexError`,
+:class:`repro.check.invariants.InvariantViolation`, ``ValueError``, ...)
+that survive every interpreter mode.  Test code is exempt — the lint
+target is ``src/repro``, not ``tests/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.check.rules import Rule, Violation
+
+if TYPE_CHECKING:
+    from repro.check.lint import LintContext
+
+
+class BareAssertRule(Rule):
+    """Forbid ``assert`` in simulator source (stripped under ``-O``)."""
+
+    rule_id = "SIM005"
+    summary = "bare assert is stripped under python -O"
+    fixit = "raise an explicit exception (e.g. ValueError / InvariantViolation) instead"
+
+    def check(self, tree: ast.Module, path: Path, context: "LintContext") -> list[Violation]:
+        return [
+            self.violation(path, node)
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Assert)
+        ]

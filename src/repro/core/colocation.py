@@ -31,7 +31,13 @@ class StorageOverhead:
 
     @property
     def fraction(self) -> float:
-        """Metadata bits as a fraction of data bits (§IV-E1's metric)."""
+        """Metadata bits as a fraction of data bits (§IV-E1's metric).
+
+        Raises :class:`ValueError` on a non-positive line size rather than
+        letting a bare ``ZeroDivisionError`` escape.
+        """
+        if self.line_bits <= 0:
+            raise ValueError(f"line_bits must be positive, got {self.line_bits}")
         return self.bits_per_line / self.line_bits
 
 

@@ -143,6 +143,17 @@ class MetadataSystem:
         self.metadata_reads = 0
         self.metadata_writebacks = 0
 
+    def verify(self) -> None:
+        """Check every metadata cache plus the traffic counters.
+
+        Raises ``ValueError`` on the first structural breach; called by the
+        runtime invariant pass after every simulated request batch.
+        """
+        for cache in self.caches.values():
+            cache.verify()
+        if self.metadata_reads < 0 or self.metadata_writebacks < 0:
+            raise ValueError("negative metadata traffic counter")
+
     def _writeback(self, table: TableName, block: int, now_ns: float) -> None:
         line = self.layout.nvm_line_for(table, block)
         self._payload_version += 1

@@ -157,3 +157,24 @@ class MetadataCache:
     def resident_blocks(self) -> int:
         """Blocks currently cached."""
         return len(self._blocks)
+
+    def verify(self) -> None:
+        """Check the cache's structural invariants; raises ``ValueError``.
+
+        Capacity is never exceeded (a zero-capacity cache retains nothing)
+        and the statistics counters are non-negative — the checks the
+        runtime invariant pass (:mod:`repro.check.invariants`) runs after
+        every simulated request batch.
+        """
+        if self.capacity_blocks == 0:
+            if self._blocks:
+                raise ValueError(
+                    f"cache {self.name!r}: zero capacity but {len(self._blocks)} resident blocks"
+                )
+        elif len(self._blocks) > self.capacity_blocks:
+            raise ValueError(
+                f"cache {self.name!r}: {len(self._blocks)} resident blocks exceed "
+                f"capacity {self.capacity_blocks}"
+            )
+        if self.hits < 0 or self.misses < 0 or self.writebacks < 0:
+            raise ValueError(f"cache {self.name!r}: negative statistics counter")

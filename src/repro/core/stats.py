@@ -31,6 +31,12 @@ class LatencyAccumulator:
         """Average latency, 0 when empty."""
         return self.total_ns / self.count if self.count else 0.0
 
+    def reset(self) -> None:
+        """Zero the accumulator (new measurement phase)."""
+        self.total_ns = 0.0
+        self.count = 0
+        self.max_ns = 0.0
+
 
 @dataclass
 class DeWriteStats:
@@ -67,6 +73,32 @@ class DeWriteStats:
     # Latency populations.
     write_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
     read_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+
+    def reset(self) -> None:
+        """Zero every counter (start of a measured phase after warmup).
+
+        The simlint SIM004 rule checks that every stats field a controller
+        mutates is both declared above and re-zeroed here, so a new counter
+        cannot silently leak warmup state into measurement.
+        """
+        self.writes_requested = 0
+        self.writes_deduplicated = 0
+        self.writes_stored = 0
+        self.missed_duplicates_pna = 0
+        self.capped_reference_rejects = 0
+        self.hash_matches = 0
+        self.verify_reads = 0
+        self.crc_collisions = 0
+        self.predictions = 0
+        self.correct_predictions = 0
+        self.wasted_encryptions = 0
+        self.serialized_detections = 0
+        self.metadata_reads = 0
+        self.metadata_writebacks = 0
+        self.reads_requested = 0
+        self.reads_redirected = 0
+        self.write_latency.reset()
+        self.read_latency.reset()
 
     @property
     def write_reduction(self) -> float:

@@ -156,6 +156,15 @@ class DedupIndex:
         """How many counters currently live in the overflow store."""
         return sum(1 for p in self._counters if self.counter_slot(p) == "overflow")
 
+    def counter_items(self) -> tuple[tuple[int, int], ...]:
+        """Snapshot of every (physical line, encryption counter) pair.
+
+        Used by the runtime invariant checker to verify counters are
+        monotonically non-decreasing across operations (§II-B pad
+        uniqueness); a snapshot keeps the checker out of private state.
+        """
+        return tuple(self._counters.items())
+
     def _touch_counter(
         self, physical: int, touches: list[MetadataTouch], write: bool
     ) -> None:
@@ -303,6 +312,30 @@ class DedupIndex:
             for phys in entries:
                 if self._stored.get(phys) != crc:
                     raise DedupIndexError(f"hash entry {crc:#x}->{phys} not mirrored in inverted table")
+
+    def verify(self) -> None:
+        """Full consistency check: cross-table mirroring plus counter laws.
+
+        Extends :meth:`check_invariants` with the encryption-counter
+        contract the paper's §III-C colocation relies on: every physical
+        line holding live data has been encrypted at least once (counter
+        >= 1), counters are never negative, and every mapping stays inside
+        the device.  Raises :class:`DedupIndexError` on the first breach.
+        """
+        self.check_invariants()
+        for logical, phys in self._mapping.items():
+            if not 0 <= logical < self.total_lines or not 0 <= phys < self.total_lines:
+                raise DedupIndexError(
+                    f"mapping {logical}->{phys} leaves the device [0, {self.total_lines})"
+                )
+        for phys, counter in self._counters.items():
+            if counter < 0:
+                raise DedupIndexError(f"line {phys} has negative counter {counter}")
+        for phys in self._stored:
+            if self._counters.get(phys, 0) < 1:
+                raise DedupIndexError(
+                    f"line {phys} holds live data but was never encrypted (counter 0)"
+                )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,128 @@
+"""Engine-level behaviour: discovery, suppression, formatting, reports."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check.lint import (
+    LintContext,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+)
+
+BAD_CORE_MODULE = textwrap.dedent("""\
+    import random
+    import time
+
+    def f(self):
+        x = random.random()
+        assert x >= 0
+        return x
+""")
+
+
+class TestSuppression:
+    def test_parse_specific_rules(self):
+        source = "x = 1  # simlint: disable=SIM001,SIM005\ny = 2\n"
+        suppressions = parse_suppressions(source)
+        assert suppressions == {1: {"SIM001", "SIM005"}}
+
+    def test_parse_blanket_disable(self):
+        suppressions = parse_suppressions("x = 1  # simlint: disable\n")
+        assert suppressions == {1: None}
+
+    def test_disable_comment_silences_matching_rule_only(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # simlint: disable=SIM001\n"
+            "y = random.random()\n"
+        )
+        violations = lint_source(source, Path("src/repro/workloads/m.py"))
+        assert [v.line for v in violations] == [3]
+
+    def test_blanket_disable_silences_all_rules(self):
+        source = (
+            "import random\n"
+            "assert random.random() >= 0  # simlint: disable\n"
+        )
+        violations = lint_source(source, Path("src/repro/workloads/m.py"))
+        assert not violations
+
+    def test_disable_for_other_rule_does_not_silence(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # simlint: disable=SIM005\n"
+        )
+        violations = lint_source(source, Path("src/repro/workloads/m.py"))
+        assert [v.rule_id for v in violations] == ["SIM001"]
+
+
+class TestLintSource:
+    def test_violations_sorted_by_location(self):
+        violations = lint_source(BAD_CORE_MODULE, Path("src/repro/core/m.py"))
+        lines = [v.line for v in violations]
+        assert lines == sorted(lines)
+
+    def test_syntax_error_reported_as_sim000(self):
+        violations = lint_source("def broken(:\n", Path("src/repro/core/m.py"))
+        assert len(violations) == 1
+        assert violations[0].rule_id == "SIM000"
+
+    def test_render_contains_rule_id_location_and_fixit(self):
+        violations = lint_source(BAD_CORE_MODULE, Path("src/repro/core/m.py"))
+        rendered = violations[0].render()
+        assert "src/repro/core/m.py" in rendered.replace("\\", "/")
+        assert ":1:" in rendered  # line number present
+        assert "SIM" in rendered
+        assert "[fix:" in rendered
+
+
+class TestLintPaths:
+    def test_directory_walk_and_report(self, tmp_path: Path):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        (package / "clean.py").write_text("VALUE = 1\n", encoding="utf-8")
+        (package / "dirty.py").write_text(BAD_CORE_MODULE, encoding="utf-8")
+        report = lint_paths([tmp_path])
+        assert report.files_checked == 2
+        assert report.rules_run == 5
+        assert not report.clean
+        assert {v.rule_id for v in report.violations} == {"SIM001", "SIM002", "SIM005"}
+        assert "violation(s)" in report.render()
+
+    def test_clean_tree_reports_clean(self, tmp_path: Path):
+        (tmp_path / "ok.py").write_text("VALUE = 1\n", encoding="utf-8")
+        report = lint_paths([tmp_path])
+        assert report.clean
+
+    def test_missing_target_raises(self, tmp_path: Path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "nope.py"])
+
+    def test_single_file_target(self, tmp_path: Path):
+        target = tmp_path / "solo.py"
+        target.write_text("import random\nx = random.random()\n", encoding="utf-8")
+        report = lint_paths([target])
+        assert report.files_checked == 1
+        assert [v.rule_id for v in report.violations] == ["SIM001"]
+
+    def test_duplicate_targets_deduplicated(self, tmp_path: Path):
+        target = tmp_path / "solo.py"
+        target.write_text("VALUE = 1\n", encoding="utf-8")
+        report = lint_paths([target, target, tmp_path])
+        assert report.files_checked == 1
+
+
+class TestContextFallback:
+    def test_stats_registry_falls_back_to_installed_package(self):
+        context = LintContext()
+        context.ensure_stats_registry()
+        assert "writes_requested" in context.stats_declared_fields
+        # Repo invariant: the reset path covers every declared field, so a
+        # warmup reset can never leak a counter into measurement.
+        missing = context.stats_declared_fields - context.stats_reset_fields
+        assert not missing, f"fields without reset coverage: {sorted(missing)}"

@@ -1,0 +1,259 @@
+"""Per-rule positive/negative cases for the SIM001–SIM005 lint rules."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check.lint import LintContext, lint_source
+from repro.check.rules import ALL_RULES, rule_by_id
+
+CORE_PATH = Path("src/repro/core/snippet.py")
+WORKLOAD_PATH = Path("src/repro/workloads/snippet.py")
+
+
+def run_rule(rule_id: str, source: str, path: Path = WORKLOAD_PATH, context=None):
+    rule = rule_by_id(rule_id)
+    if context is None:
+        context = LintContext()
+        context.ensure_stats_registry()
+    return lint_source(textwrap.dedent(source), path, rules=[rule], context=context)
+
+
+class TestRegistry:
+    def test_five_rules_registered_with_unique_ids(self):
+        ids = [rule.rule_id for rule in ALL_RULES]
+        assert ids == ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005"]
+        assert len(set(ids)) == 5
+
+    def test_every_rule_has_summary_and_fixit(self):
+        for rule in ALL_RULES:
+            assert rule.summary, rule.rule_id
+            assert rule.fixit, rule.rule_id
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(KeyError):
+            rule_by_id("SIM999")
+
+
+class TestSim001SeededRandom:
+    def test_module_level_call_flagged(self):
+        violations = run_rule("SIM001", """\
+            import random
+            value = random.random()
+        """)
+        assert len(violations) == 1
+        assert violations[0].rule_id == "SIM001"
+        assert "module-level" in violations[0].message
+
+    def test_unseeded_random_constructor_flagged(self):
+        violations = run_rule("SIM001", """\
+            import random
+            rng = random.Random()
+        """)
+        assert len(violations) == 1
+        assert "without a seed" in violations[0].message
+
+    def test_seeded_random_constructor_clean(self):
+        assert not run_rule("SIM001", """\
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+        """)
+
+    def test_seeded_instance_calls_clean(self):
+        # The sanctioned pattern across the repo (generator, worstcase).
+        assert not run_rule("SIM001", """\
+            import random
+
+            class G:
+                def __init__(self, seed: int) -> None:
+                    self._rng = random.Random(seed)
+
+                def roll(self) -> float:
+                    return self._rng.random()
+        """)
+
+    def test_from_import_flagged(self):
+        violations = run_rule("SIM001", """\
+            from random import randint
+            x = randint(0, 10)
+        """)
+        assert len(violations) == 1
+        assert "imported from the random module" in violations[0].message
+
+    def test_system_random_flagged_even_with_args(self):
+        violations = run_rule("SIM001", """\
+            import random
+            rng = random.SystemRandom(1)
+        """)
+        assert len(violations) == 1
+        assert "OS entropy" in violations[0].message
+
+    def test_numpy_module_level_flagged_and_seeded_default_rng_clean(self):
+        violations = run_rule("SIM001", """\
+            import numpy as np
+            a = np.random.rand(4)
+            rng = np.random.default_rng(7)
+        """)
+        assert len(violations) == 1
+        assert "numpy.random.rand" in violations[0].message
+
+    def test_import_alias_tracked(self):
+        violations = run_rule("SIM001", """\
+            import random as rnd
+            x = rnd.randint(0, 1)
+        """)
+        assert len(violations) == 1
+
+
+class TestSim002WallClock:
+    def test_time_import_flagged_in_core(self):
+        violations = run_rule("SIM002", "import time\n", path=CORE_PATH)
+        assert len(violations) == 1
+        assert violations[0].rule_id == "SIM002"
+
+    def test_datetime_from_import_flagged_in_core(self):
+        violations = run_rule(
+            "SIM002", "from datetime import datetime\n", path=CORE_PATH
+        )
+        assert len(violations) == 1
+
+    def test_open_call_flagged_in_crypto(self):
+        violations = run_rule(
+            "SIM002",
+            "def f(p):\n    return open(p).read()\n",
+            path=Path("src/repro/crypto/snippet.py"),
+        )
+        assert len(violations) == 1
+        assert "open()" in violations[0].message
+
+    def test_workloads_package_not_restricted(self):
+        # I/O belongs in repro.workloads.io; the rule must not police it.
+        assert not run_rule("SIM002", "import time\nimport os\n", path=WORKLOAD_PATH)
+
+    def test_harmless_imports_clean_in_nvm(self):
+        assert not run_rule(
+            "SIM002",
+            "import struct\nfrom dataclasses import dataclass\n",
+            path=Path("src/repro/nvm/snippet.py"),
+        )
+
+
+class TestSim003FloatEquality:
+    def test_ns_suffix_equality_flagged(self):
+        violations = run_rule("SIM003", """\
+            def f(self):
+                return self.total_ns == 0.0
+        """)
+        assert len(violations) == 1
+        assert "total_ns" in violations[0].message
+
+    def test_energy_substring_inequality_flagged(self):
+        violations = run_rule("SIM003", """\
+            def f(a, b):
+                return a.energy_total != b.energy_total
+        """)
+        assert len(violations) == 1
+
+    def test_ipc_flagged(self):
+        assert len(run_rule("SIM003", "bad = ipc == 1.0\n")) == 1
+
+    def test_ordering_comparisons_clean(self):
+        assert not run_rule("SIM003", """\
+            def f(self):
+                return self.total_ns >= 0.0 and self.busy_until_ns < 100.0
+        """)
+
+    def test_integer_counter_equality_clean(self):
+        assert not run_rule("SIM003", """\
+            def f(self):
+                return self.count == 0 and self.writes_requested != 3
+        """)
+
+
+class TestSim004StatsFields:
+    STATS_AND_CONTROLLER = """\
+        from dataclasses import dataclass
+
+        @dataclass
+        class MiniStats:
+            good_counter: int = 0
+            unreset_counter: int = 0
+
+            def reset(self) -> None:
+                self.good_counter = 0
+
+        class Controller:
+            def __init__(self):
+                self.stats = MiniStats()
+
+            def write(self):
+                self.stats.good_counter += 1
+                self.stats.unreset_counter += 1
+                self.stats.invented_counter += 1
+
+            def aliased(self):
+                stats = self.stats
+                stats.invented_counter += 1
+    """
+
+    def _context(self) -> LintContext:
+        import ast
+
+        context = LintContext()
+        context.absorb_stats(ast.parse(textwrap.dedent(self.STATS_AND_CONTROLLER)))
+        return context
+
+    def test_undeclared_and_unreset_fields_flagged(self):
+        violations = run_rule(
+            "SIM004", self.STATS_AND_CONTROLLER, context=self._context()
+        )
+        messages = [v.message for v in violations]
+        assert len(violations) == 3
+        assert any("invented_counter" in m and "not declared" in m for m in messages)
+        assert any("unreset_counter" in m and "reset()" in m for m in messages)
+
+    def test_alias_mutation_tracked(self):
+        violations = run_rule(
+            "SIM004", self.STATS_AND_CONTROLLER, context=self._context()
+        )
+        alias_hits = [v for v in violations if v.line >= 22]
+        assert alias_hits, "mutation through `stats = self.stats` alias was missed"
+
+    def test_declared_and_reset_field_clean(self):
+        source = """\
+            class Controller:
+                def write(self):
+                    self.stats.good_counter += 1
+        """
+        assert not run_rule("SIM004", source, context=self._context())
+
+    def test_real_stats_registry_covers_repo_fields(self):
+        # The installed DeWriteStats must declare + reset what controllers use.
+        context = LintContext()
+        context.ensure_stats_registry()
+        for field in ("writes_requested", "writes_deduplicated", "metadata_writebacks"):
+            assert field in context.stats_declared_fields
+            assert field in context.stats_reset_fields
+
+
+class TestSim005BareAssert:
+    def test_assert_flagged(self):
+        violations = run_rule("SIM005", """\
+            def f(x):
+                assert x > 0, "boom"
+                return x
+        """)
+        assert len(violations) == 1
+        assert "python -O" in violations[0].message
+
+    def test_explicit_raise_clean(self):
+        assert not run_rule("SIM005", """\
+            def f(x):
+                if x <= 0:
+                    raise ValueError("boom")
+                return x
+        """)

@@ -1,0 +1,114 @@
+"""Property tests: conservation laws hold on arbitrary traffic.
+
+Hypothesis generates random interleavings of duplicate-prone writes and
+reads; :class:`CheckedController` re-verifies every law after every
+request, so a passing run is itself the property.  A second group mutates
+the metadata structures arbitrarily and asserts ``verify()`` objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.invariants import CheckedController, InvariantViolation
+from repro.core.dewrite import DeWriteController
+from repro.core.tables import DedupIndex, DedupIndexError
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+
+LINE = 256
+ADDRESSES = 32
+POOL = [bytes([value]) * LINE for value in range(6)]
+
+# (is_write, address, pool index) triples; the tiny content pool makes
+# duplicates, rewrites and redirected reads all common.
+OPS = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(0, ADDRESSES - 1),
+        st.integers(0, len(POOL) - 1),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def make_checked(mode: str = "predictive") -> CheckedController:
+    nvm = NvmMainMemory(
+        NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+    )
+    return CheckedController(DeWriteController(nvm, mode=mode), deep_check_interval=16)
+
+
+def drive(checked: CheckedController, ops) -> None:
+    now = 0.0
+    for is_write, address, pool_index in ops:
+        if is_write:
+            outcome = checked.write(address, POOL[pool_index], now)
+        else:
+            outcome = checked.read(address, now)
+        now = outcome.complete_ns + 10.0
+    checked.close(now)
+
+
+class TestLawsHoldOnRandomTraffic:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=OPS)
+    def test_predictive_mode_never_violates(self, ops):
+        drive(make_checked(), ops)
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops=OPS)
+    def test_direct_mode_never_violates(self, ops):
+        drive(make_checked("direct"), ops)
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops=OPS)
+    def test_parallel_mode_never_violates(self, ops):
+        drive(make_checked("parallel"), ops)
+
+
+class TestMutatedMetadataIsRejected:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, ADDRESSES - 1), st.integers(1, len(POOL) - 1)),
+            min_size=1,
+            max_size=30,
+        ),
+        victim=st.integers(0, ADDRESSES - 1),
+        corruption=st.sampled_from(["unmap", "refcount", "zero_counter"]),
+    )
+    def test_verify_rejects_arbitrary_corruption(self, ops, victim, corruption):
+        checked = make_checked()
+        now = 0.0
+        for address, pool_index in ops:
+            now = checked.write(address, POOL[pool_index], now).complete_ns + 10.0
+        index = checked.index
+        physical = index.physical_of(ops[victim % len(ops)][0])
+        assert physical is not None
+
+        if corruption == "unmap":
+            # Point the mapping at a line that holds nothing.
+            free = next(i for i in range(index.total_lines) if not index.holds_data(i))
+            index._mapping[ops[victim % len(ops)][0]] = free
+        elif corruption == "refcount":
+            crc = index.content_crc(physical)
+            index._hash_table[crc][physical] += 1
+        else:
+            index._counters[physical] = 0
+
+        with pytest.raises(InvariantViolation):
+            checked.verify()
+
+    def test_direct_index_mutation_fails_verify(self):
+        index = DedupIndex(total_lines=128)
+        touches = []
+        dest = index.apply_unique(7, 0x1234, touches)
+        index.bump_counter(dest, touches)
+        index.verify()
+        index._stored[dest + 1] = 0x9999  # stored line absent from hash table
+        with pytest.raises(DedupIndexError):
+            index.verify()

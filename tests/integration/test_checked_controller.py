@@ -1,0 +1,83 @@
+"""Run the full simulator under CheckedController for every controller.
+
+This is the acceptance gate for the runtime invariant subsystem: each
+controller in the repository services realistic traces while every
+conservation law is re-verified after every request, and the wrapper is
+proven transparent (identical reports with and without checking).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.i_nvmm import INvmmController
+from repro.baselines.modes import direct_way_controller, parallel_way_controller
+from repro.baselines.out_of_line import OutOfLinePageDedupController
+from repro.baselines.secure_nvm import TraditionalSecureNvmController
+from repro.baselines.silent_shredder import SilentShredderController
+from repro.baselines.traditional_dedup import traditional_dedup_controller
+from repro.check.invariants import CheckedController
+from repro.core.dewrite import DeWriteController
+from repro.nvm.config import NvmConfig, NvmOrganization
+from repro.nvm.memory import NvmMainMemory
+from repro.system.simulator import simulate
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import profile_by_name
+from repro.workloads.worstcase import worst_case_trace
+
+LINE = 256
+ACCESSES = 1_500
+
+
+def make_nvm() -> NvmMainMemory:
+    return NvmMainMemory(
+        NvmConfig(organization=NvmOrganization(capacity_bytes=64 * 1024 * LINE))
+    )
+
+
+CONTROLLER_FACTORIES = [
+    ("dewrite", lambda: DeWriteController(make_nvm())),
+    ("dewrite-direct", lambda: DeWriteController(make_nvm(), mode="direct")),
+    ("dewrite-parallel", lambda: DeWriteController(make_nvm(), mode="parallel")),
+    ("traditional", lambda: TraditionalSecureNvmController(make_nvm())),
+    ("shredder", lambda: SilentShredderController(make_nvm())),
+    ("direct-way", lambda: direct_way_controller(make_nvm())),
+    ("parallel-way", lambda: parallel_way_controller(make_nvm())),
+    ("sha1-dedup", lambda: traditional_dedup_controller(make_nvm())),
+    ("i-nvmm", lambda: INvmmController(make_nvm())),
+    ("page-dedup", lambda: OutOfLinePageDedupController(make_nvm())),
+]
+
+
+@pytest.mark.parametrize("name,factory", CONTROLLER_FACTORIES)
+class TestSimulatorSuiteUnderChecking:
+    def test_application_trace(self, name, factory):
+        trace = generate_trace(profile_by_name("mcf"), ACCESSES, seed=7)
+        checked = CheckedController(factory(), deep_check_interval=128)
+        simulate(checked, trace)
+        checked.close(now_ns=10.0**12)
+        assert checked.operations == ACCESSES
+        assert checked.deep_checks >= ACCESSES // 128
+
+    def test_worst_case_trace(self, name, factory):
+        trace = worst_case_trace(num_accesses=600, seed=3)
+        checked = CheckedController(factory(), deep_check_interval=64)
+        simulate(checked, trace)
+        checked.close(now_ns=10.0**12)
+
+
+@pytest.mark.parametrize(
+    "app", ["lbm", "mcf", "sjeng"]
+)
+def test_checked_run_is_bit_identical_to_unchecked(app):
+    trace = generate_trace(profile_by_name(app), ACCESSES, seed=11)
+    plain_report = simulate(DeWriteController(make_nvm()), trace)
+    checked = CheckedController(DeWriteController(make_nvm()), deep_check_interval=100)
+    checked_report = simulate(checked, trace)
+
+    assert checked_report.stats.as_dict() == plain_report.stats.as_dict()
+    assert checked_report.mean_write_latency_ns == plain_report.mean_write_latency_ns
+    assert checked_report.mean_read_latency_ns == plain_report.mean_read_latency_ns
+    assert checked_report.energy_nj == plain_report.energy_nj
+    # The final sweep (incl. metadata flush) must still come up clean.
+    checked.close(now_ns=10.0**12)
