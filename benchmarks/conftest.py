@@ -6,6 +6,10 @@ share one code path:
 
 - ``REPRO_BENCH_ACCESSES`` — trace length per application (default 20000)
 - ``REPRO_BENCH_APPS``      — comma-separated subset (default: all 20)
+- ``REPRO_BENCH_CACHE_DIR`` — persistent result cache for the session
+  (unset: no disk cache, every figure simulates in-process)
+- ``REPRO_BENCH_PARALLEL``  — pre-warm the cache for every registered
+  figure on N worker processes before the bench files render (default 1)
 
 Rendered tables are printed and archived under ``benchmarks/results/`` so
 EXPERIMENTS.md can quote them.
@@ -40,6 +44,39 @@ def settings() -> ExperimentSettings:
         seed=1,
         applications=_selected_apps(),
     )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _runner_cache(settings: ExperimentSettings):
+    """Wire the bench session into the runner's result cache, if asked.
+
+    With ``REPRO_BENCH_CACHE_DIR`` set, every figure's simulations resolve
+    through the persistent cache (so reruns are instant); with
+    ``REPRO_BENCH_PARALLEL`` > 1 the full registered job plan is
+    pre-warmed on a worker pool before any bench file renders.
+    """
+    from repro.runner import provider
+
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR", "")
+    parallel = int(os.environ.get("REPRO_BENCH_PARALLEL", "1"))
+    if not cache_dir and parallel <= 1:
+        yield
+        return
+
+    from repro.analysis import registry as figures
+    from repro.runner.cache import ResultCache
+    from repro.runner.engine import run_jobs
+
+    cache = ResultCache(cache_dir) if cache_dir else None
+    provider.configure(cache=cache)
+    report = run_jobs(
+        figures.plan_for(figures.experiment_ids(), settings),
+        parallel=parallel,
+        cache=cache,
+    )
+    print("\n" + report.cache_stats_line())
+    yield
+    provider.reset()
 
 
 @pytest.fixture(scope="session")

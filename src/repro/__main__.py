@@ -2,20 +2,29 @@
 
 Subcommands:
 
+- ``run``      — regenerate many figures at once on a parallel worker
+  pool with a persistent result cache (the fast full reproduction);
 - ``compare``  — run one application under the traditional secure NVM and
   under DeWrite, print the side-by-side report;
 - ``figure``   — regenerate one of the paper's tables/figures by id;
 - ``regress``  — compare two exported figure JSONs for drift;
 - ``check``    — run the simlint static rules and/or the runtime
   invariant pass (see :mod:`repro.check`);
-- ``list``     — enumerate the available figure ids and applications.
+- ``list``     — enumerate figure ids, applications and controllers.
+
+Figure ids come from the declarative experiment registry
+(:mod:`repro.analysis.registry`); controllers are built through the
+controller registry (:mod:`repro.core.registry`).  ``run``, ``figure``
+and ``compare`` share the cache options ``--parallel`` / ``--cache-dir``
+/ ``--no-cache`` / ``--job-timeout``.
 
 Examples::
 
+    python -m repro run --parallel 8
+    python -m repro run system modes --apps lbm,mcf --accesses 5000
     python -m repro compare --app lbm --accesses 20000
     python -m repro figure fig13 --apps lbm,mcf,vips
     python -m repro check --lint src/repro
-    python -m repro check --invariants --accesses 4000
     python -m repro list
 """
 
@@ -25,25 +34,33 @@ import argparse
 import sys
 
 from repro.analysis import experiments as ex
+from repro.analysis import registry as figures
 from repro.workloads.profiles import ALL_PROFILES, profile_by_name
 
-_FIGURES = {
-    "fig2": ("duplicate lines written to memory", lambda s: ex.duplication_survey(s)),
-    "fig4": ("prediction accuracy", lambda s: ex.prediction_accuracy_survey(s)),
-    "table1": ("detection latency model", lambda s: ex.table1_detection_latency(s)),
-    "fig6": ("CRC-32 collision rate", lambda s: ex.collision_survey(s)),
-    "fig7": ("reference counts", lambda s: ex.reference_count_survey(s)),
-    "fig12": ("write reduction", lambda s: ex.write_reduction_survey(s)),
-    "fig13": ("bit flips under DCW/FNW/DEUCE", lambda s: ex.bit_flip_comparison(s)),
-    "system": ("write/read speedup, IPC, energy (Figs. 14/16/17/19)",
-               lambda s: ex.system_comparison_table(s)),
-    "modes": ("direct vs parallel vs DeWrite (Figs. 15/20)",
-              lambda s: ex.integration_mode_comparison(s)),
-    "fig18": ("worst case, no duplicates", lambda s: ex.worst_case_comparison(s)),
-    "fig21": ("metadata cache sizing", lambda s: ex.metadata_cache_sweep(s)),
-    "storage": ("metadata storage overhead (SIV-E1)",
-                lambda s: ex.storage_overhead_table(s)),
-}
+
+def _add_settings_args(parser: argparse.ArgumentParser, default_accesses: int) -> None:
+    parser.add_argument("--apps", default="", help="comma-separated subset (default: all)")
+    parser.add_argument("--accesses", type=int, default=default_accesses)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="worker processes for cache misses (default 1: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default="", metavar="DIR",
+        help="result cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache for this invocation",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="per-job wall-clock budget before retry (default 600)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,16 +69,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    run = sub.add_parser(
+        "run", help="regenerate figures on a parallel worker pool with a result cache"
+    )
+    run.add_argument(
+        "figures", nargs="*", metavar="FIGURE",
+        help="figure ids to regenerate (default: every registered figure)",
+    )
+    _add_settings_args(run, default_accesses=20_000)
+    _add_cache_args(run)
+    run.add_argument(
+        "--out", default="", metavar="DIR",
+        help="also write each rendered table to DIR/<figure>.txt",
+    )
+    run.add_argument(
+        "--progress", action="store_true",
+        help="print one line per resolved job on stderr",
+    )
+
     compare = sub.add_parser("compare", help="baseline vs DeWrite on one application")
     compare.add_argument("--app", default="lbm", help="application name (see `list`)")
     compare.add_argument("--accesses", type=int, default=20_000)
     compare.add_argument("--seed", type=int, default=1)
+    _add_cache_args(compare)
 
     figure = sub.add_parser("figure", help="regenerate one paper table/figure")
-    figure.add_argument("id", choices=sorted(_FIGURES))
-    figure.add_argument("--apps", default="", help="comma-separated subset (default: all)")
-    figure.add_argument("--accesses", type=int, default=20_000)
-    figure.add_argument("--seed", type=int, default=1)
+    figure.add_argument("id", choices=figures.experiment_ids())
+    _add_settings_args(figure, default_accesses=20_000)
+    _add_cache_args(figure)
     figure.add_argument(
         "--chart", default="", metavar="COLUMN",
         help="also render COLUMN as an ASCII bar chart",
@@ -97,7 +132,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--seed", type=int, default=1)
 
-    sub.add_parser("list", help="list figure ids and applications")
+    sub.add_parser("list", help="list figure ids, applications and controllers")
     return parser
 
 
@@ -111,7 +146,82 @@ def _settings(args: argparse.Namespace) -> ex.ExperimentSettings:
     )
 
 
+def _configure_runner(args: argparse.Namespace):
+    """Install the CLI's result provider; returns the cache (or None)."""
+    from repro.runner import provider
+    from repro.runner.cache import ResultCache
+
+    if getattr(args, "no_cache", False):
+        provider.configure(cache=None)
+        return None
+    cache_dir = getattr(args, "cache_dir", "")
+    cache = ResultCache(cache_dir) if cache_dir else ResultCache()
+    provider.configure(cache=cache)
+    return cache
+
+
+def _warm_jobs(args: argparse.Namespace, jobs, cache, progress=None):
+    """Resolve planned jobs (parallel when requested); returns the report."""
+    from repro.runner.engine import run_jobs
+
+    return run_jobs(
+        jobs,
+        parallel=getattr(args, "parallel", 1),
+        cache=cache,
+        job_timeout_s=getattr(args, "job_timeout", 600.0),
+        progress=progress,
+    )
+
+
+def _run_run(args: argparse.Namespace) -> int:
+    from repro.runner.engine import stderr_progress
+
+    settings = _settings(args)
+    ids = list(args.figures) if args.figures else figures.experiment_ids()
+    for spec_id in ids:
+        figures.experiment(spec_id)  # raises with the known ids on a typo
+
+    cache = _configure_runner(args)
+    jobs = figures.plan_for(ids, settings)
+    report = _warm_jobs(
+        args, jobs, cache, progress=stderr_progress if args.progress else None
+    )
+    for failure in report.failures:
+        print(
+            f"run: FAILED {failure.spec.label} after {failure.attempts} attempt(s): "
+            f"{failure.error}",
+            file=sys.stderr,
+        )
+
+    out_dir = None
+    if args.out:
+        import pathlib
+
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    rendered = 0
+    for spec_id in ids:
+        spec = figures.experiment(spec_id)
+        try:
+            table = spec.render(settings)
+        except Exception as exc:  # noqa: BLE001 — keep rendering the other figures
+            print(f"run: render of {spec_id} failed: {exc}", file=sys.stderr)
+            continue
+        text = table.render()
+        if rendered:
+            print()
+        print(text)
+        rendered += 1
+        if out_dir is not None:
+            (out_dir / f"{spec_id}.txt").write_text(text + "\n")
+
+    print(report.cache_stats_line(), file=sys.stderr)
+    return 0 if report.ok and rendered == len(ids) else 1
+
+
 def _run_compare(args: argparse.Namespace) -> int:
+    _configure_runner(args)
     profile = profile_by_name(args.app)
     settings = ex.ExperimentSettings(
         accesses=args.accesses, seed=args.seed, applications=(profile.name,)
@@ -144,8 +254,12 @@ def _run_compare(args: argparse.Namespace) -> int:
 
 
 def _run_figure(args: argparse.Namespace) -> int:
-    _, runner = _FIGURES[args.id]
-    table = runner(_settings(args))
+    spec = figures.experiment(args.id)
+    settings = _settings(args)
+    cache = _configure_runner(args)
+    if args.parallel > 1:
+        _warm_jobs(args, spec.jobs(settings), cache)
+    table = spec.render(settings)
     print(table.render())
     if args.chart:
         from repro.analysis.charts import render_bar_chart
@@ -198,14 +312,12 @@ def _run_check_lint(paths: list[str]) -> int:
 
 
 def _run_check_invariants(accesses: int, seed: int) -> int:
-    from repro.baselines.secure_nvm import TraditionalSecureNvmController
     from repro.check.invariants import CheckedController, InvariantViolation
-    from repro.core.dewrite import DeWriteController
+    from repro.core.registry import build_controller
     from repro.nvm.config import NvmConfig, NvmOrganization
     from repro.nvm.memory import NvmMainMemory
     from repro.system.simulator import simulate
     from repro.workloads.generator import generate_trace
-    from repro.workloads.profiles import profile_by_name
     from repro.workloads.worstcase import worst_case_trace
 
     line = 256
@@ -216,13 +328,13 @@ def _run_check_invariants(accesses: int, seed: int) -> int:
         )
 
     runs = [
-        ("dewrite/mcf", lambda: DeWriteController(make_nvm()),
+        ("dewrite/mcf", lambda: build_controller("dewrite", make_nvm()),
          generate_trace(profile_by_name("mcf"), accesses, seed=seed)),
-        ("dewrite-direct/lbm", lambda: DeWriteController(make_nvm(), mode="direct"),
+        ("dewrite-direct/lbm", lambda: build_controller("direct", make_nvm()),
          generate_trace(profile_by_name("lbm"), accesses, seed=seed)),
-        ("secure-nvm/sjeng", lambda: TraditionalSecureNvmController(make_nvm()),
+        ("secure-nvm/sjeng", lambda: build_controller("secure-nvm", make_nvm()),
          generate_trace(profile_by_name("sjeng"), accesses, seed=seed)),
-        ("dewrite/worstcase", lambda: DeWriteController(make_nvm()),
+        ("dewrite/worstcase", lambda: build_controller("dewrite", make_nvm()),
          worst_case_trace(num_accesses=accesses, seed=seed)),
     ]
     failures = 0
@@ -247,15 +359,20 @@ def _run_check_invariants(accesses: int, seed: int) -> int:
 
 
 def _run_list() -> int:
+    from repro.core.registry import available_controllers
+
     print("figures:")
-    for key, (description, _) in sorted(_FIGURES.items()):
-        print(f"  {key:8s} {description}")
+    for spec in figures.all_experiments():
+        print(f"  {spec.id:8s} {spec.description}")
     print("\napplications:")
     for profile in ALL_PROFILES:
         print(
             f"  {profile.name:14s} {profile.suite:6s} dup={profile.dup_ratio:.0%} "
             f"zero={profile.zero_line_fraction:.0%}"
         )
+    print("\ncontrollers:")
+    for name, description in available_controllers().items():
+        print(f"  {name:18s} {description}")
     return 0
 
 
@@ -263,6 +380,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     try:
+        if args.command == "run":
+            return _run_run(args)
         if args.command == "compare":
             return _run_compare(args)
         if args.command == "figure":

@@ -19,6 +19,7 @@ from repro.analysis.experiments import (
     metadata_cache_sweep,
     prediction_accuracy_survey,
     reference_count_survey,
+    related_work_comparison,
     run_app_comparison,
     storage_overhead_table,
     system_comparison_table,
@@ -29,6 +30,14 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.charts import render_bar_chart
 from repro.analysis.export import dump_json, load_json, report_to_dict, table_to_dict
+from repro.analysis.registry import (
+    ExperimentSpec,
+    all_experiments,
+    experiment,
+    experiment_ids,
+    plan_for,
+    register_experiment,
+)
 from repro.analysis.regression import RegressionReport, compare_tables
 from repro.analysis.reporting import Table
 
@@ -51,6 +60,13 @@ __all__ = [
     "storage_overhead_table",
     "write_reduction_survey",
     "traditional_dedup_comparison",
+    "related_work_comparison",
+    "ExperimentSpec",
+    "register_experiment",
+    "experiment",
+    "experiment_ids",
+    "all_experiments",
+    "plan_for",
     "render_bar_chart",
     "table_to_dict",
     "report_to_dict",

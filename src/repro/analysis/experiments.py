@@ -2,9 +2,17 @@
 
 Every runner takes an :class:`ExperimentSettings` (trace length, seed,
 application subset) so the same code serves quick smoke tests and the full
-reproduction.  System comparisons (baseline vs DeWrite on the same trace)
-are cached per (settings, application): Figs. 12/14/16/17/19 all read from
-one pass.
+reproduction.  Simulation work is *never* run inline: each runner asks the
+active :mod:`repro.runner.provider` for content-keyed job payloads
+(memo → on-disk cache → compute), so repeated calls, concurrent processes
+and the ``python -m repro run`` parallel engine all share one result per
+(workload × controller config × settings) and figures rendered from cached
+payloads are byte-identical to fresh runs.
+
+Each figure also exposes a ``*_jobs`` planner returning the
+:class:`~repro.runner.jobs.JobSpec` list it will request, which is what the
+parallel engine expands and fans out ahead of rendering (see
+:mod:`repro.analysis.registry`).
 """
 
 from __future__ import annotations
@@ -13,24 +21,20 @@ import statistics
 from dataclasses import dataclass, field
 
 from repro.analysis.reporting import Table
-from repro.baselines.bit_reduction import BitFlipAnalyzer
-from repro.baselines.modes import direct_way_controller, parallel_way_controller
-from repro.baselines.secure_nvm import TraditionalSecureNvmController
-from repro.baselines.traditional_dedup import traditional_dedup_controller
-from repro.core.config import DeWriteConfig, MetadataCacheConfig
-from repro.core.dewrite import DeWriteController
-from repro.core.colocation import counter_mode_overhead, deuce_overhead, dewrite_overhead
-from repro.core.predictor import HistoryWindowPredictor
+from repro.core.config import DeWriteConfig
 from repro.hashes.latency import CRC32_MODEL, MD5_MODEL, SHA1_MODEL
-from repro.nvm.memory import NvmMainMemory
+from repro.runner import provider as _provider
+from repro.runner.jobs import (
+    WORST_CASE_WORKLOAD,
+    JobSpec,
+    bitflip_spec,
+    metadata_sweep_spec,
+    simulate_spec,
+)
 from repro.system.cpu import CoreModelConfig
 from repro.system.metrics import SimulationReport
-from repro.system.simulator import simulate
-from repro.workloads.generator import generate_trace
-from repro.workloads.oracle import DedupOracle, is_zero_line
+from repro.workloads.oracle import DedupOracle
 from repro.workloads.profiles import ALL_PROFILES, ApplicationProfile
-from repro.workloads.trace import Trace
-from repro.workloads.worstcase import worst_case_trace
 
 
 @dataclass(frozen=True)
@@ -47,19 +51,27 @@ class ExperimentSettings:
         by_name = {p.name: p for p in ALL_PROFILES}
         return [by_name[name] for name in self.applications]
 
-    def trace_for(self, profile: ApplicationProfile) -> Trace:
+    def trace_for(self, profile: ApplicationProfile):
         """Generate this run's trace for one application."""
+        from repro.workloads.generator import generate_trace
+
         return generate_trace(profile, self.accesses, seed=self.seed)
 
 
 @dataclass(frozen=True)
 class ComparisonResult:
-    """Baseline vs DeWrite on one application's trace."""
+    """Baseline vs DeWrite on one application's trace.
+
+    Carries the dedup-index reference histogram captured at the end of the
+    DeWrite run (Fig. 7's input) instead of the live controller, so the
+    whole result is cacheable and worker-transportable.
+    """
 
     profile: ApplicationProfile
     baseline: SimulationReport
     dewrite: SimulationReport
-    dewrite_controller: DeWriteController
+    reference_histogram: tuple[tuple[int, int], ...]
+    reference_cap: int
 
     @property
     def speedups(self) -> dict[str, float]:
@@ -67,31 +79,67 @@ class ComparisonResult:
         return self.dewrite.speedup_vs(self.baseline)
 
 
-_comparison_cache: dict[tuple[ExperimentSettings, str], ComparisonResult] = {}
+# ---------------------------------------------------------------------------
+# Provider plumbing shared by every runner
+# ---------------------------------------------------------------------------
+
+
+def _sim_spec(
+    settings: ExperimentSettings,
+    workload: str,
+    controller: str,
+    opts: dict | None = None,
+    experiment: str = "",
+) -> JobSpec:
+    return simulate_spec(
+        workload=workload,
+        controller=controller,
+        opts=opts,
+        accesses=settings.accesses,
+        seed=settings.seed,
+        core=settings.core_config,
+        experiment=experiment,
+    )
+
+
+def _sim(
+    settings: ExperimentSettings,
+    workload: str,
+    controller: str,
+    opts: dict | None = None,
+    experiment: str = "",
+) -> tuple[SimulationReport, dict]:
+    """One simulation payload via the active provider."""
+    payload = _provider.active().get(
+        _sim_spec(settings, workload, controller, opts, experiment)
+    )
+    return SimulationReport.from_dict(payload["report"]), payload.get("extras", {})
+
+
+def comparison_jobs(settings: ExperimentSettings, experiment: str = "") -> list[JobSpec]:
+    """The shared baseline+DeWrite pair per application (Figs. 6/7/12/14-19)."""
+    jobs: list[JobSpec] = []
+    for profile in settings.profiles():
+        jobs.append(_sim_spec(settings, profile.name, "secure-nvm", experiment=experiment))
+        jobs.append(_sim_spec(settings, profile.name, "dewrite", experiment=experiment))
+    return jobs
 
 
 def run_app_comparison(
     profile: ApplicationProfile, settings: ExperimentSettings
 ) -> ComparisonResult:
     """Simulate one application under the baseline and under DeWrite."""
-    key = (settings, profile.name)
-    cached = _comparison_cache.get(key)
-    if cached is not None:
-        return cached
-    trace = settings.trace_for(profile)
-    baseline = simulate(
-        TraditionalSecureNvmController(NvmMainMemory()), trace, settings.core_config
-    )
-    controller = DeWriteController(NvmMainMemory())
-    dewrite = simulate(controller, trace, settings.core_config)
-    result = ComparisonResult(
+    baseline, _ = _sim(settings, profile.name, "secure-nvm", experiment="comparison")
+    dewrite, extras = _sim(settings, profile.name, "dewrite", experiment="comparison")
+    return ComparisonResult(
         profile=profile,
         baseline=baseline,
         dewrite=dewrite,
-        dewrite_controller=controller,
+        reference_histogram=tuple(
+            (int(ref), int(count)) for ref, count in extras.get("reference_histogram", [])
+        ),
+        reference_cap=int(extras.get("reference_cap", 255)),
     )
-    _comparison_cache[key] = result
-    return result
 
 
 def evaluate_all(settings: ExperimentSettings) -> dict[str, ComparisonResult]:
@@ -147,6 +195,8 @@ def prediction_accuracy_survey(
     Replays each application's ground-truth duplication-state sequence
     through offline predictors, exactly as §III-A evaluates them.
     """
+    from repro.core.predictor import HistoryWindowPredictor
+
     table = Table(
         "Fig. 4 — duplication-state prediction accuracy",
         ["application"] + [f"window={w}" for w in windows],
@@ -245,9 +295,9 @@ def reference_count_survey(settings: ExperimentSettings) -> Table:
         ["application", "live_lines", "max_reference", "fraction_below_cap"],
     )
     for name, result in evaluate_all(settings).items():
-        histogram = result.dewrite_controller.index.reference_histogram()
+        histogram = dict(result.reference_histogram)
         total = sum(histogram.values())
-        cap = result.dewrite_controller.config.reference_cap
+        cap = result.reference_cap
         below = sum(count for ref, count in histogram.items() if ref < cap)
         table.add_row(
             name,
@@ -262,6 +312,18 @@ def reference_count_survey(settings: ExperimentSettings) -> Table:
 # ---------------------------------------------------------------------------
 # Fig. 12 — write reduction
 # ---------------------------------------------------------------------------
+
+#: The 64x-constrained metadata-cache sizing used by
+#: ``write_reduction_survey(constrained_caches=True)``.
+CONSTRAINED_CACHE_OPTS = {
+    "metadata_cache": {
+        "hash_cache_bytes": 8 * 1024,
+        "address_map_cache_bytes": 8 * 1024,
+        "inverted_hash_cache_bytes": 8 * 1024,
+        "fsm_cache_bytes": 2 * 1024,
+        "prefetch_entries": 64,
+    }
+}
 
 
 def write_reduction_survey(
@@ -291,18 +353,14 @@ def write_reduction_survey(
     )
     for profile in settings.profiles():
         if constrained_caches:
-            config = DeWriteConfig(
-                metadata_cache=MetadataCacheConfig(
-                    hash_cache_bytes=8 * 1024,
-                    address_map_cache_bytes=8 * 1024,
-                    inverted_hash_cache_bytes=8 * 1024,
-                    fsm_cache_bytes=2 * 1024,
-                    prefetch_entries=64,
-                )
+            report, _ = _sim(
+                settings,
+                profile.name,
+                "dewrite",
+                opts=CONSTRAINED_CACHE_OPTS,
+                experiment="fig12-constrained",
             )
-            trace = settings.trace_for(profile)
-            controller = DeWriteController(NvmMainMemory(), config=config)
-            stats = simulate(controller, trace, settings.core_config).stats
+            stats = report.stats
         else:
             stats = run_app_comparison(profile, settings).dewrite.stats
         oracle = DedupOracle()
@@ -334,6 +392,19 @@ def write_reduction_survey(
 # ---------------------------------------------------------------------------
 
 
+def bitflip_jobs(settings: ExperimentSettings, experiment: str = "fig13") -> list[JobSpec]:
+    """One bit-flip analysis job per application (Fig. 13)."""
+    return [
+        bitflip_spec(
+            workload=profile.name,
+            accesses=settings.accesses,
+            seed=settings.seed,
+            experiment=experiment,
+        )
+        for profile in settings.profiles()
+    ]
+
+
 def bit_flip_comparison(settings: ExperimentSettings) -> Table:
     """Fig. 13: average bit-flip fraction per write for DCW/FNW/DEUCE,
     alone, with Silent Shredder, and with DeWrite in front."""
@@ -346,23 +417,14 @@ def bit_flip_comparison(settings: ExperimentSettings) -> Table:
             "dewrite+dcw", "dewrite+fnw", "dewrite+deuce",
         ],
     )
-    for profile in settings.profiles():
-        writes = settings.trace_for(profile).write_pairs()
-
-        plain = BitFlipAnalyzer().run(writes)
-        shredder = BitFlipAnalyzer().run(
-            writes, eliminator=lambda addr, data: is_zero_line(data)
-        )
-        dedup_oracle = DedupOracle()
-        dewrite = BitFlipAnalyzer().run(
-            writes, eliminator=lambda addr, data: dedup_oracle.observe_write(addr, data)
-        )
-        table.add_row(
-            profile.name,
-            plain.flip_fraction("dcw"), plain.flip_fraction("fnw"), plain.flip_fraction("deuce"),
-            shredder.flip_fraction("dcw"), shredder.flip_fraction("fnw"), shredder.flip_fraction("deuce"),
-            dewrite.flip_fraction("dcw"), dewrite.flip_fraction("fnw"), dewrite.flip_fraction("deuce"),
-        )
+    columns = [
+        "plain_dcw", "plain_fnw", "plain_deuce",
+        "shredder_dcw", "shredder_fnw", "shredder_deuce",
+        "dewrite_dcw", "dewrite_fnw", "dewrite_deuce",
+    ]
+    for spec in bitflip_jobs(settings):
+        fractions = _provider.active().get(spec)["fractions"]
+        table.add_row(spec.params["workload"], *(fractions[c] for c in columns))
     averages = [_mean([row[i] for row in table.rows]) for i in range(1, 10)]
     table.add_row("AVERAGE", *averages)
     table.add_note(
@@ -420,6 +482,19 @@ def system_comparison_table(settings: ExperimentSettings) -> Table:
 # Figs. 15/20 — integration-mode comparison
 # ---------------------------------------------------------------------------
 
+_INTEGRATION_MODES = ("direct", "parallel", "dewrite")
+
+
+def integration_mode_jobs(
+    settings: ExperimentSettings, experiment: str = "modes"
+) -> list[JobSpec]:
+    """Three integration-mode simulations per application (Figs. 15/20)."""
+    return [
+        _sim_spec(settings, profile.name, mode, experiment=experiment)
+        for profile in settings.profiles()
+        for mode in _INTEGRATION_MODES
+    ]
+
 
 def integration_mode_comparison(settings: ExperimentSettings) -> Table:
     """Figs. 15 and 20: direct way vs parallel way vs DeWrite — write
@@ -434,14 +509,9 @@ def integration_mode_comparison(settings: ExperimentSettings) -> Table:
         ],
     )
     for profile in settings.profiles():
-        trace = settings.trace_for(profile)
         reports = {}
-        for mode, factory in (
-            ("direct", direct_way_controller),
-            ("parallel", parallel_way_controller),
-            ("dewrite", lambda nvm: DeWriteController(nvm)),
-        ):
-            reports[mode] = simulate(factory(NvmMainMemory()), trace, settings.core_config)
+        for mode in _INTEGRATION_MODES:
+            reports[mode], _ = _sim(settings, profile.name, mode, experiment="modes")
         latency_base = reports["direct"].mean_write_latency_ns or 1.0
         energy_base = reports["parallel"].energy_nj or 1.0
         table.add_row(
@@ -465,13 +535,18 @@ def integration_mode_comparison(settings: ExperimentSettings) -> Table:
 # ---------------------------------------------------------------------------
 
 
+def worst_case_jobs(settings: ExperimentSettings, experiment: str = "fig18") -> list[JobSpec]:
+    """Baseline + DeWrite on the zero-duplicate adversarial trace."""
+    return [
+        _sim_spec(settings, WORST_CASE_WORKLOAD, "secure-nvm", experiment=experiment),
+        _sim_spec(settings, WORST_CASE_WORKLOAD, "dewrite", experiment=experiment),
+    ]
+
+
 def worst_case_comparison(settings: ExperimentSettings) -> Table:
     """Fig. 18: zero-duplicate workload — DeWrite vs baseline, normalised."""
-    trace = worst_case_trace(num_accesses=settings.accesses, seed=settings.seed)
-    baseline = simulate(
-        TraditionalSecureNvmController(NvmMainMemory()), trace, settings.core_config
-    )
-    dewrite = simulate(DeWriteController(NvmMainMemory()), trace, settings.core_config)
+    baseline, _ = _sim(settings, WORST_CASE_WORKLOAD, "secure-nvm", experiment="fig18")
+    dewrite, _ = _sim(settings, WORST_CASE_WORKLOAD, "dewrite", experiment="fig18")
     table = Table(
         "Fig. 18 — worst case (no duplicate writes), normalised to baseline",
         ["metric", "baseline", "dewrite", "relative"],
@@ -494,11 +569,37 @@ def worst_case_comparison(settings: ExperimentSettings) -> Table:
 # Fig. 21 — metadata cache sizing
 # ---------------------------------------------------------------------------
 
+_SWEEP_CACHE_SIZES_KB = (64, 128, 256, 512, 1024)
+_SWEEP_PREFETCHES = (64, 256, 1024)
+
+
+def metadata_sweep_jobs(
+    settings: ExperimentSettings,
+    cache_sizes_kb: tuple[int, ...] = _SWEEP_CACHE_SIZES_KB,
+    prefetch_entries: tuple[int, ...] = _SWEEP_PREFETCHES,
+    experiment: str = "fig21",
+) -> list[JobSpec]:
+    """One warm-then-measure sizing job per (app × size × prefetch)."""
+    return [
+        metadata_sweep_spec(
+            workload=profile.name,
+            accesses=settings.accesses,
+            seed=settings.seed,
+            size_kb=size_kb,
+            prefetch=prefetch,
+            core=settings.core_config,
+            experiment=experiment,
+        )
+        for size_kb in cache_sizes_kb
+        for prefetch in prefetch_entries
+        for profile in settings.profiles()
+    ]
+
 
 def metadata_cache_sweep(
     settings: ExperimentSettings,
-    cache_sizes_kb: tuple[int, ...] = (64, 128, 256, 512, 1024),
-    prefetch_entries: tuple[int, ...] = (64, 256, 1024),
+    cache_sizes_kb: tuple[int, ...] = _SWEEP_CACHE_SIZES_KB,
+    prefetch_entries: tuple[int, ...] = _SWEEP_PREFETCHES,
 ) -> Table:
     """Fig. 21: per-table metadata cache hit rate vs cache size (and
     prefetch granularity for the sequential tables)."""
@@ -517,28 +618,20 @@ def metadata_cache_sweep(
             }
             accesses: dict[str, int] = dict(hits)
             for profile in profiles:
-                trace = settings.trace_for(profile)
-                config = DeWriteConfig(
-                    metadata_cache=MetadataCacheConfig(
-                        hash_cache_bytes=size_kb * 1024,
-                        address_map_cache_bytes=size_kb * 1024,
-                        inverted_hash_cache_bytes=size_kb * 1024,
-                        fsm_cache_bytes=max(size_kb // 4, 4) * 1024,
-                        prefetch_entries=prefetch,
+                payload = _provider.active().get(
+                    metadata_sweep_spec(
+                        workload=profile.name,
+                        accesses=settings.accesses,
+                        seed=settings.seed,
+                        size_kb=size_kb,
+                        prefetch=prefetch,
+                        core=settings.core_config,
+                        experiment="fig21",
                     )
                 )
-                controller = DeWriteController(NvmMainMemory(), config=config)
-                # Warm with the first 40 % of the trace (the paper warms
-                # caches for 10 M instructions), measure on the rest.
-                split = max(1, int(len(trace.accesses) * 0.4))
-                warm = Trace(trace.name, trace.accesses[:split], trace.threads)
-                measured = Trace(trace.name, trace.accesses[split:], trace.threads)
-                simulate(controller, warm, settings.core_config)
-                controller.metadata.reset_stats()
-                simulate(controller, measured, settings.core_config)
-                for name, cache in controller.metadata.caches.items():
-                    hits[name] += cache.hits
-                    accesses[name] += cache.accesses
+                for name in hits:
+                    hits[name] += int(payload["hits"][name])
+                    accesses[name] += int(payload["accesses"][name])
 
             def rate(name: str) -> float:
                 return hits[name] / accesses[name] if accesses[name] else 1.0
@@ -562,6 +655,8 @@ def metadata_cache_sweep(
 
 def storage_overhead_table(settings: ExperimentSettings | None = None) -> Table:
     """§IV-E1: metadata storage overhead of DeWrite vs DEUCE vs plain CME."""
+    from repro.core.colocation import counter_mode_overhead, deuce_overhead, dewrite_overhead
+
     table = Table(
         "SIV-E1 — metadata storage overhead",
         ["scheme", "bits_per_line", "fraction_of_capacity"],
@@ -581,6 +676,24 @@ def storage_overhead_table(settings: ExperimentSettings | None = None) -> Table:
 # §V — related-work comparison
 # ---------------------------------------------------------------------------
 
+#: Display name → controller-registry name, in the table's row order.
+RELATED_WORK_SCHEMES = (
+    ("traditional secure NVM", "secure-nvm"),
+    ("out-of-line page dedup", "out-of-line"),
+    ("Silent Shredder", "silent-shredder"),
+    ("i-NVMM", "i-nvmm"),
+    ("DeWrite", "dewrite"),
+)
+
+
+def related_work_jobs(settings: ExperimentSettings, experiment: str = "related") -> list[JobSpec]:
+    """Five scheme simulations per application (§V)."""
+    return [
+        _sim_spec(settings, profile.name, registry_name, experiment=experiment)
+        for profile in settings.profiles()
+        for _, registry_name in RELATED_WORK_SCHEMES
+    ]
+
 
 def related_work_comparison(settings: ExperimentSettings) -> Table:
     """§V in one table: what each related scheme actually buys.
@@ -589,10 +702,6 @@ def related_work_comparison(settings: ExperimentSettings) -> Table:
     eliminates only zero lines; i-NVMM trades bus-snooping protection for
     hot-path speed; DeWrite eliminates all duplicates with full encryption.
     """
-    from repro.baselines.i_nvmm import INvmmController
-    from repro.baselines.out_of_line import OutOfLinePageDedupController
-    from repro.baselines.silent_shredder import SilentShredderController
-
     table = Table(
         "SV — related-work comparison (averaged over selected applications)",
         [
@@ -603,33 +712,27 @@ def related_work_comparison(settings: ExperimentSettings) -> Table:
             "energy_vs_baseline",
         ],
     )
-    factories = {
-        "traditional secure NVM": lambda nvm: TraditionalSecureNvmController(nvm),
-        "out-of-line page dedup": lambda nvm: OutOfLinePageDedupController(nvm),
-        "Silent Shredder": lambda nvm: SilentShredderController(nvm),
-        "i-NVMM": lambda nvm: INvmmController(nvm),
-        "DeWrite": lambda nvm: DeWriteController(nvm),
-    }
     sums = {
         name: {"reduction": 0.0, "capacity": 0.0, "plaintext": 0.0, "energy": 0.0}
-        for name in factories
+        for name, _ in RELATED_WORK_SCHEMES
     }
     profiles = settings.profiles()
     for profile in profiles:
-        trace = settings.trace_for(profile)
         baseline_energy = None
-        for name, factory in factories.items():
-            controller = factory(NvmMainMemory())
-            report = simulate(controller, trace, settings.core_config)
+        for name, registry_name in RELATED_WORK_SCHEMES:
+            report, extras = _sim(
+                settings, profile.name, registry_name, experiment="related"
+            )
             if name == "traditional secure NVM":
                 baseline_energy = report.energy_nj
             bucket = sums[name]
             bucket["reduction"] += report.write_reduction
-            bucket["capacity"] += getattr(controller, "capacity_saved_lines", 0)
-            bucket["plaintext"] += getattr(controller, "plaintext_bus_transfers", 0)
+            bucket["capacity"] += extras.get("capacity_saved_lines", 0)
+            bucket["plaintext"] += extras.get("plaintext_bus_transfers", 0)
             bucket["energy"] += report.energy_nj / baseline_energy
     n = len(profiles)
-    for name, bucket in sums.items():
+    for name, _ in RELATED_WORK_SCHEMES:
+        bucket = sums[name]
         table.add_row(
             name,
             bucket["reduction"] / n,
@@ -647,6 +750,19 @@ def related_work_comparison(settings: ExperimentSettings) -> Table:
 # ---------------------------------------------------------------------------
 
 
+def traditional_dedup_jobs(
+    settings: ExperimentSettings, experiment: str = "tradedup"
+) -> list[JobSpec]:
+    """SHA-1 traditional dedup + DeWrite per application (Table I support)."""
+    jobs: list[JobSpec] = []
+    for profile in settings.profiles():
+        jobs.append(
+            _sim_spec(settings, profile.name, "traditional-dedup", experiment=experiment)
+        )
+        jobs.append(_sim_spec(settings, profile.name, "dewrite", experiment=experiment))
+    return jobs
+
+
 def traditional_dedup_comparison(settings: ExperimentSettings) -> Table:
     """End-to-end: SHA-1 traditional in-line dedup vs DeWrite write latency."""
     table = Table(
@@ -654,11 +770,10 @@ def traditional_dedup_comparison(settings: ExperimentSettings) -> Table:
         ["application", "traditional_ns", "dewrite_ns", "dewrite_advantage"],
     )
     for profile in settings.profiles():
-        trace = settings.trace_for(profile)
-        traditional = simulate(
-            traditional_dedup_controller(NvmMainMemory()), trace, settings.core_config
+        traditional, _ = _sim(
+            settings, profile.name, "traditional-dedup", experiment="tradedup"
         )
-        dewrite = simulate(DeWriteController(NvmMainMemory()), trace, settings.core_config)
+        dewrite, _ = _sim(settings, profile.name, "dewrite", experiment="tradedup")
         table.add_row(
             profile.name,
             traditional.mean_write_latency_ns,

@@ -1,0 +1,216 @@
+"""Declarative experiment registry: one :class:`ExperimentSpec` per figure.
+
+The CLI's ``list``/``figure``/``run`` subcommands and the parallel engine
+all read from this registry instead of hard-coded dispatch tables, so
+adding a paper figure is one :func:`register_experiment` call supplying:
+
+- ``id``      — the CLI name (``fig12``, ``system``, ...);
+- ``anchor``  — where in the paper the artifact lives (``"Fig. 12"``);
+- ``description`` — one line for ``python -m repro list``;
+- ``render``  — ``ExperimentSettings -> Table`` (the functions in
+  :mod:`repro.analysis.experiments`);
+- ``plan``    — ``ExperimentSettings -> list[JobSpec]``: the simulation
+  jobs the render will request, which the parallel engine expands,
+  deduplicates across figures and fans out ahead of rendering.
+
+Figures whose renderers only replay traces through oracles (no system
+simulation) plan zero jobs and simply render inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis import experiments as ex
+from repro.analysis.reporting import Table
+from repro.runner.jobs import JobSpec
+
+PlanFn = Callable[[ex.ExperimentSettings], list[JobSpec]]
+RenderFn = Callable[[ex.ExperimentSettings], Table]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered evaluation artifact (figure/table of the paper)."""
+
+    id: str
+    anchor: str
+    description: str
+    render: RenderFn
+    plan: PlanFn
+
+    def jobs(self, settings: ex.ExperimentSettings) -> list[JobSpec]:
+        """The simulation jobs this figure's render will request."""
+        return self.plan(settings)
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+class UnknownExperimentError(KeyError):
+    """Raised when a figure id is not registered."""
+
+
+def register_experiment(spec: ExperimentSpec, *, replace: bool = False) -> None:
+    """Add one spec to the registry (the figure id must be unique)."""
+    if not replace and spec.id in _REGISTRY:
+        raise ValueError(f"experiment {spec.id!r} is already registered")
+    _REGISTRY[spec.id] = spec
+
+
+def experiment(spec_id: str) -> ExperimentSpec:
+    """Look one spec up by id."""
+    try:
+        return _REGISTRY[spec_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownExperimentError(
+            f"unknown experiment {spec_id!r}; registered: {known}"
+        ) from None
+
+
+def all_experiments() -> list[ExperimentSpec]:
+    """Every registered spec, in id order."""
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def experiment_ids() -> list[str]:
+    """All registered figure ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def plan_for(spec_ids: list[str], settings: ex.ExperimentSettings) -> list[JobSpec]:
+    """Planned jobs for a set of figures, deduplicated by job identity.
+
+    Order is preserved (first figure's jobs first) so progress output
+    follows the figure order; figures sharing a comparison share the job.
+    """
+    seen: set[tuple[str, str]] = set()
+    jobs: list[JobSpec] = []
+    for spec_id in spec_ids:
+        for job in experiment(spec_id).jobs(settings):
+            if job.identity in seen:
+                continue
+            seen.add(job.identity)
+            jobs.append(job)
+    return jobs
+
+
+def _no_jobs(settings: ex.ExperimentSettings) -> list[JobSpec]:
+    return []
+
+
+_COMPARISON_FIGURES = (
+    ("fig6", "Fig. 6", "CRC-32 collision rate", ex.collision_survey),
+    ("fig7", "Fig. 7", "reference counts", ex.reference_count_survey),
+    ("fig12", "Fig. 12", "write reduction", ex.write_reduction_survey),
+    (
+        "system",
+        "Figs. 14/16/17/19",
+        "write/read speedup, IPC, energy (Figs. 14/16/17/19)",
+        ex.system_comparison_table,
+    ),
+)
+
+for _id, _anchor, _description, _render in _COMPARISON_FIGURES:
+    register_experiment(
+        ExperimentSpec(
+            id=_id,
+            anchor=_anchor,
+            description=_description,
+            render=_render,
+            plan=ex.comparison_jobs,
+        )
+    )
+
+register_experiment(
+    ExperimentSpec(
+        id="fig2",
+        anchor="Fig. 2",
+        description="duplicate lines written to memory",
+        render=ex.duplication_survey,
+        plan=_no_jobs,
+    )
+)
+register_experiment(
+    ExperimentSpec(
+        id="fig4",
+        anchor="Fig. 4",
+        description="prediction accuracy",
+        render=ex.prediction_accuracy_survey,
+        plan=_no_jobs,
+    )
+)
+register_experiment(
+    ExperimentSpec(
+        id="table1",
+        anchor="Table I",
+        description="detection latency model",
+        render=ex.table1_detection_latency,
+        plan=_no_jobs,
+    )
+)
+register_experiment(
+    ExperimentSpec(
+        id="fig13",
+        anchor="Fig. 13",
+        description="bit flips under DCW/FNW/DEUCE",
+        render=ex.bit_flip_comparison,
+        plan=ex.bitflip_jobs,
+    )
+)
+register_experiment(
+    ExperimentSpec(
+        id="modes",
+        anchor="Figs. 15/20",
+        description="direct vs parallel vs DeWrite (Figs. 15/20)",
+        render=ex.integration_mode_comparison,
+        plan=ex.integration_mode_jobs,
+    )
+)
+register_experiment(
+    ExperimentSpec(
+        id="fig18",
+        anchor="Fig. 18",
+        description="worst case, no duplicates",
+        render=ex.worst_case_comparison,
+        plan=ex.worst_case_jobs,
+    )
+)
+register_experiment(
+    ExperimentSpec(
+        id="fig21",
+        anchor="Fig. 21",
+        description="metadata cache sizing",
+        render=ex.metadata_cache_sweep,
+        plan=ex.metadata_sweep_jobs,
+    )
+)
+register_experiment(
+    ExperimentSpec(
+        id="storage",
+        anchor="SIV-E1",
+        description="metadata storage overhead (SIV-E1)",
+        render=ex.storage_overhead_table,
+        plan=_no_jobs,
+    )
+)
+register_experiment(
+    ExperimentSpec(
+        id="related",
+        anchor="SV",
+        description="related-work comparison (SV)",
+        render=ex.related_work_comparison,
+        plan=ex.related_work_jobs,
+    )
+)
+register_experiment(
+    ExperimentSpec(
+        id="tradedup",
+        anchor="Table I(b)",
+        description="traditional SHA-1 dedup vs DeWrite latency",
+        render=ex.traditional_dedup_comparison,
+        plan=ex.traditional_dedup_jobs,
+    )
+)

@@ -9,12 +9,18 @@
 
 DeWrite (``mode="predictive"``) picks per-write between them using the
 history-window prediction; Figs. 15 and 20 quantify the trade.
+
+.. deprecated::
+    These factories are thin shims over the controller registry — new
+    code should call :func:`repro.core.registry.build_controller` with
+    ``"direct"`` / ``"parallel"`` instead.
 """
 
 from __future__ import annotations
 
 from repro.core.config import DeWriteConfig
 from repro.core.dewrite import DeWriteController
+from repro.core.registry import build_controller
 from repro.crypto.counter_mode import CounterModeEngine
 from repro.nvm.memory import NvmMainMemory
 
@@ -24,8 +30,14 @@ def direct_way_controller(
     config: DeWriteConfig | None = None,
     cme: CounterModeEngine | None = None,
 ) -> DeWriteController:
-    """DeWrite's machinery with strictly serial detection → encryption."""
-    return DeWriteController(nvm, config=config, mode="direct", cme=cme)
+    """DeWrite's machinery with strictly serial detection → encryption.
+
+    Shim over ``build_controller("direct", nvm, ...)``.
+    """
+    controller = build_controller("direct", nvm, config=config, cme=cme)
+    if not isinstance(controller, DeWriteController):
+        raise TypeError("registry returned an unexpected controller type")
+    return controller
 
 
 def parallel_way_controller(
@@ -33,5 +45,11 @@ def parallel_way_controller(
     config: DeWriteConfig | None = None,
     cme: CounterModeEngine | None = None,
 ) -> DeWriteController:
-    """DeWrite's machinery with unconditional speculative encryption."""
-    return DeWriteController(nvm, config=config, mode="parallel", cme=cme)
+    """DeWrite's machinery with unconditional speculative encryption.
+
+    Shim over ``build_controller("parallel", nvm, ...)``.
+    """
+    controller = build_controller("parallel", nvm, config=config, cme=cme)
+    if not isinstance(controller, DeWriteController):
+        raise TypeError("registry returned an unexpected controller type")
+    return controller

@@ -9,6 +9,7 @@ latency sums (Figs. 14–16) and energy (via the NVM account).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass
@@ -36,6 +37,19 @@ class LatencyAccumulator:
         self.total_ns = 0.0
         self.count = 0
         self.max_ns = 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        """Lossless JSON-shaped snapshot (cache blobs, worker transport)."""
+        return {"total_ns": self.total_ns, "count": self.count, "max_ns": self.max_ns}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, float]) -> "LatencyAccumulator":
+        """Rebuild an accumulator from :meth:`to_dict` output."""
+        return cls(
+            total_ns=float(payload["total_ns"]),
+            count=int(payload["count"]),
+            max_ns=float(payload["max_ns"]),
+        )
 
 
 @dataclass
@@ -120,6 +134,47 @@ class DeWriteStats:
         if not self.writes_requested:
             return 0.0
         return self.crc_collisions / self.writes_requested
+
+    _COUNTER_FIELDS = (
+        "writes_requested",
+        "writes_deduplicated",
+        "writes_stored",
+        "missed_duplicates_pna",
+        "capped_reference_rejects",
+        "hash_matches",
+        "verify_reads",
+        "crc_collisions",
+        "predictions",
+        "correct_predictions",
+        "wasted_encryptions",
+        "serialized_detections",
+        "metadata_reads",
+        "metadata_writebacks",
+        "reads_requested",
+        "reads_redirected",
+    )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Lossless JSON-shaped snapshot of every counter and accumulator.
+
+        Unlike :meth:`as_dict` (a flat summary with derived ratios), this
+        round-trips bit-for-bit through :meth:`from_dict`, which the result
+        cache and worker transport rely on.
+        """
+        payload: dict[str, Any] = {
+            name: getattr(self, name) for name in self._COUNTER_FIELDS
+        }
+        payload["write_latency"] = self.write_latency.to_dict()
+        payload["read_latency"] = self.read_latency.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DeWriteStats":
+        """Rebuild a stats object from :meth:`to_dict` output."""
+        stats = cls(**{name: int(payload[name]) for name in cls._COUNTER_FIELDS})
+        stats.write_latency = LatencyAccumulator.from_dict(payload["write_latency"])
+        stats.read_latency = LatencyAccumulator.from_dict(payload["read_latency"])
+        return stats
 
     def as_dict(self) -> dict[str, float]:
         """Flat summary for reports."""

@@ -1,0 +1,59 @@
+"""Parallel experiment execution engine (planner, cache, provider, pool).
+
+The evaluation's (figure × application × controller config) simulations
+are independent and deterministic — the classic embarrassingly-parallel
+sweep.  This package turns the registered experiments into content-keyed
+:class:`~repro.runner.jobs.JobSpec` units, resolves them through a
+bounded in-process memo plus a persistent on-disk JSON cache
+(:mod:`repro.runner.cache`), and fans cache misses out over worker
+processes with per-job timeout and retry-once-on-crash handling
+(:mod:`repro.runner.engine`).  ``python -m repro run --parallel N`` is the
+CLI front end; results are bit-identical to serial runs because every
+seed travels inside its job.
+"""
+
+from repro.runner.cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheStats,
+    ResultCache,
+    code_fingerprint,
+    default_cache_dir,
+    job_key,
+)
+from repro.runner.engine import JobFailure, RunReport, run_jobs
+from repro.runner.jobs import (
+    WORST_CASE_WORKLOAD,
+    JobSpec,
+    bitflip_spec,
+    canonical_json,
+    execute_job,
+    metadata_sweep_spec,
+    register_job_kind,
+    simulate_spec,
+)
+from repro.runner.provider import ProviderStats, ResultProvider, active, configure, reset
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "JobFailure",
+    "JobSpec",
+    "ProviderStats",
+    "ResultCache",
+    "ResultProvider",
+    "RunReport",
+    "WORST_CASE_WORKLOAD",
+    "active",
+    "bitflip_spec",
+    "canonical_json",
+    "code_fingerprint",
+    "configure",
+    "default_cache_dir",
+    "execute_job",
+    "job_key",
+    "metadata_sweep_spec",
+    "register_job_kind",
+    "reset",
+    "run_jobs",
+    "simulate_spec",
+]

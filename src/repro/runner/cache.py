@@ -1,0 +1,183 @@
+"""Persistent on-disk result cache for experiment jobs.
+
+Replaces the old process-local ``_comparison_cache`` dict: results are
+JSON blobs keyed by a stable content hash of the job's full input
+(kind + canonical parameters) plus a fingerprint of the simulator source
+code, so repeated runs, concurrent runs and different processes all share
+work — and any change to the timed code automatically invalidates every
+stale entry (new fingerprint, new key) instead of serving wrong numbers.
+
+Blob layout (one file per key, sharded by the first two hex digits)::
+
+    <cache-dir>/ab/ab12…ef.json
+    {"schema": 1, "key": "ab12…ef", "payload": {...}, "meta": {...}}
+
+Robustness guarantees:
+
+- a corrupt blob (truncated write, bad JSON, wrong shape) is treated as a
+  miss and recomputed, never crashed on;
+- a blob with a different ``schema`` version is treated as a miss;
+- writes are atomic (temp file + ``os.replace``) so concurrent runs that
+  race on the same key cannot tear each other's blobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.runner.jobs import JobSpec
+
+#: Bump when the payload shape of any job kind changes; old blobs become
+#: misses (recomputed and overwritten), not crashes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Packages whose source determines simulation results.  ``analysis``,
+#: ``check`` and ``runner`` itself are presentation/orchestration layers:
+#: editing them must not invalidate cached simulation payloads.
+_FINGERPRINT_PACKAGES = (
+    "core",
+    "nvm",
+    "crypto",
+    "system",
+    "workloads",
+    "baselines",
+    "hashes",
+)
+
+_code_fingerprint_memo: str | None = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR", "")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def code_fingerprint() -> str:
+    """Digest of the simulator source tree (memoised per process).
+
+    Hashes every ``.py`` file of the result-determining packages in a
+    deterministic order; any edit to the timed code changes every cache
+    key, which is how stale results are invalidated without a manual
+    cache flush.
+    """
+    global _code_fingerprint_memo
+    if _code_fingerprint_memo is not None:
+        return _code_fingerprint_memo
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for package in _FINGERPRINT_PACKAGES:
+        package_dir = root / package
+        if not package_dir.is_dir():
+            continue
+        for source in sorted(package_dir.rglob("*.py")):
+            digest.update(source.relative_to(root).as_posix().encode())
+            digest.update(b"\x00")
+            digest.update(source.read_bytes())
+    _code_fingerprint_memo = digest.hexdigest()[:16]
+    return _code_fingerprint_memo
+
+
+def job_key(spec: JobSpec, fingerprint: str | None = None) -> str:
+    """Stable content hash naming one job's cache entry."""
+    material = {
+        "kind": spec.kind,
+        "params": spec.params_json,
+        "code": fingerprint if fingerprint is not None else code_fingerprint(),
+        "schema": CACHE_SCHEMA_VERSION,
+    }
+    encoded = json.dumps(material, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(encoded).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    invalid: int = 0  # corrupt or schema-mismatched blobs (counted as misses)
+    writes: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. between warm-up and measured phases)."""
+        self.hits = 0
+        self.misses = 0
+        self.invalid = 0
+        self.writes = 0
+
+
+@dataclass
+class ResultCache:
+    """JSON-blob store under one directory, keyed by :func:`job_key`."""
+
+    directory: Path = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory).expanduser()
+
+    def path_for(self, key: str) -> Path:
+        """Blob location for one key."""
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached payload, or ``None`` on miss/corruption/version skew."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            blob = json.loads(raw)
+        except json.JSONDecodeError:
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(blob, dict)
+            or blob.get("schema") != CACHE_SCHEMA_VERSION
+            or blob.get("key") != key
+            or not isinstance(blob.get("payload"), dict)
+        ):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return blob["payload"]
+
+    def put(self, key: str, payload: dict[str, Any], meta: dict[str, Any] | None = None) -> None:
+        """Atomically store one payload (last writer wins on races)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "payload": payload,
+            "meta": meta or {},
+        }
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(blob, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1

@@ -1,0 +1,269 @@
+"""Parallel experiment execution engine.
+
+:func:`run_jobs` takes the planner's :class:`~repro.runner.jobs.JobSpec`
+list and resolves every job, fanning cache misses out over a
+``ProcessPoolExecutor``:
+
+1. **dedupe** — jobs with equal ``identity`` collapse to one run (several
+   figures share the same baseline-vs-DeWrite comparison);
+2. **disk lookup** — warm cache entries are served without any process
+   spawn (a fully warm run executes zero simulations);
+3. **schedule** — misses run on ``--parallel N`` worker processes with a
+   per-job timeout and retry-once-on-crash handling (a worker that raises
+   *or* dies taking the pool down gets one resubmission; a second failure
+   is recorded, not raised);
+4. **prime** — every payload is pushed into the active
+   :mod:`~repro.runner.provider` memo (and the disk cache), so the figure
+   renderers that run afterwards hit warm results only.
+
+Determinism: each job regenerates its trace from the seed carried inside
+its spec and runs in isolation, so results are bit-identical whatever the
+worker count or completion order — the engine only changes *where* a job
+runs, never *what* it computes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.runner import provider as provider_module
+from repro.runner.cache import ResultCache, job_key
+from repro.runner.jobs import JobSpec, execute_job
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One job that failed even after its retry."""
+
+    spec: JobSpec
+    error: str
+    attempts: int
+
+
+@dataclass
+class RunReport:
+    """Outcome and accounting of one :func:`run_jobs` invocation."""
+
+    planned: int = 0
+    unique: int = 0
+    disk_hits: int = 0
+    executed: int = 0
+    simulations: int = 0
+    retries: int = 0
+    failures: list[JobFailure] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every unique job produced a payload."""
+        return not self.failures
+
+    def cache_stats_line(self) -> str:
+        """The run summary's cache-stats line (machine-greppable)."""
+        return (
+            f"cache-stats: {self.unique} unique jobs "
+            f"({self.planned} planned), {self.disk_hits} warm from cache, "
+            f"{self.executed} executed, {self.simulations} simulations executed, "
+            f"{self.retries} retried, {len(self.failures)} failed "
+            f"[{self.elapsed_s:.1f}s]"
+        )
+
+
+def _pool_worker(kind: str, params_json: str) -> dict[str, Any]:
+    """Top-level (picklable) worker entry: execute one job by content."""
+    return execute_job(JobSpec(kind, params_json))
+
+
+def _execute_with_retry(
+    spec: JobSpec, retries: int, report: RunReport
+) -> dict[str, Any] | None:
+    """Serial fallback path: run in-process, retrying once on any error."""
+    for attempt in range(1, retries + 2):
+        try:
+            return execute_job(spec)
+        except Exception as exc:  # noqa: BLE001 — a failed job must not kill the run
+            if attempt <= retries:
+                report.retries += 1
+                continue
+            report.failures.append(
+                JobFailure(spec=spec, error=f"{type(exc).__name__}: {exc}", attempts=attempt)
+            )
+    return None
+
+
+def run_jobs(
+    jobs: list[JobSpec],
+    *,
+    parallel: int = 1,
+    cache: ResultCache | None = None,
+    job_timeout_s: float = 600.0,
+    retries: int = 1,
+    progress: ProgressFn | None = None,
+    prime: bool = True,
+) -> RunReport:
+    """Resolve every job; fan cache misses out over worker processes.
+
+    Args:
+        jobs: planned specs (duplicates by identity are collapsed).
+        parallel: worker process count; ``<= 1`` runs everything serially
+            in this process (bit-identical results either way).
+        cache: optional on-disk cache consulted before and written after
+            every execution.
+        job_timeout_s: per-job wall-clock budget; an overrun counts as a
+            crash (retried once, then recorded as a failure).
+        retries: resubmissions per job after a crash/timeout (default 1).
+        progress: optional callback receiving one line per resolved job.
+        prime: push results into the active provider memo so subsequent
+            figure rendering in this process executes nothing.
+    """
+    started = time.monotonic()
+    report = RunReport(planned=len(jobs))
+
+    unique: dict[tuple[str, str], JobSpec] = {}
+    for spec in jobs:
+        unique.setdefault(spec.identity, spec)
+    report.unique = len(unique)
+    total = len(unique)
+
+    results: dict[tuple[str, str], dict[str, Any]] = {}
+
+    def note(spec: JobSpec, status: str) -> None:
+        if progress is not None:
+            progress(f"[{len(results) + len(report.failures)}/{total}] {spec.label}: {status}")
+
+    # Phase 1 — disk lookups.
+    misses: list[JobSpec] = []
+    for identity, spec in unique.items():
+        payload = cache.get(job_key(spec)) if cache is not None else None
+        if payload is not None:
+            results[identity] = payload
+            report.disk_hits += 1
+            note(spec, "cached")
+        else:
+            misses.append(spec)
+
+    def record(spec: JobSpec, payload: dict[str, Any]) -> None:
+        results[spec.identity] = payload
+        report.executed += 1
+        report.simulations += int(payload.get("simulations", 0))
+        if cache is not None:
+            cache.put(job_key(spec), payload, meta={"label": spec.label})
+        note(spec, "done")
+
+    # Phase 2 — execute misses (serial, or across a process pool).
+    if parallel <= 1 or len(misses) <= 1:
+        for spec in misses:
+            payload = _execute_with_retry(spec, retries, report)
+            if payload is not None:
+                record(spec, payload)
+            else:
+                note(spec, "FAILED")
+    elif misses:
+        _run_pool(
+            misses,
+            parallel=parallel,
+            job_timeout_s=job_timeout_s,
+            retries=retries,
+            record=record,
+            report=report,
+            note=note,
+        )
+
+    # Phase 3 — prime the in-process provider for the render phase.
+    if prime:
+        active = provider_module.active()
+        for identity, payload in results.items():
+            active.prime(unique[identity], payload)
+
+    report.elapsed_s = time.monotonic() - started
+    return report
+
+
+def _run_pool(
+    misses: list[JobSpec],
+    *,
+    parallel: int,
+    job_timeout_s: float,
+    retries: int,
+    record: Callable[[JobSpec, dict[str, Any]], None],
+    report: RunReport,
+    note: Callable[[JobSpec, str], None],
+) -> None:
+    """Scheduler loop: submit, collect, enforce timeouts, retry crashes."""
+    max_workers = min(parallel, len(misses))
+    executor = ProcessPoolExecutor(max_workers=max_workers)
+    pending: dict[Future, tuple[JobSpec, float, int]] = {}
+
+    def fail(spec: JobSpec, error: str, attempt: int) -> None:
+        report.failures.append(JobFailure(spec=spec, error=error, attempts=attempt))
+        note(spec, f"FAILED ({error})")
+
+    def submit(spec: JobSpec, attempt: int) -> None:
+        future = executor.submit(_pool_worker, spec.kind, spec.params_json)
+        pending[future] = (spec, time.monotonic() + job_timeout_s, attempt)
+
+    def resubmit_or_fail(spec: JobSpec, error: str, attempt: int) -> None:
+        if attempt <= retries:
+            report.retries += 1
+            submit(spec, attempt + 1)
+        else:
+            fail(spec, error, attempt)
+
+    try:
+        for spec in misses:
+            submit(spec, 1)
+        while pending:
+            try:
+                done, _ = wait(list(pending), timeout=0.25, return_when=FIRST_COMPLETED)
+            except BrokenProcessPool:
+                done = set()
+            broken = False
+            for future in done:
+                spec, _deadline, attempt = pending.pop(future)
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    # A worker died hard (segfault / os._exit): the whole
+                    # pool is poisoned.  Rebuild it and resubmit everything
+                    # still outstanding, charging each job one attempt.
+                    broken = True
+                    resubmit_later = [(spec, attempt)]
+                    resubmit_later.extend(
+                        (other, other_attempt)
+                        for other, _d, other_attempt in pending.values()
+                    )
+                    pending.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(max_workers=max_workers)
+                    for other, other_attempt in resubmit_later:
+                        resubmit_or_fail(other, "worker process died", other_attempt)
+                    break
+                except Exception as exc:  # noqa: BLE001 — job errors are data
+                    resubmit_or_fail(spec, f"{type(exc).__name__}: {exc}", attempt)
+                else:
+                    record(spec, payload)
+            if broken:
+                continue
+            now = time.monotonic()
+            for future, (spec, deadline, attempt) in list(pending.items()):
+                if now <= deadline:
+                    continue
+                # A running worker cannot be interrupted; abandon the
+                # future (its eventual result is ignored) and move on.
+                future.cancel()
+                del pending[future]
+                resubmit_or_fail(spec, f"timeout after {job_timeout_s:.0f}s", attempt)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def stderr_progress(line: str) -> None:
+    """Default progress sink: one line per job on stderr."""
+    print(line, file=sys.stderr, flush=True)

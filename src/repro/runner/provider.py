@@ -1,0 +1,120 @@
+"""Process-wide result provider: memo → disk cache → compute.
+
+Experiment runners never call :func:`repro.system.simulator.simulate`
+directly any more; they ask the active provider for a job's payload.  The
+provider resolves it through three layers:
+
+1. a bounded in-process LRU memo (replacing the old unbounded
+   ``_comparison_cache`` module global);
+2. the optional on-disk :class:`~repro.runner.cache.ResultCache`;
+3. executing the job in-process via
+   :func:`repro.runner.jobs.execute_job`.
+
+The parallel engine primes layer 1 (and writes layer 2) for every job it
+ran in a worker, so a figure rendered after an engine warm-up executes
+zero simulations — the counters on :class:`ProviderStats` are what the
+run summary's cache-stats line reports.
+
+By default the provider has *no* disk cache (tests and library callers
+stay hermetic); the CLI installs one via :func:`configure`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.runner.cache import ResultCache, job_key
+from repro.runner.jobs import JobSpec, execute_job
+
+
+@dataclass
+class ProviderStats:
+    """Where results came from, and how much simulation work ran."""
+
+    memo_hits: int = 0
+    disk_hits: int = 0
+    executed: int = 0
+    simulations: int = 0
+    primed: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.memo_hits = 0
+        self.disk_hits = 0
+        self.executed = 0
+        self.simulations = 0
+        self.primed = 0
+
+    @property
+    def requests(self) -> int:
+        """Total payload lookups."""
+        return self.memo_hits + self.disk_hits + self.executed
+
+
+class ResultProvider:
+    """Memo + disk-cache + compute resolver for job payloads."""
+
+    def __init__(self, cache: ResultCache | None = None, memo_capacity: int = 4096) -> None:
+        if memo_capacity < 1:
+            raise ValueError("memo capacity must be positive")
+        self.cache = cache
+        self.memo_capacity = memo_capacity
+        self.stats = ProviderStats()
+        self._memo: OrderedDict[str, dict[str, Any]] = OrderedDict()
+
+    def _memo_store(self, key: str, payload: dict[str, Any]) -> None:
+        self._memo[key] = payload
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.memo_capacity:
+            self._memo.popitem(last=False)
+
+    def get(self, spec: JobSpec) -> dict[str, Any]:
+        """Resolve one job's payload (memo → disk → compute)."""
+        key = job_key(spec)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self._memo.move_to_end(key)
+            self.stats.memo_hits += 1
+            return cached
+        if self.cache is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                self.stats.disk_hits += 1
+                self._memo_store(key, payload)
+                return payload
+        payload = execute_job(spec)
+        self.stats.executed += 1
+        self.stats.simulations += int(payload.get("simulations", 0))
+        if self.cache is not None:
+            self.cache.put(key, payload, meta={"label": spec.label})
+        self._memo_store(key, payload)
+        return payload
+
+    def prime(self, spec: JobSpec, payload: dict[str, Any]) -> None:
+        """Seed the memo with a payload computed elsewhere (engine worker)."""
+        self._memo_store(job_key(spec), payload)
+        self.stats.primed += 1
+
+
+_active = ResultProvider()
+
+
+def active() -> ResultProvider:
+    """The provider all experiment runners resolve through."""
+    return _active
+
+
+def configure(
+    cache: ResultCache | None = None, memo_capacity: int = 4096
+) -> ResultProvider:
+    """Install (and return) a fresh provider — e.g. with a disk cache."""
+    global _active
+    _active = ResultProvider(cache=cache, memo_capacity=memo_capacity)
+    return _active
+
+
+def reset() -> ResultProvider:
+    """Back to the default hermetic provider (no disk cache); for tests."""
+    return configure(cache=None)

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.stats import DeWriteStats
 from repro.nvm.wear import WearSummary
@@ -30,6 +32,50 @@ class SimulationReport:
     def write_reduction(self) -> float:
         """Fraction of requested line writes eliminated."""
         return self.stats.write_reduction
+
+    def to_dict(self) -> dict[str, Any]:
+        """Lossless JSON-shaped snapshot of the whole report.
+
+        ``from_dict(to_dict(report)) == report`` holds exactly: floats
+        survive a JSON round trip bit-for-bit (shortest-repr encoding), so
+        figures rendered from cached reports are byte-identical to figures
+        rendered from fresh runs.  This is what the on-disk result cache
+        and the parallel runner's worker transport serialise.
+        """
+        return {
+            "workload": self.workload,
+            "controller": self.controller,
+            "instructions": self.instructions,
+            "total_cycles": self.total_cycles,
+            "ipc": self.ipc,
+            "makespan_ns": self.makespan_ns,
+            "mean_write_latency_ns": self.mean_write_latency_ns,
+            "mean_read_latency_ns": self.mean_read_latency_ns,
+            "energy_nj": self.energy_nj,
+            "energy_breakdown": dict(self.energy_breakdown),
+            "wear": dataclasses.asdict(self.wear),
+            "stats": self.stats.to_dict(),
+            "mean_bank_wait_ns": self.mean_bank_wait_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SimulationReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            workload=payload["workload"],
+            controller=payload["controller"],
+            instructions=int(payload["instructions"]),
+            total_cycles=float(payload["total_cycles"]),
+            ipc=float(payload["ipc"]),
+            makespan_ns=float(payload["makespan_ns"]),
+            mean_write_latency_ns=float(payload["mean_write_latency_ns"]),
+            mean_read_latency_ns=float(payload["mean_read_latency_ns"]),
+            energy_nj=float(payload["energy_nj"]),
+            energy_breakdown={k: float(v) for k, v in payload["energy_breakdown"].items()},
+            wear=WearSummary(**{k: int(v) for k, v in payload["wear"].items()}),
+            stats=DeWriteStats.from_dict(payload["stats"]),
+            mean_bank_wait_ns=float(payload["mean_bank_wait_ns"]),
+        )
 
     def speedup_vs(self, baseline: "SimulationReport") -> dict[str, float]:
         """Write/read/IPC ratios against a baseline run of the same trace

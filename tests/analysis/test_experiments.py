@@ -175,8 +175,16 @@ class TestTraditionalDedup:
 
 
 class TestCaching:
-    def test_evaluate_all_caches(self, settings):
+    def test_evaluate_all_memoizes_through_provider(self, settings):
+        from repro.runner import provider
+
+        provider.reset()
         first = evaluate_all(settings)
+        executed = provider.active().stats.executed
         second = evaluate_all(settings)
+        # The second sweep is answered entirely from the provider memo:
+        # no new job executions, and identical results.
+        assert provider.active().stats.executed == executed
+        assert provider.active().stats.memo_hits > 0
         for name in settings.applications:
-            assert first[name] is second[name]
+            assert first[name] == second[name]

@@ -1,0 +1,111 @@
+"""Controller registry: names → controllers, options handling, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.i_nvmm import INvmmController
+from repro.baselines.out_of_line import OutOfLinePageDedupController
+from repro.baselines.secure_nvm import TraditionalSecureNvmController
+from repro.baselines.silent_shredder import SilentShredderController
+from repro.core.config import DeWriteConfig
+from repro.core.dewrite import DeWriteController
+from repro.core.registry import (
+    UnknownControllerError,
+    available_controllers,
+    build_controller,
+    register_controller,
+)
+from repro.nvm.memory import NvmMainMemory
+
+
+@pytest.fixture()
+def nvm() -> NvmMainMemory:
+    return NvmMainMemory()
+
+
+class TestCatalogue:
+    def test_every_documented_name_is_registered(self):
+        names = set(available_controllers())
+        assert {
+            "dewrite",
+            "direct",
+            "parallel",
+            "secure-nvm",
+            "traditional-dedup",
+            "silent-shredder",
+            "out-of-line",
+            "i-nvmm",
+        } <= names
+
+    def test_descriptions_are_nonempty(self):
+        for name, description in available_controllers().items():
+            assert description, f"controller {name!r} has no description"
+
+    def test_unknown_name_raises_with_catalogue(self, nvm):
+        with pytest.raises(UnknownControllerError, match="dewrite"):
+            build_controller("no-such-controller", nvm)
+        # It is still a KeyError for callers catching broadly.
+        with pytest.raises(KeyError):
+            build_controller("no-such-controller", nvm)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_controller("dewrite", lambda nvm, **opts: None)
+
+
+class TestBuilders:
+    def test_dewrite_default_is_predictive(self, nvm):
+        controller = build_controller("dewrite", nvm)
+        assert isinstance(controller, DeWriteController)
+        assert controller.mode == "predictive"
+
+    def test_direct_and_parallel_fix_their_mode(self, nvm):
+        assert build_controller("direct", nvm).mode == "direct"
+        assert build_controller("parallel", NvmMainMemory()).mode == "parallel"
+
+    def test_direct_rejects_mode_override(self, nvm):
+        with pytest.raises(ValueError, match="fixes"):
+            build_controller("direct", nvm, mode="parallel")
+
+    def test_secure_nvm_and_related_work_types(self, nvm):
+        cases = {
+            "secure-nvm": TraditionalSecureNvmController,
+            "silent-shredder": SilentShredderController,
+            "out-of-line": OutOfLinePageDedupController,
+            "i-nvmm": INvmmController,
+        }
+        for name, cls in cases.items():
+            assert isinstance(build_controller(name, NvmMainMemory()), cls)
+
+    def test_traditional_dedup_fingerprint_option(self, nvm):
+        controller = build_controller("traditional-dedup", nvm, fingerprint="md5")
+        assert isinstance(controller, DeWriteController)
+        assert controller.config.fingerprint == "md5"
+
+    def test_dewrite_json_shaped_metadata_cache_opts(self, nvm):
+        controller = build_controller(
+            "dewrite",
+            nvm,
+            metadata_cache={
+                "hash_cache_bytes": 8 * 1024,
+                "address_map_cache_bytes": 8 * 1024,
+                "inverted_hash_cache_bytes": 8 * 1024,
+                "fsm_cache_bytes": 2 * 1024,
+                "prefetch_entries": 64,
+            },
+        )
+        assert isinstance(controller, DeWriteController)
+        assert controller.config.metadata_cache.hash_cache_bytes == 8 * 1024
+        assert controller.config.metadata_cache.prefetch_entries == 64
+
+    def test_config_object_passes_through(self, nvm):
+        config = DeWriteConfig(history_window=1)
+        controller = build_controller("dewrite", nvm, config=config)
+        assert controller.config is config
+
+    def test_config_and_overrides_conflict(self, nvm):
+        with pytest.raises(ValueError, match="not both"):
+            build_controller(
+                "dewrite", nvm, config=DeWriteConfig(), history_window=1
+            )

@@ -1,0 +1,14 @@
+"""Runner tests always start from (and restore) the hermetic provider."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import provider
+
+
+@pytest.fixture(autouse=True)
+def _fresh_provider():
+    provider.reset()
+    yield
+    provider.reset()

@@ -1,0 +1,116 @@
+"""On-disk result cache: keys, roundtrips, corruption and version skew."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    code_fingerprint,
+    job_key,
+)
+from repro.runner.jobs import simulate_spec
+
+
+@pytest.fixture()
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+def spec(**overrides):
+    base = dict(workload="lbm", controller="dewrite", accesses=100, seed=1)
+    return simulate_spec(**{**base, **overrides})
+
+
+class TestJobKey:
+    def test_stable_across_calls(self):
+        assert job_key(spec()) == job_key(spec())
+
+    def test_changes_with_any_parameter(self):
+        reference = job_key(spec())
+        assert job_key(spec(seed=2)) != reference
+        assert job_key(spec(accesses=200)) != reference
+        assert job_key(spec(controller="secure-nvm")) != reference
+
+    def test_changes_with_code_fingerprint(self):
+        assert job_key(spec(), fingerprint="aaaa") != job_key(spec(), fingerprint="bbbb")
+
+    def test_fingerprint_is_memoised_and_hex(self):
+        first = code_fingerprint()
+        assert first == code_fingerprint()
+        int(first, 16)  # 16 hex digits
+        assert len(first) == 16
+
+
+class TestRoundtrip:
+    def test_put_then_get(self, cache):
+        key = job_key(spec())
+        payload = {"report": {"ipc": 1.25}, "simulations": 1}
+        cache.put(key, payload, meta={"label": "test"})
+        assert cache.get(key) == payload
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+
+    def test_blob_is_sharded_by_key_prefix(self, cache):
+        key = job_key(spec())
+        cache.put(key, {"x": 1})
+        path = cache.path_for(key)
+        assert path.exists()
+        assert path.parent.name == key[:2]
+
+    def test_missing_entry_is_a_miss(self, cache):
+        assert cache.get(job_key(spec())) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.invalid == 0
+
+
+class TestRobustness:
+    def test_corrupt_blob_is_a_miss_not_a_crash(self, cache):
+        key = job_key(spec())
+        cache.put(key, {"x": 1})
+        cache.path_for(key).write_text("{truncated")
+        assert cache.get(key) is None
+        assert cache.stats.invalid == 1
+
+    def test_schema_version_mismatch_is_a_miss(self, cache):
+        key = job_key(spec())
+        cache.put(key, {"x": 1})
+        path = cache.path_for(key)
+        blob = json.loads(path.read_text())
+        blob["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(blob))
+        assert cache.get(key) is None
+        assert cache.stats.invalid == 1
+
+    def test_key_mismatch_is_a_miss(self, cache):
+        key = job_key(spec())
+        cache.put(key, {"x": 1})
+        path = cache.path_for(key)
+        blob = json.loads(path.read_text())
+        blob["key"] = "0" * 64
+        path.write_text(json.dumps(blob))
+        assert cache.get(key) is None
+
+    def test_wrong_payload_shape_is_a_miss(self, cache):
+        key = job_key(spec())
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"schema": CACHE_SCHEMA_VERSION, "key": key, "payload": 7}))
+        assert cache.get(key) is None
+
+    def test_recompute_overwrites_stale_blob(self, cache):
+        key = job_key(spec())
+        cache.put(key, {"x": 1})
+        cache.path_for(key).write_text("garbage")
+        assert cache.get(key) is None
+        cache.put(key, {"x": 2})
+        assert cache.get(key) == {"x": 2}
+
+    def test_stats_reset(self, cache):
+        cache.put(job_key(spec()), {"x": 1})
+        cache.get(job_key(spec()))
+        cache.stats.reset()
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.writes) == (0, 0, 0)

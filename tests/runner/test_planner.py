@@ -1,0 +1,114 @@
+"""Job planner: expansion counts, identity, cross-figure deduplication."""
+
+from __future__ import annotations
+
+from repro.analysis import experiments as ex
+from repro.analysis import registry as figures
+from repro.runner.jobs import (
+    WORST_CASE_WORKLOAD,
+    JobSpec,
+    bitflip_spec,
+    canonical_json,
+    metadata_sweep_spec,
+    simulate_spec,
+)
+
+
+def settings(apps=("lbm", "mcf")) -> ex.ExperimentSettings:
+    return ex.ExperimentSettings(accesses=1_000, seed=3, applications=apps)
+
+
+class TestSpecIdentity:
+    def test_identity_excludes_the_experiment_label(self):
+        a = simulate_spec(
+            workload="lbm", controller="dewrite", accesses=100, seed=1, experiment="fig12"
+        )
+        b = simulate_spec(
+            workload="lbm", controller="dewrite", accesses=100, seed=1, experiment="system"
+        )
+        assert a.identity == b.identity
+        assert a.label != b.label
+
+    def test_identity_covers_every_simulation_input(self):
+        base = dict(workload="lbm", controller="dewrite", accesses=100, seed=1)
+        reference = simulate_spec(**base)
+        for change in (
+            {"workload": "mcf"},
+            {"controller": "secure-nvm"},
+            {"accesses": 200},
+            {"seed": 2},
+            {"opts": {"history_window": 1}},
+        ):
+            assert simulate_spec(**{**base, **change}).identity != reference.identity
+
+    def test_params_json_is_canonical(self):
+        spec = simulate_spec(workload="lbm", controller="dewrite", accesses=100, seed=1)
+        assert spec.params_json == canonical_json(spec.params)
+
+    def test_labels_name_workload_and_controller(self):
+        spec = simulate_spec(
+            workload="lbm", controller="dewrite", accesses=100, seed=1, experiment="fig12"
+        )
+        assert "lbm" in spec.label and "dewrite" in spec.label and "fig12" in spec.label
+
+
+class TestPlanExpansion:
+    def test_comparison_jobs_two_per_application(self):
+        jobs = ex.comparison_jobs(settings(), experiment="fig12")
+        assert len(jobs) == 4  # (secure-nvm + dewrite) × 2 apps
+        controllers = {spec.params["controller"] for spec in jobs}
+        assert controllers == {"secure-nvm", "dewrite"}
+
+    def test_metadata_sweep_full_grid(self):
+        jobs = ex.metadata_sweep_jobs(
+            settings(("mcf",)), cache_sizes_kb=(64, 256), prefetch_entries=(64, 1024)
+        )
+        assert len(jobs) == 4
+        points = {
+            (spec.params["size_kb"], spec.params["prefetch"]) for spec in jobs
+        }
+        assert points == {(64, 64), (64, 1024), (256, 64), (256, 1024)}
+
+    def test_bitflip_jobs_one_per_application(self):
+        jobs = ex.bitflip_jobs(settings())
+        assert [spec.kind for spec in jobs] == ["bitflips", "bitflips"]
+
+    def test_worst_case_jobs_use_the_sentinel_workload(self):
+        jobs = ex.worst_case_jobs(settings())
+        assert jobs, "worst-case figure must plan simulations"
+        assert all(spec.params["workload"] == WORST_CASE_WORKLOAD for spec in jobs)
+
+    def test_metadata_sweep_spec_includes_every_sizing_input(self):
+        spec = metadata_sweep_spec(
+            workload="mcf", accesses=100, seed=1, size_kb=64, prefetch=256
+        )
+        params = spec.params
+        assert params["size_kb"] == 64
+        assert params["prefetch"] == 256
+        assert params["warm_fraction"] == 0.4
+
+    def test_bitflip_spec_roundtrip(self):
+        spec = bitflip_spec(workload="lbm", accesses=100, seed=9)
+        assert spec.params == {"workload": "lbm", "accesses": 100, "seed": 9}
+
+
+class TestCrossFigureDedup:
+    def test_shared_comparisons_collapse_to_one_job(self):
+        cfg = settings()
+        alone = figures.plan_for(["fig12"], cfg)
+        both = figures.plan_for(["fig12", "system"], cfg)
+        # fig12 and the system table render from the same comparisons.
+        assert {spec.identity for spec in both} == {spec.identity for spec in alone}
+
+    def test_plan_preserves_first_figure_order(self):
+        cfg = settings()
+        jobs = figures.plan_for(["fig13", "fig12"], cfg)
+        kinds = [spec.kind for spec in jobs]
+        assert kinds[: len(ex.bitflip_jobs(cfg))] == ["bitflips"] * len(ex.bitflip_jobs(cfg))
+
+    def test_full_catalogue_plans_without_duplicates(self):
+        cfg = settings(("lbm",))
+        jobs = figures.plan_for(figures.experiment_ids(), cfg)
+        identities = [spec.identity for spec in jobs]
+        assert len(identities) == len(set(identities))
+        assert all(isinstance(spec, JobSpec) for spec in jobs)

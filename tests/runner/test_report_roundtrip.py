@@ -1,0 +1,49 @@
+"""SimulationReport serialization must be lossless through JSON.
+
+Cache blobs and worker transport both rely on
+``SimulationReport.from_dict(json.loads(json.dumps(report.to_dict())))``
+reproducing the original object exactly — floats included, because JSON's
+shortest-repr round-trip is exact for IEEE doubles.  Byte-identical
+figures from cached runs depend on this.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.stats import DeWriteStats
+from repro.system.metrics import SimulationReport
+from repro.system.simulator import simulate
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import profile_by_name
+
+
+def _real_report(app: str = "mcf", accesses: int = 1_500) -> SimulationReport:
+    from repro.core.registry import build_controller
+    from repro.nvm.memory import NvmMainMemory
+
+    trace = generate_trace(profile_by_name(app), accesses, seed=11)
+    return simulate(build_controller("dewrite", NvmMainMemory()), trace)
+
+
+class TestReportRoundtrip:
+    def test_json_roundtrip_is_lossless(self):
+        report = _real_report()
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert SimulationReport.from_dict(payload) == report
+
+    def test_roundtrip_preserves_every_latency_float_exactly(self):
+        report = _real_report(app="lbm", accesses=800)
+        clone = SimulationReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        assert clone.mean_write_latency_ns == report.mean_write_latency_ns
+        assert clone.mean_read_latency_ns == report.mean_read_latency_ns
+        assert clone.ipc == report.ipc
+        assert clone.energy_nj == report.energy_nj
+        assert clone.wear == report.wear
+
+    def test_stats_counters_roundtrip(self):
+        report = _real_report(accesses=500)
+        clone_stats = DeWriteStats.from_dict(
+            json.loads(json.dumps(report.stats.to_dict()))
+        )
+        assert clone_stats == report.stats

@@ -7,6 +7,16 @@ import pytest
 from repro.__main__ import main
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_cache(tmp_path, monkeypatch):
+    """Keep CLI invocations away from the user's ~/.cache/repro."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+    yield
+    from repro.runner import provider
+
+    provider.reset()
+
+
 class TestList:
     def test_lists_figures_and_apps(self, capsys):
         assert main(["list"]) == 0
@@ -44,6 +54,51 @@ class TestFigure:
     def test_unknown_figure_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+
+class TestRun:
+    ARGS = ["run", "fig12", "--apps", "lbm,mcf", "--accesses", "1500"]
+
+    def test_smoke_without_cache(self, capsys):
+        assert main([*self.ARGS, "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "Fig. 12" in captured.out
+        assert "cache-stats:" in captured.err
+        assert "4 executed" in captured.err
+
+    def test_warm_cache_rerun_executes_zero_simulations(self, tmp_path, capsys):
+        cache_args = [*self.ARGS, "--cache-dir", str(tmp_path / "c")]
+        assert main(cache_args) == 0
+        cold = capsys.readouterr()
+        assert main(cache_args) == 0
+        warm = capsys.readouterr()
+        assert "0 simulations executed" in warm.err
+        assert "4 warm from cache" in warm.err
+        assert warm.out == cold.out  # byte-identical figures from the cache
+
+    def test_multiple_figures_and_out_dir(self, tmp_path, capsys):
+        out_dir = tmp_path / "tables"
+        code = main(
+            ["run", "fig12", "fig13", "--apps", "lbm", "--accesses", "800",
+             "--no-cache", "--out", str(out_dir)]
+        )
+        assert code == 0
+        assert (out_dir / "fig12.txt").exists()
+        assert (out_dir / "fig13.txt").exists()
+        capsys.readouterr()
+
+    def test_parallel_matches_serial_output(self, capsys):
+        assert main([*self.ARGS, "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        from repro.runner import provider
+
+        provider.reset()
+        assert main([*self.ARGS, "--no-cache", "--parallel", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99", "--no-cache"])
 
 
 class TestRegress:
