@@ -28,6 +28,7 @@ from repro.core import (
     WriteOutcome,
 )
 from repro.nvm import NvmConfig, NvmMainMemory
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 
 __version__ = "1.0.0"
 
@@ -41,5 +42,8 @@ __all__ = [
     "ReadOutcome",
     "NvmMainMemory",
     "NvmConfig",
+    "Tracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
     "__version__",
 ]

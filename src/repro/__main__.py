@@ -4,6 +4,12 @@ Subcommands:
 
 - ``run``      — regenerate many figures at once on a parallel worker
   pool with a persistent result cache (the fast full reproduction);
+  every run writes a ``manifest.json`` recording exactly what produced
+  the output (see :mod:`repro.obs.manifest`);
+- ``trace``    — run one figure's pipeline with the structured tracer
+  attached and print the per-stage latency breakdown (p50/p95/p99);
+  ``--out`` streams the raw span records as JSONL;
+- ``stats``    — validate and summarise a run manifest;
 - ``compare``  — run one application under the traditional secure NVM and
   under DeWrite, print the side-by-side report;
 - ``figure``   — regenerate one of the paper's tables/figures by id;
@@ -22,6 +28,8 @@ Examples::
 
     python -m repro run --parallel 8
     python -m repro run system modes --apps lbm,mcf --accesses 5000
+    python -m repro trace fig14 --out /tmp/trace.jsonl
+    python -m repro stats manifest.json
     python -m repro compare --app lbm --accesses 20000
     python -m repro figure fig13 --apps lbm,mcf,vips
     python -m repro check --lint src/repro
@@ -84,7 +92,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--progress", action="store_true",
-        help="print one line per resolved job on stderr",
+        help="print one line per resolved job on stderr "
+             "(default: on when --parallel > 1)",
+    )
+    run.add_argument(
+        "--manifest", default="manifest.json", metavar="PATH",
+        help="where to write the run manifest (default: ./manifest.json)",
+    )
+    run.add_argument(
+        "--no-manifest", action="store_true",
+        help="skip writing the run manifest",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="trace one figure's pipeline; print per-stage latency percentiles"
+    )
+    trace.add_argument(
+        "figure",
+        help="figure id or paper alias (fig14/fig16/fig17/fig19 resolve to 'system')",
+    )
+    trace.add_argument("--app", default="lbm", help="workload to trace (default lbm)")
+    trace.add_argument("--accesses", type=int, default=2_000)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument(
+        "--controller", default="dewrite",
+        help="controller to instrument (default dewrite; see `list`)",
+    )
+    trace.add_argument(
+        "--out", default="", metavar="PATH",
+        help="stream raw span/event records to PATH as JSONL",
+    )
+
+    stats = sub.add_parser("stats", help="validate and summarise a run manifest")
+    stats.add_argument(
+        "manifest", nargs="?", default="manifest.json",
+        help="manifest path (default: ./manifest.json)",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="dump the raw manifest JSON instead"
     )
 
     compare = sub.add_parser("compare", help="baseline vs DeWrite on one application")
@@ -177,14 +222,19 @@ def _run_run(args: argparse.Namespace) -> int:
     from repro.runner.engine import stderr_progress
 
     settings = _settings(args)
-    ids = list(args.figures) if args.figures else figures.experiment_ids()
-    for spec_id in ids:
-        figures.experiment(spec_id)  # raises with the known ids on a typo
+    requested = list(args.figures) if args.figures else figures.experiment_ids()
+    ids: list[str] = []
+    for spec_id in requested:
+        resolved = figures.resolve_id(spec_id)
+        figures.experiment(resolved)  # raises with the known ids on a typo
+        if resolved not in ids:
+            ids.append(resolved)
 
     cache = _configure_runner(args)
     jobs = figures.plan_for(ids, settings)
+    show_progress = args.progress or args.parallel > 1
     report = _warm_jobs(
-        args, jobs, cache, progress=stderr_progress if args.progress else None
+        args, jobs, cache, progress=stderr_progress if show_progress else None
     )
     for failure in report.failures:
         print(
@@ -217,7 +267,143 @@ def _run_run(args: argparse.Namespace) -> int:
             (out_dir / f"{spec_id}.txt").write_text(text + "\n")
 
     print(report.cache_stats_line(), file=sys.stderr)
+    if not args.no_manifest:
+        path = _write_run_manifest(args, ids, settings, report, show_progress)
+        print(f"manifest: {path}", file=sys.stderr)
     return 0 if report.ok and rendered == len(ids) else 1
+
+
+def _write_run_manifest(args, ids, settings, report, show_progress):
+    from repro.obs.manifest import build_manifest, write_manifest
+    from repro.obs.metrics import registry as metrics_registry
+
+    payload = build_manifest(
+        figures=ids,
+        settings={
+            "accesses": settings.accesses,
+            "seed": settings.seed,
+            "applications": list(settings.applications),
+        },
+        options={
+            "parallel": args.parallel,
+            "cache": not args.no_cache,
+            "job_timeout_s": args.job_timeout,
+            "progress": show_progress,
+        },
+        jobs=report.job_timings,
+        cache={
+            "planned": report.planned,
+            "unique": report.unique,
+            "disk_hits": report.disk_hits,
+            "executed": report.executed,
+            "simulations": report.simulations,
+            "retries": report.retries,
+        },
+        failures=[
+            {"label": f.spec.label, "error": f.error, "attempts": f.attempts}
+            for f in report.failures
+        ],
+        elapsed_s=report.elapsed_s,
+        metrics=metrics_registry().to_dict(),
+    )
+    return write_manifest(args.manifest, payload)
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.core.registry import build_controller
+    from repro.nvm.memory import NvmMainMemory
+    from repro.obs.sinks import JsonlSink
+    from repro.obs.trace import Tracer, percentile
+    from repro.runner.jobs import trace_for
+    from repro.system.simulator import simulate
+
+    spec = figures.resolve_experiment(args.figure)
+    workload = trace_for(args.app, args.accesses, args.seed)
+    sink = JsonlSink(args.out) if args.out else None
+    tracer = Tracer(sink=sink)
+    tracer.set_context(
+        figure=spec.id, app=args.app, controller=args.controller, seed=args.seed
+    )
+    controller = build_controller(args.controller, NvmMainMemory(), tracer=tracer)
+    simulate(controller, workload)
+    tracer.close()
+
+    stages = tracer.stage_durations(clock="sim")
+    print(
+        f"{spec.id} ({spec.anchor}) — {args.controller} on {args.app}, "
+        f"{args.accesses} accesses, seed {args.seed}"
+    )
+    print(f"{'stage':16s}{'count':>8s}{'mean ns':>10s}{'p50 ns':>10s}"
+          f"{'p95 ns':>10s}{'p99 ns':>10s}{'max ns':>10s}")
+    for name in sorted(stages):
+        durations = sorted(stages[name])
+        mean = sum(durations) / len(durations)
+        print(
+            f"{name:16s}{len(durations):8d}{mean:10.1f}"
+            f"{percentile(durations, 50):10.1f}{percentile(durations, 95):10.1f}"
+            f"{percentile(durations, 99):10.1f}{durations[-1]:10.1f}"
+        )
+    if args.out:
+        print(f"\nwrote {len(tracer.records)} records to {args.out}")
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import ManifestError, load_manifest, validate_manifest
+
+    try:
+        payload = load_manifest(args.manifest, validate=False)
+    except ManifestError as error:
+        print(f"stats: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    problems = validate_manifest(payload)
+    print(f"manifest: {args.manifest}")
+    print(f"  command:   {' '.join(payload.get('command', []) or ['?'])}")
+    print(f"  git sha:   {payload.get('git_sha') or 'unknown'}")
+    print(f"  python:    {payload.get('python', '?')}")
+    print(f"  figures:   {', '.join(payload.get('figures', []) or ['-'])}")
+    settings = payload.get("settings", {})
+    if isinstance(settings, dict):
+        print(
+            f"  settings:  accesses={settings.get('accesses')} seed={settings.get('seed')} "
+            f"apps={','.join(settings.get('applications', []) or [])}"
+        )
+    jobs = payload.get("jobs", [])
+    if isinstance(jobs, list):
+        by_source: dict[str, int] = {}
+        for job in jobs:
+            if isinstance(job, dict):
+                by_source[str(job.get("source"))] = by_source.get(str(job.get("source")), 0) + 1
+        summary = ", ".join(f"{count} {source}" for source, count in sorted(by_source.items()))
+        print(f"  jobs:      {len(jobs)} ({summary or 'none'})")
+        timed = [j for j in jobs if isinstance(j, dict) and j.get("source") == "executed"]
+        for job in sorted(timed, key=lambda j: -float(j.get("compute_s", 0.0)))[:5]:
+            print(
+                f"    {job.get('label', '?'):40s} compute {float(job.get('compute_s', 0)):6.2f}s "
+                f"queue {float(job.get('queue_s', 0)):6.2f}s x{job.get('attempts', 1)}"
+            )
+    print(f"  elapsed:   {payload.get('elapsed_s', 0):.1f}s")
+    if payload.get("peak_rss_kb") is not None:
+        print(f"  peak RSS:  {payload['peak_rss_kb'] / 1024:.0f} MiB")
+    failures = payload.get("failures", [])
+    if failures:
+        print(f"  failures:  {len(failures)}")
+        for failure in failures:
+            if isinstance(failure, dict):
+                print(f"    {failure.get('label', '?')}: {failure.get('error', '?')}")
+    if problems:
+        print(f"stats: manifest is INVALID ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("stats: manifest is valid")
+    return 0
 
 
 def _run_compare(args: argparse.Namespace) -> int:
@@ -382,6 +568,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "run":
             return _run_run(args)
+        if args.command == "trace":
+            return _run_trace(args)
+        if args.command == "stats":
+            return _run_stats(args)
         if args.command == "compare":
             return _run_compare(args)
         if args.command == "figure":

@@ -47,6 +47,18 @@ class ExperimentSpec:
 
 _REGISTRY: dict[str, ExperimentSpec] = {}
 
+#: Paper figure numbers that are rendered as part of a combined artifact.
+#: ``fig14`` is a valid CLI name everywhere a figure id is accepted; it
+#: resolves to the ``system`` table that carries Figs. 14/16/17/19.
+FIGURE_ALIASES: dict[str, str] = {
+    "fig14": "system",
+    "fig16": "system",
+    "fig17": "system",
+    "fig19": "system",
+    "fig15": "modes",
+    "fig20": "modes",
+}
+
 
 class UnknownExperimentError(KeyError):
     """Raised when a figure id is not registered."""
@@ -68,6 +80,16 @@ def experiment(spec_id: str) -> ExperimentSpec:
         raise UnknownExperimentError(
             f"unknown experiment {spec_id!r}; registered: {known}"
         ) from None
+
+
+def resolve_id(spec_id: str) -> str:
+    """Canonical registry id for ``spec_id`` (alias-aware)."""
+    return FIGURE_ALIASES.get(spec_id, spec_id)
+
+
+def resolve_experiment(spec_id: str) -> ExperimentSpec:
+    """Look one spec up by id or paper-figure alias (``fig14`` → ``system``)."""
+    return experiment(resolve_id(spec_id))
 
 
 def all_experiments() -> list[ExperimentSpec]:

@@ -110,6 +110,11 @@ class TraditionalSecureNvmController(MemoryController):
             self._reencrypt_page(overflow, address, written.complete_ns)
         latency = written.complete_ns - arrival_ns
         self.stats.write_latency.add(latency)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span("write.crypto", now, issue)
+            tracer.span("write.nvm", issue, written.complete_ns, wait_ns=written.wait_ns)
+            tracer.span("write", arrival_ns, written.complete_ns, deduplicated=False)
         return WriteOutcome(
             latency_ns=latency, deduplicated=False, complete_ns=written.complete_ns
         )
@@ -140,6 +145,7 @@ class TraditionalSecureNvmController(MemoryController):
             counter = self._split.counter_of(address) if address in self._written else None
         else:
             counter = self._counters.get(address)
+        issue = now
         if counter is None:
             read = self.nvm.read(address, now)
             now = read.complete_ns + self.config.xor_latency_ns
@@ -152,6 +158,12 @@ class TraditionalSecureNvmController(MemoryController):
 
         latency = now - arrival_ns
         self.stats.read_latency.add(latency)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span("read.metadata", arrival_ns, issue, redirected=False)
+            tracer.span("read.nvm", issue, read.complete_ns, wait_ns=read.wait_ns)
+            tracer.span("read.crypto", read.complete_ns, now, decrypted=counter is not None)
+            tracer.span("read", arrival_ns, now, redirected=False)
         return ReadOutcome(latency_ns=latency, data=data, complete_ns=now)
 
     # -- counter-cache plumbing ---------------------------------------------

@@ -75,6 +75,7 @@ def _build_registry() -> tuple[Rule, ...]:
     from repro.check.rules.sim003_float_equality import FloatEqualityRule
     from repro.check.rules.sim004_stats_fields import StatsFieldsRule
     from repro.check.rules.sim005_bare_assert import BareAssertRule
+    from repro.check.rules.sim006_bare_print import BarePrintRule
 
     return (
         SeededRandomRule(),
@@ -82,6 +83,7 @@ def _build_registry() -> tuple[Rule, ...]:
         FloatEqualityRule(),
         StatsFieldsRule(),
         BareAssertRule(),
+        BarePrintRule(),
     )
 
 

@@ -1,0 +1,48 @@
+"""SIM006 — no bare ``print()`` in library source.
+
+Library code that prints talks past the observability layer: the output
+bypasses the structured sinks (:mod:`repro.obs.sinks`), corrupts the
+byte-identical stdout contract of ``python -m repro run`` (figures must
+compare equal between serial and parallel runs, so diagnostics must never
+leak into stdout), and cannot be silenced or redirected by callers.
+
+Library modules route human-facing output through the tracer / metrics
+registry or the :func:`repro.obs.sinks.stdout_line` /
+:func:`~repro.obs.sinks.stderr_line` helpers.  The CLI front-end
+(``__main__.py``) is the one legitimate place to print — it *is* the
+user-facing surface — so this rule skips it.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.check.rules import Rule, Violation
+
+if TYPE_CHECKING:
+    from repro.check.lint import LintContext
+
+
+class BarePrintRule(Rule):
+    """Forbid ``print()`` calls outside the CLI front-end."""
+
+    rule_id = "SIM006"
+    summary = "bare print() in library source bypasses the obs sinks"
+    fixit = (
+        "emit through repro.obs (tracer events / metrics) or "
+        "repro.obs.sinks.stdout_line / stderr_line"
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        return path.name != "__main__.py"
+
+    def check(self, tree: ast.Module, path: Path, context: "LintContext") -> list[Violation]:
+        return [
+            self.violation(path, node)
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ]

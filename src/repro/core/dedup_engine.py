@@ -28,6 +28,7 @@ from repro.core.tables import DedupIndex, MetadataLayout, MetadataTouch, TableNa
 from repro.crypto.counter_mode import CounterModeEngine
 from repro.crypto.otp import SplitmixPadGenerator
 from repro.nvm.memory import NvmMainMemory
+from repro.obs.trace import NULL_TRACER, TracerLike
 
 
 class MetadataSystem:
@@ -61,6 +62,7 @@ class MetadataSystem:
         # diffused line.  The payload generator models that (≈50 % flips).
         self._payloads = SplitmixPadGenerator(b"\xa5" * 16)
         self._payload_version = 0
+        self.tracer: TracerLike = NULL_TRACER
 
     def access(
         self,
@@ -89,6 +91,10 @@ class MetadataSystem:
             self.metadata_reads += 1
             if blocking:
                 extra = (read.complete_ns - now_ns) + self.decrypt_ns
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "metadata.miss", sim_ns=now_ns, table=table, blocking=blocking
+                )
         if result.evicted_dirty_block is not None:
             self._writeback(table, result.evicted_dirty_block, now_ns)
         if write:
@@ -200,6 +206,7 @@ class DedupEngine:
         self.metadata = metadata
         self.nvm = nvm
         self.cme = cme
+        self.tracer: TracerLike = NULL_TRACER
 
     def detect(
         self, plaintext: bytes, crc: int, arrival_ns: float, predicted_duplicate: bool
@@ -268,13 +275,27 @@ class DedupEngine:
             # for the comparison overlaps the array read (Table Ib prices a
             # confirmed duplicate at hash + read + compare = 91 ns), and its
             # energy is part of the dedup logic, not the AES write path.
-            read = self.nvm.read(physical, now)
+            # trace=False: the verify read's interval lives inside the
+            # enclosing write.dedup span; a device-level nvm.read span per
+            # candidate would dominate the trace on dedup-heavy workloads.
+            read = self.nvm.read(physical, now, trace=False)
             verify_reads += 1
             counter = self.index.peek_counter(physical)
             candidate_plain = self.cme.decrypt(read.data, physical, counter)
             self.nvm.energy.add_dedup_op()
             now = read.complete_ns + self.config.compare_latency_ns
-            if candidate_plain == plaintext:
+            matched = candidate_plain == plaintext
+            # Only the anomalous case gets an event: a verify read that
+            # fails to match is a CRC collision worth flagging per-candidate,
+            # while the common confirmed-duplicate case is already fully
+            # described by the enclosing write.dedup span's verify_reads /
+            # duplicate attrs (and a per-candidate event there costs ~17 %
+            # of all trace records on dedup-heavy workloads).
+            if not matched and self.tracer.enabled:
+                self.tracer.event(
+                    "dedup.verify_read", sim_ns=now, candidate=physical, matched=False
+                )
+            if matched:
                 target = physical
                 break
             collisions += 1

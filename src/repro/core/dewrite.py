@@ -30,6 +30,7 @@ from repro.core.tables import DedupIndex, MetadataLayout, MetadataTouch
 from repro.crypto.counter_mode import CounterModeEngine
 from repro.hashes.crc32 import line_fingerprint
 from repro.nvm.memory import NvmMainMemory
+from repro.obs.trace import TracerLike
 
 IntegrationMode = Literal["predictive", "direct", "parallel"]
 
@@ -86,6 +87,20 @@ class DeWriteController(MemoryController):
         crc = self._fingerprint(data)
         detection = self.engine.detect(data, crc, arrival_ns, predicted_dup)
         self.nvm.energy.add_dedup_op()
+        tracer = self.tracer
+        if tracer.enabled:
+            hash_done = arrival_ns + self.config.fingerprint_latency_ns
+            tracer.span(
+                "write.hash", arrival_ns, hash_done, fingerprint=self.config.fingerprint
+            )
+            tracer.span(
+                "write.dedup",
+                hash_done,
+                detection.done_ns,
+                duplicate=detection.is_duplicate,
+                verify_reads=detection.verify_reads,
+                pna_skipped=detection.pna_skipped,
+            )
         stats.verify_reads += detection.verify_reads
         stats.crc_collisions += detection.collisions
         stats.capped_reference_rejects += detection.capped_rejects
@@ -102,6 +117,14 @@ class DeWriteController(MemoryController):
         self._score_prediction(predicted_dup, outcome.deduplicated)
         stats.write_latency.add(outcome.latency_ns)
         self._sync_metadata_stats()
+        if tracer.enabled:
+            tracer.span(
+                "write",
+                arrival_ns,
+                outcome.complete_ns,
+                deduplicated=outcome.deduplicated,
+                predicted_dup=predicted_dup,
+            )
         return outcome
 
     def _commit_duplicate(
@@ -122,6 +145,13 @@ class DeWriteController(MemoryController):
             # The speculative encryption was wasted: energy only (§III-A).
             self.nvm.energy.add_aes_line()
             stats.wasted_encryptions += 1
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "write.crypto",
+                    arrival_ns,
+                    arrival_ns + self.config.aes_latency_ns,
+                    wasted=True,
+                )
         return WriteOutcome(
             latency_ns=done - arrival_ns, deduplicated=True, complete_ns=done
         )
@@ -144,19 +174,32 @@ class DeWriteController(MemoryController):
         ciphertext = self.cme.encrypt(data, dest, counter)
         self.nvm.energy.add_aes_line()
 
-        if self._encrypted_in_parallel(predicted_dup):
+        parallel_crypto = self._encrypted_in_parallel(predicted_dup)
+        if parallel_crypto:
             # Encryption started at arrival, concurrently with detection;
             # the write issues once both have finished.
+            crypto_start = arrival_ns
             issue = max(arrival_ns + self.config.aes_latency_ns, detection.done_ns)
         else:
             # Serial: detection first, then AES (the direct way / a
             # predicted-duplicate misprediction).
+            crypto_start = detection.done_ns
             issue = detection.done_ns + self.config.aes_latency_ns
             if self.mode == "predictive" and predicted_dup:
                 stats.serialized_detections += 1
 
         write = self.nvm.write(dest, ciphertext, issue)
         self.metadata.replay(touches, write.complete_ns)
+        if self.tracer.enabled:
+            self.tracer.span(
+                "write.crypto",
+                crypto_start,
+                crypto_start + self.config.aes_latency_ns,
+                parallel=parallel_crypto,
+            )
+            self.tracer.span(
+                "write.nvm", issue, write.complete_ns, dest=dest, wait_ns=write.wait_ns
+            )
         return WriteOutcome(
             latency_ns=write.complete_ns - arrival_ns,
             deduplicated=False,
@@ -179,6 +222,7 @@ class DeWriteController(MemoryController):
         if physical is None:
             # Never-written line: the array read happens regardless; the
             # device returns the erased (all-zero) pattern.
+            issue = now
             read = self.nvm.read(address, now)
             now = read.complete_ns + self.config.xor_latency_ns
             data = bytes(self.line_size)
@@ -190,6 +234,7 @@ class DeWriteController(MemoryController):
             table = "address_map" if slot == "overflow" else slot
             now += self.metadata.access(table, physical, write=False, now_ns=now, blocking=True)
             counter = self.index.peek_counter(physical)
+            issue = now
             read = self.nvm.read(physical, now)
             self.nvm.energy.add_aes_line()  # OTP generation for decryption
             now = read.complete_ns + self.config.xor_latency_ns
@@ -198,6 +243,15 @@ class DeWriteController(MemoryController):
         latency = now - arrival_ns
         stats.read_latency.add(latency)
         self._sync_metadata_stats()
+        tracer = self.tracer
+        if tracer.enabled:
+            redirected = physical is not None and physical != address
+            tracer.span("read.metadata", arrival_ns, issue, redirected=redirected)
+            tracer.span("read.nvm", issue, read.complete_ns, wait_ns=read.wait_ns)
+            tracer.span(
+                "read.crypto", read.complete_ns, now, decrypted=physical is not None
+            )
+            tracer.span("read", arrival_ns, now, redirected=redirected)
         return ReadOutcome(latency_ns=latency, data=data, complete_ns=now)
 
     # -- maintenance -----------------------------------------------------------
@@ -213,6 +267,10 @@ class DeWriteController(MemoryController):
         self.index.check_invariants()
 
     # -- internals -----------------------------------------------------------
+
+    def _propagate_tracer(self, tracer: TracerLike) -> None:
+        self.metadata.tracer = tracer
+        self.engine.tracer = tracer
 
     def _fingerprint(self, data: bytes) -> int:
         """Line fingerprint under the configured scheme, as an integer key.

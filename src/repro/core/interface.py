@@ -13,6 +13,7 @@ import abc
 from dataclasses import dataclass
 
 from repro.nvm.memory import NvmMainMemory
+from repro.obs.trace import NULL_TRACER, TracerLike
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,22 @@ class MemoryController(abc.ABC):
     def __init__(self, nvm: NvmMainMemory) -> None:
         self.nvm = nvm
         self.line_size = nvm.config.organization.line_size_bytes
+        self.tracer: TracerLike = NULL_TRACER
+
+    def attach_tracer(self, tracer: TracerLike) -> None:
+        """Route this controller's (and its device's) trace records to ``tracer``.
+
+        The default is the shared no-op :data:`~repro.obs.trace.NULL_TRACER`,
+        so instrumented paths cost one ``tracer.enabled`` check until a real
+        tracer is attached.  Subclasses with instrumented internals override
+        :meth:`_propagate_tracer` to forward the tracer to them.
+        """
+        self.tracer = tracer
+        self.nvm.tracer = tracer
+        self._propagate_tracer(tracer)
+
+    def _propagate_tracer(self, tracer: TracerLike) -> None:
+        """Hook for subclasses to hand the tracer to internal components."""
 
     @abc.abstractmethod
     def write(self, address: int, data: bytes, arrival_ns: float) -> WriteOutcome:

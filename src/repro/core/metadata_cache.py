@@ -158,6 +158,16 @@ class MetadataCache:
         """Blocks currently cached."""
         return len(self._blocks)
 
+    def stats_dict(self) -> dict[str, float]:
+        """JSON-shaped statistics snapshot (manifests, metrics export)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+            "hit_rate": self.hit_rate,
+            "resident_blocks": len(self._blocks),
+        }
+
     def verify(self) -> None:
         """Check the cache's structural invariants; raises ``ValueError``.
 

@@ -73,7 +73,16 @@ def available_controllers() -> dict[str, str]:
 
 
 def build_controller(name: str, nvm: "NvmMainMemory", **opts: Any) -> "MemoryController":
-    """Construct the controller registered under ``name`` on ``nvm``."""
+    """Construct the controller registered under ``name`` on ``nvm``.
+
+    ``tracer=...`` is handled here for every registered controller: it is
+    popped before the builder runs and attached via
+    :meth:`~repro.core.interface.MemoryController.attach_tracer`, so any
+    caller (the ``trace`` CLI verb, the overhead gate, tests) can observe
+    any controller without per-builder wiring.  Tracers are in-process
+    objects — they never travel inside serialised job specs.
+    """
+    tracer = opts.pop("tracer", None)
     try:
         builder, _ = _BUILDERS[name]
     except KeyError:
@@ -81,7 +90,10 @@ def build_controller(name: str, nvm: "NvmMainMemory", **opts: Any) -> "MemoryCon
         raise UnknownControllerError(
             f"unknown controller {name!r}; registered: {known}"
         ) from None
-    return builder(nvm, **opts)
+    controller = builder(nvm, **opts)
+    if tracer is not None:
+        controller.attach_tracer(tracer)
+    return controller
 
 
 # ---------------------------------------------------------------------------

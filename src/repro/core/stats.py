@@ -14,11 +14,12 @@ from typing import Any
 
 @dataclass
 class LatencyAccumulator:
-    """Mean/total tracker for one latency population."""
+    """Mean/min/max tracker for one latency population."""
 
     total_ns: float = 0.0
     count: int = 0
     max_ns: float = 0.0
+    min_ns: float = 0.0
 
     def add(self, latency_ns: float) -> None:
         """Record one observation."""
@@ -26,6 +27,8 @@ class LatencyAccumulator:
         self.count += 1
         if latency_ns > self.max_ns:
             self.max_ns = latency_ns
+        if self.count == 1 or latency_ns < self.min_ns:
+            self.min_ns = latency_ns
 
     @property
     def mean_ns(self) -> float:
@@ -37,18 +40,29 @@ class LatencyAccumulator:
         self.total_ns = 0.0
         self.count = 0
         self.max_ns = 0.0
+        self.min_ns = 0.0
 
     def to_dict(self) -> dict[str, float]:
         """Lossless JSON-shaped snapshot (cache blobs, worker transport)."""
-        return {"total_ns": self.total_ns, "count": self.count, "max_ns": self.max_ns}
+        return {
+            "total_ns": self.total_ns,
+            "count": self.count,
+            "max_ns": self.max_ns,
+            "min_ns": self.min_ns,
+        }
 
     @classmethod
     def from_dict(cls, payload: dict[str, float]) -> "LatencyAccumulator":
-        """Rebuild an accumulator from :meth:`to_dict` output."""
+        """Rebuild an accumulator from :meth:`to_dict` output.
+
+        ``min_ns`` is absent from snapshots cached before it existed; those
+        rebuild with the empty-accumulator default of 0.0.
+        """
         return cls(
             total_ns=float(payload["total_ns"]),
             count=int(payload["count"]),
             max_ns=float(payload["max_ns"]),
+            min_ns=float(payload.get("min_ns", 0.0)),
         )
 
 

@@ -38,6 +38,12 @@ class Bank:
     total_wait_ns: float = field(default=0.0)
     total_service_ns: float = field(default=0.0)
     row_hits: int = field(default=0)
+    peak_backlog_ns: float = field(default=0.0)  # worst write-queue depth seen
+
+    def _note_backlog(self, arrival_ns: float) -> None:
+        backlog = self.busy_until_ns - arrival_ns
+        if backlog > self.peak_backlog_ns:
+            self.peak_backlog_ns = backlog
 
     def schedule(self, arrival_ns: float, service_ns: float) -> tuple[float, float]:
         """Occupy the bank for one *write* (joins the full backlog).
@@ -51,6 +57,7 @@ class Bank:
         """
         if service_ns < 0:
             raise ValueError(f"service time must be non-negative, got {service_ns}")
+        self._note_backlog(arrival_ns)
         start = max(arrival_ns, self.busy_until_ns)
         complete = start + service_ns
         self.busy_until_ns = complete
@@ -79,6 +86,7 @@ class Bank:
         """
         if service_ns < 0:
             raise ValueError(f"service time must be non-negative, got {service_ns}")
+        self._note_backlog(arrival_ns)
         drain_threshold = bypass_cap_ns * drain_watermark
         backlog_excess = (self.busy_until_ns - arrival_ns) - drain_threshold
         earliest = arrival_ns + backlog_excess if backlog_excess > 0 else arrival_ns
@@ -111,3 +119,4 @@ class Bank:
         self.total_wait_ns = 0.0
         self.total_service_ns = 0.0
         self.row_hits = 0
+        self.peak_backlog_ns = 0.0

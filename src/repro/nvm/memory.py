@@ -15,6 +15,7 @@ from repro.nvm.bank import Bank
 from repro.nvm.config import NvmConfig
 from repro.nvm.energy import EnergyAccount
 from repro.nvm.wear import WearTracker
+from repro.obs.trace import NULL_TRACER, TracerLike
 
 
 @dataclass(frozen=True)
@@ -57,14 +58,21 @@ class NvmMainMemory:
         )
         self.reads = 0
         self.writes = 0
+        self.tracer: TracerLike = NULL_TRACER
 
     # -- timed device interface ---------------------------------------------
 
-    def read(self, address: int, arrival_ns: float) -> AccessResult:
+    def read(self, address: int, arrival_ns: float, *, trace: bool = True) -> AccessResult:
         """Service one line read through its bank.
 
         A read of the line currently latched in the bank's row buffer is a
         row hit: it skips the array access (``row_hit_ns``, ~10 % energy).
+
+        ``trace=False`` suppresses the device-level span only (scheduling,
+        energy and stats are unaffected) — the dedup engine uses it for
+        verify reads, whose interval the enclosing ``write.dedup`` span
+        already records and which would otherwise dominate the trace on
+        dedup-heavy workloads.
         """
         self._check_address(address)
         bank = self._banks[self.config.organization.bank_of(address)]
@@ -78,6 +86,15 @@ class NvmMainMemory:
         bank.open_line = address
         self.energy.add_line_read(row_hit=row_hit)
         self.reads += 1
+        if trace and self.tracer.enabled:
+            self.tracer.span(
+                "nvm.read",
+                arrival_ns,
+                complete,
+                bank=bank.index,
+                wait_ns=start - arrival_ns,
+                row_hit=row_hit,
+            )
         return AccessResult(
             address=address,
             start_ns=start,
@@ -120,6 +137,15 @@ class NvmMainMemory:
         self.energy.add_line_write(bits_written)
         self._lines[address] = data
         self.writes += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                "nvm.write",
+                arrival_ns,
+                complete,
+                bank=bank.index,
+                wait_ns=start - arrival_ns,
+                bit_flips=flips,
+            )
         return AccessResult(
             address=address, start_ns=start, complete_ns=complete, arrival_ns=arrival_ns
         )
@@ -148,6 +174,10 @@ class NvmMainMemory:
         if not serviced:
             return 0.0
         return sum(b.total_wait_ns for b in self._banks) / serviced
+
+    def peak_backlog_ns(self) -> float:
+        """Worst write-queue backlog any bank saw (contention headline)."""
+        return max((b.peak_backlog_ns for b in self._banks), default=0.0)
 
     def reset_timing(self) -> None:
         """Clear bank occupancy and counters but keep stored data."""

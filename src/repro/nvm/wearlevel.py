@@ -164,11 +164,24 @@ class WearLevelledNvm:
         """Wrapped device queueing statistic."""
         return self._nvm.mean_bank_wait_ns()
 
+    def peak_backlog_ns(self) -> float:
+        """Wrapped device queueing statistic."""
+        return self._nvm.peak_backlog_ns()
+
+    @property
+    def tracer(self):
+        """Wrapped device tracer (controllers attach through the facade)."""
+        return self._nvm.tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._nvm.tracer = tracer
+
     # -- levelled accesses -------------------------------------------------------
 
-    def read(self, address: int, arrival_ns: float) -> AccessResult:
+    def read(self, address: int, arrival_ns: float, *, trace: bool = True) -> AccessResult:
         """Read through the current start/gap translation."""
-        return self._nvm.read(self.mapper.translate(address), arrival_ns)
+        return self._nvm.read(self.mapper.translate(address), arrival_ns, trace=trace)
 
     def write(
         self,

@@ -1,0 +1,65 @@
+"""repro.obs: structured tracing, metrics, manifests, and output sinks.
+
+The observability layer for the simulator stack.  Three pieces:
+
+- :mod:`repro.obs.trace` — a zero-dependency span/event bus with a
+  no-op :data:`NULL_TRACER` so instrumented hot paths cost one attribute
+  check when tracing is off;
+- :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and fixed-bucket histograms whose snapshots merge losslessly
+  across worker processes;
+- :mod:`repro.obs.manifest` — schema-versioned ``manifest.json`` records
+  written by every ``python -m repro run`` invocation.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_KIND,
+    MANIFEST_SCHEMA_VERSION,
+    ManifestError,
+    build_manifest,
+    git_sha,
+    load_manifest,
+    peak_rss_kb,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    LATENCY_BOUNDS_NS,
+    SECONDS_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    reset_registry,
+)
+from repro.obs.sinks import JsonlSink, stderr_line, stdout_line
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, TracerLike, percentile
+
+__all__ = [
+    "MANIFEST_KIND",
+    "MANIFEST_SCHEMA_VERSION",
+    "ManifestError",
+    "build_manifest",
+    "git_sha",
+    "load_manifest",
+    "peak_rss_kb",
+    "validate_manifest",
+    "write_manifest",
+    "LATENCY_BOUNDS_NS",
+    "SECONDS_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "reset_registry",
+    "JsonlSink",
+    "stderr_line",
+    "stdout_line",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "TracerLike",
+    "percentile",
+]

@@ -1,0 +1,219 @@
+"""Run manifests: a machine-readable record of one ``repro run`` invocation.
+
+Every ``python -m repro run`` writes a ``manifest.json`` next to its
+results answering, a month later, *what exactly produced these numbers*:
+the git commit, the full command, trace settings and seeds, one timing
+entry per resolved job (cache hit vs. executed, queue wait vs. compute),
+the cache-stats totals, the merged metrics snapshot and the peak RSS.
+
+The schema is deliberately flat JSON with a version stamp;
+:func:`validate_manifest` returns the list of schema problems (empty =
+valid), which ``python -m repro stats`` and the CI observability job use
+as the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+#: Bump when the manifest shape changes; `stats` refuses unknown versions.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Marker distinguishing manifests from other JSON lying around.
+MANIFEST_KIND = "repro-run-manifest"
+
+_JOB_SOURCES = ("cache", "executed", "failed")
+
+
+class ManifestError(ValueError):
+    """Raised when a manifest fails schema validation on load."""
+
+
+def git_sha() -> str | None:
+    """The checkout's HEAD commit, or ``None`` outside a git repository."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else None
+
+
+def peak_rss_kb() -> int | None:
+    """Peak resident set size of this process in KiB (``None`` if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes there
+        peak //= 1024
+    return int(peak)
+
+
+def build_manifest(
+    *,
+    figures: list[str],
+    settings: dict[str, Any],
+    options: dict[str, Any],
+    jobs: list[dict[str, Any]],
+    cache: dict[str, Any],
+    failures: list[dict[str, Any]],
+    elapsed_s: float,
+    metrics: dict[str, Any] | None = None,
+    command: list[str] | None = None,
+) -> dict[str, Any]:
+    """Assemble a schema-valid manifest for one run."""
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "kind": MANIFEST_KIND,
+        "created_unix_s": time.time(),
+        "command": list(command if command is not None else sys.argv),
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "figures": list(figures),
+        "settings": dict(settings),
+        "options": dict(options),
+        "jobs": [dict(job) for job in jobs],
+        "cache": dict(cache),
+        "failures": [dict(failure) for failure in failures],
+        "elapsed_s": elapsed_s,
+        "peak_rss_kb": peak_rss_kb(),
+        "metrics": dict(metrics) if metrics is not None else {},
+    }
+
+
+def validate_manifest(payload: Any) -> list[str]:
+    """Schema problems of one manifest payload (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"manifest must be a JSON object, got {type(payload).__name__}"]
+    if payload.get("schema") != MANIFEST_SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {MANIFEST_SCHEMA_VERSION}, got {payload.get('schema')!r}"
+        )
+    if payload.get("kind") != MANIFEST_KIND:
+        problems.append(f"kind must be {MANIFEST_KIND!r}, got {payload.get('kind')!r}")
+
+    def require(field: str, types: tuple[type, ...], allow_none: bool = False) -> Any:
+        if field not in payload:
+            problems.append(f"missing field {field!r}")
+            return None
+        value = payload[field]
+        if value is None and allow_none:
+            return None
+        if not isinstance(value, types):
+            problems.append(
+                f"field {field!r} must be {'/'.join(t.__name__ for t in types)}, "
+                f"got {type(value).__name__}"
+            )
+            return None
+        return value
+
+    require("created_unix_s", (int, float))
+    require("command", (list,))
+    require("git_sha", (str,), allow_none=True)
+    require("python", (str,))
+    require("platform", (str,))
+    require("elapsed_s", (int, float))
+    require("peak_rss_kb", (int,), allow_none=True)
+    require("metrics", (dict,))
+    require("options", (dict,))
+
+    figures = require("figures", (list,))
+    if figures is not None and not all(isinstance(f, str) for f in figures):
+        problems.append("field 'figures' must contain only strings")
+
+    settings = require("settings", (dict,))
+    if settings is not None:
+        for key, types in (("accesses", (int,)), ("seed", (int,)), ("applications", (list,))):
+            if key not in settings:
+                problems.append(f"settings missing {key!r}")
+            elif not isinstance(settings[key], types):
+                problems.append(f"settings[{key!r}] has wrong type")
+
+    jobs = require("jobs", (list,))
+    if jobs is not None:
+        for index, job in enumerate(jobs):
+            if not isinstance(job, dict):
+                problems.append(f"jobs[{index}] must be an object")
+                continue
+            for key in ("label", "key", "kind", "source"):
+                if not isinstance(job.get(key), str):
+                    problems.append(f"jobs[{index}].{key} must be a string")
+            if job.get("source") not in _JOB_SOURCES:
+                problems.append(
+                    f"jobs[{index}].source must be one of {_JOB_SOURCES}, "
+                    f"got {job.get('source')!r}"
+                )
+            for key in ("compute_s", "queue_s"):
+                if not isinstance(job.get(key), (int, float)):
+                    problems.append(f"jobs[{index}].{key} must be a number")
+            if not isinstance(job.get("attempts"), int):
+                problems.append(f"jobs[{index}].attempts must be an integer")
+
+    cache = require("cache", (dict,))
+    if cache is not None:
+        for key in ("planned", "unique", "disk_hits", "executed", "simulations", "retries"):
+            if not isinstance(cache.get(key), int):
+                problems.append(f"cache.{key} must be an integer")
+
+    failures = require("failures", (list,))
+    if failures is not None:
+        for index, failure in enumerate(failures):
+            if not isinstance(failure, dict) or not isinstance(failure.get("error"), str):
+                problems.append(f"failures[{index}] must be an object with an 'error' string")
+    return problems
+
+
+def write_manifest(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Atomically write one manifest (temp file + rename)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w", dir=target.parent, suffix=".tmp", delete=False, encoding="utf-8"
+    )
+    try:
+        with handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def load_manifest(path: str | Path, *, validate: bool = True) -> dict[str, Any]:
+    """Read one manifest; raises :class:`ManifestError` when invalid."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ManifestError(f"cannot read manifest {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ManifestError(f"manifest {path} is not valid JSON: {error}") from error
+    if validate:
+        problems = validate_manifest(payload)
+        if problems:
+            raise ManifestError(
+                f"manifest {path} failed validation: " + "; ".join(problems)
+            )
+    return payload

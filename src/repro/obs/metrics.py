@@ -1,0 +1,307 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+Every metric serialises losslessly (``to_dict`` / ``from_dict``) and merges
+associatively, so per-worker-process snapshots aggregate through the runner
+transport into one parent-side registry with exactly the numbers a
+single-process run would have recorded:
+
+- **Counter.merge** adds values;
+- **Gauge.merge** keeps the maximum (gauges record peaks — e.g. RSS);
+- **Histogram.merge** adds per-bucket counts and combines count/total/
+  min/max, which equals recording the concatenated samples directly
+  (the property test in ``tests/obs/test_metrics.py`` pins this).
+
+Histograms use *fixed* bucket upper bounds chosen at creation, so shards
+produced by different processes are always mergeable; merging histograms
+with different bounds is a hard error, never a silent resample.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Union
+
+#: Default histogram bounds for wall-clock job durations, in seconds.
+SECONDS_BOUNDS: tuple[float, ...] = (
+    0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0,
+)
+
+#: Default histogram bounds for simulated latencies, in nanoseconds.
+LATENCY_BOUNDS_NS: tuple[float, ...] = (
+    25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0,
+    12800.0, 25600.0, 102400.0,
+)
+
+
+class Counter:
+    """Monotonically increasing scalar."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0.0
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another shard in (values add)."""
+        self.value += other.value
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-shaped snapshot."""
+        return {"kind": self.kind, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict[str, Any]) -> "Counter":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(name, value=float(payload["value"]))
+
+
+class Gauge:
+    """Last-set scalar whose merge keeps the peak across shards."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+    def reset(self) -> None:
+        """Zero the gauge."""
+        self.value = 0.0
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another shard in (peak wins)."""
+        if other.value > self.value:
+            self.value = other.value
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-shaped snapshot."""
+        return {"kind": self.kind, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict[str, Any]) -> "Gauge":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(name, value=float(payload["value"]))
+
+
+class Histogram:
+    """Fixed-bucket histogram with lossless shard merging.
+
+    ``bounds`` are ascending bucket *upper* edges; an observation lands in
+    the first bucket whose edge is >= the value, or the overflow bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = SECONDS_BOUNDS) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if any(later <= earlier for later, earlier in zip(ordered[1:], ordered)):
+            raise ValueError(f"histogram bounds must be strictly ascending: {bounds}")
+        self.name = name
+        self.bounds = ordered
+        self.counts: list[int] = [0] * (len(ordered) + 1)  # + overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min_value = 0.0
+        self.max_value = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.count == 1 or value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean, 0 when empty."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (0 < q <= 100).
+
+        Returns the upper edge of the bucket holding the nearest-rank
+        sample; the overflow bucket reports the observed maximum.
+        """
+        if not self.count:
+            return 0.0
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"quantile must be in (0, 100], got {q}")
+        target = max(1, round(q * self.count / 100.0))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max_value
+        return self.max_value
+
+    def reset(self) -> None:
+        """Drop every sample."""
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min_value = 0.0
+        self.max_value = 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another shard in; bounds must match exactly."""
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge shards with different "
+                f"bounds ({self.bounds} vs {other.bounds})"
+            )
+        if not other.count:
+            return
+        if not self.count or other.min_value < self.min_value:
+            self.min_value = other.min_value
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-shaped snapshot (lossless for merge purposes)."""
+        return {
+            "kind": self.kind,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict[str, Any]) -> "Histogram":
+        """Rebuild from :meth:`to_dict` output."""
+        histogram = cls(name, bounds=tuple(payload["bounds"]))
+        histogram.counts = [int(c) for c in payload["counts"]]
+        histogram.count = int(payload["count"])
+        histogram.total = float(payload["total"])
+        histogram.min_value = float(payload["min"])
+        histogram.max_value = float(payload["max"])
+        return histogram
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+_METRIC_KINDS: dict[str, Any] = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+}
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and lossless merging."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter ``name``."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge ``name``."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = SECONDS_BOUNDS) -> Histogram:
+        """Get-or-create the histogram ``name`` (bounds fixed at creation)."""
+        existing = self._metrics.get(name)
+        if existing is None:
+            created = Histogram(name, bounds=bounds)
+            self._metrics[name] = created
+            return created
+        if not isinstance(existing, Histogram):
+            raise TypeError(f"metric {name!r} is a {existing.kind}, not a histogram")
+        return existing
+
+    def _get_or_create(self, name: str, cls: type) -> Any:
+        existing = self._metrics.get(name)
+        if existing is None:
+            created = cls(name)
+            self._metrics[name] = created
+            return created
+        if not isinstance(existing, cls):
+            raise TypeError(f"metric {name!r} is a {existing.kind}, not a {cls.kind}")
+        return existing
+
+    def get(self, name: str) -> Metric | None:
+        """The metric registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every metric (fresh registry, e.g. per worker job)."""
+        self._metrics.clear()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Snapshot of every metric, keyed by name."""
+        return {name: self._metrics[name].to_dict() for name in sorted(self._metrics)}
+
+    def merge(self, snapshot: "MetricsRegistry | dict[str, Any]") -> None:
+        """Fold another registry (or its ``to_dict`` snapshot) into this one."""
+        payload = snapshot.to_dict() if isinstance(snapshot, MetricsRegistry) else snapshot
+        for name, entry in payload.items():
+            kind = entry.get("kind")
+            cls = _METRIC_KINDS.get(kind)
+            if cls is None:
+                raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
+            incoming = cls.from_dict(name, entry)
+            existing = self._metrics.get(name)
+            if existing is None:
+                self._metrics[name] = incoming
+            elif isinstance(existing, cls):
+                existing.merge(incoming)
+            else:
+                raise TypeError(
+                    f"metric {name!r}: cannot merge a {kind} into a {existing.kind}"
+                )
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_dict` snapshot."""
+        registry = cls()
+        registry.merge(payload)
+        return registry
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry all instrumented code records into."""
+    return _REGISTRY
+
+
+def reset_registry() -> MetricsRegistry:
+    """Clear the process-wide registry (tests, per-job worker deltas)."""
+    _REGISTRY.reset()
+    return _REGISTRY

@@ -1,0 +1,114 @@
+"""Tracing overhead gate: traced vs. untraced wall time on one workload.
+
+CI runs ``python -m repro.obs.overhead --budget 0.15`` to pin the promise
+the observability layer makes: with a live :class:`~repro.obs.trace.Tracer`
+attached, a full simulation must stay within the budgeted fraction of the
+untraced wall time (and with tracing *disabled* the cost is one attribute
+check per instrumentation site, which no timer can see).
+
+Runs are interleaved (untraced, traced, untraced, traced, ...) and the
+minimum per mode is compared, which suppresses one-off scheduler noise on
+shared CI machines.  Because noise can only *inflate* the measured
+overhead, the gate may stop early as soon as the running minima fall
+within budget (after a floor of three pairs) — a load burst during the
+traced runs then costs extra repeats instead of a spurious failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any
+
+from repro.obs.sinks import stdout_line
+from repro.obs.trace import Tracer
+
+
+def measure(
+    *,
+    app: str = "lbm",
+    accesses: int = 5000,
+    seed: int = 1,
+    repeats: int = 10,
+    early_exit_budget: float | None = None,
+) -> dict[str, Any]:
+    """Best-of-``repeats`` traced and untraced wall times, interleaved.
+
+    With ``early_exit_budget`` set, sampling stops once the running
+    minima show overhead within that budget (after at least three
+    pairs) — valid for a pass/fail gate because noise only ever pushes
+    the measured overhead *up*, never down.
+    """
+    from repro.core.registry import build_controller
+    from repro.nvm.memory import NvmMainMemory
+    from repro.runner.jobs import trace_for
+    from repro.system.simulator import simulate
+
+    trace = trace_for(app, accesses, seed)
+
+    def one_run(traced: bool) -> float:
+        controller = build_controller("dewrite", NvmMainMemory())
+        if traced:
+            controller.attach_tracer(Tracer(sink=None))
+        started = time.perf_counter()
+        simulate(controller, trace)
+        return time.perf_counter() - started
+
+    one_run(False)  # warm imports/JIT-ish caches outside the measurement
+    untraced = traced = float("inf")
+    pairs = 0
+    for _ in range(repeats):
+        untraced = min(untraced, one_run(False))
+        traced = min(traced, one_run(True))
+        pairs += 1
+        if (
+            early_exit_budget is not None
+            and pairs >= 3
+            and traced / untraced - 1.0 <= early_exit_budget
+        ):
+            break
+    overhead = traced / untraced - 1.0 if untraced > 0 else 0.0
+    return {
+        "app": app,
+        "accesses": accesses,
+        "pairs": pairs,
+        "untraced_s": untraced,
+        "traced_s": traced,
+        "overhead": overhead,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: exit 0 when overhead is within budget, 1 otherwise."""
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.overhead",
+        description="measure tracing overhead (traced vs untraced wall time)",
+    )
+    parser.add_argument("--app", default="lbm")
+    parser.add_argument("--accesses", type=int, default=5000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=10)
+    parser.add_argument(
+        "--budget", type=float, default=0.15,
+        help="maximum allowed fractional overhead (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+    result = measure(
+        app=args.app,
+        accesses=args.accesses,
+        seed=args.seed,
+        repeats=args.repeats,
+        early_exit_budget=args.budget,
+    )
+    stdout_line(
+        f"tracing overhead: untraced {result['untraced_s']:.3f}s, "
+        f"traced {result['traced_s']:.3f}s, overhead {result['overhead']:+.1%} "
+        f"(budget {args.budget:.0%}, {result['app']}/{result['accesses']} accesses, "
+        f"{result['pairs']} pairs)"
+    )
+    return 0 if result["overhead"] <= args.budget else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

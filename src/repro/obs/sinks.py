@@ -1,0 +1,55 @@
+"""Output sinks for the observability layer.
+
+All human-facing output from library code goes through these helpers (or
+the CLI in ``repro/__main__.py``); the simlint rule SIM006 forbids bare
+``print(`` everywhere else under ``src/repro/``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, TextIO
+
+
+def stderr_line(text: str) -> None:
+    """Write one line to stderr, flushed (progress/diagnostic output)."""
+    sys.stderr.write(text + "\n")
+    sys.stderr.flush()
+
+
+def stdout_line(text: str) -> None:
+    """Write one line to stdout (report output outside the CLI)."""
+    sys.stdout.write(text + "\n")
+
+
+class JsonlSink:
+    """Streaming JSONL writer: one record per line, opened lazily.
+
+    Usable directly as a :class:`~repro.obs.trace.Tracer` sink::
+
+        tracer = Tracer(sink=JsonlSink("trace.jsonl"))
+        ...
+        tracer.close()   # flushes and closes the file
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.written = 0
+        self._handle: TextIO | None = None
+
+    def __call__(self, record: dict[str, Any]) -> None:
+        """Append one record as a JSON line."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True))
+        self._handle.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

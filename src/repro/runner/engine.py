@@ -24,13 +24,15 @@ runs, never *what* it computes.
 
 from __future__ import annotations
 
-import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.metrics import registry as metrics_registry
+from repro.obs.sinks import stderr_line
+from repro.obs.trace import NULL_TRACER, TracerLike
 from repro.runner import provider as provider_module
 from repro.runner.cache import ResultCache, job_key
 from repro.runner.jobs import JobSpec, execute_job
@@ -59,6 +61,10 @@ class RunReport:
     retries: int = 0
     failures: list[JobFailure] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: One entry per resolved unique job (manifest ``jobs`` section):
+    #: label, key, kind, source ("cache"/"executed"/"failed"),
+    #: compute_s, queue_s, attempts.
+    job_timings: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -77,25 +83,68 @@ class RunReport:
 
 
 def _pool_worker(kind: str, params_json: str) -> dict[str, Any]:
-    """Top-level (picklable) worker entry: execute one job by content."""
-    return execute_job(JobSpec(kind, params_json))
+    """Top-level (picklable) worker entry: execute one job by content.
+
+    Returns an envelope: the job ``payload`` (what the cache stores — the
+    envelope itself never reaches the cache, so cached bytes are identical
+    to serial runs), the worker-side ``compute_s``, and the worker's
+    metrics snapshot.  The registry is reset at job start because pool
+    processes are reused — without the reset a long-lived worker would
+    report every earlier job's metrics again and the parent-side merge
+    would double-count.
+    """
+    registry = metrics_registry()
+    registry.reset()
+    started = time.perf_counter()
+    payload = execute_job(JobSpec(kind, params_json))
+    return {
+        "payload": payload,
+        "compute_s": time.perf_counter() - started,
+        "metrics": registry.to_dict(),
+    }
 
 
 def _execute_with_retry(
-    spec: JobSpec, retries: int, report: RunReport
-) -> dict[str, Any] | None:
-    """Serial fallback path: run in-process, retrying once on any error."""
+    spec: JobSpec,
+    retries: int,
+    report: RunReport,
+    tracer: TracerLike = NULL_TRACER,
+) -> tuple[dict[str, Any] | None, float, int]:
+    """Serial fallback path: run in-process, retrying once on any error.
+
+    Returns ``(payload, compute_s, attempts)``; payload is ``None`` after
+    the final attempt failed (the failure is recorded on ``report``).
+    """
     for attempt in range(1, retries + 2):
+        started = time.perf_counter()
         try:
-            return execute_job(spec)
+            payload = execute_job(spec)
         except Exception as exc:  # noqa: BLE001 — a failed job must not kill the run
             if attempt <= retries:
                 report.retries += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "job.retry",
+                        key=job_key(spec),
+                        label=spec.label,
+                        error=repr(exc),
+                        attempt=attempt,
+                    )
                 continue
             report.failures.append(
                 JobFailure(spec=spec, error=f"{type(exc).__name__}: {exc}", attempts=attempt)
             )
-    return None
+            if tracer.enabled:
+                tracer.event(
+                    "job.failed",
+                    key=job_key(spec),
+                    label=spec.label,
+                    error=repr(exc),
+                    attempts=attempt,
+                )
+        else:
+            return payload, time.perf_counter() - started, attempt
+    return None, 0.0, retries + 1
 
 
 def run_jobs(
@@ -107,6 +156,7 @@ def run_jobs(
     retries: int = 1,
     progress: ProgressFn | None = None,
     prime: bool = True,
+    tracer: TracerLike = NULL_TRACER,
 ) -> RunReport:
     """Resolve every job; fan cache misses out over worker processes.
 
@@ -122,6 +172,14 @@ def run_jobs(
         progress: optional callback receiving one line per resolved job.
         prime: push results into the active provider memo so subsequent
             figure rendering in this process executes nothing.
+        tracer: observability sink for wall-clock ``job`` spans and
+            ``job.retry`` / ``job.failed`` events (default: no-op).
+
+    Worker-side metrics snapshots are merged into this process's
+    :func:`repro.obs.metrics.registry` as each pool job completes, so the
+    process-wide registry after a parallel run holds the same totals a
+    serial run would have recorded.  Per-job wall timings accumulate in
+    :attr:`RunReport.job_timings` (the manifest's ``jobs`` section).
     """
     started = time.monotonic()
     report = RunReport(planned=len(jobs))
@@ -138,6 +196,21 @@ def run_jobs(
         if progress is not None:
             progress(f"[{len(results) + len(report.failures)}/{total}] {spec.label}: {status}")
 
+    def timing(
+        spec: JobSpec, source: str, compute_s: float, queue_s: float, attempts: int
+    ) -> None:
+        report.job_timings.append(
+            {
+                "label": spec.label,
+                "key": job_key(spec),
+                "kind": spec.kind,
+                "source": source,
+                "compute_s": compute_s,
+                "queue_s": queue_s,
+                "attempts": attempts,
+            }
+        )
+
     # Phase 1 — disk lookups.
     misses: list[JobSpec] = []
     for identity, spec in unique.items():
@@ -145,14 +218,23 @@ def run_jobs(
         if payload is not None:
             results[identity] = payload
             report.disk_hits += 1
+            timing(spec, "cache", 0.0, 0.0, 0)
             note(spec, "cached")
         else:
             misses.append(spec)
 
-    def record(spec: JobSpec, payload: dict[str, Any]) -> None:
+    def record(
+        spec: JobSpec,
+        payload: dict[str, Any],
+        *,
+        compute_s: float,
+        queue_s: float,
+        attempts: int,
+    ) -> None:
         results[spec.identity] = payload
         report.executed += 1
         report.simulations += int(payload.get("simulations", 0))
+        timing(spec, "executed", compute_s, queue_s, attempts)
         if cache is not None:
             cache.put(job_key(spec), payload, meta={"label": spec.label})
         note(spec, "done")
@@ -160,10 +242,21 @@ def run_jobs(
     # Phase 2 — execute misses (serial, or across a process pool).
     if parallel <= 1 or len(misses) <= 1:
         for spec in misses:
-            payload = _execute_with_retry(spec, retries, report)
+            wall_start = time.perf_counter_ns()
+            payload, compute_s, attempts = _execute_with_retry(spec, retries, report, tracer)
             if payload is not None:
-                record(spec, payload)
+                record(spec, payload, compute_s=compute_s, queue_s=0.0, attempts=attempts)
+                if tracer.enabled:
+                    tracer.span_wall(
+                        "job",
+                        wall_start,
+                        time.perf_counter_ns(),
+                        label=spec.label,
+                        source="executed",
+                        attempts=attempts,
+                    )
             else:
+                timing(spec, "failed", 0.0, 0.0, attempts)
                 note(spec, "FAILED")
     elif misses:
         _run_pool(
@@ -172,8 +265,10 @@ def run_jobs(
             job_timeout_s=job_timeout_s,
             retries=retries,
             record=record,
+            timing=timing,
             report=report,
             note=note,
+            tracer=tracer,
         )
 
     # Phase 3 — prime the in-process provider for the render phase.
@@ -192,26 +287,50 @@ def _run_pool(
     parallel: int,
     job_timeout_s: float,
     retries: int,
-    record: Callable[[JobSpec, dict[str, Any]], None],
+    record: Callable[..., None],
+    timing: Callable[[JobSpec, str, float, float, int], None],
     report: RunReport,
     note: Callable[[JobSpec, str], None],
+    tracer: TracerLike = NULL_TRACER,
 ) -> None:
     """Scheduler loop: submit, collect, enforce timeouts, retry crashes."""
     max_workers = min(parallel, len(misses))
     executor = ProcessPoolExecutor(max_workers=max_workers)
-    pending: dict[Future, tuple[JobSpec, float, int]] = {}
+    pending: dict[Future, tuple[JobSpec, float, int, int]] = {}
 
     def fail(spec: JobSpec, error: str, attempt: int) -> None:
         report.failures.append(JobFailure(spec=spec, error=error, attempts=attempt))
+        timing(spec, "failed", 0.0, 0.0, attempt)
+        if tracer.enabled:
+            tracer.event(
+                "job.failed",
+                key=job_key(spec),
+                label=spec.label,
+                error=error,
+                attempts=attempt,
+            )
         note(spec, f"FAILED ({error})")
 
     def submit(spec: JobSpec, attempt: int) -> None:
         future = executor.submit(_pool_worker, spec.kind, spec.params_json)
-        pending[future] = (spec, time.monotonic() + job_timeout_s, attempt)
+        pending[future] = (
+            spec,
+            time.monotonic() + job_timeout_s,
+            attempt,
+            time.perf_counter_ns(),
+        )
 
     def resubmit_or_fail(spec: JobSpec, error: str, attempt: int) -> None:
         if attempt <= retries:
             report.retries += 1
+            if tracer.enabled:
+                tracer.event(
+                    "job.retry",
+                    key=job_key(spec),
+                    label=spec.label,
+                    error=error,
+                    attempt=attempt,
+                )
             submit(spec, attempt + 1)
         else:
             fail(spec, error, attempt)
@@ -226,9 +345,9 @@ def _run_pool(
                 done = set()
             broken = False
             for future in done:
-                spec, _deadline, attempt = pending.pop(future)
+                spec, _deadline, attempt, submitted_ns = pending.pop(future)
                 try:
-                    payload = future.result()
+                    envelope = future.result()
                 except BrokenProcessPool:
                     # A worker died hard (segfault / os._exit): the whole
                     # pool is poisoned.  Rebuild it and resubmit everything
@@ -237,7 +356,7 @@ def _run_pool(
                     resubmit_later = [(spec, attempt)]
                     resubmit_later.extend(
                         (other, other_attempt)
-                        for other, _d, other_attempt in pending.values()
+                        for other, _d, other_attempt, _s in pending.values()
                     )
                     pending.clear()
                     executor.shutdown(wait=False, cancel_futures=True)
@@ -246,13 +365,35 @@ def _run_pool(
                         resubmit_or_fail(other, "worker process died", other_attempt)
                     break
                 except Exception as exc:  # noqa: BLE001 — job errors are data
-                    resubmit_or_fail(spec, f"{type(exc).__name__}: {exc}", attempt)
+                    resubmit_or_fail(spec, repr(exc), attempt)
                 else:
-                    record(spec, payload)
+                    finished_ns = time.perf_counter_ns()
+                    compute_s = float(envelope["compute_s"])
+                    turnaround_s = (finished_ns - submitted_ns) / 1e9
+                    queue_s = max(0.0, turnaround_s - compute_s)
+                    metrics_registry().merge(envelope["metrics"])
+                    record(
+                        spec,
+                        envelope["payload"],
+                        compute_s=compute_s,
+                        queue_s=queue_s,
+                        attempts=attempt,
+                    )
+                    if tracer.enabled:
+                        tracer.span_wall(
+                            "job",
+                            submitted_ns,
+                            finished_ns,
+                            label=spec.label,
+                            source="executed",
+                            attempts=attempt,
+                            compute_s=compute_s,
+                            queue_s=queue_s,
+                        )
             if broken:
                 continue
             now = time.monotonic()
-            for future, (spec, deadline, attempt) in list(pending.items()):
+            for future, (spec, deadline, attempt, _submitted_ns) in list(pending.items()):
                 if now <= deadline:
                     continue
                 # A running worker cannot be interrupted; abandon the
@@ -266,4 +407,4 @@ def _run_pool(
 
 def stderr_progress(line: str) -> None:
     """Default progress sink: one line per job on stderr."""
-    print(line, file=sys.stderr, flush=True)
+    stderr_line(line)

@@ -28,6 +28,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs.metrics import registry as metrics_registry
 from repro.system.cpu import CoreModelConfig
 
 #: Reserved workload name for the zero-duplicate adversarial trace
@@ -174,10 +175,19 @@ def execute_job(spec: JobSpec) -> dict[str, Any]:
     except KeyError:
         known = ", ".join(sorted(_JOB_KINDS))
         raise KeyError(f"unknown job kind {spec.kind!r}; registered: {known}") from None
-    return runner(spec.params)
+    payload = runner(spec.params)
+    registry = metrics_registry()
+    registry.counter(f"jobs.{spec.kind}").inc()
+    registry.counter("simulations").inc(float(payload.get("simulations", 0)))
+    return payload
 
 
-def _trace_for(workload: str, accesses: int, seed: int):
+def trace_for(workload: str, accesses: int, seed: int):
+    """The access trace a workload name denotes (profile or worst-case).
+
+    Shared by the job executors, the ``trace`` CLI verb and the tracing
+    overhead gate, so every consumer resolves workload names identically.
+    """
     from repro.workloads.generator import generate_trace
     from repro.workloads.profiles import profile_by_name
     from repro.workloads.worstcase import worst_case_trace
@@ -193,7 +203,7 @@ def _run_simulate(params: dict[str, Any]) -> dict[str, Any]:
     from repro.system.simulator import simulate
 
     core = CoreModelConfig(**params["core"])
-    trace = _trace_for(params["workload"], int(params["accesses"]), int(params["seed"]))
+    trace = trace_for(params["workload"], int(params["accesses"]), int(params["seed"]))
     controller = build_controller(params["controller"], NvmMainMemory(), **params["opts"])
     report = simulate(controller, trace, core)
 
@@ -220,7 +230,7 @@ def _run_metadata_sweep(params: dict[str, Any]) -> dict[str, Any]:
 
     core = CoreModelConfig(**params["core"])
     size_kb = int(params["size_kb"])
-    trace = _trace_for(params["workload"], int(params["accesses"]), int(params["seed"]))
+    trace = trace_for(params["workload"], int(params["accesses"]), int(params["seed"]))
     controller = build_controller(
         "dewrite",
         NvmMainMemory(),
@@ -249,7 +259,7 @@ def _run_bitflips(params: dict[str, Any]) -> dict[str, Any]:
     from repro.baselines.bit_reduction import BitFlipAnalyzer
     from repro.workloads.oracle import DedupOracle, is_zero_line
 
-    trace = _trace_for(params["workload"], int(params["accesses"]), int(params["seed"]))
+    trace = trace_for(params["workload"], int(params["accesses"]), int(params["seed"]))
     writes = trace.write_pairs()
 
     plain = BitFlipAnalyzer().run(writes)

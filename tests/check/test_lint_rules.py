@@ -1,4 +1,4 @@
-"""Per-rule positive/negative cases for the SIM001–SIM005 lint rules."""
+"""Per-rule positive/negative cases for the SIM001–SIM006 lint rules."""
 
 from __future__ import annotations
 
@@ -23,10 +23,10 @@ def run_rule(rule_id: str, source: str, path: Path = WORKLOAD_PATH, context=None
 
 
 class TestRegistry:
-    def test_five_rules_registered_with_unique_ids(self):
+    def test_six_rules_registered_with_unique_ids(self):
         ids = [rule.rule_id for rule in ALL_RULES]
-        assert ids == ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005"]
-        assert len(set(ids)) == 5
+        assert ids == ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"]
+        assert len(set(ids)) == 6
 
     def test_every_rule_has_summary_and_fixit(self):
         for rule in ALL_RULES:
@@ -257,3 +257,53 @@ class TestSim005BareAssert:
                     raise ValueError("boom")
                 return x
         """)
+
+
+class TestSim006BarePrint:
+    def test_print_in_library_module_flagged(self):
+        violations = run_rule("SIM006", """\
+            def report(value):
+                print("value is", value)
+        """)
+        assert len(violations) == 1
+        assert violations[0].rule_id == "SIM006"
+        assert "obs sinks" in violations[0].message
+
+    def test_print_to_stderr_still_flagged(self):
+        violations = run_rule("SIM006", """\
+            import sys
+
+            def warn(msg):
+                print(msg, file=sys.stderr)
+        """)
+        assert len(violations) == 1
+
+    def test_cli_front_end_exempt(self):
+        source = """\
+            def main():
+                print("figures:")
+        """
+        assert not run_rule("SIM006", source, path=Path("src/repro/__main__.py"))
+
+    def test_obs_sink_helpers_clean(self):
+        assert not run_rule("SIM006", """\
+            from repro.obs.sinks import stderr_line
+
+            def warn(msg):
+                stderr_line(msg)
+        """)
+
+    def test_shadowed_print_attribute_clean(self):
+        # Only the print *builtin* is policed; methods named print are not.
+        assert not run_rule("SIM006", """\
+            def render(table):
+                table.print()
+        """)
+
+    def test_repo_library_source_is_clean(self):
+        # The shipped library must satisfy its own rule.
+        from repro.check.lint import lint_paths
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        report = lint_paths([src], rules=[rule_by_id("SIM006")])
+        assert report.clean, report.render()

@@ -21,7 +21,44 @@ class TestLatencyAccumulator:
         assert acc.count == 3
         assert acc.mean_ns == 200.0
         assert acc.max_ns == 300.0
+        assert acc.min_ns == 100.0
         assert acc.total_ns == 600.0
+
+    def test_min_tracks_first_sample_even_when_larger_samples_follow(self):
+        acc = LatencyAccumulator()
+        acc.add(500.0)
+        assert acc.min_ns == 500.0
+        acc.add(900.0)
+        assert acc.min_ns == 500.0
+        acc.add(10.0)
+        assert acc.min_ns == 10.0
+
+    def test_reset_clears_min(self):
+        acc = LatencyAccumulator()
+        acc.add(50.0)
+        acc.reset()
+        assert acc.min_ns == 0.0
+        assert acc.count == 0
+        # After reset the next sample re-seeds the minimum.
+        acc.add(70.0)
+        assert acc.min_ns == 70.0
+
+    def test_dict_round_trip_preserves_min(self):
+        acc = LatencyAccumulator()
+        for value in (42.0, 17.0, 99.0):
+            acc.add(value)
+        clone = LatencyAccumulator.from_dict(acc.to_dict())
+        assert clone.min_ns == 17.0
+        assert clone.count == acc.count
+        assert clone.total_ns == acc.total_ns
+
+    def test_from_dict_tolerates_snapshots_without_min(self):
+        # Cached payloads written before min_ns existed must still load.
+        acc = LatencyAccumulator.from_dict(
+            {"count": 2, "total_ns": 300.0, "max_ns": 200.0}
+        )
+        assert acc.min_ns == 0.0
+        assert acc.max_ns == 200.0
 
 
 class TestDeWriteStats:

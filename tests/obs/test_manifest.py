@@ -1,0 +1,126 @@
+"""Run manifests: build, validate, write, load."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_KIND,
+    MANIFEST_SCHEMA_VERSION,
+    ManifestError,
+    build_manifest,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+
+
+def minimal_manifest(**overrides):
+    payload = build_manifest(
+        figures=["fig12"],
+        settings={"accesses": 1000, "seed": 1, "applications": ["lbm"]},
+        options={"parallel": 1, "cache": True},
+        jobs=[
+            {
+                "label": "fig12: simulate lbm/dewrite",
+                "key": "abc123",
+                "kind": "simulate",
+                "source": "executed",
+                "compute_s": 0.5,
+                "queue_s": 0.0,
+                "attempts": 1,
+            }
+        ],
+        cache={
+            "planned": 4, "unique": 4, "disk_hits": 0,
+            "executed": 4, "simulations": 4, "retries": 0,
+        },
+        failures=[],
+        elapsed_s=1.25,
+        metrics={"jobs.simulate": {"kind": "counter", "value": 4.0}},
+        command=["python", "-m", "repro", "run", "fig12"],
+    )
+    payload.update(overrides)
+    return payload
+
+
+class TestBuildManifest:
+    def test_build_produces_valid_manifest(self):
+        payload = minimal_manifest()
+        assert validate_manifest(payload) == []
+        assert payload["schema"] == MANIFEST_SCHEMA_VERSION
+        assert payload["kind"] == MANIFEST_KIND
+        assert payload["command"][-1] == "fig12"
+
+    def test_environment_fields_populated(self):
+        payload = minimal_manifest()
+        assert payload["python"].count(".") == 2
+        assert payload["created_unix_s"] > 0
+        # In this checkout git_sha resolves; peak RSS is measurable on Linux.
+        assert payload["git_sha"] is None or len(payload["git_sha"]) == 40
+        assert payload["peak_rss_kb"] is None or payload["peak_rss_kb"] > 0
+
+    def test_manifest_is_json_serialisable(self):
+        json.dumps(minimal_manifest())
+
+
+class TestValidateManifest:
+    def test_non_object_rejected(self):
+        assert validate_manifest([1, 2]) != []
+        assert validate_manifest(None) != []
+
+    def test_wrong_schema_version_rejected(self):
+        problems = validate_manifest(minimal_manifest(schema=99))
+        assert any("schema" in p for p in problems)
+
+    def test_wrong_kind_rejected(self):
+        problems = validate_manifest(minimal_manifest(kind="something-else"))
+        assert any("kind" in p for p in problems)
+
+    def test_missing_settings_keys_reported(self):
+        problems = validate_manifest(minimal_manifest(settings={"accesses": 1}))
+        assert any("seed" in p for p in problems)
+        assert any("applications" in p for p in problems)
+
+    def test_bad_job_source_reported(self):
+        payload = minimal_manifest()
+        payload["jobs"][0]["source"] = "teleported"
+        problems = validate_manifest(payload)
+        assert any("source" in p for p in problems)
+
+    def test_non_integer_cache_counter_reported(self):
+        payload = minimal_manifest()
+        payload["cache"]["executed"] = "four"
+        assert any("cache.executed" in p for p in validate_manifest(payload))
+
+    def test_failure_without_error_string_reported(self):
+        payload = minimal_manifest(failures=[{"label": "x"}])
+        assert any("failures[0]" in p for p in validate_manifest(payload))
+
+
+class TestWriteLoadRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out" / "manifest.json"
+        payload = minimal_manifest()
+        write_manifest(path, payload)
+        assert load_manifest(path) == payload
+
+    def test_load_rejects_invalid_manifest(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"schema": 1}))
+        with pytest.raises(ManifestError):
+            load_manifest(path)
+        # validate=False loads anyway (the stats verb reports problems itself).
+        assert load_manifest(path, validate=False) == {"schema": 1}
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("not json{")
+        with pytest.raises(ManifestError):
+            load_manifest(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError):
+            load_manifest(tmp_path / "absent.json")

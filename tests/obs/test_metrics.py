@@ -1,0 +1,153 @@
+"""The metrics registry: counters, gauges, histograms, lossless merge."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import (
+    LATENCY_BOUNDS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    reset_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_merge_add(self):
+        a = Counter("jobs")
+        a.inc()
+        a.inc(2.5)
+        b = Counter("jobs")
+        b.inc(4.0)
+        a.merge(b)
+        assert a.value == 7.5
+
+    def test_decrease_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("jobs").inc(-1.0)
+
+
+class TestGauge:
+    def test_merge_keeps_maximum(self):
+        a = Gauge("peak")
+        a.set(10.0)
+        b = Gauge("peak")
+        b.set(3.0)
+        a.merge(b)
+        assert a.value == 10.0
+        b.merge(a)
+        assert b.value == 10.0
+
+
+class TestHistogram:
+    def test_counts_land_in_correct_buckets(self):
+        hist = Histogram("lat", bounds=(10.0, 100.0))
+        for value in (5.0, 10.0, 11.0, 1000.0):
+            hist.observe(value)
+        # Buckets: <=10, <=100, overflow.
+        assert hist.counts == [2, 1, 1]
+        assert hist.count == 4
+
+    def test_quantile_reports_bucket_upper_edge(self):
+        hist = Histogram("lat", bounds=(10.0, 100.0, 1000.0))
+        for _ in range(99):
+            hist.observe(5.0)
+        hist.observe(500.0)
+        assert hist.quantile(50) == 10.0
+        assert hist.quantile(99.9) == 1000.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        hist = Histogram("lat", bounds=(10.0,))
+        hist.observe(123456.0)
+        assert hist.quantile(99) == 123456.0
+
+    def test_merge_requires_identical_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("a", bounds=(1.0, 2.0)).merge(Histogram("a", bounds=(1.0, 3.0)))
+
+    def test_non_ascending_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("a", bounds=(10.0, 10.0))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        shards=st.lists(
+            st.lists(st.floats(0.0, 1e7, allow_nan=False), max_size=40),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_merge_of_worker_shards_is_lossless(self, shards):
+        # The parallel-run contract: per-worker histograms merged in the
+        # parent must equal one histogram that saw every sample.
+        merged = Histogram("lat", bounds=LATENCY_BOUNDS_NS)
+        for shard_samples in shards:
+            shard = Histogram("lat", bounds=LATENCY_BOUNDS_NS)
+            for sample in shard_samples:
+                shard.observe(sample)
+            merged.merge(shard)
+        single = Histogram("lat", bounds=LATENCY_BOUNDS_NS)
+        for sample in (s for shard in shards for s in shard):
+            single.observe(sample)
+        assert merged.counts == single.counts
+        assert merged.count == single.count
+        assert merged.total == pytest.approx(single.total)
+        assert merged.min_value == single.min_value
+        assert merged.max_value == single.max_value
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("jobs") is reg.counter("jobs")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_dict_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(3)
+        reg.gauge("peak").set(9.0)
+        reg.histogram("lat").observe(50.0)
+        clone = MetricsRegistry.from_dict(reg.to_dict())
+        assert clone.to_dict() == reg.to_dict()
+
+    def test_merge_from_worker_snapshot(self):
+        parent = MetricsRegistry()
+        parent.counter("jobs").inc(1)
+        worker = MetricsRegistry()
+        worker.counter("jobs").inc(2)
+        worker.histogram("lat").observe(42.0)
+        parent.merge(worker.to_dict())
+        assert parent.counter("jobs").value == 3.0
+        assert parent.histogram("lat").count == 1
+
+    def test_merge_kind_collision_rejected(self):
+        parent = MetricsRegistry()
+        parent.counter("x")
+        other = MetricsRegistry()
+        other.gauge("x").set(1.0)
+        with pytest.raises(TypeError):
+            parent.merge(other.to_dict())
+
+    def test_reset_clears_all(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(5)
+        reg.reset()
+        assert reg.counter("jobs").value == 0.0
+
+    def test_process_registry_is_shared_and_resettable(self):
+        reset_registry()
+        registry().counter("t").inc()
+        assert registry().counter("t").value == 1.0
+        reset_registry()
+        assert registry().counter("t").value == 0.0

@@ -1,0 +1,139 @@
+"""The observability CLI verbs: ``trace``, ``stats``, and run manifests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.manifest import validate_manifest
+from repro.obs.metrics import reset_registry
+
+
+@pytest.fixture(autouse=True)
+def _hermetic(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+    monkeypatch.chdir(tmp_path)
+    reset_registry()
+    yield
+    from repro.runner import provider
+
+    provider.reset()
+    reset_registry()
+
+
+class TestTrace:
+    def test_trace_prints_stage_table(self, capsys):
+        assert main(["trace", "fig14", "--accesses", "400"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("write.hash", "write.dedup", "read.nvm", "nvm.read"):
+            assert stage in out
+        assert "p95 ns" in out
+
+    def test_trace_alias_resolves_to_system_experiment(self, capsys):
+        assert main(["trace", "fig14", "--accesses", "200"]) == 0
+        assert "system" in capsys.readouterr().out
+
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        assert main(["trace", "fig14", "--accesses", "300", "--out", str(out)]) == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert records, "no records written"
+        names = {record["name"] for record in records}
+        for stage in ("write.hash", "write.dedup", "nvm.read"):
+            assert stage in names
+        # Every record carries the run context installed by the verb.
+        assert all(record["ctx"]["app"] == "lbm" for record in records)
+        assert f"wrote {len(records)} records" in capsys.readouterr().out
+
+    def test_trace_other_controller(self, capsys):
+        assert main(
+            ["trace", "fig14", "--accesses", "200", "--controller", "secure-nvm"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "write.crypto" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            main(["trace", "fig99", "--accesses", "100"])
+
+
+class TestRunManifest:
+    RUN = ["run", "fig12", "--apps", "lbm", "--accesses", "600", "--no-cache"]
+
+    def test_run_writes_valid_manifest(self, tmp_path, capsys):
+        manifest_path = tmp_path / "m.json"
+        assert main([*self.RUN, "--manifest", str(manifest_path)]) == 0
+        assert f"manifest: {manifest_path}" in capsys.readouterr().err
+        payload = json.loads(manifest_path.read_text())
+        assert validate_manifest(payload) == []
+        assert payload["figures"] == ["fig12"]
+        assert payload["settings"]["applications"] == ["lbm"]
+        assert payload["cache"]["executed"] == 2
+        assert len(payload["jobs"]) == 2
+        assert all(job["source"] == "executed" for job in payload["jobs"])
+        assert payload["metrics"]["jobs.simulate"]["value"] == 2.0
+
+    def test_no_manifest_flag_suppresses_writing(self, tmp_path, capsys):
+        assert main([*self.RUN, "--no-manifest"]) == 0
+        assert "manifest:" not in capsys.readouterr().err
+        assert not (tmp_path / "manifest.json").exists()
+
+    def test_figure_alias_accepted_by_run(self, tmp_path, capsys):
+        manifest_path = tmp_path / "alias.json"
+        assert main(
+            ["run", "fig14", "--apps", "lbm", "--accesses", "600", "--no-cache",
+             "--manifest", str(manifest_path)]
+        ) == 0
+        payload = json.loads(manifest_path.read_text())
+        assert payload["figures"] == ["system"]
+        capsys.readouterr()
+
+    def test_warm_cache_jobs_marked_as_cache_hits(self, tmp_path, capsys):
+        manifest_path = tmp_path / "warm.json"
+        cached = ["run", "fig12", "--apps", "lbm", "--accesses", "600",
+                  "--cache-dir", str(tmp_path / "c"), "--manifest", str(manifest_path)]
+        assert main(cached) == 0
+        assert main(cached) == 0
+        payload = json.loads(manifest_path.read_text())
+        assert validate_manifest(payload) == []
+        assert all(job["source"] == "cache" for job in payload["jobs"])
+        assert payload["cache"]["executed"] == 0
+        capsys.readouterr()
+
+
+class TestStats:
+    RUN = ["run", "fig12", "--apps", "lbm", "--accesses", "600", "--no-cache"]
+
+    def _write_manifest(self, path):
+        assert main([*self.RUN, "--manifest", str(path)]) == 0
+
+    def test_stats_reports_valid_manifest(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        self._write_manifest(path)
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "stats: manifest is valid" in out
+        assert "figures:   fig12" in out
+        assert "jobs:" in out
+
+    def test_stats_json_dump(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        self._write_manifest(path)
+        capsys.readouterr()
+        assert main(["stats", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-run-manifest"
+
+    def test_stats_flags_invalid_manifest(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 1, "kind": "repro-run-manifest"}))
+        assert main(["stats", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+
+    def test_stats_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "absent.json")]) == 1
+        assert "stats:" in capsys.readouterr().err

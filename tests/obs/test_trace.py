@@ -1,0 +1,207 @@
+"""The structured tracer: spans, events, sinks, and the null tracer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.sinks import JsonlSink
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, percentile
+
+
+class TestTracer:
+    def test_span_record_shape(self):
+        tracer = Tracer()
+        tracer.span("write.hash", 100.0, 115.0, fingerprint=0xBEEF)
+        (record,) = tracer.records
+        assert record["type"] == "span"
+        assert record["name"] == "write.hash"
+        assert record["clock"] == "sim"
+        assert record["start_ns"] == 100.0
+        assert record["end_ns"] == 115.0
+        assert record["dur_ns"] == 15.0
+        assert record["seq"] == 0
+        assert record["wall_ns"] >= 0
+        assert record["attrs"] == {"fingerprint": 0xBEEF}
+
+    def test_event_record_shape(self):
+        tracer = Tracer()
+        tracer.event("metadata.miss", sim_ns=42.0, table="hash")
+        (record,) = tracer.records
+        assert record["type"] == "event"
+        assert record["sim_ns"] == 42.0
+        assert record["attrs"] == {"table": "hash"}
+
+    def test_event_without_sim_time_omits_sim_ns(self):
+        tracer = Tracer()
+        tracer.event("job.retry", error="ValueError('x')")
+        assert "sim_ns" not in tracer.records[0]
+
+    def test_seq_matches_emission_order(self):
+        tracer = Tracer()
+        tracer.span("a", 0.0, 1.0)
+        tracer.event("b")
+        tracer.span("c", 1.0, 2.0)
+        assert [r["seq"] for r in tracer.records] == [0, 1, 2]
+        assert [r["name"] for r in tracer.records] == ["a", "b", "c"]
+
+    def test_records_view_extends_after_materialisation(self):
+        # Reading .records mid-run must not freeze the view.
+        tracer = Tracer()
+        tracer.span("a", 0.0, 1.0)
+        assert len(tracer.records) == 1
+        tracer.span("b", 1.0, 2.0)
+        assert [r["name"] for r in tracer.records] == ["a", "b"]
+
+    def test_context_attached_to_subsequent_records_only(self):
+        tracer = Tracer()
+        tracer.span("before", 0.0, 1.0)
+        tracer.set_context(figure="fig14", app="lbm")
+        tracer.span("after", 1.0, 2.0)
+        tracer.clear_context()
+        tracer.span("cleared", 2.0, 3.0)
+        before, after, cleared = tracer.records
+        assert "ctx" not in before
+        assert after["ctx"] == {"figure": "fig14", "app": "lbm"}
+        assert "ctx" not in cleared
+
+    def test_wall_span_measures_and_merges_attrs(self):
+        tracer = Tracer()
+        with tracer.wall_span("job", label="x") as attrs:
+            attrs["source"] = "executed"
+        (record,) = tracer.records
+        assert record["clock"] == "wall"
+        assert record["dur_ns"] >= 0
+        assert record["attrs"] == {"label": "x", "source": "executed"}
+
+    def test_spans_and_events_filters(self):
+        tracer = Tracer()
+        tracer.span("write", 0.0, 1.0)
+        tracer.span("read", 1.0, 2.0)
+        tracer.event("metadata.miss")
+        assert [r["name"] for r in tracer.spans()] == ["write", "read"]
+        assert [r["name"] for r in tracer.spans("read")] == ["read"]
+        assert [r["name"] for r in tracer.events()] == ["metadata.miss"]
+
+    def test_stage_durations_groups_by_name_and_clock(self):
+        tracer = Tracer()
+        tracer.span("write.nvm", 0.0, 100.0)
+        tracer.span("write.nvm", 100.0, 350.0)
+        tracer.span_wall("job", 0, 999)
+        stages = tracer.stage_durations()
+        assert stages == {"write.nvm": [100.0, 250.0]}
+        assert tracer.stage_durations(clock="wall") == {"job": [999.0]}
+
+
+class TestJsonlSink:
+    def test_stream_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sink=JsonlSink(path))
+        tracer.span("write.hash", 0.0, 15.0)
+        tracer.event("dedup.verify_read", sim_ns=20.0, matched=True)
+        tracer.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        decoded = [json.loads(line) for line in lines]
+        assert decoded[0]["name"] == "write.hash"
+        assert decoded[1]["attrs"]["matched"] is True
+        # The streamed records equal the buffered view.
+        assert decoded == tracer.records
+
+    def test_sink_lazy_until_first_record(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        tracer = Tracer(sink=JsonlSink(path))
+        tracer.close()
+        assert not path.exists()
+
+
+class TestNullTracer:
+    def test_disabled_and_records_nothing(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.span("write", 0.0, 1.0, attr=1)
+        tracer.event("metadata.miss", sim_ns=5.0)
+        tracer.set_context(figure="fig14")
+        with tracer.wall_span("job") as attrs:
+            attrs["ignored"] = True
+        tracer.close()
+        assert len(tracer.records) == 0
+
+    def test_shared_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_instrumented_pipeline_emits_nothing_through_null_tracer(self):
+        # End to end: a full simulation with the default (null) tracer must
+        # leave zero records anywhere — tracing off is the default.
+        from repro.core.registry import build_controller
+        from repro.nvm.memory import NvmMainMemory
+        from repro.runner.jobs import trace_for
+        from repro.system.simulator import simulate
+
+        controller = build_controller("dewrite", NvmMainMemory())
+        simulate(controller, trace_for("lbm", 200, 1))
+        assert controller.tracer is NULL_TRACER
+        assert len(controller.tracer.records) == 0
+
+
+class TestInstrumentedPipeline:
+    def test_traced_simulation_covers_every_stage(self):
+        from repro.core.registry import build_controller
+        from repro.nvm.memory import NvmMainMemory
+        from repro.runner.jobs import trace_for
+        from repro.system.simulator import simulate
+
+        tracer = Tracer()
+        controller = build_controller(
+            "dewrite", NvmMainMemory(), tracer=tracer
+        )
+        simulate(controller, trace_for("lbm", 400, 1))
+        names = {record["name"] for record in tracer.records}
+        for stage in (
+            "write", "write.hash", "write.dedup",
+            "read", "read.metadata", "read.nvm", "read.crypto",
+            "nvm.read", "nvm.write",
+        ):
+            assert stage in names, f"missing stage {stage}"
+
+    def test_stage_spans_nest_inside_request_span(self):
+        from repro.core.registry import build_controller
+        from repro.nvm.memory import NvmMainMemory
+        from repro.runner.jobs import trace_for
+        from repro.system.simulator import simulate
+
+        tracer = Tracer()
+        controller = build_controller("dewrite", NvmMainMemory(), tracer=tracer)
+        simulate(controller, trace_for("lbm", 300, 1))
+        for enclosing, stage in (("write", "write.hash"), ("read", "read.nvm")):
+            outer = tracer.spans(enclosing)
+            inner = tracer.spans(stage)
+            assert outer and inner
+            # Every stage span fits inside some enclosing request span.
+            spans = [(r["start_ns"], r["end_ns"]) for r in outer]
+            for record in inner:
+                assert any(
+                    start <= record["start_ns"] and record["end_ns"] <= end
+                    for start, end in spans
+                ), f"{stage} span escapes every {enclosing} span"
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 50) == 20.0
+        assert percentile(values, 95) == 40.0
+        assert percentile(values, 100) == 40.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)

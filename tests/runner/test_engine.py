@@ -174,3 +174,83 @@ class TestDeterminism:
         transported = provider.active().get(spec)
         local = execute_job(spec)
         assert transported == local
+
+
+class TestObservability:
+    def test_serial_run_records_job_timings(self):
+        report = run_jobs([_token_spec("a"), _token_spec("b")])
+        assert len(report.job_timings) == 2
+        for timing in report.job_timings:
+            assert timing["source"] == "executed"
+            assert timing["kind"] == "echo-token"
+            assert timing["compute_s"] >= 0.0
+            assert timing["queue_s"] == 0.0
+            assert timing["attempts"] == 1
+            assert timing["label"] and timing["key"]
+
+    def test_parallel_run_records_queue_and_compute(self):
+        jobs = [_token_spec(f"q{i}") for i in range(4)]
+        report = run_jobs(jobs, parallel=2)
+        assert len(report.job_timings) == 4
+        for timing in report.job_timings:
+            assert timing["source"] == "executed"
+            assert timing["compute_s"] >= 0.0
+            assert timing["queue_s"] >= 0.0
+
+    def test_disk_cache_hits_timed_as_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [_token_spec("a")]
+        run_jobs(jobs, cache=cache)
+        warm = run_jobs(jobs, cache=cache)
+        assert [t["source"] for t in warm.job_timings] == ["cache"]
+        assert warm.job_timings[0]["compute_s"] == 0.0
+
+    def test_failed_job_timed_as_failed(self):
+        spec = JobSpec("always-fails", canonical_json({"n": 2}))
+        report = run_jobs([spec], retries=0)
+        (timing,) = report.job_timings
+        assert timing["source"] == "failed"
+        assert timing["attempts"] == 1
+
+    def test_tracer_sees_job_spans_and_retry_events(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        good = _token_spec("traced")
+        bad = JobSpec("always-fails", canonical_json({"n": 3}))
+        report = run_jobs([good, bad], retries=1, tracer=tracer)
+        assert not report.ok
+        job_spans = tracer.spans("job")
+        assert len(job_spans) == 1
+        assert job_spans[0]["attrs"]["label"] == good.label
+        retries = tracer.events("job.retry")
+        assert len(retries) == 1
+        assert "ValueError" in retries[0]["attrs"]["error"]
+        failures = tracer.events("job.failed")
+        assert len(failures) == 1
+        assert failures[0]["attrs"]["attempts"] == 2
+
+    def test_parallel_tracer_records_wall_job_spans(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        jobs = [_token_spec(f"w{i}") for i in range(3)]
+        report = run_jobs(jobs, parallel=2, tracer=tracer)
+        assert report.ok
+        spans = tracer.spans("job")
+        assert len(spans) == 3
+        for span in spans:
+            assert span["clock"] == "wall"
+            assert span["attrs"]["source"] == "executed"
+            assert span["attrs"]["queue_s"] >= 0.0
+
+    def test_parallel_workers_merge_metrics_into_parent(self):
+        from repro.obs.metrics import registry, reset_registry
+
+        reset_registry()
+        jobs = [_token_spec(f"m{i}") for i in range(4)]
+        report = run_jobs(jobs, parallel=2)
+        assert report.ok
+        assert registry().counter("jobs.echo-token").value == 4.0
+        assert registry().counter("simulations").value == 4.0
+        reset_registry()

@@ -9,8 +9,10 @@ from repro.__main__ import main
 
 @pytest.fixture(autouse=True)
 def _hermetic_cache(tmp_path, monkeypatch):
-    """Keep CLI invocations away from the user's ~/.cache/repro."""
+    """Keep CLI invocations away from the user's ~/.cache/repro and keep
+    the default ``manifest.json`` out of the checkout."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+    monkeypatch.chdir(tmp_path)
     yield
     from repro.runner import provider
 
