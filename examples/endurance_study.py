@@ -23,19 +23,32 @@ from repro.workloads import ALL_PROFILES, generate_trace, profile_by_name
 def projected_lifetime_years(
     nvm: NvmMainMemory, makespan_ns: float, duty_cycle: float = 1.0
 ) -> float:
-    """Lifetime under ideal wear levelling.
+    """Lifetime under ideal wear levelling (see WearTracker for the model)."""
+    return nvm.wear.projected_lifetime_years(
+        total_lines=nvm.config.organization.total_lines,
+        line_bits=nvm.config.line_bits,
+        cell_endurance_writes=nvm.config.cell_endurance_writes,
+        makespan_ns=makespan_ns,
+        duty_cycle=duty_cycle,
+    )
 
-    Total cell-flip budget = cells x endurance; consumption rate comes
-    from the measured flips over the simulated wall-clock time.
-    """
-    summary = nvm.wear.summary()
-    if summary.total_bit_flips == 0 or makespan_ns == 0:
-        return float("inf")
-    total_cells = nvm.config.organization.total_lines * nvm.config.line_bits
-    budget = total_cells * nvm.config.cell_endurance_writes
-    flips_per_second = summary.total_bit_flips / (makespan_ns * 1e-9) * duty_cycle
-    seconds = budget / flips_per_second
-    return seconds / (365.25 * 24 * 3600)
+
+def print_heatmaps(profile_name: str, baseline: NvmMainMemory, dewrite: NvmMainMemory) -> None:
+    """Side-by-side wear heatmaps over the touched address range."""
+    from repro.analysis.charts import render_heatmap
+
+    for label, nvm in (("baseline", baseline), ("dewrite", dewrite)):
+        highest = nvm.wear.highest_line_written()
+        touched = (highest + 1) if highest is not None else 1
+        grid = nvm.wear.heatmap_grid(touched, rows=4, cols=48, metric="flips")
+        print()
+        print(
+            render_heatmap(
+                grid,
+                title=f"{profile_name} / {label}: bit flips over lines [0, {touched})",
+                cell_label="flips",
+            )
+        )
 
 
 def main() -> None:
@@ -47,6 +60,12 @@ def main() -> None:
         action="store_true",
         help="run both systems on Start-Gap wear-levelled devices and "
         "additionally report the hottest-line write count",
+    )
+    parser.add_argument(
+        "--heatmap",
+        action="store_true",
+        help="also render per-application ASCII wear heatmaps "
+        "(bit flips over the touched address range)",
     )
     args = parser.parse_args()
 
@@ -96,6 +115,8 @@ def main() -> None:
             dw_hot = dewrite_nvm.wear.summary().max_line_writes
             row += f"{base_hot:>7d}/{dw_hot:<6d}"
         print(row)
+        if args.heatmap:
+            print_heatmaps(profile.name, baseline_nvm, dewrite_nvm)
 
     mean_factor = sum(factors) / len(factors)
     print(f"\naverage lifetime extension: {mean_factor:.2f}x across {len(profiles)} applications")

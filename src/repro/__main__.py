@@ -9,7 +9,20 @@ Subcommands:
 - ``trace``    — run one figure's pipeline with the structured tracer
   attached and print the per-stage latency breakdown (p50/p95/p99);
   ``--out`` streams the raw span records as JSONL;
-- ``stats``    — validate and summarise a run manifest;
+- ``stats``    — validate and summarise a run manifest (``--json`` emits
+  the machine-readable digest the ``diff`` verb and CI consume);
+- ``timeline`` — run windowed simulations and print the in-run
+  time-series (dedup ratio, write reduction, cache hit rate, bank waits,
+  bit flips per sim-time window); ``--manifest`` records the merged
+  timeline in a run manifest for later ``diff``;
+- ``wear``     — render per-bank / per-region wear tables, an ASCII
+  address-space heatmap and a projected-lifetime panel vs a baseline;
+- ``diff``     — compare two run manifests (plus optional JSONL traces
+  and figure-JSON directories): deterministic counter/timeline drift
+  gates the exit code, wall-clock deltas are informational;
+- ``bench``    — time the hot paths (controller loops, hash circuits,
+  metadata cache), write a ``BENCH_<gitsha>.json`` record and optionally
+  gate against a baseline record (``--check``);
 - ``compare``  — run one application under the traditional secure NVM and
   under DeWrite, print the side-by-side report;
 - ``figure``   — regenerate one of the paper's tables/figures by id;
@@ -30,6 +43,10 @@ Examples::
     python -m repro run system modes --apps lbm,mcf --accesses 5000
     python -m repro trace fig14 --out /tmp/trace.jsonl
     python -m repro stats manifest.json
+    python -m repro timeline system --apps lbm --window-ns 2e5 --csv tl.csv
+    python -m repro wear fig12 --app lbm --metric flips
+    python -m repro diff old/manifest.json new/manifest.json
+    python -m repro bench --out bench/ --check bench/BENCH_abc123.json
     python -m repro compare --app lbm --accesses 20000
     python -m repro figure fig13 --apps lbm,mcf,vips
     python -m repro check --lint src/repro
@@ -129,7 +146,128 @@ def _build_parser() -> argparse.ArgumentParser:
         help="manifest path (default: ./manifest.json)",
     )
     stats.add_argument(
-        "--json", action="store_true", help="dump the raw manifest JSON instead"
+        "--json", action="store_true",
+        help="emit the machine-readable summary digest as JSON "
+             "(what `repro diff` and CI consume)",
+    )
+
+    timeline = sub.add_parser(
+        "timeline", help="windowed in-run time-series for one figure's workloads"
+    )
+    timeline.add_argument(
+        "figure",
+        help="figure id or paper alias (labels the run; fig14 etc. resolve to 'system')",
+    )
+    _add_settings_args(timeline, default_accesses=20_000)
+    _add_cache_args(timeline)
+    timeline.add_argument(
+        "--controller", default="dewrite",
+        help="controller to sample (default dewrite; see `list`)",
+    )
+    timeline.add_argument(
+        "--window-ns", type=float, default=1e6, metavar="NS",
+        help="sim-time window width in ns (default 1e6)",
+    )
+    timeline.add_argument(
+        "--max-rows", type=int, default=40,
+        help="cap on printed windows (default 40; export is never capped)",
+    )
+    timeline.add_argument(
+        "--csv", default="", metavar="PATH", help="also export every window as CSV"
+    )
+    timeline.add_argument(
+        "--jsonl", default="", metavar="PATH",
+        help="also export one JSON object per window as JSONL",
+    )
+    timeline.add_argument(
+        "--manifest", default="", metavar="PATH",
+        help="also write a run manifest embedding the merged timeline",
+    )
+
+    wear = sub.add_parser(
+        "wear", help="wear heatmap, per-bank/per-region tables and lifetime panel"
+    )
+    wear.add_argument(
+        "figure",
+        help="figure id or paper alias (labels the run; fig12/fig13 are the wear figures)",
+    )
+    wear.add_argument("--app", default="lbm", help="workload to run (default lbm)")
+    wear.add_argument("--accesses", type=int, default=20_000)
+    wear.add_argument("--seed", type=int, default=1)
+    wear.add_argument(
+        "--controller", default="dewrite",
+        help="controller under test (default dewrite)",
+    )
+    wear.add_argument(
+        "--baseline", default="secure-nvm",
+        help="baseline controller for the lifetime panel (default secure-nvm; "
+             "'none' skips the second run)",
+    )
+    wear.add_argument("--rows", type=int, default=8, help="heatmap rows (default 8)")
+    wear.add_argument("--cols", type=int, default=32, help="heatmap columns (default 32)")
+    wear.add_argument(
+        "--regions", type=int, default=8,
+        help="contiguous address regions in the wear table (default 8)",
+    )
+    wear.add_argument(
+        "--metric", choices=("writes", "flips"), default="writes",
+        help="heatmap intensity metric (default writes)",
+    )
+    wear.add_argument(
+        "--csv", default="", metavar="PATH", help="also export the heatmap grid as CSV"
+    )
+
+    diff = sub.add_parser(
+        "diff", help="compare two run manifests (and optional traces/figures)"
+    )
+    diff.add_argument("manifest_a", help="reference run manifest")
+    diff.add_argument("manifest_b", help="current run manifest")
+    diff.add_argument(
+        "--trace-a", default="", metavar="PATH",
+        help="JSONL trace of run A (enables per-stage percentile deltas)",
+    )
+    diff.add_argument(
+        "--trace-b", default="", metavar="PATH", help="JSONL trace of run B"
+    )
+    diff.add_argument(
+        "--figures-a", default="", metavar="DIR",
+        help="directory of figure JSONs from run A (enables figure drift)",
+    )
+    diff.add_argument(
+        "--figures-b", default="", metavar="DIR",
+        help="directory of figure JSONs from run B",
+    )
+    diff.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="relative tolerance for stage/figure comparisons (default 5 %%)",
+    )
+    diff.add_argument(
+        "--json", action="store_true", help="emit the full diff as JSON"
+    )
+
+    bench = sub.add_parser(
+        "bench", help="microbenchmark the hot paths; write/gate BENCH_<gitsha>.json"
+    )
+    bench.add_argument("--accesses", type=int, default=1_200,
+                       help="trace length per controller case (default 1200)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="interleaved repeats; best is kept (default 3)")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument(
+        "--controllers", default="", metavar="NAMES",
+        help="comma-separated controller subset (default: all registered)",
+    )
+    bench.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for the BENCH_<gitsha>.json record (default .)",
+    )
+    bench.add_argument(
+        "--check", default="", metavar="BASELINE",
+        help="baseline BENCH_*.json to gate against (exit 1 on regression)",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="relative regression threshold for --check (default 30 %%)",
     )
 
     compare = sub.add_parser("compare", help="baseline vs DeWrite on one application")
@@ -273,11 +411,12 @@ def _run_run(args: argparse.Namespace) -> int:
     return 0 if report.ok and rendered == len(ids) else 1
 
 
-def _write_run_manifest(args, ids, settings, report, show_progress):
+def _write_run_manifest(args, ids, settings, report, show_progress, timeline=None):
     from repro.obs.manifest import build_manifest, write_manifest
     from repro.obs.metrics import registry as metrics_registry
 
     payload = build_manifest(
+        timeline=timeline,
         figures=ids,
         settings={
             "accesses": settings.accesses,
@@ -349,7 +488,12 @@ def _run_trace(args: argparse.Namespace) -> int:
 
 
 def _run_stats(args: argparse.Namespace) -> int:
-    from repro.obs.manifest import ManifestError, load_manifest, validate_manifest
+    from repro.obs.manifest import (
+        ManifestError,
+        load_manifest,
+        summarize_manifest,
+        validate_manifest,
+    )
 
     try:
         payload = load_manifest(args.manifest, validate=False)
@@ -359,8 +503,9 @@ def _run_stats(args: argparse.Namespace) -> int:
     if args.json:
         import json
 
-        print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0
+        summary = summarize_manifest(payload)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if summary["valid"] else 1
 
     problems = validate_manifest(payload)
     print(f"manifest: {args.manifest}")
@@ -391,6 +536,13 @@ def _run_stats(args: argparse.Namespace) -> int:
     print(f"  elapsed:   {payload.get('elapsed_s', 0):.1f}s")
     if payload.get("peak_rss_kb") is not None:
         print(f"  peak RSS:  {payload['peak_rss_kb'] / 1024:.0f} MiB")
+    timeline = payload.get("timeline")
+    if isinstance(timeline, dict):
+        windows = timeline.get("windows", {})
+        print(
+            f"  timeline:  {len(windows) if isinstance(windows, dict) else 0} "
+            f"window(s) x {float(timeline.get('window_ns', 0) or 0):g} ns"
+        )
     failures = payload.get("failures", [])
     if failures:
         print(f"  failures:  {len(failures)}")
@@ -403,6 +555,285 @@ def _run_stats(args: argparse.Namespace) -> int:
             print(f"  - {problem}")
         return 1
     print("stats: manifest is valid")
+    return 0
+
+
+def _run_timeline(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.timeline import TimelineCollector, render_timeline, timeline_csv
+    from repro.runner import provider
+    from repro.runner.jobs import simulate_spec
+
+    spec = figures.resolve_experiment(args.figure)
+    settings = _settings(args)
+    cache = _configure_runner(args)
+    jobs = [
+        simulate_spec(
+            workload=app,
+            controller=args.controller,
+            accesses=settings.accesses,
+            seed=settings.seed,
+            experiment=spec.id,
+            timeline_window_ns=args.window_ns,
+        )
+        for app in settings.applications
+    ]
+    report = _warm_jobs(args, jobs, cache)
+    for failure in report.failures:
+        print(
+            f"timeline: FAILED {failure.spec.label}: {failure.error}", file=sys.stderr
+        )
+    if not report.ok:
+        return 1
+
+    merged = TimelineCollector(window_ns=args.window_ns)
+    for job in jobs:
+        payload = provider.active().get(job)
+        merged.merge(TimelineCollector.from_dict(payload["timeline"]))
+
+    print(
+        f"{spec.id} ({spec.anchor}) — {args.controller} on "
+        f"{', '.join(settings.applications)}, {settings.accesses} accesses, "
+        f"seed {settings.seed}, window {args.window_ns:g} ns"
+    )
+    print(render_timeline(merged, max_rows=args.max_rows))
+    if args.csv:
+        Path(args.csv).write_text(timeline_csv(merged), encoding="utf-8")
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if args.jsonl:
+        import json
+
+        with Path(args.jsonl).open("w", encoding="utf-8") as handle:
+            for row in merged.rows():
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        print(f"wrote {args.jsonl}", file=sys.stderr)
+    if args.manifest:
+        path = _write_run_manifest(
+            args, [spec.id], settings, report, False, timeline=merged.to_dict()
+        )
+        print(f"manifest: {path}", file=sys.stderr)
+    return 0
+
+
+def _run_wear(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.charts import heatmap_csv, render_heatmap
+    from repro.core.registry import build_controller
+    from repro.nvm.memory import NvmMainMemory
+    from repro.runner.jobs import trace_for
+    from repro.system.simulator import simulate
+
+    spec = figures.resolve_experiment(args.figure)
+    workload = trace_for(args.app, args.accesses, args.seed)
+
+    def run_one(name: str):
+        nvm = NvmMainMemory()
+        return nvm, simulate(build_controller(name, nvm), workload)
+
+    nvm, report = run_one(args.controller)
+    wear = nvm.wear
+    config = nvm.config
+    print(
+        f"{spec.id} ({spec.anchor}) — {args.controller} on {args.app}, "
+        f"{args.accesses} accesses, seed {args.seed}"
+    )
+    summary = wear.summary()
+    print(
+        f"{summary.total_line_writes} line writes over "
+        f"{summary.distinct_lines_written} distinct lines, "
+        f"{summary.total_bit_flips} bit flips "
+        f"(hottest line: {summary.max_line_writes} writes)\n"
+    )
+
+    highest = wear.highest_line_written()
+    touched = (highest + 1) if highest is not None else 1
+    grid = wear.heatmap_grid(touched, args.rows, args.cols, metric=args.metric)
+    print(
+        render_heatmap(
+            grid,
+            title=f"wear heatmap: {args.metric} over lines [0, {touched})",
+            cell_label=args.metric,
+        )
+    )
+
+    print(f"\n{'bank':>6s}{'writes':>10s}{'flips':>12s}{'peak':>8s}  hottest line")
+    for bank in wear.bank_wear(config.organization.total_banks):
+        hottest = bank.hottest_line if bank.hottest_line is not None else "-"
+        print(
+            f"{bank.index:6d}{bank.line_writes:10d}{bank.bit_flips:12d}"
+            f"{bank.max_line_writes:8d}  {hottest}"
+        )
+
+    print(f"\n{'region':>6s}{'lines':>8s}{'writes':>10s}{'flips':>12s}"
+          f"{'mean w/line':>12s}{'peak':>8s}")
+    for region in wear.region_wear(touched, args.regions):
+        print(
+            f"{region.index:6d}{region.lines:8d}{region.line_writes:10d}"
+            f"{region.bit_flips:12d}{region.mean_writes_per_line:12.2f}"
+            f"{region.max_line_writes:8d}"
+        )
+
+    def lifetime(tracker, makespan_ns: float) -> float:
+        return tracker.projected_lifetime_years(
+            total_lines=config.organization.total_lines,
+            line_bits=config.line_bits,
+            cell_endurance_writes=config.cell_endurance_writes,
+            makespan_ns=makespan_ns,
+        )
+
+    years = lifetime(wear, report.makespan_ns)
+    print(f"\nprojected lifetime ({args.controller}): {years:.3g} years "
+          f"(ideal levelling, {config.cell_endurance_writes:g} writes/cell)")
+    if args.baseline and args.baseline != "none":
+        base_nvm, base_report = run_one(args.baseline)
+        base_years = lifetime(base_nvm.wear, base_report.makespan_ns)
+        factor = wear.lifetime_factor(base_nvm.wear)
+        print(
+            f"projected lifetime ({args.baseline}): {base_years:.3g} years — "
+            f"{args.controller} extends lifetime {factor:.2f}x "
+            f"({base_nvm.wear.summary().total_bit_flips} -> "
+            f"{summary.total_bit_flips} flips)"
+        )
+
+    if args.csv:
+        Path(args.csv).write_text(heatmap_csv(grid), encoding="utf-8")
+        print(f"wrote {args.csv}", file=sys.stderr)
+    return 0
+
+
+def _run_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import (
+        diff_figure_dirs,
+        diff_manifests,
+        diff_stages,
+        stage_percentiles,
+    )
+    from repro.obs.manifest import ManifestError, load_manifest
+
+    if bool(args.trace_a) != bool(args.trace_b):
+        print("diff: --trace-a and --trace-b must be given together", file=sys.stderr)
+        return 2
+    if bool(args.figures_a) != bool(args.figures_b):
+        print("diff: --figures-a and --figures-b must be given together", file=sys.stderr)
+        return 2
+    try:
+        manifest_a = load_manifest(args.manifest_a, validate=False)
+        manifest_b = load_manifest(args.manifest_b, validate=False)
+    except ManifestError as error:
+        print(f"diff: {error}", file=sys.stderr)
+        return 2
+
+    diff = diff_manifests(manifest_a, manifest_b)
+    drift = diff.deterministic_drift
+    stage_notes: list[str] = []
+    if args.trace_a:
+        stage_notes = diff_stages(
+            stage_percentiles(args.trace_a),
+            stage_percentiles(args.trace_b),
+            tolerance=args.tolerance,
+        )
+        drift = drift or bool(stage_notes)
+    figure_reports: dict[str, object] = {}
+    figure_notes: list[str] = []
+    if args.figures_a:
+        figure_reports, figure_notes = diff_figure_dirs(
+            args.figures_a, args.figures_b, tolerance=args.tolerance
+        )
+        drift = drift or bool(figure_notes)
+        drift = drift or any(not report.clean for report in figure_reports.values())
+
+    if args.json:
+        import json
+
+        payload = {
+            "deterministic_drift": drift,
+            "manifest": {
+                "context": diff.context,
+                "counter_drifts": [
+                    {"name": d.name, "a": d.a, "b": d.b} for d in diff.counter_drifts
+                ],
+                "appeared_counters": diff.appeared_counters,
+                "vanished_counters": diff.vanished_counters,
+                "counters_compared": diff.counters_compared,
+                "timeline_drifts": diff.timeline_drifts,
+                "timeline_windows_compared": diff.timeline_windows_compared,
+                "wall_clock_deltas": [
+                    {"name": d.name, "kind": d.kind, "a": d.a, "b": d.b}
+                    for d in diff.info_deltas
+                ],
+            },
+            "stages": stage_notes,
+            "figures": {
+                "notes": figure_notes,
+                "reports": {
+                    name: {"clean": report.clean, "summary": report.summary()}
+                    for name, report in figure_reports.items()
+                },
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if drift else 0
+
+    print(f"diff: {args.manifest_a} vs {args.manifest_b}")
+    print(diff.render())
+    if args.trace_a:
+        if stage_notes:
+            print(f"stage drift ({len(stage_notes)}):")
+            for note in stage_notes:
+                print(f"  {note}")
+        else:
+            print("stages: per-stage sim-clock percentiles match")
+    if args.figures_a:
+        for note in figure_notes:
+            print(f"figures: {note}")
+        for name, report in sorted(figure_reports.items()):
+            verdict = "clean" if report.clean else "DRIFT"
+            print(f"figures: {name}: {verdict} — {report.summary().splitlines()[0]}")
+    print(f"diff: {'DRIFT detected' if drift else 'no deterministic drift'}")
+    return 1 if drift else 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+
+    controllers = (
+        [name.strip() for name in args.controllers.split(",") if name.strip()]
+        if args.controllers
+        else None
+    )
+    cases = bench.default_suite(
+        accesses=args.accesses, seed=args.seed, controllers=controllers
+    )
+    print(f"bench: {len(cases)} case(s), best of {args.repeats} interleaved repeat(s)")
+    results = bench.run_suite(cases, repeats=args.repeats)
+    print(f"{'case':26s}{'best ms':>10s}{'ops':>8s}{'ns/op':>12s}")
+    for name, entry in sorted(results.items()):
+        print(
+            f"{name:26s}{entry['best_s'] * 1000:10.2f}{entry['ops']:8d}"
+            f"{entry['per_op_ns']:12.1f}"
+        )
+    record = bench.build_record(
+        results,
+        scale={
+            "accesses": args.accesses,
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "controllers": controllers if controllers is not None else "all",
+        },
+    )
+    path = bench.write_record(record, args.out)
+    print(f"wrote {path}", file=sys.stderr)
+    if args.check:
+        try:
+            baseline = bench.load_record(args.check)
+        except (OSError, ValueError) as error:
+            print(f"bench: cannot load baseline: {error}", file=sys.stderr)
+            return 2
+        comparison = bench.compare_records(record, baseline, threshold=args.threshold)
+        print(comparison.render())
+        return 0 if comparison.ok else 1
     return 0
 
 
@@ -572,6 +1003,14 @@ def main(argv: list[str] | None = None) -> int:
             return _run_trace(args)
         if args.command == "stats":
             return _run_stats(args)
+        if args.command == "timeline":
+            return _run_timeline(args)
+        if args.command == "wear":
+            return _run_wear(args)
+        if args.command == "diff":
+            return _run_diff(args)
+        if args.command == "bench":
+            return _run_bench(args)
         if args.command == "compare":
             return _run_compare(args)
         if args.command == "figure":

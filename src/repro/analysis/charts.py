@@ -13,6 +13,9 @@ from repro.analysis.reporting import Table
 _BAR = "█"
 _HALF = "▌"
 
+#: Intensity ramp for heatmaps, darkest last; index 0 renders truly-zero cells.
+_SHADES = " .:-=+*#%@"
+
 
 def render_bar_chart(
     table: Table,
@@ -58,3 +61,41 @@ def render_bar_chart(
     if reference is not None:
         lines.append(f"{' ' * label_width}  (| marks {reference:g})")
     return "\n".join(lines)
+
+
+def render_heatmap(
+    grid: list[list[int]] | list[list[float]],
+    *,
+    title: str = "",
+    cell_label: str = "value",
+) -> str:
+    """Render a 2-D intensity grid (e.g. a wear heatmap) as shaded ASCII.
+
+    Each cell maps its value linearly onto a ten-step shade ramp scaled
+    to the grid maximum; zero cells stay blank so cold regions read as
+    empty space.  A legend line states the scale so the picture carries
+    its own units.
+    """
+    if not grid or not grid[0]:
+        return f"{title}\n(empty grid)" if title else "(empty grid)"
+    peak = max(max(row) for row in grid)
+    lines = [title] if title else []
+    top = len(_SHADES) - 1
+    for row in grid:
+        cells = []
+        for value in row:
+            if peak <= 0 or value <= 0:
+                cells.append(_SHADES[0])
+            else:
+                cells.append(_SHADES[max(1, round(value / peak * top))])
+        lines.append("".join(cells))
+    lines.append(
+        f"scale: ' '=0  '{_SHADES[1]}'≈{peak / top:.3g}  '{_SHADES[-1]}'={peak:.3g} "
+        f"{cell_label}/cell"
+    )
+    return "\n".join(lines)
+
+
+def heatmap_csv(grid: list[list[int]] | list[list[float]]) -> str:
+    """The raw heatmap grid as CSV (one row per line, no header)."""
+    return "\n".join(",".join(repr(value) for value in row) for row in grid) + "\n"

@@ -9,7 +9,7 @@ produces the inputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 
@@ -23,13 +23,41 @@ class Drift:
     current: float
 
     @property
+    def category(self) -> str:
+        """``"appeared"`` (0 → x), ``"vanished"`` (x → 0) or ``"changed"``.
+
+        A zero reference makes a relative percentage meaningless, so those
+        cells report as a distinct category instead of a ±inf change.
+        """
+        if self.reference == 0 and self.current != 0:
+            return "appeared"
+        if self.reference != 0 and self.current == 0:
+            return "vanished"
+        return "changed"
+
+    @property
     def relative_change(self) -> float:
-        """Signed relative change vs the reference."""
+        """Signed relative change vs the reference.
+
+        Only meaningful for category ``"changed"`` (and ``"vanished"``,
+        where it is exactly -100 %); an ``"appeared"`` cell has no
+        reference to be relative to and reports ``nan``, never ``inf``.
+        """
         if self.reference == 0:
-            return float("inf") if self.current else 0.0
+            return 0.0 if self.current == 0 else float("nan")
         return (self.current - self.reference) / abs(self.reference)
 
     def __str__(self) -> str:
+        if self.category == "appeared":
+            return (
+                f"{self.row_key}/{self.column}: appeared "
+                f"(0 -> {self.current:g})"
+            )
+        if self.category == "vanished":
+            return (
+                f"{self.row_key}/{self.column}: vanished "
+                f"({self.reference:g} -> 0)"
+            )
         return (
             f"{self.row_key}/{self.column}: {self.reference:g} -> {self.current:g} "
             f"({self.relative_change:+.1%})"
@@ -38,29 +66,50 @@ class Drift:
 
 @dataclass(frozen=True)
 class RegressionReport:
-    """Outcome of comparing two exported tables."""
+    """Outcome of comparing two exported tables.
+
+    ``drifts`` holds value changes between two nonzero cells;
+    ``appeared`` / ``vanished`` hold cells whose reference (respectively
+    current) value is zero, where a relative percentage would be
+    meaningless.
+    """
 
     drifts: list[Drift]
     missing_rows: list[Any]
     extra_rows: list[Any]
     cells_compared: int
+    appeared: list[Drift] = field(default_factory=list)
+    vanished: list[Drift] = field(default_factory=list)
+
+    @property
+    def all_drifts(self) -> list[Drift]:
+        """Every out-of-tolerance cell across the three categories."""
+        return [*self.drifts, *self.appeared, *self.vanished]
 
     @property
     def clean(self) -> bool:
-        """True when nothing drifted and the row sets match."""
-        return not self.drifts and not self.missing_rows and not self.extra_rows
+        """True when nothing drifted (any category) and the row sets match."""
+        return not (
+            self.drifts
+            or self.appeared
+            or self.vanished
+            or self.missing_rows
+            or self.extra_rows
+        )
 
     def summary(self) -> str:
         """One-paragraph human description."""
         if self.clean:
             return f"clean: {self.cells_compared} cells within tolerance"
         lines = [
-            f"{len(self.drifts)} drifted cells, {len(self.missing_rows)} missing rows, "
+            f"{len(self.drifts)} drifted cells, {len(self.appeared)} appeared, "
+            f"{len(self.vanished)} vanished, {len(self.missing_rows)} missing rows, "
             f"{len(self.extra_rows)} extra rows (of {self.cells_compared} cells compared)"
         ]
-        lines.extend(str(d) for d in self.drifts[:20])
-        if len(self.drifts) > 20:
-            lines.append(f"... and {len(self.drifts) - 20} more")
+        shown = self.all_drifts
+        lines.extend(str(d) for d in shown[:20])
+        if len(shown) > 20:
+            lines.append(f"... and {len(shown) - 20} more")
         return "\n".join(lines)
 
 
@@ -84,6 +133,8 @@ def compare_tables(
     current_rows = {row[0]: row for row in current["rows"]}
 
     drifts: list[Drift] = []
+    appeared: list[Drift] = []
+    vanished: list[Drift] = []
     compared = 0
     for key, ref_row in reference_rows.items():
         cur_row = current_rows.get(key)
@@ -95,7 +146,10 @@ def compare_tables(
                 delta = abs(cur_value - ref_value)
                 limit = max(absolute_tolerance, relative_tolerance * abs(ref_value))
                 if delta > limit:
-                    drifts.append(Drift(key, column, float(ref_value), float(cur_value)))
+                    drift = Drift(key, column, float(ref_value), float(cur_value))
+                    {"appeared": appeared, "vanished": vanished, "changed": drifts}[
+                        drift.category
+                    ].append(drift)
             elif ref_value != cur_value:
                 drifts.append(Drift(key, column, float("nan"), float("nan")))
 
@@ -104,4 +158,6 @@ def compare_tables(
         missing_rows=[k for k in reference_rows if k not in current_rows],
         extra_rows=[k for k in current_rows if k not in reference_rows],
         cells_compared=compared,
+        appeared=appeared,
+        vanished=vanished,
     )

@@ -110,6 +110,8 @@ class TraditionalSecureNvmController(MemoryController):
             self._reencrypt_page(overflow, address, written.complete_ns)
         latency = written.complete_ns - arrival_ns
         self.stats.write_latency.add(latency)
+        if self.timeline.enabled:
+            self.timeline.record_write(arrival_ns, deduplicated=False, latency_ns=latency)
         tracer = self.tracer
         if tracer.enabled:
             tracer.span("write.crypto", now, issue)
@@ -158,6 +160,8 @@ class TraditionalSecureNvmController(MemoryController):
 
         latency = now - arrival_ns
         self.stats.read_latency.add(latency)
+        if self.timeline.enabled:
+            self.timeline.record_read(arrival_ns, latency_ns=latency)
         tracer = self.tracer
         if tracer.enabled:
             tracer.span("read.metadata", arrival_ns, issue, redirected=False)
@@ -171,6 +175,8 @@ class TraditionalSecureNvmController(MemoryController):
     def _access_counter(self, address: int, write: bool, now_ns: float) -> float:
         """Touch the counter cache; returns blocking latency added."""
         result = self.counter_cache.access(address, write)
+        if self.timeline.enabled:
+            self.timeline.record_metadata(now_ns, hit=result.hit)
         extra = 0.0
         if not result.hit:
             line = self._counter_line_for(result.block)

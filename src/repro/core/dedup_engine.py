@@ -28,6 +28,7 @@ from repro.core.tables import DedupIndex, MetadataLayout, MetadataTouch, TableNa
 from repro.crypto.counter_mode import CounterModeEngine
 from repro.crypto.otp import SplitmixPadGenerator
 from repro.nvm.memory import NvmMainMemory
+from repro.obs.timeline import NULL_TIMELINE, TimelineLike
 from repro.obs.trace import NULL_TRACER, TracerLike
 
 
@@ -63,6 +64,7 @@ class MetadataSystem:
         self._payloads = SplitmixPadGenerator(b"\xa5" * 16)
         self._payload_version = 0
         self.tracer: TracerLike = NULL_TRACER
+        self.timeline: TimelineLike = NULL_TIMELINE
 
     def access(
         self,
@@ -84,6 +86,8 @@ class MetadataSystem:
         """
         cache = self.caches[table]
         result = cache.access(entry_index, write, is_insert=not fetch_on_miss)
+        if self.timeline.enabled:
+            self.timeline.record_metadata(now_ns, hit=result.hit)
         extra = 0.0
         if not result.hit and fetch_on_miss:
             line = self.layout.nvm_line_for(table, result.block)

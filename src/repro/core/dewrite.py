@@ -117,6 +117,12 @@ class DeWriteController(MemoryController):
         self._score_prediction(predicted_dup, outcome.deduplicated)
         stats.write_latency.add(outcome.latency_ns)
         self._sync_metadata_stats()
+        if self.timeline.enabled:
+            self.timeline.record_write(
+                arrival_ns,
+                deduplicated=outcome.deduplicated,
+                latency_ns=outcome.latency_ns,
+            )
         if tracer.enabled:
             tracer.span(
                 "write",
@@ -243,6 +249,8 @@ class DeWriteController(MemoryController):
         latency = now - arrival_ns
         stats.read_latency.add(latency)
         self._sync_metadata_stats()
+        if self.timeline.enabled:
+            self.timeline.record_read(arrival_ns, latency_ns=latency)
         tracer = self.tracer
         if tracer.enabled:
             redirected = physical is not None and physical != address
@@ -271,6 +279,9 @@ class DeWriteController(MemoryController):
     def _propagate_tracer(self, tracer: TracerLike) -> None:
         self.metadata.tracer = tracer
         self.engine.tracer = tracer
+
+    def _propagate_timeline(self, timeline) -> None:
+        self.metadata.timeline = timeline
 
     def _fingerprint(self, data: bytes) -> int:
         """Line fingerprint under the configured scheme, as an integer key.

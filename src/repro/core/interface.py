@@ -13,6 +13,7 @@ import abc
 from dataclasses import dataclass
 
 from repro.nvm.memory import NvmMainMemory
+from repro.obs.timeline import NULL_TIMELINE, TimelineLike
 from repro.obs.trace import NULL_TRACER, TracerLike
 
 
@@ -45,6 +46,7 @@ class MemoryController(abc.ABC):
         self.nvm = nvm
         self.line_size = nvm.config.organization.line_size_bytes
         self.tracer: TracerLike = NULL_TRACER
+        self.timeline: TimelineLike = NULL_TIMELINE
 
     def attach_tracer(self, tracer: TracerLike) -> None:
         """Route this controller's (and its device's) trace records to ``tracer``.
@@ -60,6 +62,22 @@ class MemoryController(abc.ABC):
 
     def _propagate_tracer(self, tracer: TracerLike) -> None:
         """Hook for subclasses to hand the tracer to internal components."""
+
+    def attach_timeline(self, timeline: TimelineLike) -> None:
+        """Route this controller's (and its device's) windowed samples.
+
+        Same null-object economics as :meth:`attach_tracer`: the default
+        is the shared :data:`~repro.obs.timeline.NULL_TIMELINE`, so the
+        instrumented request paths cost one ``timeline.enabled`` check
+        until a real :class:`~repro.obs.timeline.TimelineCollector` is
+        attached.
+        """
+        self.timeline = timeline
+        self.nvm.timeline = timeline
+        self._propagate_timeline(timeline)
+
+    def _propagate_timeline(self, timeline: TimelineLike) -> None:
+        """Hook for subclasses to hand the collector to internal components."""
 
     @abc.abstractmethod
     def write(self, address: int, data: bytes, arrival_ns: float) -> WriteOutcome:

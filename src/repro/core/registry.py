@@ -75,14 +75,19 @@ def available_controllers() -> dict[str, str]:
 def build_controller(name: str, nvm: "NvmMainMemory", **opts: Any) -> "MemoryController":
     """Construct the controller registered under ``name`` on ``nvm``.
 
-    ``tracer=...`` is handled here for every registered controller: it is
-    popped before the builder runs and attached via
-    :meth:`~repro.core.interface.MemoryController.attach_tracer`, so any
-    caller (the ``trace`` CLI verb, the overhead gate, tests) can observe
-    any controller without per-builder wiring.  Tracers are in-process
-    objects — they never travel inside serialised job specs.
+    ``tracer=...`` and ``timeline=...`` are handled here for every
+    registered controller: each is popped before the builder runs and
+    attached via
+    :meth:`~repro.core.interface.MemoryController.attach_tracer` /
+    :meth:`~repro.core.interface.MemoryController.attach_timeline`, so any
+    caller (the ``trace``/``timeline`` CLI verbs, the overhead gate,
+    tests) can observe any controller without per-builder wiring.  Both
+    are in-process objects — they never travel inside serialised job
+    specs (the ``simulate`` job kind carries a ``timeline_window_ns``
+    parameter instead and builds the collector worker-side).
     """
     tracer = opts.pop("tracer", None)
+    timeline = opts.pop("timeline", None)
     try:
         builder, _ = _BUILDERS[name]
     except KeyError:
@@ -93,6 +98,8 @@ def build_controller(name: str, nvm: "NvmMainMemory", **opts: Any) -> "MemoryCon
     controller = builder(nvm, **opts)
     if tracer is not None:
         controller.attach_tracer(tracer)
+    if timeline is not None:
+        controller.attach_timeline(timeline)
     return controller
 
 

@@ -15,6 +15,7 @@ from repro.nvm.bank import Bank
 from repro.nvm.config import NvmConfig
 from repro.nvm.energy import EnergyAccount
 from repro.nvm.wear import WearTracker
+from repro.obs.timeline import NULL_TIMELINE, TimelineLike
 from repro.obs.trace import NULL_TRACER, TracerLike
 
 
@@ -59,6 +60,7 @@ class NvmMainMemory:
         self.reads = 0
         self.writes = 0
         self.tracer: TracerLike = NULL_TRACER
+        self.timeline: TimelineLike = NULL_TIMELINE
 
     # -- timed device interface ---------------------------------------------
 
@@ -94,6 +96,12 @@ class NvmMainMemory:
                 bank=bank.index,
                 wait_ns=start - arrival_ns,
                 row_hit=row_hit,
+            )
+        if self.timeline.enabled:
+            # Verify reads (trace=False) are still real device traffic, so
+            # the timeline counts them even when the span is suppressed.
+            self.timeline.record_nvm_read(
+                arrival_ns, bank=bank.index, wait_ns=start - arrival_ns
             )
         return AccessResult(
             address=address,
@@ -145,6 +153,10 @@ class NvmMainMemory:
                 bank=bank.index,
                 wait_ns=start - arrival_ns,
                 bit_flips=flips,
+            )
+        if self.timeline.enabled:
+            self.timeline.record_nvm_write(
+                arrival_ns, bank=bank.index, wait_ns=start - arrival_ns, bit_flips=flips
             )
         return AccessResult(
             address=address, start_ns=start, complete_ns=complete, arrival_ns=arrival_ns

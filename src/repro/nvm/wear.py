@@ -11,7 +11,7 @@ estimates in the endurance example can be computed from one source.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -32,11 +32,32 @@ class WearSummary:
         return self.total_bit_flips / self.total_line_writes
 
 
+@dataclass(frozen=True)
+class RegionWear:
+    """Wear accumulated by one contiguous address region (or one bank)."""
+
+    index: int
+    first_line: int
+    lines: int
+    line_writes: int
+    bit_flips: int
+    max_line_writes: int
+    hottest_line: int | None
+
+    @property
+    def mean_writes_per_line(self) -> float:
+        """Average writes per line in the region."""
+        if not self.lines:
+            return 0.0
+        return self.line_writes / self.lines
+
+
 class WearTracker:
-    """Per-line write counts plus global bit-flip totals."""
+    """Per-line write and bit-flip counts plus global totals."""
 
     def __init__(self) -> None:
         self._line_writes: Counter[int] = Counter()
+        self._line_flips: Counter[int] = Counter()
         self._total_bit_flips = 0
         self._total_bits_written = 0
 
@@ -53,12 +74,26 @@ class WearTracker:
         if bit_flips < 0 or bits_written < 0:
             raise ValueError("wear quantities must be non-negative")
         self._line_writes[line_address] += 1
+        self._line_flips[line_address] += bit_flips
         self._total_bit_flips += bit_flips
         self._total_bits_written += bits_written
 
     def writes_to(self, line_address: int) -> int:
         """Write count of one line."""
         return self._line_writes[line_address]
+
+    def flips_to(self, line_address: int) -> int:
+        """Accumulated bit flips of one line."""
+        return self._line_flips[line_address]
+
+    def highest_line_written(self) -> int | None:
+        """Largest line address written so far (``None`` before any write).
+
+        Heatmaps over the *touched* address range use this as their upper
+        bound — a 16 GiB device rendered over its full address space would
+        collapse a small trace's working set into one cell.
+        """
+        return max(self._line_writes, default=None)
 
     def summary(self) -> WearSummary:
         """Aggregate statistics snapshot."""
@@ -82,8 +117,110 @@ class WearTracker:
             return float("inf") if theirs else 1.0
         return theirs / ours
 
+    # -- spatial profiles (Figs. 12/13: where does the wear concentrate?) ----
+
+    def region_wear(self, total_lines: int, regions: int) -> list[RegionWear]:
+        """Wear histogram over ``regions`` contiguous equal address ranges.
+
+        Lines past ``total_lines`` (none, normally) fold into the last
+        region, so the profile always accounts every recorded write.
+        """
+        if total_lines < 1 or regions < 1:
+            raise ValueError("need at least one line and one region")
+        regions = min(regions, total_lines)
+        span = (total_lines + regions - 1) // regions
+        profile = self._grouped_wear(
+            regions, lambda line: min(line // span, regions - 1), lambda i: i * span, span
+        )
+        # The last region may be a short remainder of the address space.
+        last = profile[-1]
+        profile[-1] = replace(last, lines=total_lines - last.first_line)
+        return profile
+
+    def bank_wear(self, total_banks: int) -> list[RegionWear]:
+        """Wear histogram per bank under the device's round-robin mapping.
+
+        Uses the same ``line % banks`` interleave as
+        :meth:`repro.nvm.config.NvmOrganization.bank_of`, so entry *i*
+        is exactly bank *i*'s accumulated wear.
+        """
+        if total_banks < 1:
+            raise ValueError("need at least one bank")
+        return self._grouped_wear(
+            total_banks, lambda line: line % total_banks, lambda i: i, 0
+        )
+
+    def _grouped_wear(self, groups, group_of, first_line_of, lines_per_group):
+        writes = [0] * groups
+        flips = [0] * groups
+        peak = [0] * groups
+        hottest: list[int | None] = [None] * groups
+        for line, count in self._line_writes.items():
+            group = group_of(line)
+            writes[group] += count
+            flips[group] += self._line_flips[line]
+            if count > peak[group]:
+                peak[group] = count
+                hottest[group] = line
+        return [
+            RegionWear(
+                index=i,
+                first_line=first_line_of(i),
+                lines=lines_per_group,
+                line_writes=writes[i],
+                bit_flips=flips[i],
+                max_line_writes=peak[i],
+                hottest_line=hottest[i],
+            )
+            for i in range(groups)
+        ]
+
+    def heatmap_grid(
+        self, total_lines: int, rows: int, cols: int, metric: str = "writes"
+    ) -> list[list[int]]:
+        """Wear intensity as a ``rows`` × ``cols`` grid over the address space.
+
+        Cell ``(r, c)`` sums the chosen metric (``"writes"`` or
+        ``"flips"``) over its contiguous address slice; render with
+        :func:`repro.analysis.charts.render_heatmap`.
+        """
+        if metric not in ("writes", "flips"):
+            raise ValueError(f"metric must be 'writes' or 'flips', got {metric!r}")
+        cells = rows * cols
+        if total_lines < 1 or cells < 1:
+            raise ValueError("need at least one line and one cell")
+        source = self._line_writes if metric == "writes" else self._line_flips
+        span = (total_lines + cells - 1) // cells
+        flat = [0] * cells
+        for line, value in source.items():
+            flat[min(line // span, cells - 1)] += value
+        return [flat[r * cols : (r + 1) * cols] for r in range(rows)]
+
+    def projected_lifetime_years(
+        self,
+        *,
+        total_lines: int,
+        line_bits: int,
+        cell_endurance_writes: float,
+        makespan_ns: float,
+        duty_cycle: float = 1.0,
+    ) -> float:
+        """Device lifetime under ideal wear levelling.
+
+        Total cell-flip budget = cells × endurance; the consumption rate
+        comes from the flips recorded over the simulated makespan.  The
+        *ratio* between two controllers' estimates is the meaningful
+        number; absolute years assume continuous duty.
+        """
+        if self._total_bit_flips == 0 or makespan_ns <= 0.0:
+            return float("inf")
+        budget = total_lines * line_bits * cell_endurance_writes
+        flips_per_second = self._total_bit_flips / (makespan_ns * 1e-9) * duty_cycle
+        return budget / flips_per_second / (365.25 * 24 * 3600)
+
     def reset(self) -> None:
         """Clear all recorded wear."""
         self._line_writes.clear()
+        self._line_flips.clear()
         self._total_bit_flips = 0
         self._total_bits_written = 0

@@ -177,6 +177,15 @@ class WearLevelledNvm:
     def tracer(self, tracer) -> None:
         self._nvm.tracer = tracer
 
+    @property
+    def timeline(self):
+        """Wrapped device timeline collector (attached through the facade)."""
+        return self._nvm.timeline
+
+    @timeline.setter
+    def timeline(self, timeline) -> None:
+        self._nvm.timeline = timeline
+
     # -- levelled accesses -------------------------------------------------------
 
     def read(self, address: int, arrival_ns: float, *, trace: bool = True) -> AccessResult:

@@ -1,17 +1,45 @@
-"""repro.obs: structured tracing, metrics, manifests, and output sinks.
+"""repro.obs: tracing, metrics, timelines, manifests, diffing, benching.
 
-The observability layer for the simulator stack.  Three pieces:
+The observability layer for the simulator stack:
 
 - :mod:`repro.obs.trace` — a zero-dependency span/event bus with a
   no-op :data:`NULL_TRACER` so instrumented hot paths cost one attribute
   check when tracing is off;
+- :mod:`repro.obs.timeline` — windowed in-run time-series over the
+  simulated clock (dedup ratio, write reduction, cache hits, bank waits,
+  bit flips per window) with the same null-object discipline
+  (:data:`NULL_TIMELINE`) and the same lossless merge contract as the
+  metrics registry;
 - :mod:`repro.obs.metrics` — a process-wide registry of counters,
   gauges, and fixed-bucket histograms whose snapshots merge losslessly
   across worker processes;
 - :mod:`repro.obs.manifest` — schema-versioned ``manifest.json`` records
-  written by every ``python -m repro run`` invocation.
+  written by every ``python -m repro run`` invocation;
+- :mod:`repro.obs.diff` — run-to-run comparison separating deterministic
+  simulation drift from wall-clock noise (``python -m repro diff``);
+- :mod:`repro.obs.bench` — the continuous microbenchmark harness and its
+  ``BENCH_<gitsha>.json`` regression gate (``python -m repro bench``).
 """
 
+from repro.obs.bench import (
+    BENCH_KIND,
+    BENCH_SCHEMA_VERSION,
+    BenchCase,
+    BenchComparison,
+    compare_records,
+    default_suite,
+    load_record,
+    run_suite,
+    write_record,
+)
+from repro.obs.diff import (
+    ManifestDiff,
+    diff_figure_dirs,
+    diff_manifests,
+    diff_stages,
+    diff_timelines,
+    stage_percentiles,
+)
 from repro.obs.manifest import (
     MANIFEST_KIND,
     MANIFEST_SCHEMA_VERSION,
@@ -20,6 +48,7 @@ from repro.obs.manifest import (
     git_sha,
     load_manifest,
     peak_rss_kb,
+    summarize_manifest,
     validate_manifest,
     write_manifest,
 )
@@ -33,7 +62,15 @@ from repro.obs.metrics import (
     registry,
     reset_registry,
 )
-from repro.obs.sinks import JsonlSink, stderr_line, stdout_line
+from repro.obs.sinks import JsonlSink, SinkClosedError, stderr_line, stdout_line
+from repro.obs.timeline import (
+    NULL_TIMELINE,
+    NullTimeline,
+    TimelineCollector,
+    TimelineLike,
+    render_timeline,
+    timeline_csv,
+)
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, TracerLike, percentile
 
 __all__ = [
@@ -44,8 +81,24 @@ __all__ = [
     "git_sha",
     "load_manifest",
     "peak_rss_kb",
+    "summarize_manifest",
     "validate_manifest",
     "write_manifest",
+    "BENCH_KIND",
+    "BENCH_SCHEMA_VERSION",
+    "BenchCase",
+    "BenchComparison",
+    "compare_records",
+    "default_suite",
+    "load_record",
+    "run_suite",
+    "write_record",
+    "ManifestDiff",
+    "diff_figure_dirs",
+    "diff_manifests",
+    "diff_stages",
+    "diff_timelines",
+    "stage_percentiles",
     "LATENCY_BOUNDS_NS",
     "SECONDS_BOUNDS",
     "Counter",
@@ -55,8 +108,15 @@ __all__ = [
     "registry",
     "reset_registry",
     "JsonlSink",
+    "SinkClosedError",
     "stderr_line",
     "stdout_line",
+    "NULL_TIMELINE",
+    "NullTimeline",
+    "TimelineCollector",
+    "TimelineLike",
+    "render_timeline",
+    "timeline_csv",
     "NULL_TRACER",
     "NullTracer",
     "Tracer",

@@ -1,0 +1,315 @@
+"""Continuous microbenchmark harness with a regression gate.
+
+ROADMAP's north star ("as fast as the hardware allows") needs a producer
+of performance history: this module times the repo's hot paths —
+
+- one full write/read simulation loop per registered controller mode;
+- the four hash circuits of Table I (from-scratch CRC-32 / SHA-1 / MD5
+  plus the stdlib-backed :func:`~repro.hashes.crc32.line_fingerprint`);
+- the metadata cache's access loop —
+
+and writes a schema-versioned ``BENCH_<gitsha>.json`` record that
+:func:`compare_records` gates against a baseline with noise-aware
+relative thresholds.
+
+Sampling reuses :mod:`repro.obs.overhead`'s method: all cases are
+interleaved round-robin across repeats and the per-case **minimum** is
+kept, so a one-off scheduler burst during any single repeat inflates at
+most that repeat, never the recorded best.  The gate compares best vs
+best, and a regression must exceed both a relative threshold and an
+absolute floor (timer jitter dominates sub-100 µs cases).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs.manifest import git_sha
+
+#: Bump when the bench record shape changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Marker distinguishing bench records from other JSON lying around.
+BENCH_KIND = "repro-bench"
+
+#: Ignore timing deltas smaller than this, whatever the relative change —
+#: below it the host timer and allocator noise swamp any real signal.
+ABSOLUTE_FLOOR_S = 1e-4
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed hot path.
+
+    ``make`` builds fresh state and returns the thunk to time, so setup
+    (controller construction, trace generation) stays outside the
+    measured interval and every repeat starts cold-state-identical.
+    """
+
+    name: str
+    ops: int
+    make: Callable[[], Callable[[], None]]
+
+
+def _controller_case(name: str, trace: Any, accesses: int) -> BenchCase:
+    def make() -> Callable[[], None]:
+        from repro.core.registry import build_controller
+        from repro.nvm.memory import NvmMainMemory
+        from repro.system.simulator import simulate
+
+        def run() -> None:
+            simulate(build_controller(name, NvmMainMemory()), trace)
+
+        return run
+
+    return BenchCase(name=f"controller.{name}", ops=accesses, make=make)
+
+
+def _hash_case(name: str, fn: Callable[[bytes], Any], lines: list[bytes]) -> BenchCase:
+    def make() -> Callable[[], None]:
+        def run() -> None:
+            for line in lines:
+                fn(line)
+
+        return run
+
+    return BenchCase(name=f"hash.{name}", ops=len(lines), make=make)
+
+
+def _metadata_cache_case(accesses: int, seed: int) -> BenchCase:
+    def make() -> Callable[[], None]:
+        from repro.core.metadata_cache import MetadataCache
+
+        rng = random.Random(seed)
+        pattern = [rng.randrange(0, 4096) for _ in range(accesses)]
+
+        def run() -> None:
+            cache = MetadataCache("bench", 256, 8)
+            for index in pattern:
+                cache.access(index, write=index % 3 == 0)
+
+        return run
+
+    return BenchCase(name="metadata.cache", ops=accesses, make=make)
+
+
+def default_suite(
+    *,
+    accesses: int = 1200,
+    seed: int = 1,
+    app: str = "lbm",
+    hash_lines: int = 48,
+    controllers: list[str] | None = None,
+) -> list[BenchCase]:
+    """The standard case list: controllers × hash circuits × metadata cache."""
+    from repro.core.registry import available_controllers
+    from repro.hashes import crc32, line_fingerprint, md5, sha1
+    from repro.runner.jobs import trace_for
+
+    trace = trace_for(app, accesses, seed)
+    rng = random.Random(seed)
+    lines = [rng.randbytes(256) for _ in range(hash_lines)]
+
+    names = controllers if controllers is not None else sorted(available_controllers())
+    cases = [_controller_case(name, trace, accesses) for name in names]
+    cases.extend(
+        [
+            _hash_case("crc32", crc32, lines),
+            _hash_case("sha1", sha1, lines),
+            _hash_case("md5", md5, lines),
+            _hash_case("crc32-stdlib", line_fingerprint, lines),
+        ]
+    )
+    cases.append(_metadata_cache_case(accesses=4 * accesses, seed=seed))
+    return cases
+
+
+def run_suite(cases: list[BenchCase], *, repeats: int = 3) -> dict[str, dict[str, Any]]:
+    """Best-of-``repeats`` wall time per case, interleaved round-robin.
+
+    Returns ``{case name: {"best_s", "ops", "per_op_ns"}}``.
+    """
+    if repeats < 1:
+        raise ValueError(f"need at least one repeat, got {repeats}")
+    best: dict[str, float] = {case.name: float("inf") for case in cases}
+    for case in cases:  # warm imports and lazy tables outside the measurement
+        case.make()()
+    for _ in range(repeats):
+        for case in cases:
+            thunk = case.make()
+            started = time.perf_counter()
+            thunk()
+            elapsed = time.perf_counter() - started
+            if elapsed < best[case.name]:
+                best[case.name] = elapsed
+    return {
+        case.name: {
+            "best_s": best[case.name],
+            "ops": case.ops,
+            "per_op_ns": best[case.name] / case.ops * 1e9 if case.ops else 0.0,
+        }
+        for case in cases
+    }
+
+
+def build_record(
+    results: dict[str, dict[str, Any]], *, scale: dict[str, Any]
+) -> dict[str, Any]:
+    """Assemble a schema-valid bench record around measured results."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": BENCH_KIND,
+        "created_unix_s": time.time(),
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scale": dict(scale),
+        "results": {name: dict(entry) for name, entry in sorted(results.items())},
+    }
+
+
+def validate_record(payload: Any) -> list[str]:
+    """Schema problems of one bench record (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"bench record must be a JSON object, got {type(payload).__name__}"]
+    if payload.get("schema") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {BENCH_SCHEMA_VERSION}, got {payload.get('schema')!r}"
+        )
+    if payload.get("kind") != BENCH_KIND:
+        problems.append(f"kind must be {BENCH_KIND!r}, got {payload.get('kind')!r}")
+    for key in ("python", "platform"):
+        if not isinstance(payload.get(key), str):
+            problems.append(f"field {key!r} must be a string")
+    if not isinstance(payload.get("created_unix_s"), (int, float)):
+        problems.append("field 'created_unix_s' must be a number")
+    if payload.get("git_sha") is not None and not isinstance(payload.get("git_sha"), str):
+        problems.append("field 'git_sha' must be a string or null")
+    if not isinstance(payload.get("scale"), dict):
+        problems.append("field 'scale' must be an object")
+    results = payload.get("results")
+    if not isinstance(results, dict) or not results:
+        problems.append("field 'results' must be a non-empty object")
+        return problems
+    for name, entry in results.items():
+        if not isinstance(entry, dict):
+            problems.append(f"results[{name!r}] must be an object")
+            continue
+        for key in ("best_s", "per_op_ns"):
+            if not isinstance(entry.get(key), (int, float)):
+                problems.append(f"results[{name!r}].{key} must be a number")
+        if not isinstance(entry.get("ops"), int):
+            problems.append(f"results[{name!r}].ops must be an integer")
+    return problems
+
+
+def record_filename(payload: dict[str, Any]) -> str:
+    """``BENCH_<gitsha12>.json`` (``BENCH_nogit.json`` outside a checkout)."""
+    sha = payload.get("git_sha")
+    return f"BENCH_{sha[:12] if sha else 'nogit'}.json"
+
+
+def write_record(payload: dict[str, Any], out_dir: str | Path) -> Path:
+    """Write one bench record into ``out_dir``; returns the path."""
+    target = Path(out_dir) / record_filename(payload)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return target
+
+
+def load_record(path: str | Path) -> dict[str, Any]:
+    """Read one bench record; raises ``ValueError`` when invalid."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    problems = validate_record(payload)
+    if problems:
+        raise ValueError(f"bench record {path} failed validation: " + "; ".join(problems))
+    return payload
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Outcome of gating a current bench record against a baseline."""
+
+    threshold: float
+    regressions: list[dict[str, Any]] = field(default_factory=list)
+    improvements: list[dict[str, Any]] = field(default_factory=list)
+    appeared: list[str] = field(default_factory=list)
+    vanished: list[str] = field(default_factory=list)
+    within: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no case regressed beyond the threshold."""
+        return not self.regressions
+
+    def render(self) -> str:
+        """Human-readable verdict, one line per notable case."""
+        lines = [
+            f"bench gate: threshold {self.threshold:+.0%}, {self.within} case(s) within, "
+            f"{len(self.regressions)} regressed, {len(self.improvements)} improved"
+        ]
+        for entry in self.regressions:
+            lines.append(
+                f"  REGRESSED {entry['name']}: {entry['baseline_s'] * 1000:.2f}ms -> "
+                f"{entry['current_s'] * 1000:.2f}ms ({entry['change']:+.1%})"
+            )
+        for entry in self.improvements:
+            lines.append(
+                f"  improved  {entry['name']}: {entry['baseline_s'] * 1000:.2f}ms -> "
+                f"{entry['current_s'] * 1000:.2f}ms ({entry['change']:+.1%})"
+            )
+        if self.appeared:
+            lines.append(f"  appeared (no baseline): {', '.join(self.appeared)}")
+        if self.vanished:
+            lines.append(f"  vanished (baseline only): {', '.join(self.vanished)}")
+        return "\n".join(lines)
+
+
+def compare_records(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    threshold: float = 0.30,
+    absolute_floor_s: float = ABSOLUTE_FLOOR_S,
+) -> BenchComparison:
+    """Gate ``current`` against ``baseline`` with noise-aware thresholds.
+
+    A case regresses when its best time grew by more than ``threshold``
+    relatively **and** by more than ``absolute_floor_s`` absolutely;
+    min-of-repeats sampling means noise can only inflate ``current``, so
+    a pass is trustworthy while a fail may warrant a re-run on a quieter
+    machine.  Cases present on only one side are reported separately,
+    never as ±inf regressions.
+    """
+    current_results = current.get("results", {})
+    baseline_results = baseline.get("results", {})
+    regressions: list[dict[str, Any]] = []
+    improvements: list[dict[str, Any]] = []
+    within = 0
+    for name in sorted(set(current_results) & set(baseline_results)):
+        base = float(baseline_results[name]["best_s"])
+        cur = float(current_results[name]["best_s"])
+        delta = cur - base
+        change = delta / base if base > 0 else 0.0
+        entry = {"name": name, "baseline_s": base, "current_s": cur, "change": change}
+        if delta > absolute_floor_s and change > threshold:
+            regressions.append(entry)
+        elif -delta > absolute_floor_s and -change > threshold:
+            improvements.append(entry)
+        else:
+            within += 1
+    return BenchComparison(
+        threshold=threshold,
+        regressions=regressions,
+        improvements=improvements,
+        appeared=sorted(set(current_results) - set(baseline_results)),
+        vanished=sorted(set(baseline_results) - set(current_results)),
+        within=within,
+    )

@@ -1,0 +1,304 @@
+"""Run-to-run diffing: what changed between two ``repro`` runs?
+
+``python -m repro diff <manifest-a> <manifest-b>`` compares two run
+manifests (and, optionally, their JSONL trace files and exported figure
+JSONs) and separates **deterministic** divergence from wall-clock noise:
+
+- *counters* in the metrics section (simulations executed, jobs per
+  kind) are products of the seeded simulation — any mismatch is real
+  drift;
+- the *timeline* section (per-window dedup/write/bit-flip counters over
+  the simulated clock) is likewise deterministic and compared exactly;
+- per-stage latency percentiles extracted from JSONL sinks use the
+  **sim** clock only, so p50/p95/p99 deltas are code-behaviour changes,
+  not scheduler luck;
+- gauges, histograms and elapsed/RSS numbers are wall-clock and reported
+  as informational deltas, never as drift;
+- figure tables drift through the existing
+  :func:`repro.analysis.regression.compare_tables` tolerance machinery.
+
+Two manifests of the same figure at the same git SHA must diff clean —
+that property is the CI acceptance gate for this module.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.manifest import summarize_manifest
+from repro.obs.trace import percentile
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.analysis pulls in the
+    # whole experiment stack, which itself imports repro.obs (cycle).
+    from repro.analysis.regression import RegressionReport
+
+#: Metric kinds whose values depend on host wall time, never on
+#: the simulation: differences are reported but are not drift.
+_WALL_METRIC_KINDS = ("gauge", "histogram")
+
+#: Counters measuring how much work the *runner* performed, which depends
+#: on cache warmth (a warm run executes zero jobs), not on what the
+#: simulation computed.  They compare informationally, so two runs of the
+#: same figure at the same SHA diff clean whatever the cache state.
+_ENVIRONMENT_COUNTER_PREFIXES = ("jobs.", "simulations")
+
+
+def _environment_counter(name: str) -> bool:
+    return name.startswith(_ENVIRONMENT_COUNTER_PREFIXES)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric present in both runs with differing values."""
+
+    name: str
+    kind: str
+    a: float
+    b: float
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.kind}): {self.a:g} -> {self.b:g}"
+
+
+@dataclass
+class ManifestDiff:
+    """Structured outcome of diffing two manifests."""
+
+    context: list[str] = field(default_factory=list)
+    counter_drifts: list[MetricDelta] = field(default_factory=list)
+    appeared_counters: list[str] = field(default_factory=list)
+    vanished_counters: list[str] = field(default_factory=list)
+    counters_compared: int = 0
+    info_deltas: list[MetricDelta] = field(default_factory=list)
+    timeline_drifts: list[str] = field(default_factory=list)
+    timeline_windows_compared: int = 0
+
+    @property
+    def deterministic_drift(self) -> bool:
+        """Whether any seeded-simulation product diverged."""
+        return bool(
+            self.counter_drifts
+            or self.appeared_counters
+            or self.vanished_counters
+            or self.timeline_drifts
+        )
+
+    def render(self) -> str:
+        """Human-readable report, context first, drift before noise."""
+        lines = list(self.context)
+        if self.deterministic_drift:
+            lines.append(
+                f"DRIFT: {len(self.counter_drifts)} counter(s) moved, "
+                f"{len(self.appeared_counters)} appeared, "
+                f"{len(self.vanished_counters)} vanished, "
+                f"{len(self.timeline_drifts)} timeline divergence(s)"
+            )
+            lines.extend(f"  {delta}" for delta in self.counter_drifts)
+            lines.extend(f"  appeared: {name}" for name in self.appeared_counters)
+            lines.extend(f"  vanished: {name}" for name in self.vanished_counters)
+            lines.extend(f"  timeline: {note}" for note in self.timeline_drifts)
+        else:
+            lines.append(
+                f"deterministic state identical "
+                f"({self.counters_compared} counters, "
+                f"{self.timeline_windows_compared} timeline windows)"
+            )
+        if self.info_deltas:
+            lines.append(f"wall-clock deltas (informational, {len(self.info_deltas)}):")
+            lines.extend(f"  {delta}" for delta in self.info_deltas[:10])
+            if len(self.info_deltas) > 10:
+                lines.append(f"  ... and {len(self.info_deltas) - 10} more")
+        return "\n".join(lines)
+
+
+def _metric_value(entry: dict[str, Any]) -> float:
+    if entry.get("kind") == "histogram":
+        return float(entry.get("total", 0.0))
+    return float(entry.get("value", 0.0))
+
+
+def diff_manifests(a: dict[str, Any], b: dict[str, Any]) -> ManifestDiff:
+    """Compare two run manifests (see the module docstring for semantics)."""
+    diff = ManifestDiff()
+    summary_a = summarize_manifest(a)
+    summary_b = summarize_manifest(b)
+
+    for label, key in (("git sha", "git_sha"), ("figures", "figures"),
+                       ("settings", "settings")):
+        va, vb = summary_a.get(key), summary_b.get(key)
+        if va != vb:
+            diff.context.append(f"context: {label} differ ({va!r} vs {vb!r})")
+    for problems, which in ((summary_a["problems"], "a"), (summary_b["problems"], "b")):
+        if problems:
+            diff.context.append(
+                f"context: manifest {which} is INVALID ({len(problems)} problem(s))"
+            )
+
+    metrics_a = a.get("metrics", {}) or {}
+    metrics_b = b.get("metrics", {}) or {}
+    for name in sorted(set(metrics_a) | set(metrics_b)):
+        entry_a, entry_b = metrics_a.get(name), metrics_b.get(name)
+        if entry_a is None or entry_b is None:
+            present = entry_a if entry_b is None else entry_b
+            if present.get("kind") == "counter" and not _environment_counter(name):
+                target = diff.vanished_counters if entry_b is None else diff.appeared_counters
+                target.append(name)
+            else:
+                value = _metric_value(present)
+                diff.info_deltas.append(
+                    MetricDelta(
+                        name,
+                        str(present.get("kind")),
+                        value if entry_b is None else 0.0,
+                        0.0 if entry_b is None else value,
+                    )
+                )
+            continue
+        kind = entry_a.get("kind")
+        va, vb = _metric_value(entry_a), _metric_value(entry_b)
+        if kind == "counter" and not _environment_counter(name):
+            diff.counters_compared += 1
+            if not math.isclose(va, vb):
+                diff.counter_drifts.append(MetricDelta(name, "counter", va, vb))
+        elif not math.isclose(va, vb, rel_tol=1e-9):
+            diff.info_deltas.append(MetricDelta(name, str(kind), va, vb))
+
+    notes, compared = diff_timelines(a.get("timeline"), b.get("timeline"))
+    diff.timeline_drifts.extend(notes)
+    diff.timeline_windows_compared = compared
+
+    for which, summary in (("a", summary_a), ("b", summary_b)):
+        elapsed = summary.get("elapsed_s")
+        if isinstance(elapsed, (int, float)):
+            diff.context.append(f"context: run {which} took {elapsed:.1f}s wall")
+    return diff
+
+
+def diff_timelines(
+    a: dict[str, Any] | None, b: dict[str, Any] | None
+) -> tuple[list[str], int]:
+    """Deterministic divergences between two timeline snapshots.
+
+    Returns ``(notes, windows compared)``; both-absent compares nothing.
+    """
+    if a is None and b is None:
+        return [], 0
+    if a is None or b is None:
+        return [f"timeline present only in manifest {'b' if a is None else 'a'}"], 0
+    notes: list[str] = []
+    width_a = float(a.get("window_ns", 0.0))
+    width_b = float(b.get("window_ns", 0.0))
+    if not math.isclose(width_a, width_b):
+        return [f"window widths differ ({width_a:g} vs {width_b:g} ns)"], 0
+    windows_a = a.get("windows", {}) or {}
+    windows_b = b.get("windows", {}) or {}
+    only_a = sorted(set(windows_a) - set(windows_b), key=int)
+    only_b = sorted(set(windows_b) - set(windows_a), key=int)
+    if only_a:
+        notes.append(f"windows only in a: {', '.join(only_a[:8])}")
+    if only_b:
+        notes.append(f"windows only in b: {', '.join(only_b[:8])}")
+    compared = 0
+    for key in sorted(set(windows_a) & set(windows_b), key=int):
+        compared += 1
+        if windows_a[key] != windows_b[key]:
+            deviating = sorted(
+                name
+                for name in set(windows_a[key]) | set(windows_b[key])
+                if windows_a[key].get(name) != windows_b[key].get(name)
+            )
+            notes.append(f"window {key} diverges in {', '.join(deviating)}")
+    return notes, compared
+
+
+# ---------------------------------------------------------------------------
+# Per-stage latency percentiles from JSONL trace sinks
+# ---------------------------------------------------------------------------
+
+
+def stage_percentiles(path: str | Path) -> dict[str, dict[str, float]]:
+    """Sim-clock per-stage latency summary of one JSONL trace file.
+
+    Returns ``{stage: {count, mean, p50, p95, p99, max}}`` over every
+    ``clock == "sim"`` span; malformed lines raise (a truncated trace is
+    an input error, not data — see ``JsonlSink``'s atexit flush).
+    """
+    stages: dict[str, list[float]] = {}
+    with Path(path).open(encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSONL ({error}); "
+                    f"was the sink closed before the run finished?"
+                ) from error
+            if record.get("type") != "span" or record.get("clock") != "sim":
+                continue
+            stages.setdefault(record["name"], []).append(float(record["dur_ns"]))
+    summary: dict[str, dict[str, float]] = {}
+    for name, durations in stages.items():
+        durations.sort()
+        summary[name] = {
+            "count": float(len(durations)),
+            "mean": sum(durations) / len(durations),
+            "p50": percentile(durations, 50),
+            "p95": percentile(durations, 95),
+            "p99": percentile(durations, 99),
+            "max": durations[-1],
+        }
+    return summary
+
+
+def diff_stages(
+    a: dict[str, dict[str, float]],
+    b: dict[str, dict[str, float]],
+    *,
+    tolerance: float = 0.0,
+) -> list[str]:
+    """Per-stage percentile deltas beyond ``tolerance`` (sim clock ⇒ drift)."""
+    notes: list[str] = []
+    for name in sorted(set(a) - set(b)):
+        notes.append(f"stage {name} only in a")
+    for name in sorted(set(b) - set(a)):
+        notes.append(f"stage {name} only in b")
+    for name in sorted(set(a) & set(b)):
+        for quantile in ("count", "p50", "p95", "p99"):
+            va, vb = a[name][quantile], b[name][quantile]
+            limit = max(1e-9, tolerance * abs(va))
+            if abs(vb - va) > limit:
+                notes.append(f"stage {name}.{quantile}: {va:g} -> {vb:g}")
+    return notes
+
+
+# ---------------------------------------------------------------------------
+# Figure-table drift between two exported-JSON directories
+# ---------------------------------------------------------------------------
+
+
+def diff_figure_dirs(
+    dir_a: str | Path, dir_b: str | Path, *, tolerance: float = 0.05
+) -> tuple[dict[str, RegressionReport], list[str]]:
+    """Compare matching ``*.json`` figure exports of two directories.
+
+    Returns ``(reports by figure name, notes about unmatched files)``.
+    """
+    from repro.analysis.regression import compare_tables
+
+    files_a = {p.name: p for p in sorted(Path(dir_a).glob("*.json"))}
+    files_b = {p.name: p for p in sorted(Path(dir_b).glob("*.json"))}
+    notes = [f"figure {name} only in a" for name in sorted(set(files_a) - set(files_b))]
+    notes += [f"figure {name} only in b" for name in sorted(set(files_b) - set(files_a))]
+    reports: dict[str, RegressionReport] = {}
+    for name in sorted(set(files_a) & set(files_b)):
+        table_a = json.loads(files_a[name].read_text(encoding="utf-8"))
+        table_b = json.loads(files_b[name].read_text(encoding="utf-8"))
+        reports[name] = compare_tables(table_a, table_b, relative_tolerance=tolerance)
+    return reports, notes

@@ -76,9 +76,16 @@ def build_manifest(
     elapsed_s: float,
     metrics: dict[str, Any] | None = None,
     command: list[str] | None = None,
+    timeline: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Assemble a schema-valid manifest for one run."""
-    return {
+    """Assemble a schema-valid manifest for one run.
+
+    ``timeline`` is the optional merged
+    :meth:`~repro.obs.timeline.TimelineCollector.to_dict` snapshot of a
+    windowed run (``python -m repro timeline``); plain ``run`` manifests
+    omit the field entirely.
+    """
+    payload = {
         "schema": MANIFEST_SCHEMA_VERSION,
         "kind": MANIFEST_KIND,
         "created_unix_s": time.time(),
@@ -96,6 +103,9 @@ def build_manifest(
         "peak_rss_kb": peak_rss_kb(),
         "metrics": dict(metrics) if metrics is not None else {},
     }
+    if timeline is not None:
+        payload["timeline"] = dict(timeline)
+    return payload
 
 
 def validate_manifest(payload: Any) -> list[str]:
@@ -178,7 +188,65 @@ def validate_manifest(payload: Any) -> list[str]:
         for index, failure in enumerate(failures):
             if not isinstance(failure, dict) or not isinstance(failure.get("error"), str):
                 problems.append(f"failures[{index}] must be an object with an 'error' string")
+
+    # Optional windowed-timeline section (written by `repro timeline`).
+    if "timeline" in payload:
+        timeline = payload["timeline"]
+        if not isinstance(timeline, dict):
+            problems.append("field 'timeline' must be an object when present")
+        else:
+            if not isinstance(timeline.get("window_ns"), (int, float)):
+                problems.append("timeline.window_ns must be a number")
+            if not isinstance(timeline.get("windows"), dict):
+                problems.append("timeline.windows must be an object")
     return problems
+
+
+def summarize_manifest(payload: dict[str, Any]) -> dict[str, Any]:
+    """Machine-readable digest of one manifest.
+
+    This is what ``python -m repro stats --json`` emits and what the
+    ``diff`` verb and CI consume: validation verdict, provenance, job
+    counts by source, cache totals, metrics, and (when present) timeline
+    totals — never the raw job list, which can be huge.
+    """
+    problems = validate_manifest(payload)
+    jobs = payload.get("jobs", [])
+    by_source: dict[str, int] = {}
+    if isinstance(jobs, list):
+        for job in jobs:
+            if isinstance(job, dict):
+                source = str(job.get("source"))
+                by_source[source] = by_source.get(source, 0) + 1
+    summary: dict[str, Any] = {
+        "valid": not problems,
+        "problems": problems,
+        "schema": payload.get("schema"),
+        "git_sha": payload.get("git_sha"),
+        "python": payload.get("python"),
+        "command": payload.get("command", []),
+        "figures": payload.get("figures", []),
+        "settings": payload.get("settings", {}),
+        "options": payload.get("options", {}),
+        "jobs": {
+            "total": len(jobs) if isinstance(jobs, list) else 0,
+            "by_source": by_source,
+        },
+        "cache": payload.get("cache", {}),
+        "failures": len(payload.get("failures", []) or []),
+        "elapsed_s": payload.get("elapsed_s"),
+        "peak_rss_kb": payload.get("peak_rss_kb"),
+        "metrics": payload.get("metrics", {}),
+    }
+    timeline = payload.get("timeline")
+    if isinstance(timeline, dict):
+        windows = timeline.get("windows", {})
+        summary["timeline"] = {
+            "window_ns": timeline.get("window_ns"),
+            "windows": len(windows) if isinstance(windows, dict) else 0,
+            "evicted_windows": timeline.get("evicted_windows", 0),
+        }
+    return summary
 
 
 def write_manifest(path: str | Path, payload: dict[str, Any]) -> Path:

@@ -32,13 +32,17 @@ def measure(
     seed: int = 1,
     repeats: int = 10,
     early_exit_budget: float | None = None,
+    with_timeline: bool = False,
 ) -> dict[str, Any]:
     """Best-of-``repeats`` traced and untraced wall times, interleaved.
 
     With ``early_exit_budget`` set, sampling stops once the running
     minima show overhead within that budget (after at least three
     pairs) — valid for a pass/fail gate because noise only ever pushes
-    the measured overhead *up*, never down.
+    the measured overhead *up*, never down.  ``with_timeline``
+    additionally attaches a windowed
+    :class:`~repro.obs.timeline.TimelineCollector` in the instrumented
+    arm, so the same budget covers tracer + timeline together.
     """
     from repro.core.registry import build_controller
     from repro.nvm.memory import NvmMainMemory
@@ -51,6 +55,10 @@ def measure(
         controller = build_controller("dewrite", NvmMainMemory())
         if traced:
             controller.attach_tracer(Tracer(sink=None))
+            if with_timeline:
+                from repro.obs.timeline import TimelineCollector
+
+                controller.attach_timeline(TimelineCollector())
         started = time.perf_counter()
         simulate(controller, trace)
         return time.perf_counter() - started
@@ -93,6 +101,10 @@ def main(argv: list[str] | None = None) -> int:
         "--budget", type=float, default=0.15,
         help="maximum allowed fractional overhead (default 0.15)",
     )
+    parser.add_argument(
+        "--with-timeline", action="store_true",
+        help="also attach a windowed TimelineCollector in the traced arm",
+    )
     args = parser.parse_args(argv)
     result = measure(
         app=args.app,
@@ -100,10 +112,12 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         repeats=args.repeats,
         early_exit_budget=args.budget,
+        with_timeline=args.with_timeline,
     )
+    instrumented = "traced+timeline" if args.with_timeline else "traced"
     stdout_line(
         f"tracing overhead: untraced {result['untraced_s']:.3f}s, "
-        f"traced {result['traced_s']:.3f}s, overhead {result['overhead']:+.1%} "
+        f"{instrumented} {result['traced_s']:.3f}s, overhead {result['overhead']:+.1%} "
         f"(budget {args.budget:.0%}, {result['app']}/{result['accesses']} accesses, "
         f"{result['pairs']} pairs)"
     )

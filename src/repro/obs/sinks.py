@@ -7,10 +7,31 @@ the CLI in ``repro/__main__.py``); the simlint rule SIM006 forbids bare
 
 from __future__ import annotations
 
+import atexit
 import json
 import sys
+import weakref
 from pathlib import Path
 from typing import Any, TextIO
+
+#: Every live JsonlSink, flushed at interpreter exit so a forgotten
+#: ``close()`` cannot leave a truncated trace file behind (``repro diff``
+#: consumes those files and a silently-cut-off JSONL would skew its
+#: per-stage percentiles).  WeakSet: a garbage-collected sink drops out.
+_OPEN_SINKS: "weakref.WeakSet[JsonlSink]" = weakref.WeakSet()
+
+
+def _flush_open_sinks() -> None:
+    """Close every still-open sink (registered with :mod:`atexit`)."""
+    for sink in list(_OPEN_SINKS):
+        sink.close()
+
+
+atexit.register(_flush_open_sinks)
+
+
+class SinkClosedError(RuntimeError):
+    """Raised when a record is written to a sink after ``close()``."""
 
 
 def stderr_line(text: str) -> None:
@@ -38,9 +59,21 @@ class JsonlSink:
         self.path = Path(path)
         self.written = 0
         self._handle: TextIO | None = None
+        self._closed = False
+        _OPEN_SINKS.add(self)
 
     def __call__(self, record: dict[str, Any]) -> None:
-        """Append one record as a JSON line."""
+        """Append one record as a JSON line.
+
+        Raises :class:`SinkClosedError` after :meth:`close` — a write
+        that would otherwise vanish silently (and leave the file's record
+        count inconsistent with ``written``) is a caller bug.
+        """
+        if self._closed:
+            raise SinkClosedError(
+                f"JsonlSink({self.path}) is closed; cannot append record "
+                f"({self.written} written before close)"
+            )
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = self.path.open("w", encoding="utf-8")
@@ -48,8 +81,15 @@ class JsonlSink:
         self._handle.write("\n")
         self.written += 1
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
     def close(self) -> None:
-        """Flush and close the file (idempotent)."""
+        """Flush and close the file (idempotent); further writes raise."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        self._closed = True
+        _OPEN_SINKS.discard(self)

@@ -93,8 +93,16 @@ def simulate_spec(
     opts: dict[str, Any] | None = None,
     core: CoreModelConfig | None = None,
     experiment: str = "",
+    timeline_window_ns: float | None = None,
 ) -> JobSpec:
-    """Spec for one (workload × controller) simulation."""
+    """Spec for one (workload × controller) simulation.
+
+    ``timeline_window_ns`` attaches a worker-side
+    :class:`~repro.obs.timeline.TimelineCollector` with that window width
+    and adds its snapshot to the payload under ``"timeline"``.  The key
+    enters the params (and therefore the cache identity) only when set,
+    so every pre-existing cache entry stays addressable.
+    """
     params = {
         "workload": workload,
         "controller": controller,
@@ -103,6 +111,10 @@ def simulate_spec(
         "seed": seed,
         "core": _core_params(core),
     }
+    if timeline_window_ns is not None:
+        if timeline_window_ns <= 0:
+            raise ValueError(f"window width must be positive, got {timeline_window_ns}")
+        params["timeline_window_ns"] = float(timeline_window_ns)
     return JobSpec("simulate", canonical_json(params), experiment)
 
 
@@ -204,7 +216,15 @@ def _run_simulate(params: dict[str, Any]) -> dict[str, Any]:
 
     core = CoreModelConfig(**params["core"])
     trace = trace_for(params["workload"], int(params["accesses"]), int(params["seed"]))
-    controller = build_controller(params["controller"], NvmMainMemory(), **params["opts"])
+    timeline = None
+    window_ns = params.get("timeline_window_ns")
+    if window_ns is not None:
+        from repro.obs.timeline import TimelineCollector
+
+        timeline = TimelineCollector(window_ns=float(window_ns))
+    controller = build_controller(
+        params["controller"], NvmMainMemory(), timeline=timeline, **params["opts"]
+    )
     report = simulate(controller, trace, core)
 
     extras: dict[str, Any] = {}
@@ -219,7 +239,10 @@ def _run_simulate(params: dict[str, Any]) -> dict[str, Any]:
         value = getattr(controller, attr, None)
         if value is not None:
             extras[attr] = int(value)
-    return {"report": report.to_dict(), "extras": extras, "simulations": 1}
+    payload = {"report": report.to_dict(), "extras": extras, "simulations": 1}
+    if timeline is not None:
+        payload["timeline"] = timeline.to_dict()
+    return payload
 
 
 def _run_metadata_sweep(params: dict[str, Any]) -> dict[str, Any]:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.analysis.export import table_to_dict
@@ -57,7 +59,31 @@ class TestCompare:
         with pytest.raises(ValueError, match="header mismatch"):
             compare_tables(make_export(), other)
 
-    def test_zero_reference_handled(self):
+    def test_zero_reference_reports_as_appeared(self):
         report = compare_tables(make_export(lbm=0.0), make_export(lbm=0.5))
-        assert len(report.drifts) == 1
-        assert report.drifts[0].relative_change == float("inf")
+        assert not report.clean
+        assert report.drifts == []
+        assert len(report.appeared) == 1
+        drift = report.appeared[0]
+        assert drift.category == "appeared"
+        # Never ±inf: a zero reference has nothing to be relative to.
+        assert math.isnan(drift.relative_change)
+        assert "appeared" in str(drift)
+        assert "1 appeared" in report.summary()
+
+    def test_zero_current_reports_as_vanished(self):
+        report = compare_tables(make_export(lbm=0.5), make_export(lbm=0.0))
+        assert not report.clean
+        assert report.drifts == []
+        assert len(report.vanished) == 1
+        drift = report.vanished[0]
+        assert drift.category == "vanished"
+        assert drift.relative_change == pytest.approx(-1.0)
+        assert "vanished" in str(drift)
+
+    def test_all_drifts_spans_categories(self):
+        report = compare_tables(
+            make_export(lbm=0.0, mcf=2.0), make_export(lbm=0.5, mcf=9.0)
+        )
+        assert len(report.all_drifts) == 2
+        assert {d.category for d in report.all_drifts} == {"appeared", "changed"}

@@ -65,3 +65,119 @@ class TestReset:
         tracker.reset()
         assert tracker.summary().total_line_writes == 0
         assert tracker.writes_to(0) == 0
+        assert tracker.flips_to(0) == 0
+        assert tracker.highest_line_written() is None
+
+
+class TestSpatialProfiles:
+    def _tracker(self) -> WearTracker:
+        tracker = WearTracker()
+        tracker.record_write(0, bit_flips=10, bits_written=10)
+        tracker.record_write(0, bit_flips=10, bits_written=10)
+        tracker.record_write(5, bit_flips=2, bits_written=2)
+        tracker.record_write(13, bit_flips=1, bits_written=1)
+        return tracker
+
+    def test_region_wear_partitions_address_space(self):
+        regions = self._tracker().region_wear(total_lines=16, regions=2)
+        assert [r.first_line for r in regions] == [0, 8]
+        assert [r.lines for r in regions] == [8, 8]
+        assert regions[0].line_writes == 3
+        assert regions[0].bit_flips == 22
+        assert regions[0].max_line_writes == 2
+        assert regions[0].hottest_line == 0
+        assert regions[1].line_writes == 1
+        assert regions[1].hottest_line == 13
+        assert regions[0].mean_writes_per_line == pytest.approx(3 / 8)
+
+    def test_region_wear_short_remainder_region(self):
+        # 10 lines over 3 regions: spans of 4/4/2.
+        regions = WearTracker().region_wear(total_lines=10, regions=3)
+        assert [r.lines for r in regions] == [4, 4, 2]
+        assert sum(r.lines for r in regions) == 10
+
+    def test_bank_wear_uses_round_robin_interleave(self):
+        banks = self._tracker().bank_wear(total_banks=4)
+        # line % 4: lines 0 -> bank 0, 5 -> bank 1, 13 -> bank 1.
+        assert banks[0].line_writes == 2
+        assert banks[1].line_writes == 2
+        assert banks[1].hottest_line in (5, 13)
+        assert banks[2].line_writes == 0
+        assert banks[2].hottest_line is None
+
+    def test_invalid_arguments_rejected(self):
+        tracker = WearTracker()
+        with pytest.raises(ValueError):
+            tracker.region_wear(total_lines=0, regions=1)
+        with pytest.raises(ValueError):
+            tracker.bank_wear(total_banks=0)
+
+    def test_highest_line_written(self):
+        assert self._tracker().highest_line_written() == 13
+
+
+class TestHeatmap:
+    def test_grid_shape_and_totals(self):
+        tracker = WearTracker()
+        tracker.record_write(0, bit_flips=3, bits_written=3)
+        tracker.record_write(15, bit_flips=5, bits_written=5)
+        grid = tracker.heatmap_grid(total_lines=16, rows=2, cols=4)
+        assert len(grid) == 2 and all(len(row) == 4 for row in grid)
+        assert grid[0][0] == 1  # writes metric by default
+        assert grid[1][3] == 1
+        flips = tracker.heatmap_grid(total_lines=16, rows=2, cols=4, metric="flips")
+        assert flips[0][0] == 3
+        assert flips[1][3] == 5
+        assert sum(sum(row) for row in flips) == 8
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="metric"):
+            WearTracker().heatmap_grid(total_lines=4, rows=1, cols=2, metric="volts")
+
+    def test_render_heatmap_and_csv(self):
+        from repro.analysis.charts import heatmap_csv, render_heatmap
+
+        tracker = WearTracker()
+        tracker.record_write(0, bit_flips=9, bits_written=9)
+        grid = tracker.heatmap_grid(total_lines=8, rows=2, cols=4)
+        text = render_heatmap(grid, title="t", cell_label="writes")
+        assert "t" in text and "scale:" in text
+        csv = heatmap_csv(grid)
+        assert csv.splitlines()[0].split(",")[0] == "1"
+
+
+class TestProjectedLifetime:
+    def test_ratio_matches_lifetime_factor(self):
+        slow, fast = WearTracker(), WearTracker()
+        for _ in range(10):
+            slow.record_write(0, bit_flips=100, bits_written=100)
+        fast.record_write(0, bit_flips=100, bits_written=100)
+        kwargs = dict(
+            total_lines=1024, line_bits=2048,
+            cell_endurance_writes=1e8, makespan_ns=1e6,
+        )
+        ratio = fast.projected_lifetime_years(**kwargs) / slow.projected_lifetime_years(
+            **kwargs
+        )
+        assert ratio == pytest.approx(fast.lifetime_factor(slow))
+
+    def test_no_flips_or_no_time_is_infinite(self):
+        tracker = WearTracker()
+        assert tracker.projected_lifetime_years(
+            total_lines=1, line_bits=1, cell_endurance_writes=1.0, makespan_ns=1.0
+        ) == float("inf")
+        tracker.record_write(0, bit_flips=1, bits_written=1)
+        assert tracker.projected_lifetime_years(
+            total_lines=1, line_bits=1, cell_endurance_writes=1.0, makespan_ns=0.0
+        ) == float("inf")
+
+    def test_duty_cycle_scales_lifetime(self):
+        tracker = WearTracker()
+        tracker.record_write(0, bit_flips=10, bits_written=10)
+        kwargs = dict(
+            total_lines=64, line_bits=2048,
+            cell_endurance_writes=1e8, makespan_ns=1e6,
+        )
+        full = tracker.projected_lifetime_years(**kwargs)
+        half = tracker.projected_lifetime_years(duty_cycle=0.5, **kwargs)
+        assert half == pytest.approx(2 * full)

@@ -1,0 +1,157 @@
+"""The microbenchmark harness: suite, records, and the regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_KIND,
+    BENCH_SCHEMA_VERSION,
+    BenchCase,
+    build_record,
+    compare_records,
+    default_suite,
+    load_record,
+    record_filename,
+    run_suite,
+    validate_record,
+    write_record,
+)
+
+
+def make_record(results: dict[str, float]) -> dict:
+    return build_record(
+        {
+            name: {"best_s": best, "ops": 10, "per_op_ns": best / 10 * 1e9}
+            for name, best in results.items()
+        },
+        scale={"accesses": 10},
+    )
+
+
+class TestSuite:
+    def test_default_suite_covers_all_hot_paths(self):
+        from repro.core.registry import available_controllers
+
+        cases = default_suite(accesses=50, controllers=None)
+        names = {case.name for case in cases}
+        for controller in available_controllers():
+            assert f"controller.{controller}" in names
+        for circuit in ("crc32", "sha1", "md5", "crc32-stdlib"):
+            assert f"hash.{circuit}" in names
+        assert "metadata.cache" in names
+
+    def test_controller_subset_respected(self):
+        cases = default_suite(accesses=50, controllers=["dewrite"])
+        controller_cases = [c for c in cases if c.name.startswith("controller.")]
+        assert [c.name for c in controller_cases] == ["controller.dewrite"]
+
+    def test_run_suite_keeps_minimum(self):
+        calls: list[int] = []
+
+        def make():
+            def run() -> None:
+                calls.append(1)
+
+            return run
+
+        results = run_suite(
+            [BenchCase(name="noop", ops=4, make=make)], repeats=3
+        )
+        assert calls == [1] * 4  # 1 warmup + 3 measured
+        entry = results["noop"]
+        assert entry["ops"] == 4
+        assert entry["best_s"] >= 0.0
+        assert entry["per_op_ns"] == pytest.approx(entry["best_s"] / 4 * 1e9)
+
+    def test_run_suite_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            run_suite([], repeats=0)
+
+    @pytest.mark.slow
+    def test_real_suite_produces_positive_timings(self):
+        cases = default_suite(accesses=120, controllers=["dewrite"], hash_lines=8)
+        results = run_suite(cases, repeats=1)
+        assert all(entry["best_s"] > 0.0 for entry in results.values())
+
+
+class TestRecords:
+    def test_record_schema_valid_and_round_trips(self, tmp_path):
+        record = make_record({"controller.dewrite": 0.01})
+        assert record["schema"] == BENCH_SCHEMA_VERSION
+        assert record["kind"] == BENCH_KIND
+        assert validate_record(record) == []
+        path = write_record(record, tmp_path)
+        assert path.name == record_filename(record)
+        assert load_record(path) == json.loads(path.read_text())
+
+    def test_filename_uses_git_sha_prefix(self):
+        record = make_record({"x": 0.01})
+        name = record_filename(record)
+        if record["git_sha"]:
+            assert name == f"BENCH_{record['git_sha'][:12]}.json"
+        else:
+            assert name == "BENCH_nogit.json"
+
+    def test_validation_catches_problems(self):
+        assert validate_record([]) != []
+        assert any("results" in p for p in validate_record(
+            {"schema": BENCH_SCHEMA_VERSION, "kind": BENCH_KIND,
+             "created_unix_s": 0, "python": "3", "platform": "x",
+             "git_sha": None, "scale": {}, "results": {}}
+        ))
+        bad = make_record({"x": 0.01})
+        bad["results"]["x"]["ops"] = "ten"
+        assert any("ops" in p for p in validate_record(bad))
+
+    def test_load_record_rejects_invalid(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": 0}))
+        with pytest.raises(ValueError, match="validation"):
+            load_record(path)
+
+
+class TestGate:
+    def test_self_comparison_is_clean(self):
+        record = make_record({"a": 0.010, "b": 0.002})
+        comparison = compare_records(record, record)
+        assert comparison.ok
+        assert comparison.within == 2
+        assert "0 regressed" in comparison.render()
+
+    def test_regression_beyond_both_thresholds_fails(self):
+        baseline = make_record({"a": 0.010})
+        current = make_record({"a": 0.020})  # +100 %, +10 ms
+        comparison = compare_records(current, baseline, threshold=0.30)
+        assert not comparison.ok
+        assert comparison.regressions[0]["name"] == "a"
+        assert comparison.regressions[0]["change"] == pytest.approx(1.0)
+        assert "REGRESSED a" in comparison.render()
+
+    def test_small_absolute_delta_never_regresses(self):
+        # +300 % relative but only 30 µs absolute: timer noise, not signal.
+        baseline = make_record({"a": 0.00001})
+        current = make_record({"a": 0.00004})
+        assert compare_records(current, baseline, threshold=0.30).ok
+
+    def test_improvement_reported_not_failed(self):
+        baseline = make_record({"a": 0.020})
+        current = make_record({"a": 0.010})
+        comparison = compare_records(current, baseline, threshold=0.30)
+        assert comparison.ok
+        assert comparison.improvements[0]["change"] == pytest.approx(-0.5)
+
+    def test_one_sided_cases_reported_separately(self):
+        baseline = make_record({"a": 0.01, "gone": 0.01})
+        current = make_record({"a": 0.01, "new": 0.01})
+        comparison = compare_records(current, baseline)
+        assert comparison.ok  # appeared/vanished never gate
+        assert comparison.appeared == ["new"]
+        assert comparison.vanished == ["gone"]
+        # And never as ±inf relative changes.
+        assert all(
+            entry["change"] not in (float("inf"), float("-inf"))
+            for entry in comparison.regressions + comparison.improvements
+        )

@@ -1,0 +1,203 @@
+"""Run-to-run diffing: manifest, timeline, stage, and figure comparisons."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.diff import (
+    diff_figure_dirs,
+    diff_manifests,
+    diff_stages,
+    diff_timelines,
+    stage_percentiles,
+)
+from repro.obs.manifest import build_manifest
+from repro.obs.timeline import TimelineCollector
+
+
+def make_manifest(metrics=None, timeline=None, **overrides):
+    payload = build_manifest(
+        figures=["fig12"],
+        settings={"accesses": 100, "seed": 1, "applications": ["lbm"]},
+        options={},
+        jobs=[],
+        cache={"planned": 0, "unique": 0, "disk_hits": 0, "executed": 0,
+               "simulations": 0, "retries": 0},
+        failures=[],
+        elapsed_s=1.0,
+        metrics=metrics or {},
+        timeline=timeline,
+        command=["repro", "run"],
+    )
+    payload.update(overrides)
+    return payload
+
+
+def counter(value: float) -> dict:
+    return {"kind": "counter", "value": value}
+
+
+class TestManifestDiff:
+    def test_identical_manifests_have_no_drift(self):
+        metrics = {"dedup.hits": counter(7.0)}
+        diff = diff_manifests(make_manifest(metrics), make_manifest(metrics))
+        assert not diff.deterministic_drift
+        assert diff.counters_compared == 1
+        assert "deterministic state identical" in diff.render()
+
+    def test_counter_mismatch_is_drift(self):
+        diff = diff_manifests(
+            make_manifest({"dedup.hits": counter(7.0)}),
+            make_manifest({"dedup.hits": counter(9.0)}),
+        )
+        assert diff.deterministic_drift
+        assert diff.counter_drifts[0].name == "dedup.hits"
+        assert "DRIFT" in diff.render()
+
+    def test_one_sided_counters_report_appeared_vanished(self):
+        diff = diff_manifests(
+            make_manifest({"old.counter": counter(1.0)}),
+            make_manifest({"new.counter": counter(1.0)}),
+        )
+        assert diff.deterministic_drift
+        assert diff.appeared_counters == ["new.counter"]
+        assert diff.vanished_counters == ["old.counter"]
+
+    def test_runner_throughput_counters_are_informational(self):
+        # Warm vs cold cache: `jobs.*`/`simulations` counters measure how
+        # much work the runner did, not what the simulation computed.
+        diff = diff_manifests(
+            make_manifest({"jobs.simulate": counter(2.0), "simulations": counter(2.0)}),
+            make_manifest({}),
+        )
+        assert not diff.deterministic_drift
+        assert {d.name for d in diff.info_deltas} == {"jobs.simulate", "simulations"}
+
+    def test_wall_clock_metrics_never_gate(self):
+        diff = diff_manifests(
+            make_manifest({"peak.rss": {"kind": "gauge", "value": 100.0}}),
+            make_manifest({"peak.rss": {"kind": "gauge", "value": 900.0}}),
+        )
+        assert not diff.deterministic_drift
+        assert diff.info_deltas[0].kind == "gauge"
+
+    def test_context_mismatches_noted(self):
+        diff = diff_manifests(
+            make_manifest(git_sha="aaa"), make_manifest(git_sha="bbb")
+        )
+        assert any("git sha" in note for note in diff.context)
+        assert not diff.deterministic_drift  # cross-commit diffing is the point
+
+
+class TestTimelineDiff:
+    def _snapshot(self, flips: int) -> dict:
+        tl = TimelineCollector(window_ns=100.0)
+        tl.record_nvm_write(5.0, bank=0, wait_ns=1.0, bit_flips=flips)
+        return tl.to_dict()
+
+    def test_equal_timelines_clean(self):
+        notes, compared = diff_timelines(self._snapshot(3), self._snapshot(3))
+        assert notes == []
+        assert compared == 1
+
+    def test_diverging_window_names_fields(self):
+        notes, _ = diff_timelines(self._snapshot(3), self._snapshot(4))
+        assert len(notes) == 1
+        assert "window 0" in notes[0] and "bit_flips" in notes[0]
+
+    def test_one_sided_timeline_noted(self):
+        notes, compared = diff_timelines(self._snapshot(3), None)
+        assert compared == 0
+        assert "only in manifest a" in notes[0]
+        assert diff_timelines(None, None) == ([], 0)
+
+    def test_window_width_mismatch_short_circuits(self):
+        other = TimelineCollector(window_ns=50.0)
+        other.record_read(1.0, latency_ns=1.0)
+        notes, compared = diff_timelines(self._snapshot(3), other.to_dict())
+        assert compared == 0
+        assert "window widths differ" in notes[0]
+
+    def test_manifest_timeline_drift_gates(self):
+        diff = diff_manifests(
+            make_manifest(timeline=self._snapshot(3)),
+            make_manifest(timeline=self._snapshot(4)),
+        )
+        assert diff.deterministic_drift
+        assert diff.timeline_drifts
+
+
+class TestStagePercentiles:
+    def _write_trace(self, path, durations, name="write.hash"):
+        with path.open("w") as handle:
+            for dur in durations:
+                handle.write(json.dumps(
+                    {"type": "span", "clock": "sim", "name": name, "dur_ns": dur}
+                ) + "\n")
+            # Wall spans and events must be ignored.
+            handle.write(json.dumps(
+                {"type": "span", "clock": "wall", "name": name, "dur_ns": 1e9}
+            ) + "\n")
+            handle.write(json.dumps({"type": "event", "name": "marker"}) + "\n")
+
+    def test_percentiles_from_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write_trace(path, [10.0, 20.0, 30.0, 40.0])
+        summary = stage_percentiles(path)
+        assert set(summary) == {"write.hash"}
+        stage = summary["write.hash"]
+        assert stage["count"] == 4.0
+        assert stage["mean"] == 25.0
+        assert stage["max"] == 40.0
+        assert stage["p50"] <= stage["p95"] <= stage["p99"] <= stage["max"]
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            stage_percentiles(path)
+
+    def test_diff_stages_flags_moves_and_one_sided(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write_trace(a, [10.0, 10.0])
+        self._write_trace(b, [10.0, 100.0])
+        notes = diff_stages(stage_percentiles(a), stage_percentiles(b))
+        assert any("p95" in note for note in notes)
+        notes = diff_stages(stage_percentiles(a), {}, tolerance=0.5)
+        assert notes == ["stage write.hash only in a"]
+
+    def test_diff_stages_tolerance(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write_trace(a, [100.0])
+        self._write_trace(b, [104.0])
+        assert diff_stages(
+            stage_percentiles(a), stage_percentiles(b), tolerance=0.05
+        ) == []
+
+
+class TestFigureDirs:
+    def _write_table(self, path, speedup):
+        path.write_text(json.dumps(
+            {"headers": ["app", "speedup"], "rows": [["lbm", speedup]]}
+        ))
+
+    def test_matching_figures_clean(self, tmp_path):
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        dir_a.mkdir(), dir_b.mkdir()
+        self._write_table(dir_a / "fig12.json", 4.0)
+        self._write_table(dir_b / "fig12.json", 4.0)
+        reports, notes = diff_figure_dirs(dir_a, dir_b)
+        assert notes == []
+        assert reports["fig12.json"].clean
+
+    def test_drift_and_unmatched_files_reported(self, tmp_path):
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        dir_a.mkdir(), dir_b.mkdir()
+        self._write_table(dir_a / "fig12.json", 4.0)
+        self._write_table(dir_b / "fig12.json", 8.0)
+        self._write_table(dir_a / "only.json", 1.0)
+        reports, notes = diff_figure_dirs(dir_a, dir_b, tolerance=0.05)
+        assert not reports["fig12.json"].clean
+        assert notes == ["figure only.json only in a"]

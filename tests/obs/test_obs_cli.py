@@ -119,13 +119,27 @@ class TestStats:
         assert "figures:   fig12" in out
         assert "jobs:" in out
 
-    def test_stats_json_dump(self, tmp_path, capsys):
+    def test_stats_json_emits_summary_digest(self, tmp_path, capsys):
         path = tmp_path / "m.json"
         self._write_manifest(path)
         capsys.readouterr()
         assert main(["stats", str(path), "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["kind"] == "repro-run-manifest"
+        assert payload["valid"] is True
+        assert payload["problems"] == []
+        assert payload["figures"] == ["fig12"]
+        assert payload["jobs"]["total"] == 2
+        assert payload["jobs"]["by_source"] == {"executed": 2}
+        # Digest only — the raw job list never appears in --json output.
+        assert "kind" not in payload
+
+    def test_stats_json_invalid_manifest_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 1, "kind": "repro-run-manifest"}))
+        assert main(["stats", str(path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["valid"] is False
+        assert payload["problems"]
 
     def test_stats_flags_invalid_manifest(self, tmp_path, capsys):
         path = tmp_path / "bad.json"
@@ -137,3 +151,181 @@ class TestStats:
     def test_stats_missing_file_fails_cleanly(self, tmp_path, capsys):
         assert main(["stats", str(tmp_path / "absent.json")]) == 1
         assert "stats:" in capsys.readouterr().err
+
+
+class TestTimeline:
+    CMD = ["timeline", "fig12", "--apps", "lbm", "--accesses", "800",
+           "--window-ns", "2e5", "--no-cache"]
+
+    def test_timeline_prints_window_table(self, capsys):
+        assert main(self.CMD) == 0
+        out = capsys.readouterr().out
+        assert "window" in out and "dup%" in out and "flips" in out
+        assert "dewrite on lbm" in out
+
+    def test_timeline_exports_and_manifest(self, tmp_path, capsys):
+        csv = tmp_path / "tl.csv"
+        jsonl = tmp_path / "tl.jsonl"
+        manifest = tmp_path / "tl-manifest.json"
+        assert main([*self.CMD, "--csv", str(csv), "--jsonl", str(jsonl),
+                     "--manifest", str(manifest)]) == 0
+        capsys.readouterr()
+        assert csv.read_text().startswith("window,start_ns,writes")
+        rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert rows and all("dedup_ratio" in row for row in rows)
+        payload = json.loads(manifest.read_text())
+        assert validate_manifest(payload) == []
+        assert payload["timeline"]["windows"]
+        # Every CSV/JSONL window is in the manifest snapshot.
+        assert len(payload["timeline"]["windows"]) == len(rows)
+
+    def test_timeline_merges_multiple_apps(self, capsys):
+        assert main(["timeline", "fig12", "--apps", "lbm,mcf", "--accesses",
+                     "400", "--window-ns", "1e9", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "lbm, mcf" in out
+
+    def test_stats_reports_timeline_section(self, tmp_path, capsys):
+        manifest = tmp_path / "tl-manifest.json"
+        assert main([*self.CMD, "--manifest", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(manifest)]) == 0
+        assert "timeline:" in capsys.readouterr().out
+        assert main(["stats", str(manifest), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["timeline"]["windows"] >= 1
+
+
+class TestWear:
+    def test_wear_prints_heatmap_tables_and_lifetime(self, capsys):
+        assert main(["wear", "fig12", "--app", "lbm", "--accesses", "600",
+                     "--rows", "2", "--cols", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "wear heatmap" in out
+        assert "bank" in out and "region" in out
+        assert "projected lifetime (dewrite)" in out
+        assert "extends lifetime" in out
+
+    def test_wear_no_baseline_and_csv(self, tmp_path, capsys):
+        csv = tmp_path / "wear.csv"
+        assert main(["wear", "fig12", "--app", "lbm", "--accesses", "400",
+                     "--baseline", "none", "--csv", str(csv)]) == 0
+        out = capsys.readouterr().out
+        assert "extends lifetime" not in out
+        assert csv.exists() and "," in csv.read_text()
+
+    def test_wear_flips_metric(self, capsys):
+        assert main(["wear", "fig13", "--app", "mcf", "--accesses", "400",
+                     "--metric", "flips", "--baseline", "none"]) == 0
+        assert "flips over lines" in capsys.readouterr().out
+
+
+class TestDiff:
+    TIMELINE = ["timeline", "fig12", "--apps", "lbm", "--accesses", "600",
+                "--window-ns", "2e5", "--no-cache"]
+
+    def _manifest(self, path):
+        assert main([*self.TIMELINE, "--manifest", str(path)]) == 0
+
+    def test_same_run_twice_reports_zero_drift(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._manifest(a)
+        self._manifest(b)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "no deterministic drift" in out
+
+    def test_different_workloads_drift(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._manifest(a)
+        assert main(["timeline", "fig12", "--apps", "mcf", "--accesses", "600",
+                     "--window-ns", "2e5", "--no-cache", "--manifest", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT detected" in out
+
+    def test_diff_json_mode(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        self._manifest(a)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(a), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deterministic_drift"] is False
+        assert payload["manifest"]["timeline_windows_compared"] >= 1
+
+    def test_diff_traces_and_figures(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        self._manifest(a)
+        trace_a, trace_b = tmp_path / "ta.jsonl", tmp_path / "tb.jsonl"
+        assert main(["trace", "fig14", "--accesses", "300", "--out", str(trace_a)]) == 0
+        assert main(["trace", "fig14", "--accesses", "300", "--out", str(trace_b)]) == 0
+        figs_a, figs_b = tmp_path / "fa", tmp_path / "fb"
+        figs_a.mkdir(), figs_b.mkdir()
+        table = {"headers": ["app", "x"], "rows": [["lbm", 1.0]]}
+        (figs_a / "fig.json").write_text(json.dumps(table))
+        (figs_b / "fig.json").write_text(json.dumps(table))
+        capsys.readouterr()
+        assert main(["diff", str(a), str(a),
+                     "--trace-a", str(trace_a), "--trace-b", str(trace_b),
+                     "--figures-a", str(figs_a), "--figures-b", str(figs_b)]) == 0
+        out = capsys.readouterr().out
+        assert "percentiles match" in out
+        assert "fig.json: clean" in out
+
+    def test_diff_one_sided_trace_flag_rejected(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        self._manifest(a)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(a), "--trace-a", "x.jsonl"]) == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_diff_missing_manifest_fails_cleanly(self, tmp_path, capsys):
+        assert main(["diff", str(tmp_path / "nope.json"),
+                     str(tmp_path / "nope2.json")]) == 2
+        assert "diff:" in capsys.readouterr().err
+
+
+class TestBench:
+    BENCH = ["bench", "--accesses", "60", "--repeats", "1",
+             "--controllers", "dewrite"]
+
+    @pytest.mark.slow
+    def test_bench_writes_valid_record(self, tmp_path, capsys):
+        from repro.obs.bench import load_record, record_filename
+
+        assert main([*self.BENCH, "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "controller.dewrite" in out and "ns/op" in out
+        (path,) = tmp_path.glob("BENCH_*.json")
+        record = load_record(path)  # raises if schema-invalid
+        assert path.name == record_filename(record)
+        assert record["scale"]["accesses"] == 60
+
+    @pytest.mark.slow
+    def test_bench_check_against_own_baseline_passes(self, tmp_path, capsys):
+        assert main([*self.BENCH, "--out", str(tmp_path)]) == 0
+        (path,) = tmp_path.glob("BENCH_*.json")
+        assert main([*self.BENCH, "--out", str(tmp_path),
+                     "--check", str(path)]) == 0
+        assert "bench gate" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_bench_check_detects_doctored_regression(self, tmp_path, capsys):
+        assert main([*self.BENCH, "--out", str(tmp_path)]) == 0
+        (path,) = tmp_path.glob("BENCH_*.json")
+        record = json.loads(path.read_text())
+        for entry in record["results"].values():
+            entry["best_s"] /= 100.0  # baseline was "100x faster"
+        doctored = path.with_name("BENCH_doctored.json")
+        doctored.write_text(json.dumps(record))
+        capsys.readouterr()
+        assert main([*self.BENCH, "--out", str(tmp_path),
+                     "--check", str(doctored)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_bench_check_missing_baseline_fails_cleanly(self, tmp_path, capsys):
+        assert main([*self.BENCH, "--out", str(tmp_path),
+                     "--check", str(tmp_path / "absent.json")]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err

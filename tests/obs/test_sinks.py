@@ -1,0 +1,52 @@
+"""JsonlSink lifecycle: close semantics and the atexit flush registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.sinks import _OPEN_SINKS, JsonlSink, SinkClosedError, _flush_open_sinks
+
+
+class TestCloseSemantics:
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink({"a": 1})
+        sink.close()
+        with pytest.raises(SinkClosedError, match="1 written before close"):
+            sink({"a": 2})
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink({"a": 1})
+        sink.close()
+        sink.close()
+        assert sink.closed
+        lines = (tmp_path / "t.jsonl").read_text().splitlines()
+        assert [json.loads(line) for line in lines] == [{"a": 1}]
+
+    def test_close_before_any_write_leaves_no_file(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        assert not (tmp_path / "t.jsonl").exists()
+        with pytest.raises(SinkClosedError):
+            sink({"a": 1})
+
+
+class TestAtexitFlush:
+    def test_open_sinks_are_registered_and_flushed(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink({"a": 1})
+        assert sink in _OPEN_SINKS
+        _flush_open_sinks()
+        assert sink.closed
+        assert sink not in _OPEN_SINKS
+        # The flushed file is complete, valid JSONL.
+        assert json.loads((tmp_path / "t.jsonl").read_text()) == {"a": 1}
+
+    def test_closed_sinks_drop_out_of_registry(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        assert sink not in _OPEN_SINKS
+        _flush_open_sinks()  # must not raise on an empty/partial registry

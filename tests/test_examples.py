@@ -40,6 +40,15 @@ class TestExamples:
         assert "average lifetime extension" in out
         assert "lbm" in out
 
+    def test_endurance_study_heatmap(self):
+        out = run_example(
+            "endurance_study.py", "--apps", "lbm", "--accesses", "2500", "--heatmap"
+        )
+        assert "flips over lines" in out
+        assert "scale:" in out
+        # Both the baseline and DeWrite panels are rendered.
+        assert out.count("flips over lines") == 2
+
     def test_endurance_study_wear_levelled(self):
         out = run_example(
             "endurance_study.py", "--apps", "mcf", "--accesses", "2500", "--wear-level"
