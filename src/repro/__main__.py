@@ -15,6 +15,11 @@ Subcommands:
   time-series (dedup ratio, write reduction, cache hit rate, bank waits,
   bit flips per sim-time window); ``--manifest`` records the merged
   timeline in a run manifest for later ``diff``;
+- ``faults``   — deterministic fault-injection campaign: crash each
+  controller at seeded points, recover its metadata under each
+  persistence policy, audit every written line against the replay
+  oracle and print the vulnerability-window table; ``--manifest``
+  records the verdicts for later ``diff`` (see :mod:`repro.faults`);
 - ``wear``     — render per-bank / per-region wear tables, an ASCII
   address-space heatmap and a projected-lifetime panel vs a baseline;
 - ``diff``     — compare two run manifests (plus optional JSONL traces
@@ -44,6 +49,7 @@ Examples::
     python -m repro trace fig14 --out /tmp/trace.jsonl
     python -m repro stats manifest.json
     python -m repro timeline system --apps lbm --window-ns 2e5 --csv tl.csv
+    python -m repro faults system --apps lbm --points 0.5 --cell-faults 2
     python -m repro wear fig12 --app lbm --metric flips
     python -m repro diff old/manifest.json new/manifest.json
     python -m repro bench --out bench/ --check bench/BENCH_abc123.json
@@ -184,6 +190,58 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write a run manifest embedding the merged timeline",
     )
 
+    from repro.faults.campaign import DEFAULT_POINTS, DEFAULT_POLICIES
+    from repro.faults.plan import CELL_FAULT_MODES
+
+    faults = sub.add_parser(
+        "faults", help="crash/recover/audit campaign across persistence policies"
+    )
+    faults.add_argument(
+        "figure",
+        help="figure id or paper alias labelling the campaign (e.g. 'system')",
+    )
+    _add_settings_args(faults, default_accesses=4_000)
+    _add_cache_args(faults)
+    faults.add_argument(
+        "--controllers", default="", metavar="NAMES",
+        help="comma-separated controller subset (default: all registered)",
+    )
+    faults.add_argument(
+        "--policies", default=",".join(DEFAULT_POLICIES), metavar="NAMES",
+        help="comma-separated persistence policies "
+             f"(default: {','.join(DEFAULT_POLICIES)})",
+    )
+    faults.add_argument(
+        "--points", default=",".join(str(p) for p in DEFAULT_POINTS),
+        metavar="FRACTIONS",
+        help="crash points as trace fractions in (0, 1] "
+             f"(default {','.join(str(p) for p in DEFAULT_POINTS)})",
+    )
+    faults.add_argument(
+        "--interval-ns", type=float, default=100_000.0, metavar="NS",
+        help="periodic-writeback flush interval in ns (default 1e5)",
+    )
+    faults.add_argument(
+        "--cell-faults", type=int, default=0, metavar="N",
+        help="wear-correlated cell faults injected at the crash instant (default 0)",
+    )
+    faults.add_argument(
+        "--cell-fault-mode", choices=CELL_FAULT_MODES, default="bit_flip",
+        help="cell fault model (default bit_flip)",
+    )
+    faults.add_argument(
+        "--drop-probability", type=float, default=0.0, metavar="P",
+        help="probability each droppable metadata persist is torn (default 0)",
+    )
+    faults.add_argument(
+        "--json", default="", metavar="PATH",
+        help="also dump every scenario verdict as JSON",
+    )
+    faults.add_argument(
+        "--manifest", default="", metavar="PATH",
+        help="also write a run manifest embedding the faults section",
+    )
+
     wear = sub.add_parser(
         "wear", help="wear heatmap, per-bank/per-region tables and lifetime panel"
     )
@@ -297,7 +355,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="relative tolerance per cell (default 5 %%)")
 
     check = sub.add_parser(
-        "check", help="simulator lint (SIM001-SIM005) and runtime invariant checks"
+        "check", help="simulator lint (SIM001-SIM007) and runtime invariant checks"
     )
     check.add_argument(
         "paths", nargs="*",
@@ -411,12 +469,14 @@ def _run_run(args: argparse.Namespace) -> int:
     return 0 if report.ok and rendered == len(ids) else 1
 
 
-def _write_run_manifest(args, ids, settings, report, show_progress, timeline=None):
+def _write_run_manifest(args, ids, settings, report, show_progress, timeline=None,
+                        faults=None):
     from repro.obs.manifest import build_manifest, write_manifest
     from repro.obs.metrics import registry as metrics_registry
 
     payload = build_manifest(
         timeline=timeline,
+        faults=faults,
         figures=ids,
         settings={
             "accesses": settings.accesses,
@@ -543,6 +603,13 @@ def _run_stats(args: argparse.Namespace) -> int:
             f"  timeline:  {len(windows) if isinstance(windows, dict) else 0} "
             f"window(s) x {float(timeline.get('window_ns', 0) or 0):g} ns"
         )
+    faults = payload.get("faults")
+    if isinstance(faults, dict):
+        scenarios = faults.get("scenarios", [])
+        print(
+            f"  faults:    {len(scenarios) if isinstance(scenarios, list) else 0} "
+            f"scenario(s), interval {float(faults.get('interval_ns', 0) or 0):g} ns"
+        )
     failures = payload.get("failures", [])
     if failures:
         print(f"  failures:  {len(failures)}")
@@ -611,6 +678,120 @@ def _run_timeline(args: argparse.Namespace) -> int:
     if args.manifest:
         path = _write_run_manifest(
             args, [spec.id], settings, report, False, timeline=merged.to_dict()
+        )
+        print(f"manifest: {path}", file=sys.stderr)
+    return 0
+
+
+def _faults_manifest_section(jobs, entries, interval_ns):
+    """The manifest's ``faults`` section: one compact record per scenario.
+
+    Everything recorded here is a product of the seeded simulation, so
+    ``repro diff`` treats any divergence as deterministic drift.
+    """
+    scenarios = []
+    for job, (controller, scenario) in zip(jobs, entries):
+        params = job.params
+        recovery = scenario["recovery"]
+        scenarios.append({
+            "workload": params["workload"],
+            "controller": controller,
+            "policy": scenario["policy"],
+            "crash_access": params["plan"]["power_loss_at_access"],
+            "crash_ns": scenario["crash_ns"],
+            "horizon_ns": recovery["horizon_ns"],
+            "durable_events": recovery["durable_events"],
+            "dropped_events": recovery["dropped_events"],
+            "lost_counter_lines": len(recovery["lost_counter_lines"]),
+            "broken_references": len(recovery["broken_references"]),
+            "recovery_time_ns": recovery["recovery_time_ns"],
+            "report": {
+                key: scenario["report"][key]
+                for key in ("total_lines", "intact", "stale", "lost")
+            },
+        })
+    return {"interval_ns": float(interval_ns), "scenarios": scenarios}
+
+
+def _run_faults(args: argparse.Namespace) -> int:
+    from repro.faults.audit import ConsistencyReport
+    from repro.faults.campaign import campaign_specs, vulnerability_table
+    from repro.runner import provider
+
+    spec = figures.resolve_experiment(args.figure)
+    settings = _settings(args)
+    cache = _configure_runner(args)
+
+    if args.controllers:
+        controllers = tuple(
+            name.strip() for name in args.controllers.split(",") if name.strip()
+        )
+    else:
+        from repro.core.registry import available_controllers
+
+        controllers = tuple(available_controllers())
+    policies = tuple(name.strip() for name in args.policies.split(",") if name.strip())
+    points = tuple(float(part) for part in args.points.split(",") if part.strip())
+
+    jobs = []
+    try:
+        for app in settings.applications:
+            jobs.extend(
+                campaign_specs(
+                    workload=app,
+                    accesses=settings.accesses,
+                    seed=settings.seed,
+                    controllers=controllers,
+                    policies=policies,
+                    points=points,
+                    interval_ns=args.interval_ns,
+                    cell_faults=args.cell_faults,
+                    cell_fault_mode=args.cell_fault_mode,
+                    drop_probability=args.drop_probability,
+                    experiment=spec.id,
+                )
+            )
+    except ValueError as exc:
+        print(f"faults: {exc}", file=sys.stderr)
+        return 2
+    report = _warm_jobs(args, jobs, cache)
+    for failure in report.failures:
+        print(f"faults: FAILED {failure.spec.label}: {failure.error}", file=sys.stderr)
+    if not report.ok:
+        return 1
+
+    entries = []
+    for job in jobs:
+        scenario = provider.active().get(job)["scenario"]
+        # Re-assert the partition invariant on every payload — cached
+        # entries included — so a poisoned cache cannot pass silently.
+        ConsistencyReport.from_dict(scenario["report"])
+        entries.append((job.params["controller"], scenario))
+
+    print(
+        f"{spec.id} ({spec.anchor}) — fault campaign on "
+        f"{', '.join(settings.applications)}: {len(controllers)} controller(s) x "
+        f"{len(policies)} policy(ies) x {len(points)} crash point(s), "
+        f"{settings.accesses} accesses, seed {settings.seed}"
+    )
+    print(vulnerability_table(entries, args.interval_ns).render())
+
+    if args.json:
+        import json
+        from pathlib import Path
+
+        payload = [
+            {"controller": controller, **scenario}
+            for controller, scenario in entries
+        ]
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.manifest:
+        path = _write_run_manifest(
+            args, [spec.id], settings, report, False,
+            faults=_faults_manifest_section(jobs, entries, args.interval_ns),
         )
         print(f"manifest: {path}", file=sys.stderr)
     return 0
@@ -759,6 +940,8 @@ def _run_diff(args: argparse.Namespace) -> int:
                 "counters_compared": diff.counters_compared,
                 "timeline_drifts": diff.timeline_drifts,
                 "timeline_windows_compared": diff.timeline_windows_compared,
+                "faults_drifts": diff.faults_drifts,
+                "faults_scenarios_compared": diff.faults_scenarios_compared,
                 "wall_clock_deltas": [
                     {"name": d.name, "kind": d.kind, "a": d.a, "b": d.b}
                     for d in diff.info_deltas
@@ -1005,6 +1188,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_stats(args)
         if args.command == "timeline":
             return _run_timeline(args)
+        if args.command == "faults":
+            return _run_faults(args)
         if args.command == "wear":
             return _run_wear(args)
         if args.command == "diff":

@@ -76,6 +76,7 @@ def _build_registry() -> tuple[Rule, ...]:
     from repro.check.rules.sim004_stats_fields import StatsFieldsRule
     from repro.check.rules.sim005_bare_assert import BareAssertRule
     from repro.check.rules.sim006_bare_print import BarePrintRule
+    from repro.check.rules.sim007_swallowed_exceptions import SwallowedExceptionRule
 
     return (
         SeededRandomRule(),
@@ -84,6 +85,7 @@ def _build_registry() -> tuple[Rule, ...]:
         StatsFieldsRule(),
         BareAssertRule(),
         BarePrintRule(),
+        SwallowedExceptionRule(),
     )
 
 

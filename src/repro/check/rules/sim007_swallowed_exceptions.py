@@ -1,0 +1,85 @@
+"""SIM007 — no silently swallowed broad exceptions.
+
+A handler that catches everything and does nothing::
+
+    try:
+        recover_metadata()
+    except Exception:
+        pass
+
+turns real failures — a crash-recovery bug, a corrupted cache entry, a
+broken invariant — into silent wrong answers, the worst failure mode a
+deterministic simulator can have (the run "succeeds" with drifted data).
+The fault-injection subsystem exists precisely to *surface* failures;
+swallowing them defeats it.
+
+The rule flags an ``except`` handler only when **both** hold:
+
+- the body does nothing (``pass`` or a lone ``...``), and
+- the clause is broad — a bare ``except:``, ``Exception`` /
+  ``BaseException``, or a tuple containing either.
+
+Narrow, deliberate swallows (``except OSError: pass`` around a
+best-effort cleanup) stay legal: the author named the one failure they
+mean to tolerate.  A broad handler that *does* something (logs, counts,
+re-raises, returns a fallback) is likewise fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.check.rules import Rule, Violation
+
+if TYPE_CHECKING:
+    from repro.check.lint import LintContext
+
+#: Exception names considered "catches everything".
+_BROAD_NAMES = ("Exception", "BaseException")
+
+
+def _is_broad(clause: ast.expr | None) -> bool:
+    """Whether an ``except`` clause catches every exception."""
+    if clause is None:  # bare except:
+        return True
+    if isinstance(clause, ast.Tuple):
+        return any(_is_broad(element) for element in clause.elts)
+    # Matches both `Exception` and `builtins.Exception`.
+    if isinstance(clause, ast.Attribute):
+        return clause.attr in _BROAD_NAMES
+    return isinstance(clause, ast.Name) and clause.id in _BROAD_NAMES
+
+
+def _swallows(body: list[ast.stmt]) -> bool:
+    """Whether a handler body discards the exception without acting."""
+    return all(
+        isinstance(statement, ast.Pass)
+        or (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis
+        )
+        for statement in body
+    )
+
+
+class SwallowedExceptionRule(Rule):
+    """Forbid ``except [Exception]: pass`` — failures must surface."""
+
+    rule_id = "SIM007"
+    summary = "broad except clause silently swallows the exception"
+    fixit = (
+        "catch the specific exception you mean to tolerate, or handle it "
+        "(log / count / re-raise) instead of pass"
+    )
+
+    def check(self, tree: ast.Module, path: Path, context: "LintContext") -> list[Violation]:
+        return [
+            self.violation(path, node)
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ExceptHandler)
+            and _is_broad(node.type)
+            and _swallows(node.body)
+        ]

@@ -121,6 +121,16 @@ class MetadataSystem:
                     self._writeback(name, block, now_ns)
                 cache.clean_all()
 
+    @property
+    def last_periodic_flush_ns(self) -> float:
+        """Sim time of the most recent periodic full flush (0.0 before any).
+
+        Only meaningful under ``PERIODIC_WRITEBACK``; the fault-injection
+        crash model (:mod:`repro.faults`) reads it to bound what a crash
+        can strand in the dirty caches.
+        """
+        return self._last_periodic_flush_ns
+
     def replay(self, touches: list[MetadataTouch], now_ns: float) -> None:
         """Post a batch of functional-update touches (non-blocking)."""
         for touch in touches:

@@ -22,6 +22,7 @@ crash-exposure each policy leaves, which the ablation benchmark reports.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 
@@ -53,6 +54,23 @@ class MetadataPersistenceConfig:
         if self.policy is MetadataPersistencePolicy.PERIODIC_WRITEBACK:
             return self.writeback_interval_ns
         return 0.0
+
+    def durable_horizon_ns(self, crash_ns: float) -> float:
+        """Sim time up to which metadata updates survive a crash at ``crash_ns``.
+
+        Battery-backed (the dirty cache drains on failure) and write-through
+        (every update already reached NVM) lose nothing: the horizon is the
+        crash instant itself.  Periodic writeback persists at the idealised
+        software-flush boundaries ``n x interval``, so only updates up to the
+        last completed boundary survive — everything younger sits inside the
+        :meth:`vulnerability_window_ns` and is discarded by the crash model
+        (:mod:`repro.faults`).
+        """
+        if crash_ns < 0:
+            raise ValueError(f"crash time must be non-negative, got {crash_ns}")
+        if self.policy is MetadataPersistencePolicy.PERIODIC_WRITEBACK:
+            return math.floor(crash_ns / self.writeback_interval_ns) * self.writeback_interval_ns
+        return crash_ns
 
     @property
     def is_write_through(self) -> bool:

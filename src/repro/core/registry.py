@@ -112,10 +112,19 @@ def _dewrite_config_from(opts: dict[str, Any]) -> Any:
     """Build a :class:`DeWriteConfig` from JSON-shaped keyword options.
 
     ``metadata_cache`` may be a plain dict of :class:`MetadataCacheConfig`
-    fields; every other key is passed to ``DeWriteConfig`` directly.
-    Returns ``None`` when no options are given (controller default).
+    fields and ``persistence`` a plain dict of
+    :class:`~repro.core.persistence.MetadataPersistenceConfig` fields (with
+    the policy as its string value, e.g. ``{"policy": "periodic_writeback",
+    "writeback_interval_ns": 50000.0}``), so both can travel inside a
+    serialised job spec; every other key is passed to ``DeWriteConfig``
+    directly.  Returns ``None`` when no options are given (controller
+    default).
     """
     from repro.core.config import DeWriteConfig, MetadataCacheConfig
+    from repro.core.persistence import (
+        MetadataPersistenceConfig,
+        MetadataPersistencePolicy,
+    )
 
     if not opts:
         return None
@@ -125,6 +134,15 @@ def _dewrite_config_from(opts: dict[str, Any]) -> Any:
         metadata_cache = MetadataCacheConfig(**metadata_cache)
     if metadata_cache is not None:
         kwargs["metadata_cache"] = metadata_cache
+    persistence = kwargs.pop("persistence", None)
+    if isinstance(persistence, dict):
+        fields = dict(persistence)
+        policy = fields.pop("policy", None)
+        if policy is not None:
+            fields["policy"] = MetadataPersistencePolicy(policy)
+        persistence = MetadataPersistenceConfig(**fields)
+    if persistence is not None:
+        kwargs["persistence"] = persistence
     return DeWriteConfig(**kwargs)
 
 

@@ -1,0 +1,221 @@
+"""Crash simulation: power loss mid-run, then recovery and audit.
+
+:class:`CrashSimulator` wraps any registered memory controller behind the
+standard :class:`~repro.core.interface.MemoryController` surface, so the
+unmodified :func:`~repro.system.simulator.simulate` loop drives it.  On
+every forwarded request it:
+
+1. checks the :class:`~repro.faults.plan.FaultPlan`'s power-loss trigger
+   (sim-time instant or access ordinal) and raises
+   :class:`PowerLossError` *before* issuing the doomed request;
+2. feeds every committed write to the
+   :class:`~repro.workloads.oracle.ReplayOracle` (ground truth) and asks
+   the controller's fault adapter which semantic metadata updates the
+   write implied, journaling them
+   (:class:`~repro.faults.journal.DurabilityJournal`).
+
+The crash instant is the completion time of the last committed request:
+in-flight array writes finish draining (the device's write circuit holds
+enough charge to complete a programmed line), and it is the *metadata*
+durability policy that decides what survives above that — exactly the
+paper's §V framing.
+
+:func:`run_crash_scenario` is the one-call orchestration: simulate until
+power loss (or trace end — a crash-without-clean-shutdown), inject
+wear-correlated cell faults, recover, audit, and emit ``fault.*`` events
+on the trace bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.interface import MemoryController, ReadOutcome, WriteOutcome
+from repro.core.persistence import MetadataPersistenceConfig
+from repro.faults.adapters import adapter_for
+from repro.faults.audit import ConsistencyAuditor, ConsistencyReport
+from repro.faults.injectors import CellFault, CellFaultInjector, FlushFaultModel
+from repro.faults.journal import DurabilityJournal
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import RecoveryManager, RecoveryResult
+from repro.obs.trace import TracerLike
+from repro.system.cpu import CoreModelConfig
+from repro.workloads.oracle import ReplayOracle
+from repro.workloads.trace import Trace
+
+
+class PowerLossError(RuntimeError):
+    """Power failed at ``crash_ns``; the run cannot continue."""
+
+    def __init__(self, crash_ns: float) -> None:
+        super().__init__(f"power lost at {crash_ns:.1f} ns")
+        self.crash_ns = crash_ns
+
+
+class CrashSimulator(MemoryController):
+    """Journal-keeping wrapper that pulls the plug per the fault plan."""
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        plan: FaultPlan,
+        oracle: ReplayOracle | None = None,
+    ) -> None:
+        super().__init__(controller.nvm)
+        self.inner = controller
+        self.adapter = adapter_for(controller)
+        self.plan = plan
+        self.journal = DurabilityJournal()
+        self.oracle = oracle if oracle is not None else ReplayOracle()
+        self.accesses = 0
+        self.last_complete_ns = 0.0
+
+    @property
+    def stats(self):  # noqa: ANN201 - mirrors the wrapped controller's stats
+        return self.inner.stats
+
+    def _propagate_tracer(self, tracer: TracerLike) -> None:
+        self.inner.attach_tracer(tracer)
+
+    def _propagate_timeline(self, timeline) -> None:
+        self.inner.attach_timeline(timeline)
+
+    def _maybe_crash(self, arrival_ns: float) -> None:
+        """Pull the plug before the current request if the plan says so."""
+        self.accesses += 1
+        plan = self.plan
+        if plan.power_loss_at_access is not None and self.accesses >= plan.power_loss_at_access:
+            raise PowerLossError(self.last_complete_ns)
+        if plan.power_loss_ns is not None and arrival_ns >= plan.power_loss_ns:
+            # Committed writes may have completed after the nominal loss
+            # instant (they drained); the crash point covers them all.
+            raise PowerLossError(max(self.last_complete_ns, plan.power_loss_ns))
+
+    def write(self, address: int, data: bytes, arrival_ns: float) -> WriteOutcome:
+        self._maybe_crash(arrival_ns)
+        snapshot = self.adapter.snapshot_before_write(address)
+        outcome = self.inner.write(address, data, arrival_ns)
+        self.oracle.observe_write(address, data)
+        self.journal.extend(self.adapter.updates_for_write(address, data, outcome, snapshot))
+        if outcome.complete_ns > self.last_complete_ns:
+            self.last_complete_ns = outcome.complete_ns
+        return outcome
+
+    def read(self, address: int, arrival_ns: float) -> ReadOutcome:
+        self._maybe_crash(arrival_ns)
+        outcome = self.inner.read(address, arrival_ns)
+        if outcome.complete_ns > self.last_complete_ns:
+            self.last_complete_ns = outcome.complete_ns
+        return outcome
+
+
+@dataclass(frozen=True)
+class CrashScenarioResult:
+    """Everything one fault scenario produced, JSON-serialisable."""
+
+    plan: FaultPlan
+    policy: str
+    completed_trace: bool
+    crash_ns: float
+    accesses_before_crash: int
+    recovery: RecoveryResult
+    report: ConsistencyReport
+    cell_faults: tuple[CellFault, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "plan": self.plan.to_dict(),
+            "policy": self.policy,
+            "completed_trace": self.completed_trace,
+            "crash_ns": self.crash_ns,
+            "accesses_before_crash": self.accesses_before_crash,
+            "recovery": self.recovery.to_dict(),
+            "report": self.report.to_dict(),
+            "cell_faults": [fault.to_dict() for fault in self.cell_faults],
+        }
+
+
+def run_crash_scenario(
+    controller: MemoryController,
+    trace: Trace,
+    plan: FaultPlan,
+    persistence: MetadataPersistenceConfig,
+    core: CoreModelConfig | None = None,
+    tracer: TracerLike | None = None,
+) -> CrashScenarioResult:
+    """Simulate under ``plan``, then recover and audit the wreckage.
+
+    ``persistence`` is the crash-consistency policy the durability model
+    honours.  For DeWrite-family controllers it should match the
+    controller's own configured policy (so runtime flush traffic and the
+    crash model agree); for the secure baselines — whose configs carry no
+    persistence knob — it is purely the crash-model assumption.
+    """
+    from repro.system.simulator import simulate
+
+    wrapper = CrashSimulator(controller, plan)
+    if tracer is not None:
+        wrapper.attach_tracer(tracer)
+    tracer = wrapper.tracer
+
+    completed = False
+    try:
+        simulate(wrapper, trace, core)
+        completed = True
+        crash_ns = wrapper.last_complete_ns
+    except PowerLossError as exc:
+        crash_ns = exc.crash_ns
+
+    if tracer.enabled:
+        tracer.event(
+            "fault.power_loss",
+            sim_ns=crash_ns,
+            policy=persistence.policy.value,
+            accesses=wrapper.accesses,
+            completed_trace=completed,
+        )
+
+    injector = CellFaultInjector(
+        seed=plan.seed,
+        faults=plan.cell_faults,
+        mode=plan.cell_fault_mode,
+        bits=plan.cell_fault_bits,
+    )
+    cell_faults = injector.inject(controller.nvm, line_limit=wrapper.adapter.data_lines())
+    if tracer.enabled:
+        for fault in cell_faults:
+            tracer.event(
+                "fault.cell",
+                sim_ns=crash_ns,
+                line=fault.line,
+                mode=fault.mode,
+                bits=list(fault.bits),
+                changed=fault.changed,
+            )
+
+    flush_faults = FlushFaultModel(
+        persistence, drop_probability=plan.flush_drop_probability, seed=plan.seed
+    )
+    manager = RecoveryManager(wrapper.adapter, persistence, flush_faults)
+    recovery = manager.recover(wrapper.journal.events(), crash_ns)
+    if tracer.enabled and recovery.dropped_events:
+        tracer.event(
+            "fault.flush_drop",
+            sim_ns=crash_ns,
+            dropped=recovery.dropped_events,
+            policy=persistence.policy.value,
+        )
+
+    auditor = ConsistencyAuditor(wrapper.oracle, wrapper.adapter)
+    report = auditor.audit(recovery.durable)
+    return CrashScenarioResult(
+        plan=plan,
+        policy=persistence.policy.value,
+        completed_trace=completed,
+        crash_ns=crash_ns,
+        accesses_before_crash=wrapper.accesses - (0 if completed else 1),
+        recovery=recovery,
+        report=report,
+        cell_faults=tuple(cell_faults),
+    )

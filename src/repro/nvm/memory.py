@@ -173,6 +173,20 @@ class NvmMainMemory:
         """Whether the line has ever been written."""
         return address in self._lines
 
+    def poke(self, address: int, data: bytes) -> None:
+        """Overwrite line contents with no timing, wear or energy effect.
+
+        The functional counterpart of :meth:`peek`, used by the fault
+        injectors (:mod:`repro.faults.injectors`) to model stuck-at and
+        disturb faults: the cells change state without any request having
+        been issued, so no bank is occupied and no write is counted.
+        """
+        self._check_address(address)
+        line_size = self.config.organization.line_size_bytes
+        if len(data) != line_size:
+            raise ValueError(f"line must be {line_size} bytes, got {len(data)}")
+        self._lines[address] = data
+
     # -- statistics -------------------------------------------------------------
 
     @property

@@ -86,6 +86,15 @@ class WearTracker:
         """Accumulated bit flips of one line."""
         return self._line_flips[line_address]
 
+    def written_lines(self) -> tuple[int, ...]:
+        """Every line written at least once, sorted.
+
+        The wear-correlated cell-fault injector
+        (:class:`repro.faults.injectors.CellFaultInjector`) samples its
+        victims from this population, weighted by :meth:`writes_to`.
+        """
+        return tuple(sorted(self._line_writes))
+
     def highest_line_written(self) -> int | None:
         """Largest line address written so far (``None`` before any write).
 

@@ -9,6 +9,9 @@ JSONs) and separates **deterministic** divergence from wall-clock noise:
   drift;
 - the *timeline* section (per-window dedup/write/bit-flip counters over
   the simulated clock) is likewise deterministic and compared exactly;
+- the *faults* section (crash-recovery consistency verdicts from seeded
+  fault plans — see :mod:`repro.faults`) is a pure product of the seed
+  and the fault plan, so any scenario mismatch is deterministic drift;
 - per-stage latency percentiles extracted from JSONL sinks use the
   **sim** clock only, so p50/p95/p99 deltas are code-behaviour changes,
   not scheduler luck;
@@ -76,6 +79,8 @@ class ManifestDiff:
     info_deltas: list[MetricDelta] = field(default_factory=list)
     timeline_drifts: list[str] = field(default_factory=list)
     timeline_windows_compared: int = 0
+    faults_drifts: list[str] = field(default_factory=list)
+    faults_scenarios_compared: int = 0
 
     @property
     def deterministic_drift(self) -> bool:
@@ -85,6 +90,7 @@ class ManifestDiff:
             or self.appeared_counters
             or self.vanished_counters
             or self.timeline_drifts
+            or self.faults_drifts
         )
 
     def render(self) -> str:
@@ -95,17 +101,20 @@ class ManifestDiff:
                 f"DRIFT: {len(self.counter_drifts)} counter(s) moved, "
                 f"{len(self.appeared_counters)} appeared, "
                 f"{len(self.vanished_counters)} vanished, "
-                f"{len(self.timeline_drifts)} timeline divergence(s)"
+                f"{len(self.timeline_drifts)} timeline divergence(s), "
+                f"{len(self.faults_drifts)} fault-scenario divergence(s)"
             )
             lines.extend(f"  {delta}" for delta in self.counter_drifts)
             lines.extend(f"  appeared: {name}" for name in self.appeared_counters)
             lines.extend(f"  vanished: {name}" for name in self.vanished_counters)
             lines.extend(f"  timeline: {note}" for note in self.timeline_drifts)
+            lines.extend(f"  faults: {note}" for note in self.faults_drifts)
         else:
             lines.append(
                 f"deterministic state identical "
                 f"({self.counters_compared} counters, "
-                f"{self.timeline_windows_compared} timeline windows)"
+                f"{self.timeline_windows_compared} timeline windows, "
+                f"{self.faults_scenarios_compared} fault scenarios)"
             )
         if self.info_deltas:
             lines.append(f"wall-clock deltas (informational, {len(self.info_deltas)}):")
@@ -171,6 +180,10 @@ def diff_manifests(a: dict[str, Any], b: dict[str, Any]) -> ManifestDiff:
     diff.timeline_drifts.extend(notes)
     diff.timeline_windows_compared = compared
 
+    notes, compared = diff_faults(a.get("faults"), b.get("faults"))
+    diff.faults_drifts.extend(notes)
+    diff.faults_scenarios_compared = compared
+
     for which, summary in (("a", summary_a), ("b", summary_b)):
         elapsed = summary.get("elapsed_s")
         if isinstance(elapsed, (int, float)):
@@ -212,6 +225,63 @@ def diff_timelines(
                 if windows_a[key].get(name) != windows_b[key].get(name)
             )
             notes.append(f"window {key} diverges in {', '.join(deviating)}")
+    return notes, compared
+
+
+def diff_faults(
+    a: dict[str, Any] | None, b: dict[str, Any] | None
+) -> tuple[list[str], int]:
+    """Deterministic divergences between two fault-campaign sections.
+
+    Scenarios are matched on (workload, controller, policy, crash point)
+    and compared field-by-field: every recorded number is a product of
+    the seeded fault plan, so any mismatch is drift.  Returns ``(notes,
+    scenarios compared)``; both-absent compares nothing.
+    """
+    if a is None and b is None:
+        return [], 0
+    if a is None or b is None:
+        return [f"faults section present only in manifest {'b' if a is None else 'a'}"], 0
+    interval_a = float(a.get("interval_ns", 0.0))
+    interval_b = float(b.get("interval_ns", 0.0))
+    if not math.isclose(interval_a, interval_b):
+        return [f"writeback intervals differ ({interval_a:g} vs {interval_b:g} ns)"], 0
+
+    def keyed(section: dict[str, Any]) -> dict[tuple, dict[str, Any]]:
+        scenarios = section.get("scenarios", []) or []
+        return {
+            (
+                scenario.get("workload"),
+                scenario.get("controller"),
+                scenario.get("policy"),
+                scenario.get("crash_access"),
+            ): scenario
+            for scenario in scenarios
+            if isinstance(scenario, dict)
+        }
+
+    def label(key: tuple) -> str:
+        return "/".join(str(part) for part in key)
+
+    scenarios_a, scenarios_b = keyed(a), keyed(b)
+    notes = [
+        f"scenario only in a: {label(key)}"
+        for key in sorted(set(scenarios_a) - set(scenarios_b), key=label)
+    ]
+    notes += [
+        f"scenario only in b: {label(key)}"
+        for key in sorted(set(scenarios_b) - set(scenarios_a), key=label)
+    ]
+    compared = 0
+    for key in sorted(set(scenarios_a) & set(scenarios_b), key=label):
+        compared += 1
+        if scenarios_a[key] != scenarios_b[key]:
+            deviating = sorted(
+                name
+                for name in set(scenarios_a[key]) | set(scenarios_b[key])
+                if scenarios_a[key].get(name) != scenarios_b[key].get(name)
+            )
+            notes.append(f"scenario {label(key)} diverges in {', '.join(deviating)}")
     return notes, compared
 
 

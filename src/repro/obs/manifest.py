@@ -10,6 +10,10 @@ The schema is deliberately flat JSON with a version stamp;
 :func:`validate_manifest` returns the list of schema problems (empty =
 valid), which ``python -m repro stats`` and the CI observability job use
 as the gate.
+
+Schema history: version 2 added the optional ``faults`` section written
+by ``python -m repro faults`` (per-scenario crash-recovery verdicts);
+version-1 manifests remain valid and loadable.
 """
 
 from __future__ import annotations
@@ -25,7 +29,10 @@ from pathlib import Path
 from typing import Any
 
 #: Bump when the manifest shape changes; `stats` refuses unknown versions.
-MANIFEST_SCHEMA_VERSION = 1
+MANIFEST_SCHEMA_VERSION = 2
+
+#: Older versions that are still valid (purely-additive schema changes).
+ACCEPTED_SCHEMA_VERSIONS = (1, MANIFEST_SCHEMA_VERSION)
 
 #: Marker distinguishing manifests from other JSON lying around.
 MANIFEST_KIND = "repro-run-manifest"
@@ -77,13 +84,16 @@ def build_manifest(
     metrics: dict[str, Any] | None = None,
     command: list[str] | None = None,
     timeline: dict[str, Any] | None = None,
+    faults: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble a schema-valid manifest for one run.
 
     ``timeline`` is the optional merged
     :meth:`~repro.obs.timeline.TimelineCollector.to_dict` snapshot of a
-    windowed run (``python -m repro timeline``); plain ``run`` manifests
-    omit the field entirely.
+    windowed run (``python -m repro timeline``); ``faults`` is the
+    optional per-scenario verdict section of a fault campaign
+    (``python -m repro faults``).  Plain ``run`` manifests omit both
+    fields entirely.
     """
     payload = {
         "schema": MANIFEST_SCHEMA_VERSION,
@@ -105,6 +115,8 @@ def build_manifest(
     }
     if timeline is not None:
         payload["timeline"] = dict(timeline)
+    if faults is not None:
+        payload["faults"] = dict(faults)
     return payload
 
 
@@ -113,9 +125,10 @@ def validate_manifest(payload: Any) -> list[str]:
     problems: list[str] = []
     if not isinstance(payload, dict):
         return [f"manifest must be a JSON object, got {type(payload).__name__}"]
-    if payload.get("schema") != MANIFEST_SCHEMA_VERSION:
+    if payload.get("schema") not in ACCEPTED_SCHEMA_VERSIONS:
         problems.append(
-            f"schema must be {MANIFEST_SCHEMA_VERSION}, got {payload.get('schema')!r}"
+            f"schema must be one of {ACCEPTED_SCHEMA_VERSIONS}, "
+            f"got {payload.get('schema')!r}"
         )
     if payload.get("kind") != MANIFEST_KIND:
         problems.append(f"kind must be {MANIFEST_KIND!r}, got {payload.get('kind')!r}")
@@ -199,6 +212,45 @@ def validate_manifest(payload: Any) -> list[str]:
                 problems.append("timeline.window_ns must be a number")
             if not isinstance(timeline.get("windows"), dict):
                 problems.append("timeline.windows must be an object")
+
+    # Optional fault-campaign section (written by `repro faults`).
+    if "faults" in payload:
+        faults = payload["faults"]
+        if not isinstance(faults, dict):
+            problems.append("field 'faults' must be an object when present")
+        else:
+            if not isinstance(faults.get("interval_ns"), (int, float)):
+                problems.append("faults.interval_ns must be a number")
+            scenarios = faults.get("scenarios")
+            if not isinstance(scenarios, list):
+                problems.append("faults.scenarios must be a list")
+                scenarios = []
+            for index, scenario in enumerate(scenarios):
+                if not isinstance(scenario, dict):
+                    problems.append(f"faults.scenarios[{index}] must be an object")
+                    continue
+                for key in ("workload", "controller", "policy"):
+                    if not isinstance(scenario.get(key), str):
+                        problems.append(
+                            f"faults.scenarios[{index}].{key} must be a string"
+                        )
+                verdicts = scenario.get("report")
+                if not isinstance(verdicts, dict) or not all(
+                    isinstance(verdicts.get(key), int)
+                    for key in ("total_lines", "intact", "stale", "lost")
+                ):
+                    problems.append(
+                        f"faults.scenarios[{index}].report must carry integer "
+                        f"total_lines/intact/stale/lost"
+                    )
+                elif (
+                    verdicts["intact"] + verdicts["stale"] + verdicts["lost"]
+                    != verdicts["total_lines"]
+                ):
+                    problems.append(
+                        f"faults.scenarios[{index}].report verdicts do not "
+                        f"partition total_lines"
+                    )
     return problems
 
 
@@ -245,6 +297,22 @@ def summarize_manifest(payload: dict[str, Any]) -> dict[str, Any]:
             "window_ns": timeline.get("window_ns"),
             "windows": len(windows) if isinstance(windows, dict) else 0,
             "evicted_windows": timeline.get("evicted_windows", 0),
+        }
+    faults = payload.get("faults")
+    if isinstance(faults, dict):
+        scenarios = faults.get("scenarios", [])
+        verdicts = {"intact": 0, "stale": 0, "lost": 0}
+        if isinstance(scenarios, list):
+            for scenario in scenarios:
+                report = scenario.get("report") if isinstance(scenario, dict) else None
+                if isinstance(report, dict):
+                    for key in verdicts:
+                        if isinstance(report.get(key), int):
+                            verdicts[key] += report[key]
+        summary["faults"] = {
+            "interval_ns": faults.get("interval_ns"),
+            "scenarios": len(scenarios) if isinstance(scenarios, list) else 0,
+            **verdicts,
         }
     return summary
 

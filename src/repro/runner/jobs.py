@@ -16,7 +16,10 @@ Job kinds (extensible via :func:`register_job_kind`):
 - ``"metadata-sweep"``  — Fig. 21's warm-then-measure cache-sizing run for
   one (application, cache size, prefetch) point;
 - ``"bitflips"``        — Fig. 13's three bit-flip analyser passes for one
-  application.
+  application;
+- ``"crash-recovery"``  — one fault-injection scenario: simulate until
+  power loss, recover the metadata, audit every written line against the
+  replay oracle (see :mod:`repro.faults.campaign`).
 
 Payloads are plain JSON types only: they must survive the on-disk cache
 and transport between worker processes.
@@ -300,6 +303,15 @@ def _run_bitflips(params: dict[str, Any]) -> dict[str, Any]:
     return {"fractions": fractions, "simulations": 0}
 
 
+def _run_crash_recovery(params: dict[str, Any]) -> dict[str, Any]:
+    # Lazy import: worker processes import this module, not repro.faults,
+    # so the fault stack only loads when a crash-recovery job actually runs.
+    from repro.faults.campaign import run_crash_recovery_job
+
+    return run_crash_recovery_job(params)
+
+
 register_job_kind("simulate", _run_simulate)
 register_job_kind("metadata-sweep", _run_metadata_sweep)
 register_job_kind("bitflips", _run_bitflips)
+register_job_kind("crash-recovery", _run_crash_recovery)

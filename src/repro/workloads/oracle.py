@@ -9,6 +9,7 @@ reference counts, so the check is exact and O(1) per write.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 
 
@@ -68,3 +69,55 @@ class DedupOracle:
     def resident_content(self, data: bytes) -> bool:
         """Whether identical content currently resides in memory."""
         return self._refcounts[data] > 0
+
+
+def _digest(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+class ReplayOracle(DedupOracle):
+    """Logical image plus per-address content *history* for crash auditing.
+
+    The fault-injection auditor (:mod:`repro.faults.audit`) replays a trace
+    up to a crash point through this oracle, then asks, for every line the
+    recovered controller serves, which of three states it is in:
+
+    - ``"intact"``  — the bytes equal the line's latest pre-crash content;
+    - ``"stale"``   — the bytes equal some *earlier* content of that line
+      (an old version resurfaced because the newer mapping/counter update
+      was not yet durable): decryptable, but rolled back;
+    - ``"lost"``    — neither: the line decrypts to garbage (lost counter,
+      broken dedup reference, or an injected cell fault).
+
+    History is kept as content digests, so memory stays O(versions) hashes
+    rather than O(versions) full lines.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._history: dict[int, set[bytes]] = {}
+
+    def observe_write(self, address: int, data: bytes) -> bool:
+        old = self._memory.get(address)
+        if old is not None and old != data:
+            self._history.setdefault(address, set()).add(_digest(old))
+        return super().observe_write(address, data)
+
+    def written_addresses(self) -> tuple[int, ...]:
+        """Every logical line ever written, sorted (the audit universe)."""
+        return tuple(sorted(self._memory))
+
+    def expected(self, address: int) -> bytes | None:
+        """Latest pre-crash content of a line (None if never written)."""
+        return self._memory.get(address)
+
+    def classify(self, address: int, recovered: bytes) -> str:
+        """Post-recovery verdict for one line: intact / stale / lost."""
+        expected = self._memory.get(address)
+        if expected is None:
+            raise KeyError(f"line {address} was never written; nothing to classify")
+        if recovered == expected:
+            return "intact"
+        if _digest(recovered) in self._history.get(address, ()):
+            return "stale"
+        return "lost"

@@ -17,7 +17,7 @@ class TestSelfLint:
         report = lint_paths([PACKAGE_DIR])
         assert report.clean, report.render()
         assert report.files_checked > 50
-        assert report.rules_run == 6
+        assert report.rules_run == 7
 
 
 class TestCliLint:

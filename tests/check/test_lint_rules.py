@@ -1,4 +1,4 @@
-"""Per-rule positive/negative cases for the SIM001–SIM006 lint rules."""
+"""Per-rule positive/negative cases for the SIM001–SIM007 lint rules."""
 
 from __future__ import annotations
 
@@ -23,10 +23,12 @@ def run_rule(rule_id: str, source: str, path: Path = WORKLOAD_PATH, context=None
 
 
 class TestRegistry:
-    def test_six_rules_registered_with_unique_ids(self):
+    def test_seven_rules_registered_with_unique_ids(self):
         ids = [rule.rule_id for rule in ALL_RULES]
-        assert ids == ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"]
-        assert len(set(ids)) == 6
+        assert ids == [
+            "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006", "SIM007",
+        ]
+        assert len(set(ids)) == 7
 
     def test_every_rule_has_summary_and_fixit(self):
         for rule in ALL_RULES:
@@ -306,4 +308,107 @@ class TestSim006BarePrint:
 
         src = Path(__file__).resolve().parents[2] / "src" / "repro"
         report = lint_paths([src], rules=[rule_by_id("SIM006")])
+        assert report.clean, report.render()
+
+
+class TestSim007SwallowedExceptions:
+    def test_bare_except_pass_flagged(self):
+        violations = run_rule("SIM007", """\
+            def f():
+                try:
+                    risky()
+                except:
+                    pass
+        """)
+        assert len(violations) == 1
+        assert violations[0].rule_id == "SIM007"
+        assert "swallows" in violations[0].message
+
+    def test_broad_exception_pass_flagged(self):
+        assert len(run_rule("SIM007", """\
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    pass
+        """)) == 1
+
+    def test_base_exception_ellipsis_flagged(self):
+        assert len(run_rule("SIM007", """\
+            def f():
+                try:
+                    risky()
+                except BaseException:
+                    ...
+        """)) == 1
+
+    def test_tuple_containing_broad_type_flagged(self):
+        assert len(run_rule("SIM007", """\
+            def f():
+                try:
+                    risky()
+                except (ValueError, Exception):
+                    pass
+        """)) == 1
+
+    def test_qualified_broad_type_flagged(self):
+        assert len(run_rule("SIM007", """\
+            import builtins
+
+            def f():
+                try:
+                    risky()
+                except builtins.Exception:
+                    pass
+        """)) == 1
+
+    def test_narrow_except_pass_clean(self):
+        # A deliberate best-effort swallow of one named failure is legal
+        # (e.g. the temp-file cleanup in repro.obs.manifest).
+        assert not run_rule("SIM007", """\
+            def f(path):
+                try:
+                    unlink(path)
+                except OSError:
+                    pass
+        """)
+
+    def test_broad_except_that_handles_clean(self):
+        assert not run_rule("SIM007", """\
+            def f():
+                try:
+                    risky()
+                except Exception as exc:
+                    log(exc)
+                    raise
+        """)
+
+    def test_broad_except_with_fallback_clean(self):
+        assert not run_rule("SIM007", """\
+            def f():
+                try:
+                    return risky()
+                except Exception:
+                    return None
+        """)
+
+    def test_disable_comment_respected(self):
+        from repro.check.lint import lint_source
+
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except Exception:  # simlint: disable=SIM007\n"
+            "        pass\n"
+        )
+        assert not lint_source(
+            source, WORKLOAD_PATH, rules=[rule_by_id("SIM007")], context=LintContext()
+        )
+
+    def test_repo_library_source_is_clean(self):
+        from repro.check.lint import lint_paths
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        report = lint_paths([src], rules=[rule_by_id("SIM007")])
         assert report.clean, report.render()

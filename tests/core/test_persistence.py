@@ -63,6 +63,60 @@ class TestConfig:
         with pytest.raises(ValueError):
             MetadataPersistenceConfig(writeback_interval_ns=0)
 
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataPersistenceConfig(writeback_interval_ns=-100.0)
+
+    def test_zero_interval_rejected_for_every_policy(self):
+        # The interval knob is validated even for policies that never
+        # read it, so a bad grid fails loudly at config time.
+        for policy in MetadataPersistencePolicy:
+            with pytest.raises(ValueError):
+                MetadataPersistenceConfig(policy=policy, writeback_interval_ns=0.0)
+
+    def test_window_tracks_interval_exactly(self):
+        for interval in (1.0, 4_096.0, 1e9):
+            periodic = MetadataPersistenceConfig(
+                policy=MetadataPersistencePolicy.PERIODIC_WRITEBACK,
+                writeback_interval_ns=interval,
+            )
+            assert periodic.vulnerability_window_ns() == interval
+
+
+class TestDurableHorizon:
+    def test_lossless_policies_keep_everything(self):
+        for policy in (
+            MetadataPersistencePolicy.BATTERY_BACKED,
+            MetadataPersistencePolicy.WRITE_THROUGH,
+        ):
+            config = MetadataPersistenceConfig(policy=policy)
+            assert config.durable_horizon_ns(0.0) == 0.0
+            assert config.durable_horizon_ns(123_456.789) == 123_456.789
+
+    def test_periodic_rounds_down_to_flush_boundary(self):
+        periodic = MetadataPersistenceConfig(
+            policy=MetadataPersistencePolicy.PERIODIC_WRITEBACK,
+            writeback_interval_ns=10_000.0,
+        )
+        assert periodic.durable_horizon_ns(0.0) == 0.0
+        assert periodic.durable_horizon_ns(9_999.9) == 0.0
+        assert periodic.durable_horizon_ns(10_000.0) == 10_000.0
+        assert periodic.durable_horizon_ns(29_000.0) == 20_000.0
+
+    def test_horizon_never_exceeds_crash_instant(self):
+        periodic = MetadataPersistenceConfig(
+            policy=MetadataPersistencePolicy.PERIODIC_WRITEBACK,
+            writeback_interval_ns=7.0,
+        )
+        for crash_ns in (0.0, 3.5, 7.0, 700.1, 1e12):
+            horizon = periodic.durable_horizon_ns(crash_ns)
+            # Never in the future, never more than one interval behind.
+            assert 0.0 <= crash_ns - horizon < 7.0
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataPersistenceConfig().durable_horizon_ns(-1.0)
+
 
 class TestWriteThrough:
     def test_no_dirty_state_ever(self):

@@ -1,0 +1,207 @@
+"""Fault campaigns through the experiment engine, and the faults CLI verb."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.campaign import (
+    DEFAULT_POINTS,
+    DEFAULT_POLICIES,
+    PERSISTENCE_AWARE_CONTROLLERS,
+    campaign_specs,
+    crash_recovery_spec,
+    run_crash_recovery_job,
+    vulnerability_table,
+)
+from repro.faults.plan import FaultPlan
+from repro.runner.jobs import canonical_json, execute_job
+
+
+def spec(**overrides):
+    params = dict(
+        workload="lbm",
+        controller="dewrite",
+        accesses=300,
+        seed=1,
+        plan=FaultPlan(power_loss_at_access=150),
+        policy="battery_backed",
+        interval_ns=100_000.0,
+    )
+    params.update(overrides)
+    return crash_recovery_spec(**params)
+
+
+class TestSpecs:
+    def test_identity_is_content_keyed(self):
+        assert spec().identity == spec().identity
+        assert spec().identity != spec(seed=2).identity
+        assert spec().kind == "crash-recovery"
+
+    def test_bad_policy_fails_at_spec_build_time(self):
+        with pytest.raises(ValueError):
+            spec(policy="prayer")
+
+    def test_bad_interval_fails_at_spec_build_time(self):
+        with pytest.raises(ValueError):
+            spec(policy="periodic_writeback", interval_ns=0.0)
+
+    def test_grid_size(self):
+        specs = campaign_specs(
+            workload="lbm",
+            accesses=300,
+            seed=1,
+            controllers=("dewrite", "secure-nvm"),
+        )
+        assert len(specs) == 2 * len(DEFAULT_POLICIES) * len(DEFAULT_POINTS)
+
+    def test_persistence_plumbed_only_to_aware_controllers(self):
+        specs = campaign_specs(
+            workload="lbm",
+            accesses=300,
+            seed=1,
+            controllers=("dewrite", "secure-nvm"),
+            points=(0.5,),
+        )
+        for job in specs:
+            params = job.params
+            if params["controller"] in PERSISTENCE_AWARE_CONTROLLERS:
+                assert params["opts"]["persistence"]["policy"] == params["policy"]
+            else:
+                assert "persistence" not in params["opts"]
+
+    def test_crash_point_must_be_a_trace_fraction(self):
+        for point in (0.0, -0.5, 1.1):
+            with pytest.raises(ValueError):
+                campaign_specs(
+                    workload="lbm", accesses=300, seed=1,
+                    controllers=("dewrite",), points=(point,),
+                )
+
+    def test_point_maps_to_access_ordinal(self):
+        [job] = campaign_specs(
+            workload="lbm", accesses=300, seed=1,
+            controllers=("dewrite",), policies=("battery_backed",), points=(0.5,),
+        )
+        assert job.params["plan"]["power_loss_at_access"] == 150
+
+
+class TestExecution:
+    def test_job_kind_runs_end_to_end(self):
+        payload = execute_job(spec())
+        assert payload["simulations"] == 1
+        scenario = payload["scenario"]
+        report = scenario["report"]
+        assert report["intact"] + report["stale"] + report["lost"] == report["total_lines"]
+        assert scenario["policy"] == "battery_backed"
+        assert report["lost"] == 0  # battery-backed loses nothing
+
+    def test_direct_executor_matches_engine_dispatch(self):
+        job = spec()
+        assert run_crash_recovery_job(job.params) == execute_job(job)
+
+    def test_serial_and_parallel_runs_are_byte_identical(self):
+        from repro.runner import provider
+        from repro.runner.engine import run_jobs
+
+        jobs = campaign_specs(
+            workload="lbm", accesses=300, seed=1,
+            controllers=("dewrite",),
+            policies=("battery_backed", "periodic_writeback"),
+            points=(0.5,),
+            cell_faults=1,
+            drop_probability=0.2,
+        )
+        serial = [canonical_json(execute_job(job)) for job in jobs]
+        report = run_jobs(jobs, parallel=2)
+        assert report.ok
+        parallel = [canonical_json(provider.active().get(job)) for job in jobs]
+        assert serial == parallel
+
+
+class TestVulnerabilityTable:
+    @staticmethod
+    def scenario(policy: str, intact: int, stale: int, lost: int):
+        return {
+            "policy": policy,
+            "report": {
+                "total_lines": intact + stale + lost,
+                "intact": intact,
+                "stale": stale,
+                "lost": lost,
+            },
+            "recovery": {
+                "lost_counter_lines": list(range(lost)),
+                "recovery_time_ns": 1_000.0,
+            },
+        }
+
+    def test_rows_aggregate_crash_points(self):
+        entries = [
+            ("dewrite", self.scenario("periodic_writeback", 90, 4, 6)),
+            ("dewrite", self.scenario("periodic_writeback", 80, 10, 10)),
+            ("dewrite", self.scenario("battery_backed", 100, 0, 0)),
+        ]
+        rendered = vulnerability_table(entries, 100_000.0).render()
+        rows = [
+            line for line in rendered.splitlines()
+            if "dewrite" in line and not line.startswith("note:")
+        ]
+        assert len(rows) == 2  # one row per (controller, policy)
+        [periodic] = [line for line in rows if "periodic_writeback" in line]
+        fields = periodic.split()
+        assert "200" in fields  # lines: 2 points x 100
+        assert "16" in fields  # lost: 6 + 10
+
+    def test_window_column_and_footnotes(self):
+        entries = [("dewrite", self.scenario("periodic_writeback", 10, 0, 0))]
+        rendered = vulnerability_table(entries, 50_000.0).render()
+        assert "50,000" in rendered
+        assert "worst-case age" in rendered
+        assert "crash-model assumption" in rendered
+
+
+class TestCli:
+    def test_faults_verb_renders_table_and_manifest(self, tmp_path, capsys):
+        from repro.__main__ import main
+        from repro.obs.manifest import load_manifest
+
+        manifest_path = tmp_path / "manifest.json"
+        json_path = tmp_path / "scenarios.json"
+        code = main([
+            "faults", "system",
+            "--apps", "lbm",
+            "--accesses", "300",
+            "--controllers", "dewrite",
+            "--policies", "battery_backed,periodic_writeback",
+            "--points", "0.5",
+            "--no-cache",
+            "--json", str(json_path),
+            "--manifest", str(manifest_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Crash vulnerability windows" in out
+
+        payload = load_manifest(manifest_path)  # validates schema 2
+        faults = payload["faults"]
+        assert faults["interval_ns"] == 100_000.0
+        assert len(faults["scenarios"]) == 2
+        policies = {s["policy"] for s in faults["scenarios"]}
+        assert policies == {"battery_backed", "periodic_writeback"}
+
+        scenarios = json.loads(json_path.read_text(encoding="utf-8"))
+        assert len(scenarios) == 2
+        assert all(s["controller"] == "dewrite" for s in scenarios)
+
+    def test_unknown_policy_is_a_clean_cli_error(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "faults", "system", "--apps", "lbm", "--accesses", "300",
+            "--controllers", "dewrite", "--policies", "prayer",
+            "--no-cache",
+        ])
+        assert code == 2
+        assert "prayer" in capsys.readouterr().err

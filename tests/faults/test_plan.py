@@ -1,0 +1,73 @@
+"""FaultPlan: validation and serialisation round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import CELL_FAULT_MODES, FaultPlan
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        plan = FaultPlan()
+        assert plan.seed == 1
+        assert plan.power_loss_ns is None
+        assert plan.power_loss_at_access is None
+        assert plan.cell_faults == 0
+
+    def test_negative_power_loss_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(power_loss_ns=-1.0)
+
+    def test_zero_access_ordinal_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(power_loss_at_access=0)
+
+    def test_negative_cell_faults_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(cell_faults=-1)
+
+    def test_unknown_cell_fault_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(cell_fault_mode="cosmic_ray")
+
+    def test_zero_fault_bits_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(cell_fault_bits=0)
+
+    def test_drop_probability_range_enforced(self):
+        with pytest.raises(ValueError):
+            FaultPlan(flush_drop_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(flush_drop_probability=-0.1)
+
+    def test_all_modes_accepted(self):
+        for mode in CELL_FAULT_MODES:
+            assert FaultPlan(cell_fault_mode=mode).cell_fault_mode == mode
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        plan = FaultPlan(
+            seed=7,
+            power_loss_at_access=1234,
+            cell_faults=3,
+            cell_fault_mode="stuck_at_one",
+            cell_fault_bits=2,
+            flush_drop_probability=0.25,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_time_trigger_round_trip(self):
+        plan = FaultPlan(power_loss_ns=50_000.0)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.power_loss_ns == 50_000.0
+        assert clone.power_loss_at_access is None
+
+    def test_from_dict_fills_defaults(self):
+        plan = FaultPlan.from_dict({"seed": 3})
+        assert plan == FaultPlan(seed=3)
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict({"seed": 1, "cell_fault_mode": "bogus"})

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.obs.diff import (
+    diff_faults,
     diff_figure_dirs,
     diff_manifests,
     diff_stages,
@@ -127,6 +128,75 @@ class TestTimelineDiff:
         )
         assert diff.deterministic_drift
         assert diff.timeline_drifts
+
+
+class TestFaultsDiff:
+    def _section(self, lost: int = 0, crash_access: int = 400) -> dict:
+        return {
+            "interval_ns": 100_000.0,
+            "scenarios": [{
+                "workload": "lbm",
+                "controller": "dewrite",
+                "policy": "periodic_writeback",
+                "crash_access": crash_access,
+                "crash_ns": 5_000.0,
+                "report": {
+                    "total_lines": 100, "intact": 100 - lost,
+                    "stale": 0, "lost": lost,
+                },
+            }],
+        }
+
+    def test_equal_sections_clean(self):
+        notes, compared = diff_faults(self._section(), self._section())
+        assert notes == []
+        assert compared == 1
+
+    def test_diverging_scenario_names_fields(self):
+        notes, compared = diff_faults(self._section(lost=0), self._section(lost=3))
+        assert compared == 1
+        assert len(notes) == 1
+        assert "lbm/dewrite/periodic_writeback/400" in notes[0]
+        assert "report" in notes[0]
+
+    def test_unmatched_scenarios_noted(self):
+        notes, compared = diff_faults(
+            self._section(crash_access=400), self._section(crash_access=800)
+        )
+        assert compared == 0
+        assert any("only in a" in note for note in notes)
+        assert any("only in b" in note for note in notes)
+
+    def test_one_sided_section_noted(self):
+        notes, compared = diff_faults(self._section(), None)
+        assert compared == 0
+        assert "only in manifest a" in notes[0]
+        assert diff_faults(None, None) == ([], 0)
+
+    def test_interval_mismatch_short_circuits(self):
+        other = self._section()
+        other["interval_ns"] = 50_000.0
+        notes, compared = diff_faults(self._section(), other)
+        assert compared == 0
+        assert "writeback intervals differ" in notes[0]
+
+    def test_manifest_faults_drift_gates(self):
+        diff = diff_manifests(
+            make_manifest(faults=self._section(lost=0)),
+            make_manifest(faults=self._section(lost=3)),
+        )
+        assert diff.deterministic_drift
+        assert diff.faults_drifts
+        assert "fault-scenario divergence" in diff.render()
+
+    def test_equal_faults_sections_report_compared_count(self):
+        diff = diff_manifests(
+            make_manifest(faults=self._section()),
+            make_manifest(faults=self._section()),
+        )
+        assert not diff.deterministic_drift
+        assert diff.faults_scenarios_compared == 1
+        assert "1 fault scenarios" in diff.render()
 
 
 class TestStagePercentiles:

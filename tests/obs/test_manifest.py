@@ -99,6 +99,100 @@ class TestValidateManifest:
         payload = minimal_manifest(failures=[{"label": "x"}])
         assert any("failures[0]" in p for p in validate_manifest(payload))
 
+    def test_schema_version_1_still_accepted(self):
+        # Schema 2 was purely additive (optional faults section), so old
+        # manifests must keep validating and diffing.
+        assert validate_manifest(minimal_manifest(schema=1)) == []
+
+
+def faults_scenario(**overrides):
+    scenario = {
+        "workload": "lbm",
+        "controller": "dewrite",
+        "policy": "periodic_writeback",
+        "crash_access": 400,
+        "crash_ns": 123_456.0,
+        "horizon_ns": 100_000.0,
+        "durable_events": 90,
+        "dropped_events": 0,
+        "lost_counter_lines": 2,
+        "broken_references": 1,
+        "recovery_time_ns": 5_000.0,
+        "report": {"total_lines": 100, "intact": 95, "stale": 2, "lost": 3},
+    }
+    scenario.update(overrides)
+    return scenario
+
+
+class TestFaultsSection:
+    def test_manifest_with_faults_section_valid(self):
+        payload = minimal_manifest(
+            faults={"interval_ns": 100_000.0, "scenarios": [faults_scenario()]}
+        )
+        assert validate_manifest(payload) == []
+
+    def test_build_manifest_embeds_faults(self):
+        payload = build_manifest(
+            figures=["system"],
+            settings={"accesses": 10, "seed": 1, "applications": ["lbm"]},
+            options={},
+            jobs=[],
+            cache={"planned": 0, "unique": 0, "disk_hits": 0, "executed": 0,
+                   "simulations": 0, "retries": 0},
+            failures=[],
+            elapsed_s=0.1,
+            faults={"interval_ns": 1.0, "scenarios": []},
+        )
+        assert payload["faults"] == {"interval_ns": 1.0, "scenarios": []}
+        assert validate_manifest(payload) == []
+
+    def test_faults_must_be_object(self):
+        problems = validate_manifest(minimal_manifest(faults=[1, 2]))
+        assert any("'faults' must be an object" in p for p in problems)
+
+    def test_missing_interval_and_scenarios_reported(self):
+        problems = validate_manifest(minimal_manifest(faults={}))
+        assert any("faults.interval_ns" in p for p in problems)
+        assert any("faults.scenarios" in p for p in problems)
+
+    def test_scenario_without_strings_reported(self):
+        problems = validate_manifest(minimal_manifest(faults={
+            "interval_ns": 1.0,
+            "scenarios": [faults_scenario(controller=7)],
+        }))
+        assert any("scenarios[0].controller" in p for p in problems)
+
+    def test_broken_verdict_partition_reported(self):
+        # intact + stale + lost must equal total_lines — the audit's core
+        # invariant is enforced at the manifest layer too.
+        problems = validate_manifest(minimal_manifest(faults={
+            "interval_ns": 1.0,
+            "scenarios": [faults_scenario(
+                report={"total_lines": 100, "intact": 95, "stale": 2, "lost": 4}
+            )],
+        }))
+        assert any("do not partition" in p for p in problems)
+
+    def test_summary_totals_verdicts(self):
+        from repro.obs.manifest import summarize_manifest
+
+        payload = minimal_manifest(faults={
+            "interval_ns": 50.0,
+            "scenarios": [
+                faults_scenario(),
+                faults_scenario(
+                    policy="battery_backed",
+                    report={"total_lines": 10, "intact": 10, "stale": 0, "lost": 0},
+                ),
+            ],
+        })
+        summary = summarize_manifest(payload)
+        assert summary["valid"]
+        assert summary["faults"] == {
+            "interval_ns": 50.0, "scenarios": 2,
+            "intact": 105, "stale": 2, "lost": 3,
+        }
+
 
 class TestWriteLoadRoundTrip:
     def test_round_trip(self, tmp_path):
