@@ -355,7 +355,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="relative tolerance per cell (default 5 %%)")
 
     check = sub.add_parser(
-        "check", help="simulator lint (SIM001-SIM007) and runtime invariant checks"
+        "check", help="simulator lint (SIM001-SIM104) and runtime invariant checks"
     )
     check.add_argument(
         "paths", nargs="*",
@@ -372,6 +372,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trace length for the invariant pass (default 4000)",
     )
     check.add_argument("--seed", type=int, default=1)
+    check.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="print the lint report as JSON instead of text",
+    )
+    check.add_argument(
+        "--sarif", default="", metavar="PATH",
+        help="also write the lint report as SARIF 2.1.0 to PATH",
+    )
+    check.add_argument(
+        "--baseline", default="", metavar="PATH",
+        help="suppress findings recorded in this baseline file "
+             "(default: nearest simlint-baseline.json above the first target)",
+    )
+    check.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file and report every finding",
+    )
+    check.add_argument(
+        "--write-baseline", default="", metavar="PATH",
+        help="record the current findings as the new baseline and exit 0",
+    )
 
     sub.add_parser("list", help="list figure ids, applications and controllers")
     return parser
@@ -1093,21 +1114,46 @@ def _run_check(args: argparse.Namespace) -> int:
     do_invariants = args.invariants or not args.lint
     exit_code = 0
     if do_lint:
-        exit_code |= _run_check_lint(args.paths)
+        exit_code |= _run_check_lint(args)
     if do_invariants:
         exit_code |= _run_check_invariants(args.accesses, args.seed)
     return exit_code
 
 
-def _run_check_lint(paths: list[str]) -> int:
+def _run_check_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     import repro
+    from repro.check.baseline import Baseline, discover_baseline
     from repro.check.lint import lint_paths
+    from repro.check.output import render_json, render_sarif
 
-    targets = paths if paths else [str(Path(repro.__file__).parent)]
-    report = lint_paths(targets)
-    print(report.render())
+    targets = args.paths if args.paths else [str(Path(repro.__file__).parent)]
+
+    if args.write_baseline:
+        report = lint_paths(targets)
+        Baseline.from_violations(report.violations).dump(args.write_baseline)
+        print(
+            f"simlint: wrote baseline with {len(report.violations)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    baseline = None
+    if args.baseline:
+        baseline = Baseline.load(args.baseline)
+    elif not args.no_baseline:
+        found = discover_baseline(Path(targets[0]))
+        if found is not None:
+            baseline = Baseline.load(found)
+
+    report = lint_paths(targets, baseline=baseline)
+    if args.sarif:
+        Path(args.sarif).write_text(render_sarif(report) + "\n", encoding="utf-8")
+    if args.json_output:
+        print(render_json(report))
+    else:
+        print(report.render())
     return 0 if report.clean else 1
 
 

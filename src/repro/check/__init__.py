@@ -3,11 +3,19 @@
 Two halves, both exposed through ``python -m repro check``:
 
 - **Static pass** (:mod:`repro.check.lint`): an AST-based lint engine with
-  repo-specific rules (SIM001–SIM005) that catch the bug classes a
-  deterministic architecture simulator cannot tolerate — unseeded
-  randomness, wall-clock/filesystem leakage into the timing core, float
-  equality on accumulators, undeclared/unreset statistics fields, and
-  ``assert``-based invariants that vanish under ``python -O``.
+  repo-specific rules that catch the bug classes a deterministic
+  architecture simulator cannot tolerate.  Per-file rules (SIM001–SIM007)
+  cover unseeded randomness, wall-clock/filesystem leakage into the
+  timing core, float equality on accumulators, undeclared/unreset
+  statistics fields, ``assert``-based invariants that vanish under
+  ``python -O``, stray prints and swallowed exceptions.  Whole-program
+  rules (SIM101–SIM104) read a shared :class:`~repro.check.index.ProjectIndex`
+  to follow determinism taint through the call graph, enforce the
+  unit-suffix discipline across module boundaries, require
+  ``to_dict``/``from_dict`` round-trip parity, and keep the controller /
+  fault-adapter / experiment registries coherent.  Known findings ratchet
+  via :mod:`repro.check.baseline`; CI consumes the JSON/SARIF shapes in
+  :mod:`repro.check.output`.
 
 - **Dynamic pass** (:mod:`repro.check.invariants`): a
   :class:`~repro.check.invariants.CheckedController` that shadows any
@@ -21,16 +29,25 @@ Two halves, both exposed through ``python -m repro check``:
 See docs/architecture.md ("Correctness tooling") for how to add a rule.
 """
 
+from repro.check.baseline import Baseline, discover_baseline
+from repro.check.index import ProjectIndex
 from repro.check.invariants import CheckedController, InvariantViolation
 from repro.check.lint import LintReport, lint_paths, lint_source
-from repro.check.rules import ALL_RULES, Rule, Violation
+from repro.check.output import report_to_json, report_to_sarif
+from repro.check.rules import ALL_RULES, ProjectRule, Rule, Violation
 
 __all__ = [
+    "Baseline",
     "CheckedController",
     "InvariantViolation",
     "LintReport",
+    "ProjectIndex",
+    "ProjectRule",
+    "discover_baseline",
     "lint_paths",
     "lint_source",
+    "report_to_json",
+    "report_to_sarif",
     "ALL_RULES",
     "Rule",
     "Violation",

@@ -1,0 +1,154 @@
+"""Baseline suppression: adopt simlint on a codebase with known findings.
+
+A new whole-program rule lands with pre-existing hits that are real debt
+but not *this* change's debt.  Rather than block every PR on paying it
+down (or worse, weaken the rule), the engine supports ratcheting: a
+checked-in ``simlint-baseline.json`` records the accepted findings as
+stable fingerprints, the gate fails only on findings *not* in the
+baseline, and shrinking the file is the only way it ever changes.
+
+Fingerprints are deliberately line-number-free — ``rule id | normalized
+path | message`` hashed — so an unrelated edit shifting a finding ten
+lines down does not resurrect it, while changing the finding's substance
+(different message, moved file) correctly surfaces it as new.  Paths are
+normalized from the last ``repro`` component (``src/repro/core/x.py`` →
+``repro/core/x.py``) so fingerprints survive checkout-location changes.
+Duplicate findings are budgeted: a fingerprint with ``count: 2`` absorbs
+at most two matching violations, so *adding* a third identical instance
+still fails the gate.
+
+:func:`discover_baseline` walks upward from the first lint target so a
+bare ``python -m repro check src/repro`` picks up the repo's committed
+baseline without flags; ``--no-baseline`` shows the unsuppressed truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+
+from repro.check.rules import Violation
+
+#: On-disk schema tag; bump on incompatible layout changes.
+BASELINE_SCHEMA = "repro.simlint.baseline/v1"
+
+#: Conventional file name ``discover_baseline`` searches for.
+BASELINE_FILENAME = "simlint-baseline.json"
+
+
+def normalize_path(path: str) -> str:
+    """Checkout-independent form of a lint path.
+
+    Keeps everything from the last ``repro`` path component on
+    (``/home/ci/src/repro/core/x.py`` → ``repro/core/x.py``); paths not
+    under a ``repro`` tree fall back to their file name.
+    """
+    parts = PurePath(path).parts
+    for position in range(len(parts) - 1, -1, -1):
+        if parts[position] == "repro":
+            return "/".join(parts[position:])
+    return parts[-1] if parts else path
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable identity of a finding: rule + normalized path + message."""
+    text = f"{violation.rule_id}|{normalize_path(violation.path)}|{violation.message}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed by fingerprint with an occurrence budget."""
+
+    #: fingerprint → accepted occurrence count.
+    counts: dict[str, int] = field(default_factory=dict)
+    #: fingerprint → human-readable context (rule, path, message).
+    notes: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_violations(cls, violations: tuple[Violation, ...] | list[Violation]) -> "Baseline":
+        """Baseline accepting exactly the given findings."""
+        baseline = cls()
+        for violation in violations:
+            key = fingerprint(violation)
+            baseline.counts[key] = baseline.counts.get(key, 0) + 1
+            baseline.notes.setdefault(
+                key,
+                {
+                    "rule": violation.rule_id,
+                    "path": normalize_path(violation.path),
+                    "message": violation.message,
+                },
+            )
+        return baseline
+
+    def filter(
+        self, violations: list[Violation]
+    ) -> tuple[list[Violation], int]:
+        """Split findings into (new, suppressed-count) against the budget."""
+        budget = dict(self.counts)
+        kept: list[Violation] = []
+        suppressed = 0
+        for violation in violations:
+            key = fingerprint(violation)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                suppressed += 1
+            else:
+                kept.append(violation)
+        return kept, suppressed
+
+    # -- persistence --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        entries = {
+            key: {"count": self.counts[key], **self.notes.get(key, {})}
+            for key in sorted(self.counts)
+        }
+        return {
+            "schema": BASELINE_SCHEMA,
+            "total": sum(self.counts.values()),
+            "entries": entries,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Baseline":
+        schema = payload.get("schema")
+        if schema != BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported baseline schema {schema!r} (expected {BASELINE_SCHEMA})"
+            )
+        baseline = cls()
+        for key, entry in payload.get("entries", {}).items():
+            baseline.counts[key] = int(entry.get("count", 1))
+            baseline.notes[key] = {
+                name: str(entry[name])
+                for name in ("rule", "path", "message")
+                if name in entry
+            }
+        return baseline
+
+    def dump(self, path: Path | str) -> None:
+        """Write the baseline as deterministic, diff-friendly JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def discover_baseline(start: Path | str) -> Path | None:
+    """Nearest ``simlint-baseline.json`` at or above ``start``."""
+    origin = Path(start).resolve()
+    if origin.is_file():
+        origin = origin.parent
+    for directory in (origin, *origin.parents):
+        candidate = directory / BASELINE_FILENAME
+        if candidate.is_file():
+            return candidate
+    return None

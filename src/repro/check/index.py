@@ -1,0 +1,350 @@
+"""Whole-program index over the lint targets: the substrate of SIM101+.
+
+The per-file rules (SIM001–SIM007) each inspect one parsed module, which
+is exactly why they cannot see the invariants the repo's headline claims
+rest on: determinism taint crossing module boundaries, ``to_dict``/
+``from_dict`` pairs split across a class, or a controller registered in
+:mod:`repro.core.registry` that no :mod:`repro.faults` adapter covers.
+The :class:`ProjectIndex` parses every lint target **once** and exposes
+the cross-module facts all whole-program rules share:
+
+- a **symbol table**: every module, class and function keyed by dotted
+  qualname (``repro.core.stats.DeWriteStats.to_dict``);
+- an **import graph**: per-module alias → qualname maps covering
+  ``import x``, ``import x as y``, ``from x import y [as z]`` and
+  relative imports, collected from the whole module including
+  function-local imports (the registry's lazy-import idiom);
+- an approximate **call graph**: per-function resolved callee qualnames
+  plus, for ``<expr>.meth(...)`` calls whose receiver type is unknown,
+  a name-based method edge (class-hierarchy-analysis style
+  over-approximation);
+- a **class hierarchy**: base names resolved through the import maps so
+  rules can walk ancestors (``OutOfLinePageDedupController`` →
+  ``TraditionalSecureNvmController`` → ``MemoryController``).
+
+Module names are derived structurally: from the nearest enclosing
+package root (directories carrying ``__init__.py``), so linting
+``src/repro`` yields canonical ``repro.*`` names while a fixture tree of
+loose modules indexes under their file stems.  The index never imports
+the code it describes — everything is AST-derived, so a broken module
+degrades to "absent from the index", not a crash.
+
+Construction is a single pass per file and is shared by every project
+rule through :class:`repro.check.lint.LintContext`, keeping the full
+``python -m repro check src/repro`` run well inside its latency budget.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body.
+
+    ``callee`` is the resolved dotted qualname when resolution succeeded
+    (a local function, an imported symbol, or a dotted chain through a
+    module alias); ``method`` is the bare attribute name of an
+    unresolvable ``<expr>.meth(...)`` call.  Exactly one of the two is
+    non-empty.
+    """
+
+    callee: str
+    method: str
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function or method."""
+
+    qualname: str
+    module: str
+    name: str
+    cls: str | None
+    path: Path
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: tuple[str, ...]
+    calls: tuple[CallSite, ...] = ()
+
+    @property
+    def is_method(self) -> bool:
+        """Whether the function is defined inside a class body."""
+        return self.cls is not None
+
+
+@dataclass
+class ClassInfo:
+    """One indexed class."""
+
+    qualname: str
+    module: str
+    name: str
+    path: Path
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Names bound to constants at class-body level (``kind = "counter"``):
+    #: type metadata, not instance state — reconstruction restores them.
+    class_constants: frozenset[str] = frozenset()
+
+
+@dataclass
+class ModuleInfo:
+    """One indexed module."""
+
+    name: str
+    path: Path
+    tree: ast.Module
+    #: local name → dotted qualname for every import binding in the file.
+    aliases: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+
+class ProjectIndex:
+    """Symbol table + import graph + approximate call graph of one lint run."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self._methods_by_name: dict[str, list[FunctionInfo]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: list[tuple[Path, ast.Module]]) -> "ProjectIndex":
+        """Index every ``(path, parsed tree)`` pair in one pass."""
+        index = cls()
+        for path, tree in sorted(files, key=lambda item: str(item[0])):
+            index._add_module(path, tree)
+        for function in index.functions.values():
+            module = index.modules[function.module]
+            function.calls = tuple(index._collect_calls(function, module))
+        return index
+
+    def _add_module(self, path: Path, tree: ast.Module) -> None:
+        name = module_name_for(path)
+        if name in self.modules:  # same module reached via two targets
+            return
+        module = ModuleInfo(name=name, path=path, tree=tree)
+        module.aliases = _collect_aliases(tree, name)
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, cls=None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(module, node)
+        self.modules[name] = module
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        constants = {
+            target.id
+            for item in node.body
+            if isinstance(item, ast.Assign) and isinstance(item.value, ast.Constant)
+            for target in item.targets
+            if isinstance(target, ast.Name)
+        }
+        info = ClassInfo(
+            qualname=qualname,
+            module=module.name,
+            name=node.name,
+            path=module.path,
+            node=node,
+            bases=tuple(
+                base
+                for base in (_dotted_name(expr) for expr in node.bases)
+                if base is not None
+            ),
+            class_constants=frozenset(constants),
+        )
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                function = self._add_function(module, item, cls=node.name)
+                info.methods[item.name] = function
+        module.classes[node.name] = info
+        self.classes[qualname] = info
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: str | None,
+    ) -> FunctionInfo:
+        owner = f"{module.name}.{cls}" if cls else module.name
+        params = [arg.arg for arg in node.args.posonlyargs + node.args.args]
+        if cls is not None and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        info = FunctionInfo(
+            qualname=f"{owner}.{node.name}",
+            module=module.name,
+            name=node.name,
+            cls=cls,
+            path=module.path,
+            node=node,
+            params=tuple(params),
+        )
+        self.functions[info.qualname] = info
+        if cls is not None:
+            self._methods_by_name.setdefault(node.name, []).append(info)
+        else:
+            module.functions[node.name] = info
+        return info
+
+    def _collect_calls(
+        self, function: FunctionInfo, module: ModuleInfo
+    ) -> list[CallSite]:
+        sites: list[CallSite] = []
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self.resolve_call(node, module)
+            if callee is not None:
+                sites.append(CallSite(callee, "", node.lineno, node.col_offset))
+            elif isinstance(node.func, ast.Attribute):
+                sites.append(
+                    CallSite("", node.func.attr, node.lineno, node.col_offset)
+                )
+        return sites
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve_call(self, call: ast.Call, module: ModuleInfo) -> str | None:
+        """Dotted qualname of a call target, or ``None`` when unknown.
+
+        Resolution covers local names, imported symbols and dotted chains
+        whose head is an imported module/symbol (``ex.comparison_jobs``,
+        ``datetime.now`` via ``from datetime import datetime``).  The
+        returned qualname is *syntactic*: it may name something outside
+        the index (``time.perf_counter``), which is precisely what the
+        determinism rules need.
+        """
+        dotted = _dotted_name(call.func)
+        if dotted is None:
+            return None
+        return self.resolve_name(dotted, module)
+
+    def resolve_name(self, dotted: str, module: ModuleInfo) -> str | None:
+        """Resolve a dotted name against a module's bindings and imports."""
+        head, _, rest = dotted.partition(".")
+        target: str | None = None
+        if head in module.functions and not rest:
+            target = module.functions[head].qualname
+        elif head in module.classes:
+            target = module.classes[head].qualname
+        elif head in module.aliases:
+            target = module.aliases[head]
+        elif head in module.functions:
+            target = f"{module.name}.{head}"
+        else:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    def methods_named(self, name: str) -> list[FunctionInfo]:
+        """Every indexed method with the given bare name (CHA edge set)."""
+        return list(self._methods_by_name.get(name, ()))
+
+    def class_of(self, dotted: str, module: ModuleInfo) -> ClassInfo | None:
+        """The indexed class a dotted name refers to from ``module``."""
+        resolved = self.resolve_name(dotted, module)
+        if resolved is None:
+            return self.classes.get(dotted)
+        return self.classes.get(resolved) or self.classes.get(dotted)
+
+    def ancestors(self, info: ClassInfo) -> list[ClassInfo]:
+        """All indexed ancestors of a class, nearest first, cycle-safe."""
+        result: list[ClassInfo] = []
+        seen = {info.qualname}
+        frontier = [info]
+        while frontier:
+            current = frontier.pop(0)
+            module = self.modules.get(current.module)
+            for base in current.bases:
+                base_info = (
+                    self.class_of(base, module) if module is not None else None
+                )
+                if base_info is None or base_info.qualname in seen:
+                    continue
+                seen.add(base_info.qualname)
+                result.append(base_info)
+                frontier.append(base_info)
+        return result
+
+    def method_resolution(self, info: ClassInfo, name: str) -> FunctionInfo | None:
+        """The method ``name`` on ``info`` or its nearest indexed ancestor."""
+        if name in info.methods:
+            return info.methods[name]
+        for ancestor in self.ancestors(info):
+            if name in ancestor.methods:
+                return ancestor.methods[name]
+        return None
+
+
+def module_name_for(path: Path) -> str:
+    """Canonical dotted module name of a source file.
+
+    Walks up from the file through directories that carry ``__init__.py``
+    (the structural definition of a package), so ``src/repro/core/stats.py``
+    names ``repro.core.stats`` regardless of the lint invocation's working
+    directory, and a loose fixture module names its stem.
+    """
+    resolved = path.resolve()
+    parts = [resolved.stem] if resolved.stem != "__init__" else []
+    parent = resolved.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else resolved.stem
+
+
+def _collect_aliases(tree: ast.Module, module_name: str) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.asname:
+                    aliases[item.asname] = item.name
+                else:
+                    # ``import a.b.c`` binds ``a``; dotted uses resolve
+                    # through the bound head.
+                    aliases.setdefault(item.name.split(".")[0], item.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            base = _absolute_import_base(node, module_name)
+            if base is None:
+                continue
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = (
+                    f"{base}.{item.name}" if base else item.name
+                )
+    return aliases
+
+
+def _absolute_import_base(node: ast.ImportFrom, module_name: str) -> str | None:
+    if node.level == 0:
+        return node.module or ""
+    package_parts = module_name.split(".")[: -node.level]
+    if node.module:
+        package_parts.append(node.module)
+    if not package_parts:
+        return None
+    return ".".join(package_parts)
+
+
+def _dotted_name(expr: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))

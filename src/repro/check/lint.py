@@ -3,16 +3,24 @@
 The engine is deliberately small — rules (:mod:`repro.check.rules`) do the
 AST work; the engine owns everything shared:
 
-- **discovery**: walk files/directories, lint every ``*.py``;
-- **context**: a repo-wide pre-scan (currently the ``*Stats`` dataclass
-  registry SIM004 consumes) shared by all rules;
+- **discovery**: walk files/directories, lint every ``*.py``, in one
+  deterministic order (paths sorted globally, not just per directory);
+- **context**: repo-wide facts shared by all rules — the ``*Stats``
+  dataclass registry SIM004 consumes, and the
+  :class:`~repro.check.index.ProjectIndex` (symbol table, import graph,
+  approximate call graph) the whole-program rules SIM101+ read;
 - **suppression**: a per-line ``# simlint: disable=SIM001,SIM004`` (or the
   blanket ``# simlint: disable``) comment silences matching rules on that
-  line;
+  line — including whole-program rule findings anchored on that line;
+- **baselining**: an optional :class:`~repro.check.baseline.Baseline`
+  absorbs known findings by fingerprint so the gate fails only on *new*
+  violations (the adoption ratchet for cross-module rules);
 - **reporting**: stable ``path:line:col: SIMxxx message [fix: ...]`` lines
-  and a process exit code.
+  sorted by ``(path, line, col, rule, message)`` and a process exit code;
+  machine shapes live in :mod:`repro.check.output`.
 
-Entry points: :func:`lint_paths` (CLI / CI), :func:`lint_source` (tests).
+Entry points: :func:`lint_paths` (CLI / CI), :func:`lint_source` (tests;
+builds a single-file project index so SIM101+ still run).
 """
 
 from __future__ import annotations
@@ -23,7 +31,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.check.rules import ALL_RULES, Rule, Violation
+from repro.check.baseline import Baseline
+from repro.check.index import ProjectIndex
+from repro.check.rules import ALL_RULES, ProjectRule, Rule, Violation
 from repro.check.rules.sim004_stats_fields import collect_stats_declarations
 
 _DISABLE_PATTERN = re.compile(r"#\s*simlint:\s*disable(?:=(?P<rules>[A-Z0-9,\s]+))?")
@@ -35,6 +45,9 @@ class LintContext:
 
     stats_declared_fields: set[str] = field(default_factory=set)
     stats_reset_fields: set[str] = field(default_factory=set)
+    #: Whole-program index over every lint target; built once per run by
+    #: the engine and read by every :class:`ProjectRule`.
+    project: ProjectIndex | None = None
 
     def absorb_stats(self, tree: ast.Module) -> None:
         """Merge one module's ``*Stats`` dataclass declarations."""
@@ -69,19 +82,24 @@ class LintReport:
     violations: tuple[Violation, ...]
     files_checked: int
     rules_run: int
+    #: Findings absorbed by the baseline (known debt, not new failures).
+    baseline_suppressed: int = 0
 
     @property
     def clean(self) -> bool:
-        """Whether no violation survived suppression."""
+        """Whether no violation survived suppression and baselining."""
         return not self.violations
 
     def render(self) -> str:
         """Full human-readable report."""
         lines = [violation.render() for violation in self.violations]
-        lines.append(
+        summary = (
             f"simlint: {len(self.violations)} violation(s) in "
             f"{self.files_checked} file(s) ({self.rules_run} rules)"
         )
+        if self.baseline_suppressed:
+            summary += f", {self.baseline_suppressed} baseline-suppressed"
+        lines.append(summary)
         return "\n".join(lines)
 
 
@@ -111,15 +129,32 @@ def _suppressed(violation: Violation, suppressions: dict[int, set[str] | None]) 
     return rules is None or violation.rule_id in rules
 
 
+def _split_rules(rules: Sequence[Rule]) -> tuple[list[Rule], list[ProjectRule]]:
+    file_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    return file_rules, project_rules
+
+
+_SORT_KEY = lambda v: (v.path, v.line, v.col, v.rule_id, v.message)  # noqa: E731
+
+
 def lint_source(
     source: str,
     path: Path | str,
     rules: Sequence[Rule] | None = None,
     context: LintContext | None = None,
 ) -> list[Violation]:
-    """Lint one module's source text; returns surviving violations."""
+    """Lint one module's source text; returns surviving violations.
+
+    When called standalone (no ``context``), a single-file
+    :class:`ProjectIndex` is built so the whole-program rules still run
+    over this module; when the engine supplies a context, project rules
+    are dispatched once per run by :func:`lint_paths`, not here.
+    """
     path = Path(path)
     active_rules = tuple(rules) if rules is not None else ALL_RULES
+    file_rules, project_rules = _split_rules(active_rules)
+    standalone = context is None
     if context is None:
         context = LintContext()
         context.absorb_stats(_parse_or_none(source) or ast.Module(body=[], type_ignores=[]))
@@ -140,47 +175,78 @@ def lint_source(
 
     suppressions = parse_suppressions(source)
     violations: list[Violation] = []
-    for rule in active_rules:
+    for rule in file_rules:
         if not rule.applies_to(path):
             continue
         for violation in rule.check(tree, path, context):
             if not _suppressed(violation, suppressions):
                 violations.append(violation)
-    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+
+    if standalone and project_rules:
+        context.project = ProjectIndex.build([(path, tree)])
+        for rule in project_rules:
+            for violation in rule.check_project(context):
+                if not _suppressed(violation, suppressions):
+                    violations.append(violation)
+
+    violations.sort(key=_SORT_KEY)
     return violations
 
 
 def lint_paths(
     paths: Iterable[Path | str],
     rules: Sequence[Rule] | None = None,
+    baseline: Baseline | None = None,
 ) -> LintReport:
     """Lint every ``*.py`` file under the given files/directories."""
     active_rules = tuple(rules) if rules is not None else ALL_RULES
+    _, project_rules = _split_rules(active_rules)
     files = _discover(paths)
 
-    # Pass 1: build the repo-wide context (stats registry) from every file.
+    # Pass 1: read + parse everything once; build the repo-wide context
+    # (stats registry + whole-program index) from every parseable file.
     context = LintContext()
     sources: list[tuple[Path, str]] = []
+    parsed: list[tuple[Path, ast.Module]] = []
+    suppressions_by_path: dict[str, dict[int, set[str] | None]] = {}
     for file_path in files:
         try:
             source = file_path.read_text(encoding="utf-8")
         except OSError as error:
             raise FileNotFoundError(f"cannot read lint target {file_path}: {error}") from error
         sources.append((file_path, source))
+        suppressions_by_path[str(file_path)] = parse_suppressions(source)
         tree = _parse_or_none(source)
         if tree is not None:
             context.absorb_stats(tree)
+            parsed.append((file_path, tree))
     context.ensure_stats_registry()
+    context.project = ProjectIndex.build(parsed)
 
-    # Pass 2: run the rules.
+    # Pass 2: per-file rules.
     violations: list[Violation] = []
     for file_path, source in sources:
         violations.extend(lint_source(source, file_path, active_rules, context))
-    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+
+    # Pass 3: whole-program rules, once over the shared index.  Each
+    # finding honours the disable-comments of the file it points into.
+    for rule in project_rules:
+        for violation in rule.check_project(context):
+            file_suppressions = suppressions_by_path.get(violation.path, {})
+            if not _suppressed(violation, file_suppressions):
+                violations.append(violation)
+
+    violations.sort(key=_SORT_KEY)
+
+    baseline_suppressed = 0
+    if baseline is not None:
+        violations, baseline_suppressed = baseline.filter(violations)
+
     return LintReport(
         violations=tuple(violations),
         files_checked=len(sources),
         rules_run=len(active_rules),
+        baseline_suppressed=baseline_suppressed,
     )
 
 
@@ -201,6 +267,10 @@ def _discover(paths: Iterable[Path | str]) -> list[Path]:
         if resolved not in seen:
             seen.add(resolved)
             unique.append(file_path)
+    # Global sort: multi-target invocations and shell-glob argument order
+    # must not change the report (violations sort by path anyway; this
+    # pins files_checked traversal and index construction order too).
+    unique.sort(key=str)
     return unique
 
 

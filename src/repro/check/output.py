@@ -1,0 +1,139 @@
+"""Machine-readable simlint reports: plain JSON and SARIF 2.1.0.
+
+The human renderer (:meth:`repro.check.lint.LintReport.render`) is for
+terminals; CI wants structure.  Two encoders, both free functions over a
+finished :class:`~repro.check.lint.LintReport` so they add nothing to the
+lint hot path:
+
+- :func:`report_to_json` — the repo-native shape, consumed by scripts and
+  the tests;
+- :func:`report_to_sarif` — the `SARIF 2.1.0`_ shape GitHub code scanning
+  ingests, so simlint findings annotate PR diffs like any commercial
+  analyzer's.  Rule metadata (summary, fix-it) rides along in the tool
+  descriptor; each violation becomes one ``result`` with a physical
+  location.
+
+.. _SARIF 2.1.0: https://docs.oasis-open.org/sarif/sarif/v2.1.0/
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+from typing import TYPE_CHECKING
+
+from repro.check.baseline import fingerprint, normalize_path
+from repro.check.rules import ALL_RULES, Violation
+
+if TYPE_CHECKING:
+    from repro.check.lint import LintReport
+
+#: Schema tag of the repo-native JSON report.
+REPORT_SCHEMA = "repro.simlint.report/v1"
+
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def report_to_json(report: "LintReport") -> dict:
+    """The repo-native JSON shape of one lint run."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "files_checked": report.files_checked,
+        "rules_run": report.rules_run,
+        "clean": report.clean,
+        "baseline_suppressed": report.baseline_suppressed,
+        "violations": [_violation_to_json(v) for v in report.violations],
+    }
+
+
+def _violation_to_json(violation: Violation) -> dict:
+    return {
+        "rule": violation.rule_id,
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "message": violation.message,
+        "fixit": violation.fixit,
+        "fingerprint": fingerprint(violation),
+    }
+
+
+def report_to_sarif(report: "LintReport") -> dict:
+    """SARIF 2.1.0 log of one lint run (GitHub code-scanning compatible)."""
+    rules = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary or rule.rule_id},
+            "help": {"text": rule.fixit or rule.summary or rule.rule_id},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in ALL_RULES
+    ]
+    results = [
+        {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "partialFingerprints": {"reproSimlint/v1": fingerprint(violation)},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _sarif_uri(violation.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in report.violations
+    ]
+    return {
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": "https://example.invalid/repro/simlint",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def _sarif_uri(path: str) -> str:
+    """Forward-slash relative URI for a lint path.
+
+    GitHub resolves ``uriBaseId: SRCROOT`` against the repository root,
+    so the normalized ``repro/...`` form is prefixed with ``src/`` when
+    the original path carried it; otherwise the path is used as-is.
+    """
+    normalized = normalize_path(path)
+    parts = PurePath(path).parts
+    if "src" in parts and parts.index("src") + 1 < len(parts):
+        if parts[parts.index("src") + 1] == "repro":
+            return f"src/{normalized}"
+    return normalized.replace("\\", "/")
+
+
+def render_json(report: "LintReport") -> str:
+    """:func:`report_to_json` as deterministic text."""
+    return json.dumps(report_to_json(report), indent=2, sort_keys=True)
+
+
+def render_sarif(report: "LintReport") -> str:
+    """:func:`report_to_sarif` as deterministic text."""
+    return json.dumps(report_to_sarif(report), indent=2, sort_keys=True)

@@ -4,12 +4,20 @@ Every rule is a subclass of :class:`Rule` living in its own module of this
 package.  A rule owns one stable identifier (``SIMxxx``), a one-line
 summary, and a *fix-it* message telling the author what to write instead;
 the engine (:mod:`repro.check.lint`) handles file discovery, per-line
-``# simlint: disable=SIMxxx`` escape hatches and report formatting, so a
-rule only has to walk one parsed module and yield violations.
+``# simlint: disable=SIMxxx`` escape hatches, baseline suppression and
+report formatting.
 
-To add a rule: create ``simNNN_short_name.py`` defining a ``Rule``
-subclass, then append an instance to :data:`ALL_RULES` here (the docs in
-docs/architecture.md walk through an example).
+Two rule shapes exist:
+
+- **per-file rules** (SIM001–SIM007) override :meth:`Rule.check` and walk
+  one parsed module at a time;
+- **whole-program rules** (SIM101+) subclass :class:`ProjectRule` and
+  override :meth:`ProjectRule.check_project`, reading the shared
+  :class:`~repro.check.index.ProjectIndex` the engine builds once per run.
+
+To add a rule: create ``simNNN_short_name.py`` defining a ``Rule`` (or
+``ProjectRule``) subclass, then append an instance to :data:`ALL_RULES`
+here (the docs in docs/architecture.md walk through an example).
 """
 
 from __future__ import annotations
@@ -69,6 +77,26 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class of whole-program rules (SIM101+).
+
+    The engine builds one :class:`~repro.check.index.ProjectIndex` over
+    every lint target and calls :meth:`check_project` once per run; the
+    per-file :meth:`Rule.check` hook is a no-op for these rules.  Emitted
+    violations point into whichever indexed file carries the defect, and
+    per-line ``# simlint: disable`` comments in that file suppress them
+    exactly like per-file rule hits.
+    """
+
+    def check(self, tree: ast.Module, path: Path, context: "LintContext") -> list[Violation]:
+        """Project rules do not run per file."""
+        return []
+
+    def check_project(self, context: "LintContext") -> list[Violation]:
+        """Return every violation visible in the whole-program index."""
+        raise NotImplementedError
+
+
 def _build_registry() -> tuple[Rule, ...]:
     from repro.check.rules.sim001_seeded_random import SeededRandomRule
     from repro.check.rules.sim002_wall_clock import WallClockRule
@@ -77,6 +105,10 @@ def _build_registry() -> tuple[Rule, ...]:
     from repro.check.rules.sim005_bare_assert import BareAssertRule
     from repro.check.rules.sim006_bare_print import BarePrintRule
     from repro.check.rules.sim007_swallowed_exceptions import SwallowedExceptionRule
+    from repro.check.rules.sim101_determinism_taint import DeterminismTaintRule
+    from repro.check.rules.sim102_units import UnitsDisciplineRule
+    from repro.check.rules.sim103_roundtrip import RoundTripParityRule
+    from repro.check.rules.sim104_registry import RegistryCoherenceRule
 
     return (
         SeededRandomRule(),
@@ -86,6 +118,10 @@ def _build_registry() -> tuple[Rule, ...]:
         BareAssertRule(),
         BarePrintRule(),
         SwallowedExceptionRule(),
+        DeterminismTaintRule(),
+        UnitsDisciplineRule(),
+        RoundTripParityRule(),
+        RegistryCoherenceRule(),
     )
 
 
@@ -100,4 +136,4 @@ def rule_by_id(rule_id: str) -> Rule:
     raise KeyError(f"unknown simlint rule {rule_id!r}")
 
 
-__all__ = ["Violation", "Rule", "ALL_RULES", "rule_by_id"]
+__all__ = ["Violation", "Rule", "ProjectRule", "ALL_RULES", "rule_by_id"]

@@ -1,0 +1,190 @@
+"""SIM102 — sim-time units discipline: never mix ``_ns`` with other units.
+
+The whole simulator speaks in suffix-annotated numerics: sim time in
+``*_ns`` (with ``*_s``/``*_ms``/``*_us`` at the reporting edges), sizes
+in ``*_bytes``/``*_bits``, work in ``*_cycles``, energy in ``*_nj``.
+The convention is load-bearing — §8 of the architecture doc makes it the
+repo's unit system — but nothing enforced it, and a single
+``horizon_ns + interval_s`` or a ``window_ns=`` argument fed seconds
+silently skews every latency figure downstream.
+
+The rule infers a unit from the trailing ``_``-separated token of names
+(variables, attributes, string subscripts like ``payload["makespan_ns"]``
+and ``*_ns()``-style call results) and flags:
+
+- ``+``/``-`` arithmetic (including augmented assignment) whose operands
+  carry *different* recognised units — ``x_ns + y_bytes``, and also
+  ``x_ns + y_s`` (same dimension, wrong scale: exactly the bug class the
+  suffixes exist to prevent);
+- order/equality comparisons across units;
+- call arguments whose expression unit contradicts the parameter name's
+  unit — resolved cross-module through the
+  :class:`~repro.check.index.ProjectIndex` for positional arguments, and
+  purely syntactically for keywords (``window_ns=elapsed_s`` is wrong in
+  any module).
+
+Multiplication and division are conversions and never flagged; literals
+and unsuffixed names are unit-free and compatible with everything, so the
+rule stays quiet on ``makespan_ns / 1e9`` or ``x_ns + 5``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.check.index import FunctionInfo, ModuleInfo, ProjectIndex
+from repro.check.rules import ProjectRule, Violation
+
+if TYPE_CHECKING:
+    from repro.check.lint import LintContext
+
+#: Recognised unit suffixes (the trailing ``_token`` of a name).
+UNIT_SUFFIXES = frozenset({"ns", "us", "ms", "s", "bytes", "bits", "cycles", "nj"})
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def unit_of(expr: ast.expr) -> str | None:
+    """The unit an expression carries, or ``None`` when unit-free."""
+    if isinstance(expr, ast.Name):
+        return _suffix_unit(expr.id)
+    if isinstance(expr, ast.Attribute):
+        return _suffix_unit(expr.attr)
+    if isinstance(expr, ast.Subscript):
+        key = expr.slice
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            return _suffix_unit(key.value)
+        return None
+    if isinstance(expr, ast.Call):
+        if isinstance(expr.func, ast.Name):
+            return _suffix_unit(expr.func.id)
+        if isinstance(expr.func, ast.Attribute):
+            return _suffix_unit(expr.func.attr)
+        return None
+    if isinstance(expr, ast.UnaryOp):
+        return unit_of(expr.operand)
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, (ast.Add, ast.Sub)):
+        left, right = unit_of(expr.left), unit_of(expr.right)
+        if left == right:
+            return left
+        return left or right
+    return None
+
+
+def _suffix_unit(name: str) -> str | None:
+    parts = name.split("_")
+    if len(parts) < 2:
+        return None  # a bare "s"/"ns" name is a unit, not a quantity
+    return parts[-1] if parts[-1] in UNIT_SUFFIXES else None
+
+
+class UnitsDisciplineRule(ProjectRule):
+    """Flag arithmetic, comparisons and call arguments that mix units."""
+
+    rule_id = "SIM102"
+    summary = "arithmetic/argument flow mixes incompatible unit suffixes"
+    fixit = (
+        "convert explicitly (multiply/divide by the scale factor) and name "
+        "the result with the unit it actually carries"
+    )
+
+    def check_project(self, context: "LintContext") -> list[Violation]:
+        index = context.project
+        if index is None:
+            return []
+        violations: list[Violation] = []
+        for function in index.functions.values():
+            module = index.modules[function.module]
+            violations.extend(self._check_function(function, module, index))
+        return violations
+
+    def _check_function(
+        self, function: FunctionInfo, module: ModuleInfo, index: ProjectIndex
+    ) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                self._check_pair(
+                    violations, function, node, node.left, node.right, "arithmetic"
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, (ast.Add, ast.Sub)):
+                self._check_pair(
+                    violations, function, node, node.target, node.value, "augmented assignment"
+                )
+            elif isinstance(node, ast.Compare):
+                left = node.left
+                for op, comparator in zip(node.ops, node.comparators):
+                    if isinstance(op, _COMPARE_OPS):
+                        self._check_pair(
+                            violations, function, node, left, comparator, "comparison"
+                        )
+                    left = comparator
+            elif isinstance(node, ast.Call):
+                violations.extend(self._check_call(function, module, index, node))
+        return violations
+
+    def _check_pair(
+        self,
+        violations: list[Violation],
+        function: FunctionInfo,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+        what: str,
+    ) -> None:
+        left_unit, right_unit = unit_of(left), unit_of(right)
+        if left_unit and right_unit and left_unit != right_unit:
+            violations.append(
+                self.violation(
+                    function.path,
+                    node,
+                    f"{what} mixes '_{left_unit}' with '_{right_unit}' "
+                    f"in {function.qualname}",
+                )
+            )
+
+    def _check_call(
+        self,
+        function: FunctionInfo,
+        module: ModuleInfo,
+        index: ProjectIndex,
+        call: ast.Call,
+    ) -> list[Violation]:
+        violations: list[Violation] = []
+        resolved = index.resolve_call(call, module)
+        callee = index.functions.get(resolved) if resolved else None
+
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            param_unit = _suffix_unit(keyword.arg)
+            value_unit = unit_of(keyword.value)
+            if param_unit and value_unit and param_unit != value_unit:
+                violations.append(
+                    self.violation(
+                        function.path,
+                        keyword.value,
+                        f"argument '{keyword.arg}' (unit '_{param_unit}') receives a "
+                        f"'_{value_unit}' value in {function.qualname}",
+                    )
+                )
+
+        if callee is not None:
+            for position, arg in enumerate(call.args):
+                if isinstance(arg, ast.Starred) or position >= len(callee.params):
+                    break
+                param = callee.params[position]
+                param_unit = _suffix_unit(param)
+                value_unit = unit_of(arg)
+                if param_unit and value_unit and param_unit != value_unit:
+                    violations.append(
+                        self.violation(
+                            function.path,
+                            arg,
+                            f"parameter '{param}' of {callee.qualname} (unit "
+                            f"'_{param_unit}') receives a '_{value_unit}' value "
+                            f"in {function.qualname}",
+                        )
+                    )
+        return violations

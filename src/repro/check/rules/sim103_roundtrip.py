@@ -1,0 +1,210 @@
+"""SIM103 — every ``to_dict`` needs a ``from_dict`` with matching fields.
+
+The result cache, the worker transport, run manifests and the durability
+journal all rely on lossless ``to_dict``/``from_dict`` pairs — "parallel
+output is byte-identical to serial" is literally a statement about these
+methods.  SIM004 guards the stats registry with the same philosophy; this
+rule generalises it to every serialisable class in the program:
+
+- a class defining ``to_dict`` must also define (or inherit from an
+  indexed ancestor) a ``from_dict``; a one-way exporter silently breaks
+  the first caller that tries to round-trip it;
+- when both sides enumerate their keys statically, the field sets must
+  match: a key ``to_dict`` emits that ``from_dict`` never reads is lost
+  on the round trip, and a key ``from_dict`` subscripts that ``to_dict``
+  never emits is a guaranteed ``KeyError`` on the first real payload.
+
+Key extraction is deliberately conservative.  Emitted keys come from
+returned dict literals and ``payload["key"] = ...`` subscript stores;
+read keys from ``payload["key"]`` subscripts and ``payload.get("key")``
+calls on the payload parameter.  Dynamic constructions (``**`` splats,
+comprehensions over field tuples, non-constant keys — the
+``DeWriteStats._COUNTER_FIELDS`` idiom) mark that side *open* and field
+comparison is skipped for the pair; presence of ``from_dict`` is still
+required.  Keys whose emitted value is a class-level constant
+(``"kind": self.kind``) are type discriminators for a dispatching
+container, not instance state, and are exempt from the lost-on-round-trip
+check.  Missing-key reads through ``.get()`` are tolerated (lenient by
+construction).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.check.index import ClassInfo, FunctionInfo, ProjectIndex
+from repro.check.rules import ProjectRule, Violation
+
+if TYPE_CHECKING:
+    from repro.check.lint import LintContext
+
+
+class RoundTripParityRule(ProjectRule):
+    """Serialisable classes must round-trip: paired methods, matched fields."""
+
+    rule_id = "SIM103"
+    summary = "to_dict/from_dict pair is missing or loses fields on the round trip"
+    fixit = (
+        "define a from_dict classmethod rebuilding the object from to_dict "
+        "output, reading exactly the keys to_dict emits"
+    )
+
+    def check_project(self, context: "LintContext") -> list[Violation]:
+        index = context.project
+        if index is None:
+            return []
+        violations: list[Violation] = []
+        for info in index.classes.values():
+            if "to_dict" not in info.methods:
+                continue
+            to_dict = info.methods["to_dict"]
+            from_dict = index.method_resolution(info, "from_dict")
+            if from_dict is None:
+                violations.append(
+                    self.violation(
+                        to_dict.path,
+                        to_dict.node,
+                        f"{info.qualname} defines to_dict but no from_dict: "
+                        "the serialised form cannot round-trip",
+                    )
+                )
+                continue
+            violations.extend(self._check_fields(info, to_dict, from_dict))
+        return violations
+
+    def _check_fields(
+        self, info: ClassInfo, to_dict: FunctionInfo, from_dict: FunctionInfo
+    ) -> list[Violation]:
+        emitted = _emitted_keys(to_dict.node)
+        read = _read_keys(from_dict.node)
+        if emitted is None or read is None:
+            return []  # one side builds/consumes keys dynamically
+        violations: list[Violation] = []
+        constants = info.class_constants
+        lost = sorted(
+            key
+            for key in set(emitted) - read
+            if not emitted[key] or emitted[key] not in constants
+        )
+        if lost:
+            violations.append(
+                self.violation(
+                    to_dict.path,
+                    to_dict.node,
+                    f"{info.qualname}.to_dict emits {_fmt(lost)} that "
+                    f"{from_dict.qualname} never reads (lost on round trip)",
+                )
+            )
+        phantom = sorted(read - set(emitted))
+        if phantom:
+            violations.append(
+                self.violation(
+                    from_dict.path,
+                    from_dict.node,
+                    f"{from_dict.qualname} reads {_fmt(phantom)} that "
+                    f"{info.qualname}.to_dict never emits (KeyError on round trip)",
+                )
+            )
+        return violations
+
+
+def _fmt(keys: list[str]) -> str:
+    quoted = ", ".join(f"'{key}'" for key in keys)
+    return f"key {quoted}" if len(keys) == 1 else f"keys {quoted}"
+
+
+def _emitted_keys(node: ast.FunctionDef | ast.AsyncFunctionDef) -> dict[str, str] | None:
+    """Map of emitted key → value hint (``self.X`` attr name or ``""``).
+
+    ``None`` when any construction site is dynamic (non-constant key,
+    ``**`` splat, comprehension) — the static view would be partial.
+    """
+    emitted: dict[str, str] = {}
+    returned_names: set[str] = set()
+    for item in ast.walk(node):
+        if isinstance(item, ast.Return) and isinstance(item.value, ast.Name):
+            returned_names.add(item.value.id)
+
+    for item in ast.walk(node):
+        if isinstance(item, ast.Dict):
+            for key, value in zip(item.keys, item.values):
+                if key is None:  # ``**other`` splat
+                    return None
+                if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                    return None
+                emitted[key.value] = _self_attr(value)
+        elif isinstance(item, ast.DictComp):
+            return None
+        elif isinstance(item, ast.Assign):
+            for target in item.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in returned_names
+                ):
+                    key = target.slice
+                    if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                        return None
+                    emitted[key.value] = _self_attr(item.value)
+    return emitted
+
+
+def _read_keys(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str] | None:
+    """Keys the payload parameter is subscripted/``.get``-ed with.
+
+    ``None`` when reads are dynamic (non-constant subscript, ``**payload``
+    forwarding, or iteration over the payload itself).
+    """
+    params = [arg.arg for arg in node.args.posonlyargs + node.args.args]
+    payload_names = {name for name in params if name not in ("self", "cls")}
+    if not payload_names:
+        return set()
+    read: set[str] = set()
+    for item in ast.walk(node):
+        if isinstance(item, ast.Subscript):
+            if isinstance(item.value, ast.Name) and item.value.id in payload_names:
+                key = item.slice
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    read.add(key.value)
+                else:
+                    return None
+        elif (
+            isinstance(item, ast.Call)
+            and isinstance(item.func, ast.Attribute)
+            and item.func.attr == "get"
+            and isinstance(item.func.value, ast.Name)
+            and item.func.value.id in payload_names
+            and item.args
+        ):
+            key_arg = item.args[0]
+            if isinstance(key_arg, ast.Constant) and isinstance(key_arg.value, str):
+                read.add(key_arg.value)
+            else:
+                return None
+        elif isinstance(item, ast.keyword) and item.arg is None:
+            if isinstance(item.value, ast.Name) and item.value.id in payload_names:
+                return None  # ``cls(**payload)`` reads everything
+        elif isinstance(item, (ast.For, ast.comprehension)):
+            iterable = item.iter
+            if isinstance(iterable, ast.Name) and iterable.id in payload_names:
+                return None
+            if (
+                isinstance(iterable, ast.Call)
+                and isinstance(iterable.func, ast.Attribute)
+                and isinstance(iterable.func.value, ast.Name)
+                and iterable.func.value.id in payload_names
+            ):
+                return None  # ``for k in payload.items()`` style
+    return read
+
+
+def _self_attr(value: ast.expr) -> str:
+    """``X`` when the emitted value is exactly ``self.X``, else ``""``."""
+    if (
+        isinstance(value, ast.Attribute)
+        and isinstance(value.value, ast.Name)
+        and value.value.id == "self"
+    ):
+        return value.attr
+    return ""

@@ -1,0 +1,7 @@
+"""Fixture: host-time import inside the simulated core (SIM002)."""
+
+import time
+
+
+def latency() -> float:
+    return time.perf_counter()

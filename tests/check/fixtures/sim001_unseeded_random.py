@@ -1,0 +1,5 @@
+"""Fixture: module-level randomness with no explicit seed (SIM001)."""
+
+import random
+
+value = random.random()

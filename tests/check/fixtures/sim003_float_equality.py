@@ -1,0 +1,5 @@
+"""Fixture: float equality on an accumulated quantity (SIM003)."""
+
+
+def drained(total_ns: float, expected_ns: float) -> bool:
+    return total_ns == expected_ns

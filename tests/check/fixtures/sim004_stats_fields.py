@@ -1,0 +1,20 @@
+"""Fixture: controller mutating an undeclared stats counter (SIM004)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FixtureStats:
+    good_counter: int = 0
+
+    def reset(self) -> None:
+        self.good_counter = 0
+
+
+class Controller:
+    def __init__(self) -> None:
+        self.stats = FixtureStats()
+
+    def write(self) -> None:
+        self.stats.good_counter += 1
+        self.stats.invented_counter += 1

@@ -1,0 +1,6 @@
+"""Fixture: invariant guarded by ``assert`` (vanishes under -O) (SIM005)."""
+
+
+def checked(value: int) -> int:
+    assert value >= 0, "value must be non-negative"
+    return value

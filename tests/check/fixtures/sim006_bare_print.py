@@ -1,0 +1,5 @@
+"""Fixture: library code printing instead of using the obs sinks (SIM006)."""
+
+
+def report(value: int) -> None:
+    print("value is", value)

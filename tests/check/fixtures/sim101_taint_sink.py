@@ -1,0 +1,22 @@
+"""Fixture: wall-clock taint reaching serialisation/cache sinks (SIM101).
+
+The source lives one module away (``sim101_taint_source.py``); only the
+whole-program call graph connects it to the sinks here.
+"""
+
+from sim101_taint_source import host_stamp
+
+
+class RunSummary:
+    def to_dict(self) -> dict:
+        return {"stamp": host_stamp()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunSummary":
+        summary = cls()
+        summary.stamp = payload["stamp"]
+        return summary
+
+
+def job_key(spec: str) -> str:
+    return f"{spec}-{host_stamp()}"

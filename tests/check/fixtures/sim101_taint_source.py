@@ -1,0 +1,12 @@
+"""Fixture: the nondeterminism source half of the SIM101 cross-module pair.
+
+This module is clean on its own — reading the wall clock is only a
+defect once the value flows into a determinism sink, which happens in
+``sim101_taint_sink.py``.
+"""
+
+import time
+
+
+def host_stamp() -> float:
+    return time.time()

@@ -1,0 +1,13 @@
+"""Fixture: unit-suffix mixing in arithmetic and argument flows (SIM102)."""
+
+
+def budget(window_ns: float, size_bytes: int) -> float:
+    return window_ns + size_bytes
+
+
+def feed(elapsed_s: float) -> float:
+    return budget(elapsed_s, 64)
+
+
+def rekey(delay_s: float) -> float:
+    return budget(window_ns=delay_s, size_bytes=8)

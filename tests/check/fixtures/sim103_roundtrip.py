@@ -1,0 +1,22 @@
+"""Fixture: broken serialisation round trips (SIM103)."""
+
+
+class OneWayReport:
+    def __init__(self, alpha: int) -> None:
+        self.alpha = alpha
+
+    def to_dict(self) -> dict:
+        return {"alpha": self.alpha}
+
+
+class LossyReport:
+    def __init__(self, kept: int, dropped: int = 0) -> None:
+        self.kept = kept
+        self.dropped = dropped
+
+    def to_dict(self) -> dict:
+        return {"kept": self.kept, "dropped": self.dropped}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LossyReport":
+        return cls(payload["kept"])

@@ -1,0 +1,75 @@
+"""Fixture: incoherent controller/experiment registries (SIM104).
+
+Self-contained miniature of the real three-registry shape: a controller
+catalogue, an ``adapter_for`` dispatcher, and an experiment registry with
+``FIGURE_ALIASES`` plus the loop-registration idiom.
+"""
+
+FIGURE_ALIASES = {"fig9": "system", "fig10": "ghost"}
+
+_REGISTRY = {}
+
+
+class ExperimentSpec:
+    def __init__(self, id, render):
+        self.id = id
+        self.render = render
+
+
+def register_experiment(spec):
+    _REGISTRY[spec.id] = spec
+
+
+_COMPARISON_ROWS = (
+    ("system", "combined system table"),
+    ("modes", "integration mode comparison"),
+)
+
+for _id, _description in _COMPARISON_ROWS:
+    register_experiment(ExperimentSpec(id=_id, render=None))
+
+register_experiment(ExperimentSpec(id="fig2", render=None))
+register_experiment(ExperimentSpec(id="fig2", render=None))
+
+
+class MemoryController:
+    def write(self, address):
+        raise NotImplementedError
+
+
+class TracedController(MemoryController):
+    def write(self, address):
+        self.tracer.span("write", 0.0, 1.0)
+
+
+class SilentController(MemoryController):
+    def write(self, address):
+        return None
+
+
+def adapter_for(controller):
+    if isinstance(controller, TracedController):
+        return object()
+    raise TypeError(type(controller).__name__)
+
+
+def _build_traced(nvm):
+    return TracedController()
+
+
+def _build_via_helper(nvm):
+    return _build_traced(nvm)
+
+
+def _build_silent(nvm):
+    return SilentController()
+
+
+def register_controller(name, builder):
+    return None
+
+
+register_controller("traced", _build_traced)
+register_controller("indirect", _build_via_helper)
+register_controller("uncovered", _build_silent)
+register_controller("traced", _build_traced)

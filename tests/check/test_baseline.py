@@ -1,0 +1,143 @@
+"""Baseline suppression: fingerprints, budgets, persistence, discovery."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.baseline import (
+    Baseline,
+    discover_baseline,
+    fingerprint,
+    normalize_path,
+)
+from repro.check.lint import lint_paths
+from repro.check.rules import Violation
+
+
+def make_violation(
+    rule_id: str = "SIM103",
+    path: str = "src/repro/faults/crash.py",
+    line: int = 10,
+    message: str = "one-way exporter",
+) -> Violation:
+    return Violation(
+        rule_id=rule_id, path=path, line=line, col=1, message=message, fixit=""
+    )
+
+
+class TestFingerprint:
+    def test_line_number_does_not_change_fingerprint(self):
+        # The whole point: unrelated edits shifting a finding around must
+        # not resurrect it from the baseline.
+        a = make_violation(line=10)
+        b = make_violation(line=99)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_checkout_location_does_not_change_fingerprint(self):
+        a = make_violation(path="/home/ci/src/repro/faults/crash.py")
+        b = make_violation(path="/tmp/other/src/repro/faults/crash.py")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_message_change_changes_fingerprint(self):
+        a = make_violation(message="one-way exporter")
+        b = make_violation(message="different defect")
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_normalize_keeps_tail_from_last_repro_component(self):
+        assert (
+            normalize_path("/w/src/repro/check/repro/x.py") == "repro/x.py"
+        )
+        assert normalize_path("src/repro/core/stats.py") == "repro/core/stats.py"
+        assert normalize_path("/tmp/loose.py") == "loose.py"
+
+
+class TestBudget:
+    def test_filter_splits_known_and_new(self):
+        known = make_violation()
+        new = make_violation(message="brand new defect")
+        baseline = Baseline.from_violations([known])
+        kept, suppressed = baseline.filter([known, new])
+        assert suppressed == 1
+        assert [v.message for v in kept] == ["brand new defect"]
+
+    def test_duplicate_findings_beyond_budget_surface(self):
+        # count=1 in the baseline absorbs one instance; a second
+        # identical instance is a new violation, not accepted debt.
+        v = make_violation()
+        baseline = Baseline.from_violations([v])
+        kept, suppressed = baseline.filter([v, v])
+        assert suppressed == 1
+        assert len(kept) == 1
+
+
+class TestPersistence:
+    def test_dump_load_round_trip(self, tmp_path: Path):
+        baseline = Baseline.from_violations(
+            [make_violation(), make_violation(message="second")]
+        )
+        target = tmp_path / "simlint-baseline.json"
+        baseline.dump(target)
+        loaded = Baseline.load(target)
+        assert loaded.counts == baseline.counts
+        assert loaded.notes == baseline.notes
+
+    def test_dump_is_deterministic(self, tmp_path: Path):
+        baseline = Baseline.from_violations(
+            [make_violation(message=m) for m in ("b", "a", "c")]
+        )
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        baseline.dump(first)
+        baseline.dump(second)
+        assert first.read_text() == second.read_text()
+
+    def test_unknown_schema_rejected(self, tmp_path: Path):
+        target = tmp_path / "bad.json"
+        target.write_text('{"schema": "nope/v9", "entries": {}}')
+        with pytest.raises(ValueError, match="unsupported baseline schema"):
+            Baseline.load(target)
+
+
+class TestDiscovery:
+    def test_walks_up_from_target(self, tmp_path: Path):
+        nested = tmp_path / "src" / "repro" / "core"
+        nested.mkdir(parents=True)
+        marker = tmp_path / "simlint-baseline.json"
+        Baseline().dump(marker)
+        assert discover_baseline(nested) == marker
+
+    def test_absent_baseline_returns_none(self, tmp_path: Path):
+        deep = tmp_path / "a" / "b"
+        deep.mkdir(parents=True)
+        # tmp_path trees have no baseline anywhere above them until /.
+        found = discover_baseline(deep)
+        assert found is None or tmp_path not in found.parents
+
+
+class TestEngineIntegration:
+    def test_lint_paths_applies_baseline(self, tmp_path: Path):
+        target = tmp_path / "mod.py"
+        target.write_text("import random\nvalue = random.random()\n")
+        raw = lint_paths([target])
+        assert not raw.clean
+        baseline = Baseline.from_violations(list(raw.violations))
+        gated = lint_paths([target], baseline=baseline)
+        assert gated.clean
+        assert gated.baseline_suppressed == len(raw.violations)
+        assert "baseline-suppressed" in gated.render()
+
+    def test_new_violation_still_fails_under_baseline(self, tmp_path: Path):
+        target = tmp_path / "mod.py"
+        target.write_text("import random\nvalue = random.random()\n")
+        baseline = Baseline.from_violations(list(lint_paths([target]).violations))
+        target.write_text(
+            "import random\n"
+            "value = random.random()\n"
+            "def f(x):\n"
+            "    assert x\n"
+        )
+        report = lint_paths([target], baseline=baseline)
+        assert not report.clean
+        assert {v.rule_id for v in report.violations} == {"SIM005"}
+        assert report.baseline_suppressed >= 1

@@ -7,17 +7,34 @@ from pathlib import Path
 
 import repro
 from repro.__main__ import main
+from repro.check.baseline import Baseline, discover_baseline, fingerprint
 from repro.check.lint import lint_paths
 
 PACKAGE_DIR = Path(repro.__file__).parent
 
 
 class TestSelfLint:
-    def test_repro_package_is_lint_clean(self):
-        report = lint_paths([PACKAGE_DIR])
+    def test_repro_package_is_lint_clean_under_baseline(self):
+        # The dogfood gate: the full 11-rule pass over src/repro must
+        # report nothing beyond the committed baseline.
+        baseline_path = discover_baseline(PACKAGE_DIR)
+        assert baseline_path is not None, "simlint-baseline.json missing from repo"
+        report = lint_paths([PACKAGE_DIR], baseline=Baseline.load(baseline_path))
         assert report.clean, report.render()
         assert report.files_checked > 50
-        assert report.rules_run == 7
+        assert report.rules_run == 11
+
+    def test_unbaselined_findings_are_all_known_debt(self):
+        # Without the baseline the same run may surface the recorded
+        # debt, but every finding must be one the baseline accounts for —
+        # anything else is a new violation that should fail this test.
+        baseline = Baseline.load(discover_baseline(PACKAGE_DIR))
+        report = lint_paths([PACKAGE_DIR])
+        unknown = [
+            v for v in report.violations
+            if baseline.counts.get(fingerprint(v), 0) == 0
+        ]
+        assert not unknown, "\n".join(v.render() for v in unknown)
 
 
 class TestCliLint:

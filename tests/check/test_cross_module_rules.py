@@ -1,0 +1,375 @@
+"""Positive/negative behaviour of the whole-program rules SIM101–SIM104."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.check.lint import lint_paths, lint_source
+from repro.check.rules import rule_by_id
+
+
+def run_rule(rule_id: str, source: str, path: str = "src/repro/obs/snippet.py"):
+    return lint_source(
+        textwrap.dedent(source), Path(path), rules=[rule_by_id(rule_id)]
+    )
+
+
+def lint_tree(tmp_path: Path, rule_id: str, files: dict[str, str]):
+    for name, source in files.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    report = lint_paths([tmp_path], rules=[rule_by_id(rule_id)])
+    return list(report.violations)
+
+
+class TestSim101Sources:
+    def test_unseeded_rng_in_cache_key_flagged(self):
+        violations = run_rule("SIM101", """\
+            import random
+
+            def cache_key(spec):
+                return f"{spec}-{random.random()}"
+        """)
+        assert len(violations) == 1
+        assert "hidden global seed" in violations[0].message
+
+    def test_seeded_rng_clean(self):
+        assert not run_rule("SIM101", """\
+            import random
+
+            def cache_key(spec):
+                rng = random.Random(42)
+                return f"{spec}-{rng.random()}"
+        """)
+
+    def test_unsorted_glob_in_fingerprint_flagged(self):
+        violations = run_rule("SIM101", """\
+            from pathlib import Path
+
+            def code_fingerprint(root):
+                names = [p.name for p in Path(root).rglob("*.py")]
+                return "|".join(names)
+        """)
+        assert len(violations) == 1
+        assert ".rglob() without sorted()" in violations[0].message
+
+    def test_sorted_glob_clean(self):
+        # The runner cache's actual idiom: sorted(rglob(...)).
+        assert not run_rule("SIM101", """\
+            from pathlib import Path
+
+            def code_fingerprint(root):
+                names = [p.name for p in sorted(Path(root).rglob("*.py"))]
+                return "|".join(names)
+        """)
+
+    def test_set_iteration_inside_sorted_clean(self):
+        # sorted(x for x in some_set) consumes the unordered source
+        # entirely inside the sort — deterministic by construction.
+        assert not run_rule("SIM101", """\
+            def job_key(mapping):
+                return tuple(
+                    phys for phys in sorted(
+                        value for value in set(mapping.values())
+                    )
+                )
+        """)
+
+    def test_environment_read_in_to_dict_flagged(self):
+        violations = run_rule("SIM101", """\
+            import os
+
+            class Snapshot:
+                def to_dict(self):
+                    return {"home": os.environ.get("HOME", "")}
+
+                @classmethod
+                def from_dict(cls, payload):
+                    snap = cls()
+                    snap.home = payload["home"]
+                    return snap
+        """)
+        assert len(violations) == 1
+        assert "os.environ" in violations[0].message
+
+    def test_wall_clock_outside_any_sink_clean(self):
+        # Timing a run is fine as long as the value stays out of sinks.
+        assert not run_rule("SIM101", """\
+            import time
+
+            def measure(fn):
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+        """)
+
+
+class TestSim101Propagation:
+    def test_taint_crosses_module_boundary(self, tmp_path: Path):
+        violations = lint_tree(tmp_path, "SIM101", {
+            "clock_util.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+            "report_mod.py": """\
+                from clock_util import stamp
+
+                def relay():
+                    return stamp()
+
+                def job_key(spec):
+                    return f"{spec}:{relay()}"
+            """,
+        })
+        assert len(violations) == 1
+        message = violations[0].message
+        assert "clock_util:" in message
+        assert "report_mod.relay -> clock_util.stamp" in message
+
+    def test_barrier_module_does_not_propagate(self, tmp_path: Path):
+        # repro.obs.trace is the sanctioned wall-clock consumer: taint
+        # neither originates there nor flows through its methods.
+        (tmp_path / "repro" / "obs").mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (tmp_path / "repro" / "obs" / "__init__.py").write_text("")
+        violations = lint_tree(tmp_path, "SIM101", {
+            "repro/obs/trace.py": """\
+                import time
+
+                class Tracer:
+                    def span(self, name):
+                        return time.perf_counter()
+            """,
+            "repro/obs/user.py": """\
+                from repro.obs.trace import Tracer
+
+                def job_key(spec):
+                    tracer = Tracer()
+                    tracer.span("plan")
+                    return str(spec)
+            """,
+        })
+        assert not violations
+
+
+class TestSim102:
+    def test_multiplication_is_a_conversion(self):
+        assert not run_rule("SIM102", """\
+            def convert(interval_s):
+                interval_ns = interval_s * 1e9
+                return interval_ns
+        """)
+
+    def test_unsuffixed_and_literal_operands_are_unit_free(self):
+        assert not run_rule("SIM102", """\
+            def pad(total_ns, count):
+                return total_ns + count + 5
+        """)
+
+    def test_same_unit_arithmetic_clean(self):
+        assert not run_rule("SIM102", """\
+            def accumulate(busy_ns, wait_ns):
+                return busy_ns + wait_ns
+        """)
+
+    def test_augmented_assignment_mix_flagged(self):
+        violations = run_rule("SIM102", """\
+            def accumulate(total_ns, chunk_bytes):
+                total_ns += chunk_bytes
+                return total_ns
+        """)
+        assert len(violations) == 1
+        assert "augmented assignment" in violations[0].message
+
+    def test_cross_module_positional_argument_flagged(self, tmp_path: Path):
+        violations = lint_tree(tmp_path, "SIM102", {
+            "sink_mod.py": """\
+                def schedule(deadline_ns):
+                    return deadline_ns
+            """,
+            "caller_mod.py": """\
+                from sink_mod import schedule
+
+                def go(timeout_s):
+                    return schedule(timeout_s)
+            """,
+        })
+        assert len(violations) == 1
+        assert "deadline_ns" in violations[0].message
+        assert "'_s' value" in violations[0].message
+
+
+class TestSim103:
+    def test_class_constant_discriminator_exempt(self):
+        # The metrics idiom: "kind" is emitted for the dispatching
+        # container and never read back by the class's own from_dict.
+        assert not run_rule("SIM103", """\
+            class Counter:
+                kind = "counter"
+
+                def to_dict(self):
+                    return {"kind": self.kind, "value": self.value}
+
+                @classmethod
+                def from_dict(cls, payload):
+                    obj = cls()
+                    obj.value = payload["value"]
+                    return obj
+        """)
+
+    def test_dynamic_field_enumeration_is_open(self):
+        # The DeWriteStats idiom: both sides iterate a field tuple.
+        assert not run_rule("SIM103", """\
+            FIELDS = ("a", "b")
+
+            class Stats:
+                def to_dict(self):
+                    return {name: getattr(self, name) for name in FIELDS}
+
+                @classmethod
+                def from_dict(cls, payload):
+                    obj = cls()
+                    for name in FIELDS:
+                        setattr(obj, name, payload[name])
+                    return obj
+        """)
+
+    def test_kwargs_splat_reads_everything(self):
+        assert not run_rule("SIM103", """\
+            class Config:
+                def __init__(self, alpha=0, beta=0):
+                    self.alpha = alpha
+                    self.beta = beta
+
+                def to_dict(self):
+                    return {"alpha": self.alpha, "beta": self.beta}
+
+                @classmethod
+                def from_dict(cls, payload):
+                    return cls(**payload)
+        """)
+
+    def test_inherited_from_dict_satisfies_pairing(self, tmp_path: Path):
+        violations = lint_tree(tmp_path, "SIM103", {
+            "base_mod.py": """\
+                class Serialisable:
+                    @classmethod
+                    def from_dict(cls, payload):
+                        obj = cls()
+                        for key, value in payload.items():
+                            setattr(obj, key, value)
+                        return obj
+            """,
+            "leaf_mod.py": """\
+                from base_mod import Serialisable
+
+                class Report(Serialisable):
+                    def to_dict(self):
+                        return {"x": self.x}
+            """,
+        })
+        assert not violations
+
+    def test_suppression_comment_silences_known_one_way_exporter(self):
+        assert not run_rule("SIM103", """\
+            class Ephemeral:
+                def to_dict(self):  # simlint: disable=SIM103
+                    return {"x": self.x}
+        """)
+
+
+class TestSim104:
+    def test_coherent_miniature_registry_clean(self):
+        assert not run_rule("SIM104", """\
+            FIGURE_ALIASES = {"fig9": "system"}
+
+            _REGISTRY = {}
+
+
+            class ExperimentSpec:
+                def __init__(self, id):
+                    self.id = id
+
+
+            def register_experiment(spec):
+                _REGISTRY[spec.id] = spec
+
+
+            register_experiment(ExperimentSpec(id="system"))
+
+
+            class MemoryController:
+                pass
+
+
+            class GoodController(MemoryController):
+                def write(self, address):
+                    self.tracer.span("write", 0.0, 1.0)
+
+
+            def adapter_for(controller):
+                if isinstance(controller, GoodController):
+                    return object()
+                raise TypeError
+
+
+            def _build_good(nvm):
+                return GoodController()
+
+
+            def register_controller(name, builder):
+                return None
+
+
+            register_controller("good", _build_good)
+        """)
+
+    def test_real_repo_registries_are_coherent(self):
+        # The actual three registries must pass their own gate.
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        report = lint_paths([src], rules=[rule_by_id("SIM104")])
+        assert report.clean, report.render()
+
+    def test_ancestor_coverage_satisfies_adapter_check(self, tmp_path: Path):
+        # Covering the family base class covers every subclass, the way
+        # TraditionalSecureNvmController covers out-of-line page dedup.
+        violations = lint_tree(tmp_path, "SIM104", {
+            "family.py": """\
+                class MemoryController:
+                    pass
+
+
+                class FamilyBase(MemoryController):
+                    def write(self, address):
+                        self.tracer.span("write", 0.0, 1.0)
+
+
+                class Variant(FamilyBase):
+                    pass
+            """,
+            "wiring.py": """\
+                from family import FamilyBase, Variant
+
+
+                def adapter_for(controller):
+                    if isinstance(controller, FamilyBase):
+                        return object()
+                    raise TypeError
+
+
+                def _build_variant(nvm):
+                    return Variant()
+
+
+                def register_controller(name, builder):
+                    return None
+
+
+                register_controller("variant", _build_variant)
+            """,
+        })
+        assert not violations

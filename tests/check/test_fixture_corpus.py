@@ -1,0 +1,80 @@
+"""Golden corpus: every rule catches its seeded fixture, and only that.
+
+The fixtures directory is linted in ONE run (the cross-module fixtures
+need the shared project index), then violations are grouped per file and
+checked against the expectations table.  Any rule firing on a fixture it
+was not seeded into is as much a failure as a seeded violation going
+unreported — the corpus pins both precision and recall.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+from repro.check.lint import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file (relative to fixtures/) → expected Counter of rule hits.
+EXPECTED: dict[str, dict[str, int]] = {
+    "sim001_unseeded_random.py": {"SIM001": 1},
+    "core/sim002_wall_clock.py": {"SIM002": 1},
+    "sim003_float_equality.py": {"SIM003": 1},
+    "sim004_stats_fields.py": {"SIM004": 1},
+    "sim005_bare_assert.py": {"SIM005": 1},
+    "sim006_bare_print.py": {"SIM006": 1},
+    "sim007_swallowed_exceptions.py": {"SIM007": 1},
+    "sim101_taint_source.py": {},  # clean alone; the sink carries the defect
+    "sim101_taint_sink.py": {"SIM101": 2},
+    "sim102_units.py": {"SIM102": 3},
+    "sim103_roundtrip.py": {"SIM103": 2},
+    "sim104_registry.py": {"SIM104": 5},
+}
+
+
+def _lint_corpus():
+    report = lint_paths([FIXTURES])
+    by_file: dict[str, Counter] = {}
+    for violation in report.violations:
+        rel = Path(violation.path).relative_to(FIXTURES).as_posix()
+        by_file.setdefault(rel, Counter())[violation.rule_id] += 1
+    return report, by_file
+
+
+class TestGoldenCorpus:
+    def test_every_fixture_is_covered_by_an_expectation(self):
+        on_disk = {
+            p.relative_to(FIXTURES).as_posix()
+            for p in FIXTURES.rglob("*.py")
+        }
+        assert on_disk == set(EXPECTED), (
+            "fixture files and EXPECTED table out of sync"
+        )
+
+    def test_seeded_violations_all_caught_and_nothing_else(self):
+        report, by_file = _lint_corpus()
+        assert report.files_checked == len(EXPECTED)
+        for rel, expected in EXPECTED.items():
+            actual = dict(by_file.get(rel, Counter()))
+            assert actual == expected, (
+                f"{rel}: expected {expected}, got {actual}\n{report.render()}"
+            )
+
+    def test_cross_module_taint_names_source_and_chain(self):
+        report, _ = _lint_corpus()
+        taint = [v for v in report.violations if v.rule_id == "SIM101"]
+        assert taint, "SIM101 fixtures produced no findings"
+        for violation in taint:
+            # The message must read as a data-flow explanation: source,
+            # its location in the *other* module, and the call chain.
+            assert "time.time()" in violation.message
+            assert "sim101_taint_source:" in violation.message
+            assert "via sim101_taint_source.host_stamp" in violation.message
+
+    def test_corpus_report_is_deterministic(self):
+        first = lint_paths([FIXTURES])
+        second = lint_paths([FIXTURES])
+        assert [v.render() for v in first.violations] == [
+            v.render() for v in second.violations
+        ]

@@ -89,7 +89,7 @@ class TestLintPaths:
         (package / "dirty.py").write_text(BAD_CORE_MODULE, encoding="utf-8")
         report = lint_paths([tmp_path])
         assert report.files_checked == 2
-        assert report.rules_run == 7
+        assert report.rules_run == 11
         assert not report.clean
         assert {v.rule_id for v in report.violations} == {"SIM001", "SIM002", "SIM005"}
         assert "violation(s)" in report.render()

@@ -23,12 +23,13 @@ def run_rule(rule_id: str, source: str, path: Path = WORKLOAD_PATH, context=None
 
 
 class TestRegistry:
-    def test_seven_rules_registered_with_unique_ids(self):
+    def test_all_rules_registered_with_unique_ids(self):
         ids = [rule.rule_id for rule in ALL_RULES]
         assert ids == [
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006", "SIM007",
+            "SIM101", "SIM102", "SIM103", "SIM104",
         ]
-        assert len(set(ids)) == 7
+        assert len(set(ids)) == 11
 
     def test_every_rule_has_summary_and_fixit(self):
         for rule in ALL_RULES:

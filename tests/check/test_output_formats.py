@@ -1,0 +1,108 @@
+"""Machine-readable reports (JSON + SARIF) and the new ``check`` CLI flags."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+from repro.check.lint import lint_paths
+from repro.check.output import report_to_json, report_to_sarif, render_json
+
+RULE_IDS = {
+    "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006", "SIM007",
+    "SIM101", "SIM102", "SIM103", "SIM104",
+}
+
+
+def dirty_report(tmp_path: Path):
+    target = tmp_path / "mod.py"
+    target.write_text("import random\nvalue = random.random()\n")
+    return lint_paths([target])
+
+
+class TestJsonReport:
+    def test_shape_and_fields(self, tmp_path: Path):
+        payload = report_to_json(dirty_report(tmp_path))
+        assert payload["schema"] == "repro.simlint.report/v1"
+        assert payload["rules_run"] == 11
+        assert payload["clean"] is False
+        (violation,) = payload["violations"]
+        assert violation["rule"] == "SIM001"
+        assert violation["line"] == 2
+        assert violation["fingerprint"]
+        assert violation["fixit"]
+
+    def test_render_is_deterministic_text(self, tmp_path: Path):
+        report = dirty_report(tmp_path)
+        assert render_json(report) == render_json(report)
+        json.loads(render_json(report))  # valid JSON
+
+
+class TestSarifReport:
+    def test_minimal_sarif_contract(self, tmp_path: Path):
+        sarif = report_to_sarif(dirty_report(tmp_path))
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "simlint"
+        assert {rule["id"] for rule in driver["rules"]} == RULE_IDS
+        (result,) = run["results"]
+        assert result["ruleId"] == "SIM001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 2
+        assert "\\" not in location["artifactLocation"]["uri"]
+
+    def test_repo_source_paths_are_srcroot_relative(self):
+        src = Path(__file__).resolve().parents[2] / "src" / "repro" / "faults"
+        report = lint_paths([src / "recovery.py"])
+        sarif = report_to_sarif(report)
+        for result in sarif["runs"][0]["results"]:
+            uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            assert uri.startswith("src/repro/"), uri
+
+
+class TestCliFlags:
+    def test_json_flag_prints_machine_report(self, tmp_path: Path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import random\nvalue = random.random()\n")
+        assert main(["check", "--lint", "--json", str(target)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"][0]["rule"] == "SIM001"
+
+    def test_sarif_flag_writes_file(self, tmp_path: Path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import random\nvalue = random.random()\n")
+        out = tmp_path / "report.sarif"
+        assert main(["check", "--lint", "--sarif", str(out), str(target)]) == 1
+        capsys.readouterr()
+        sarif = json.loads(out.read_text())
+        assert sarif["runs"][0]["results"]
+
+    def test_write_baseline_then_gate_passes(self, tmp_path: Path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import random\nvalue = random.random()\n")
+        baseline = tmp_path / "simlint-baseline.json"
+        assert main(
+            ["check", "--lint", "--write-baseline", str(baseline), str(target)]
+        ) == 0
+        # Auto-discovery: the baseline sits next to the target, so a
+        # plain invocation now gates only on *new* findings.
+        assert main(["check", "--lint", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline-suppressed" in out
+        # Explicit opt-out shows the recorded debt again.
+        assert main(["check", "--lint", "--no-baseline", str(target)]) == 1
+
+    def test_explicit_baseline_flag(self, tmp_path: Path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import random\nvalue = random.random()\n")
+        baseline = tmp_path / "elsewhere.json"
+        assert main(
+            ["check", "--lint", "--write-baseline", str(baseline), str(target)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["check", "--lint", "--baseline", str(baseline), str(target)]
+        ) == 0

@@ -1,0 +1,184 @@
+"""Unit tests of the whole-program index (symbols, imports, calls, MRO)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.check.index import ProjectIndex, module_name_for
+
+
+def build(tmp_path: Path, files: dict[str, str]) -> ProjectIndex:
+    parsed = []
+    for name, source in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        parsed.append((path, ast.parse(path.read_text())))
+    return ProjectIndex.build(parsed)
+
+
+class TestModuleNaming:
+    def test_package_modules_get_dotted_names(self, tmp_path: Path):
+        (tmp_path / "repro" / "core").mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (tmp_path / "repro" / "core" / "__init__.py").write_text("")
+        target = tmp_path / "repro" / "core" / "stats.py"
+        target.write_text("X = 1\n")
+        assert module_name_for(target) == "repro.core.stats"
+
+    def test_loose_module_named_by_stem(self, tmp_path: Path):
+        target = tmp_path / "fixture_mod.py"
+        target.write_text("X = 1\n")
+        assert module_name_for(target) == "fixture_mod"
+
+
+class TestSymbols:
+    def test_functions_classes_and_methods_indexed(self, tmp_path: Path):
+        index = build(tmp_path, {
+            "m.py": """\
+                def free(a, b):
+                    return a + b
+
+                class Box:
+                    limit = 4
+
+                    def put(self, item):
+                        return item
+            """,
+        })
+        assert "m.free" in index.functions
+        assert index.functions["m.free"].params == ("a", "b")
+        assert "m.Box" in index.classes
+        put = index.functions["m.Box.put"]
+        assert put.is_method and put.cls == "Box"
+        assert put.params == ("item",)  # self stripped
+        assert "limit" in index.classes["m.Box"].class_constants
+
+    def test_methods_named_collects_across_classes(self, tmp_path: Path):
+        index = build(tmp_path, {
+            "a.py": "class A:\n    def run(self):\n        pass\n",
+            "b.py": "class B:\n    def run(self):\n        pass\n",
+        })
+        assert {m.qualname for m in index.methods_named("run")} == {
+            "a.A.run", "b.B.run",
+        }
+
+
+class TestImportsAndCalls:
+    def test_stdlib_attribute_call_resolves_syntactically(self, tmp_path: Path):
+        index = build(tmp_path, {
+            "m.py": """\
+                import time
+
+                def f():
+                    return time.perf_counter()
+            """,
+        })
+        calls = index.functions["m.f"].calls
+        assert [c.callee for c in calls] == ["time.perf_counter"]
+
+    def test_from_import_and_local_call_edges(self, tmp_path: Path):
+        index = build(tmp_path, {
+            "util.py": "def helper():\n    return 1\n",
+            "m.py": """\
+                from util import helper
+
+                def outer():
+                    return helper() + inner()
+
+                def inner():
+                    return 2
+            """,
+        })
+        callees = {c.callee for c in index.functions["m.outer"].calls}
+        assert callees == {"util.helper", "m.inner"}
+
+    def test_function_local_lazy_import_resolves(self, tmp_path: Path):
+        # The repo's registry idiom: imports inside the builder body.
+        index = build(tmp_path, {
+            "impl.py": "class Widget:\n    pass\n",
+            "factory.py": """\
+                def build():
+                    from impl import Widget
+                    return Widget()
+            """,
+        })
+        callees = {c.callee for c in index.functions["factory.build"].calls}
+        assert "impl.Widget" in callees
+
+    def test_unresolvable_attribute_call_becomes_method_edge(self, tmp_path: Path):
+        index = build(tmp_path, {
+            "m.py": """\
+                def f(obj):
+                    return obj.flush()
+            """,
+        })
+        calls = index.functions["m.f"].calls
+        assert [(c.callee, c.method) for c in calls] == [("", "flush")]
+
+    def test_relative_import_resolved_against_package(self, tmp_path: Path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        index = build(tmp_path, {
+            "pkg/helper.py": "def aid():\n    return 1\n",
+            "pkg/user.py": """\
+                from .helper import aid
+
+                def go():
+                    return aid()
+            """,
+        })
+        callees = {c.callee for c in index.functions["pkg.user.go"].calls}
+        assert callees == {"pkg.helper.aid"}
+
+
+class TestHierarchy:
+    def test_ancestors_cross_module(self, tmp_path: Path):
+        index = build(tmp_path, {
+            "base.py": "class Root:\n    def close(self):\n        pass\n",
+            "mid.py": """\
+                from base import Root
+
+                class Middle(Root):
+                    pass
+            """,
+            "leaf.py": """\
+                from mid import Middle
+
+                class Leaf(Middle):
+                    pass
+            """,
+        })
+        leaf = index.classes["leaf.Leaf"]
+        assert [a.qualname for a in index.ancestors(leaf)] == [
+            "mid.Middle", "base.Root",
+        ]
+        resolved = index.method_resolution(leaf, "close")
+        assert resolved is not None and resolved.qualname == "base.Root.close"
+
+    def test_cyclic_bases_terminate(self, tmp_path: Path):
+        index = build(tmp_path, {
+            "m.py": """\
+                class A(B):
+                    pass
+
+                class B(A):
+                    pass
+            """,
+        })
+        ancestors = index.ancestors(index.classes["m.A"])
+        assert [a.qualname for a in ancestors] == ["m.B"]
+
+
+class TestDeterminism:
+    def test_build_order_is_input_order_independent(self, tmp_path: Path):
+        files = {
+            "z_last.py": "def zf():\n    pass\n",
+            "a_first.py": "def af():\n    pass\n",
+        }
+        forward = build(tmp_path, files)
+        backward = build(tmp_path, dict(reversed(list(files.items()))))
+        assert list(forward.modules) == list(backward.modules)
+        assert list(forward.functions) == list(backward.functions)
