@@ -164,8 +164,7 @@ def duplication_survey(settings: ExperimentSettings) -> Table:
     )
     for profile in settings.profiles():
         oracle = DedupOracle()
-        for address, data in settings.trace_for(profile).write_pairs():
-            oracle.observe_write(address, data)
+        oracle.observe_batch(settings.trace_for(profile).as_batch())
         table.add_row(
             profile.name,
             oracle.duplicate_ratio,
@@ -203,10 +202,7 @@ def prediction_accuracy_survey(
     )
     for profile in settings.profiles():
         oracle = DedupOracle()
-        states = [
-            oracle.observe_write(address, data)
-            for address, data in settings.trace_for(profile).write_pairs()
-        ]
+        states = oracle.observe_batch(settings.trace_for(profile).as_batch())
         accuracies = []
         for window in windows:
             predictor = HistoryWindowPredictor(window=window)
@@ -364,8 +360,7 @@ def write_reduction_survey(
         else:
             stats = run_app_comparison(profile, settings).dewrite.stats
         oracle = DedupOracle()
-        for address, data in settings.trace_for(profile).write_pairs():
-            oracle.observe_write(address, data)
+        oracle.observe_batch(settings.trace_for(profile).as_batch())
         requested = max(stats.writes_requested, 1)
         table.add_row(
             profile.name,

@@ -6,8 +6,9 @@
   al.), the line-level competitor in Figs. 2/13.
 - :func:`traditional_dedup_controller` — SHA-1/MD5 fingerprint in-line
   dedup with trusted fingerprints and serial encryption (Table I).
-- :func:`direct_way_controller` / :func:`parallel_way_controller` — the two
-  strawman dedup⊕encryption integrations of Fig. 3 (Figs. 15/20).
+- the two strawman dedup⊕encryption integrations of Fig. 3 (Figs. 15/20)
+  are built via ``repro.core.registry.build_controller("direct")`` /
+  ``build_controller("parallel")`` — there is no separate factory module.
 - :mod:`repro.baselines.bit_reduction` — DCW / FNW / DEUCE bit-level
   write-reduction models and the combined analyzer behind Fig. 13.
 """
@@ -20,7 +21,6 @@ from repro.baselines.bit_reduction import (
     deuce_flips,
 )
 from repro.baselines.i_nvmm import INvmmController
-from repro.baselines.modes import direct_way_controller, parallel_way_controller
 from repro.baselines.out_of_line import OutOfLinePageDedupController
 from repro.baselines.secure_nvm import TraditionalSecureNvmController
 from repro.baselines.silent_shredder import SilentShredderController
@@ -32,8 +32,6 @@ __all__ = [
     "INvmmController",
     "OutOfLinePageDedupController",
     "traditional_dedup_controller",
-    "direct_way_controller",
-    "parallel_way_controller",
     "BitFlipAnalyzer",
     "BitFlipReport",
     "FnwLineState",

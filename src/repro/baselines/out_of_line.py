@@ -22,9 +22,9 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.baselines.secure_nvm import SecureNvmConfig, TraditionalSecureNvmController
+from repro.core.batching import BatchOutcome
 from repro.core.interface import WriteOutcome
 from repro.crypto.counter_mode import CounterModeEngine
-from repro.hashes.crc32 import line_fingerprint
 from repro.nvm.memory import NvmMainMemory
 
 
@@ -52,12 +52,18 @@ class OutOfLinePageDedupController(TraditionalSecureNvmController):
         self.merged_pages = 0
         self.capacity_saved_lines = 0
         self._merged: set[int] = set()  # pages currently merged away
+        self._pages: set[int] = set()  # pages with at least one written line
+        # Page content keys are pure functions of the page's plaintext, so
+        # the scanner only rebuilds pages dirtied since the last scan.
+        self._page_fp: dict[int, tuple[bytes, ...]] = {}
 
     def write(self, address: int, data: bytes, arrival_ns: float) -> WriteOutcome:
         """Every write reaches the array first; dedup happens later."""
         outcome = super().write(address, data, arrival_ns)
         self._plain[address] = data
         page = address // self.lines_per_page
+        self._pages.add(page)
+        self._page_fp.pop(page, None)
         if page in self._merged:
             # Copy-on-write break: the page diverged, the merge is undone.
             self._merged.discard(page)
@@ -68,42 +74,232 @@ class OutOfLinePageDedupController(TraditionalSecureNvmController):
             self._background_scan(outcome.complete_ns)
         return outcome
 
-    def _background_scan(self, now_ns: float) -> None:
-        """Fingerprint whole pages; merge newly identical ones.
+    def service_batch(self, batch, cursor, max_requests=None):
+        """Fused single-stream kernel: secure write path + page bookkeeping.
 
-        The scan reads pages through the array (timed, posted) like the
-        real scanner would, charging its bank occupancy.
+        The parent's fused kernel refuses subclasses that override the
+        scalar methods, so out-of-line dedup would otherwise fall all the
+        way back to the generic scalar driver.  This kernel replays the
+        parent's inlined write/read pipelines (same float order, so reports
+        stay byte-identical) and interleaves the page-fingerprint
+        bookkeeping and scan trigger exactly where the scalar ``write``
+        override performs them.
+        """
+        cls = type(self)
+        if (
+            cls.write is not OutOfLinePageDedupController.write
+            or cls.read is not TraditionalSecureNvmController.read
+            or cls._background_scan is not OutOfLinePageDedupController._background_scan
+            or self._split is not None
+            or self.tracer.enabled
+            or self.timeline.enabled
+            or len(cursor.active) != 1
+        ):
+            return super().service_batch(batch, cursor, max_requests)
+
+        ops = batch.ops
+        addresses = batch.addresses
+        gaps = batch.gaps
+        persistent = batch.persistent
+        slots = batch.slots
+        payload = batch.payload
+        line_size = batch.line_size
+        npi = cursor.ns_per_instruction
+        exposure = cursor.read_stall_exposure
+        clock = cursor.clock_ghz
+        base_cpi = cursor.base_cpi
+
+        instructions = cursor.instructions
+        stall_cycles = cursor.stall_cycles
+        compute_cycles = cursor.compute_cycles
+        issued = reads = writes = 0
+
+        stats = self.stats
+        counters = self._counters
+        written_set = self._written
+        encrypt = self.cme.encrypt
+        add_aes_line = self.nvm.energy.add_aes_line
+        nvm_write_done = self.nvm.write_complete_ns
+        nvm_read_done = self.nvm.read_complete_ns
+        cache = self.counter_cache
+        cache_blocks = cache._blocks
+        per_block = cache.entries_per_block
+        access_counter = self._access_counter
+        aes_ns = self.config.aes_latency_ns
+        xor_ns = self.config.xor_latency_ns
+        data_lines = self.data_lines
+
+        plain = self._plain
+        page_fp = self._page_fp
+        pages = self._pages
+        merged = self._merged
+        lines_per_page = self.lines_per_page
+        scan_interval = self.scan_interval_writes
+        writes_since_scan = self._writes_since_scan
+
+        writes_requested = stats.writes_requested
+        writes_stored = stats.writes_stored
+        reads_requested = stats.reads_requested
+        wl = stats.write_latency
+        wl_total = wl.total_ns
+        wl_count = wl.count
+        wl_max = wl.max_ns
+        wl_min = wl.min_ns
+        rl = stats.read_latency
+        rl_total = rl.total_ns
+        rl_count = rl.count
+        rl_max = rl.max_ns
+        rl_min = rl.min_ns
+
+        core = next(iter(cursor.active))
+        stream = cursor.streams[core]
+        position = cursor.positions[core]
+        length = len(stream)
+        now = cursor.core_time[core]
+
+        while position < length and issued != max_requests:
+            req = stream[position]
+            gap = gaps[req]
+            arrival = now + gap * npi
+            instructions += gap
+            compute_cycles += gap * base_cpi
+            address = addresses[req]
+            block = address // per_block
+            if ops[req]:
+                slot = slots[req]
+                line = payload[slot : slot + line_size]
+                if len(line) != line_size:
+                    self._check_line(line)
+                if not 0 <= address < data_lines:
+                    self._check_data_address(address)
+                writes_requested += 1
+                writes_stored += 1
+                if block in cache_blocks:
+                    cache.hits += 1
+                    cache_blocks.move_to_end(block)
+                    cache_blocks[block] = True
+                    cnow = arrival
+                else:
+                    cnow = arrival + access_counter(address, True, arrival)
+                counter = counters.get(address, 0) + 1
+                counters[address] = counter
+                ciphertext = encrypt(line, address, counter)
+                add_aes_line()
+                issue = cnow + aes_ns
+                complete = nvm_write_done(address, ciphertext, issue)
+                written_set.add(address)
+                latency = complete - arrival
+                wl_total += latency
+                wl_count += 1
+                if latency > wl_max:
+                    wl_max = latency
+                if wl_count == 1 or latency < wl_min:
+                    wl_min = latency
+                # Out-of-line bookkeeping, in scalar ``write`` order: the
+                # timed write fully completed, now the logical image, line
+                # fingerprint, dirty-page tracking and scan trigger.
+                plain[address] = line
+                page = address // lines_per_page
+                pages.add(page)
+                page_fp.pop(page, None)
+                if page in merged:
+                    merged.discard(page)
+                    self.capacity_saved_lines -= lines_per_page
+                writes_since_scan += 1
+                if writes_since_scan >= scan_interval:
+                    writes_since_scan = 0
+                    self._background_scan(complete)
+                writes += 1
+                if persistent[req]:
+                    now = complete
+                    stall_cycles += latency * clock
+                else:
+                    now = arrival
+            else:
+                if not 0 <= address < data_lines:
+                    self._check_data_address(address)
+                reads_requested += 1
+                if block in cache_blocks:
+                    cache.hits += 1
+                    cache_blocks.move_to_end(block)
+                    rnow = arrival
+                else:
+                    rnow = arrival + access_counter(address, False, arrival)
+                if address in counters:
+                    add_aes_line()
+                rnow = nvm_read_done(address, rnow) + xor_ns
+                latency = rnow - arrival
+                rl_total += latency
+                rl_count += 1
+                if latency > rl_max:
+                    rl_max = latency
+                if rl_count == 1 or latency < rl_min:
+                    rl_min = latency
+                exposed = latency * exposure
+                now = arrival + exposed
+                stall_cycles += exposed * clock
+                reads += 1
+            issued += 1
+            position += 1
+
+        stats.writes_requested = writes_requested
+        stats.writes_stored = writes_stored
+        stats.reads_requested = reads_requested
+        wl.total_ns = wl_total
+        wl.count = wl_count
+        wl.max_ns = wl_max
+        wl.min_ns = wl_min
+        rl.total_ns = rl_total
+        rl.count = rl_count
+        rl.max_ns = rl_max
+        rl.min_ns = rl_min
+        self._writes_since_scan = writes_since_scan
+
+        cursor.positions[core] = position
+        cursor.core_time[core] = now
+        if position >= length:
+            cursor.active.discard(core)
+        cursor.instructions = instructions
+        cursor.stall_cycles = stall_cycles
+        cursor.compute_cycles = compute_cycles
+        return BatchOutcome(issued, reads, writes, 0)
+
+    def _background_scan(self, now_ns: float) -> None:
+        """Group pages by content; merge newly identical ones.
+
+        Pages are keyed by the tuple of their plain line contents: equal
+        keys ARE byte-equal pages (bytes hashes are cached by the
+        interpreter after first use, so rehashing a clean page is cheap),
+        which folds the old CRC-fingerprint pass and the page-by-page
+        verification compare into the one grouping step.  The scan reads
+        merged pages through the array (timed, posted) like the real
+        scanner would, charging its bank occupancy.
         """
         self.scans += 1
-        by_content: dict[tuple[int, ...], list[int]] = defaultdict(list)
-        pages = {address // self.lines_per_page for address in self._plain}
-        for page in sorted(pages):
-            if page in self._merged:
+        by_content: dict[tuple[bytes, ...], list[int]] = defaultdict(list)
+        plain = self._plain
+        cached_fp = self._page_fp
+        lines_per_page = self.lines_per_page
+        merged = self._merged
+        for page in sorted(self._pages):
+            if page in merged:
                 continue
-            base = page * self.lines_per_page
-            fingerprint = tuple(
-                line_fingerprint(self._plain.get(base + offset, b""))
-                for offset in range(self.lines_per_page)
-            )
+            fingerprint = cached_fp.get(page)
+            if fingerprint is None:
+                base = page * lines_per_page
+                fingerprint = tuple(
+                    [plain.get(line, b"") for line in range(base, base + lines_per_page)]
+                )
+                cached_fp[page] = fingerprint
             by_content[fingerprint].append(page)
-        for fingerprint, group in by_content.items():
+        for group in by_content.values():
             if len(group) < 2:
                 continue
-            # Verify byte equality page-by-page against the first member.
-            keeper = group[0]
+            # Every member is byte-identical to the first; merge the rest.
             for candidate in group[1:]:
-                if self._pages_equal(keeper, candidate):
-                    # The scanner's verification reads occupy banks.
-                    for offset in range(self.lines_per_page):
-                        self.nvm.read(candidate * self.lines_per_page + offset, now_ns)
-                    self._merged.add(candidate)
-                    self.merged_pages += 1
-                    self.capacity_saved_lines += self.lines_per_page
-
-    def _pages_equal(self, a: int, b: int) -> bool:
-        base_a = a * self.lines_per_page
-        base_b = b * self.lines_per_page
-        return all(
-            self._plain.get(base_a + offset) == self._plain.get(base_b + offset)
-            for offset in range(self.lines_per_page)
-        )
+                # The scanner's verification reads occupy banks.
+                base = candidate * self.lines_per_page
+                self.nvm.read_burst(range(base, base + self.lines_per_page), now_ns)
+                self._merged.add(candidate)
+                self.merged_pages += 1
+                self.capacity_saved_lines += self.lines_per_page

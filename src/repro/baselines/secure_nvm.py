@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.batching import BatchOutcome
 from repro.core.interface import MemoryController, ReadOutcome, WriteOutcome
 from repro.core.metadata_cache import MetadataCache
 from repro.core.stats import DeWriteStats
@@ -170,6 +171,180 @@ class TraditionalSecureNvmController(MemoryController):
             tracer.span("read", arrival_ns, now, redirected=False)
         return ReadOutcome(latency_ns=latency, data=data, complete_ns=now)
 
+    # -- batched request interface -------------------------------------------
+
+    def service_batch(self, batch, cursor, max_requests=None):
+        """Fused single-stream kernel for the plain (non-split-counter) path.
+
+        Same contract as the DeWrite fused kernel: scalar write/read
+        pipelines inlined into the issue loop, counters and latency
+        accumulators batched into locals, float arithmetic in scalar order
+        so reports stay byte-identical.  Falls back to the generic driver
+        for subclasses (Silent Shredder, i-NVMM, out-of-line dedup override
+        the scalar methods), split-counter mode, attached observers, or
+        multi-stream cursors.
+        """
+        cls = type(self)
+        if (
+            cls.write is not TraditionalSecureNvmController.write
+            or cls.read is not TraditionalSecureNvmController.read
+            or self._split is not None
+            or self.tracer.enabled
+            or self.timeline.enabled
+            or len(cursor.active) != 1
+        ):
+            return super().service_batch(batch, cursor, max_requests)
+
+        ops = batch.ops
+        addresses = batch.addresses
+        gaps = batch.gaps
+        persistent = batch.persistent
+        slots = batch.slots
+        payload = batch.payload
+        line_size = batch.line_size
+        npi = cursor.ns_per_instruction
+        exposure = cursor.read_stall_exposure
+        clock = cursor.clock_ghz
+        base_cpi = cursor.base_cpi
+
+        instructions = cursor.instructions
+        stall_cycles = cursor.stall_cycles
+        compute_cycles = cursor.compute_cycles
+        issued = reads = writes = 0
+
+        stats = self.stats
+        counters = self._counters
+        written_set = self._written
+        encrypt = self.cme.encrypt
+        energy = self.nvm.energy
+        add_aes_line = energy.add_aes_line
+        nvm_write_done = self.nvm.write_complete_ns
+        nvm_read_done = self.nvm.read_complete_ns
+        cache = self.counter_cache
+        cache_blocks = cache._blocks
+        per_block = cache.entries_per_block
+        access_counter = self._access_counter
+        aes_ns = self.config.aes_latency_ns
+        xor_ns = self.config.xor_latency_ns
+        data_lines = self.data_lines
+
+        writes_requested = stats.writes_requested
+        writes_stored = stats.writes_stored
+        reads_requested = stats.reads_requested
+        wl = stats.write_latency
+        wl_total = wl.total_ns
+        wl_count = wl.count
+        wl_max = wl.max_ns
+        wl_min = wl.min_ns
+        rl = stats.read_latency
+        rl_total = rl.total_ns
+        rl_count = rl.count
+        rl_max = rl.max_ns
+        rl_min = rl.min_ns
+
+        core = next(iter(cursor.active))
+        stream = cursor.streams[core]
+        position = cursor.positions[core]
+        length = len(stream)
+        now = cursor.core_time[core]
+
+        while position < length and issued != max_requests:
+            req = stream[position]
+            gap = gaps[req]
+            arrival = now + gap * npi
+            instructions += gap
+            compute_cycles += gap * base_cpi
+            address = addresses[req]
+            # Counter-cache touches are fast-pathed for resident blocks;
+            # the slow path reuses the scalar helper (NVM fetch + writeback).
+            block = address // per_block
+            if ops[req]:
+                slot = slots[req]
+                line = payload[slot : slot + line_size]
+                if len(line) != line_size:
+                    self._check_line(line)
+                if not 0 <= address < data_lines:
+                    self._check_data_address(address)
+                writes_requested += 1
+                writes_stored += 1
+                if block in cache_blocks:
+                    cache.hits += 1
+                    cache_blocks.move_to_end(block)
+                    cache_blocks[block] = True
+                    cnow = arrival
+                else:
+                    cnow = arrival + access_counter(address, True, arrival)
+                counter = counters.get(address, 0) + 1
+                counters[address] = counter
+                ciphertext = encrypt(line, address, counter)
+                add_aes_line()
+                issue = cnow + aes_ns
+                complete = nvm_write_done(address, ciphertext, issue)
+                written_set.add(address)
+                latency = complete - arrival
+                wl_total += latency
+                wl_count += 1
+                if latency > wl_max:
+                    wl_max = latency
+                if wl_count == 1 or latency < wl_min:
+                    wl_min = latency
+                writes += 1
+                if persistent[req]:
+                    now = complete
+                    stall_cycles += latency * clock
+                else:
+                    now = arrival
+            else:
+                # ReadOutcome.data is discarded by the issue loop, so the
+                # plaintext reconstruction is skipped; metadata latency,
+                # array timing and AES energy are charged as in scalar.
+                if not 0 <= address < data_lines:
+                    self._check_data_address(address)
+                reads_requested += 1
+                if block in cache_blocks:
+                    cache.hits += 1
+                    cache_blocks.move_to_end(block)
+                    rnow = arrival
+                else:
+                    rnow = arrival + access_counter(address, False, arrival)
+                if address in counters:
+                    add_aes_line()
+                rnow = nvm_read_done(address, rnow) + xor_ns
+                latency = rnow - arrival
+                rl_total += latency
+                rl_count += 1
+                if latency > rl_max:
+                    rl_max = latency
+                if rl_count == 1 or latency < rl_min:
+                    rl_min = latency
+                exposed = latency * exposure
+                now = arrival + exposed
+                stall_cycles += exposed * clock
+                reads += 1
+            issued += 1
+            position += 1
+
+        stats.writes_requested = writes_requested
+        stats.writes_stored = writes_stored
+        stats.reads_requested = reads_requested
+        wl.total_ns = wl_total
+        wl.count = wl_count
+        wl.max_ns = wl_max
+        wl.min_ns = wl_min
+        rl.total_ns = rl_total
+        rl.count = rl_count
+        rl.max_ns = rl_max
+        rl.min_ns = rl_min
+
+        cursor.positions[core] = position
+        cursor.core_time[core] = now
+        if position >= length:
+            cursor.active.discard(core)
+        cursor.instructions = instructions
+        cursor.stall_cycles = stall_cycles
+        cursor.compute_cycles = compute_cycles
+        return BatchOutcome(issued, reads, writes, 0)
+
     # -- counter-cache plumbing ---------------------------------------------
 
     def _access_counter(self, address: int, write: bool, now_ns: float) -> float:
@@ -180,9 +355,9 @@ class TraditionalSecureNvmController(MemoryController):
         extra = 0.0
         if not result.hit:
             line = self._counter_line_for(result.block)
-            fetched = self.nvm.read(line, now_ns)
+            fetched = self.nvm.read_complete_ns(line, now_ns)
             self.stats.metadata_reads += 1
-            extra = (fetched.complete_ns - now_ns) + self.config.metadata_decrypt_ns
+            extra = (fetched - now_ns) + self.config.metadata_decrypt_ns
         if result.evicted_dirty_block is not None:
             self._writeback_counters(result.evicted_dirty_block, now_ns)
         return extra

@@ -20,7 +20,7 @@ Two classes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.core.config import DeWriteConfig
 from repro.core.metadata_cache import MetadataCache
@@ -56,6 +56,12 @@ class MetadataSystem:
         self.nvm = nvm
         self.decrypt_ns = config.metadata_decrypt_ns
         self.persistence = config.persistence
+        # The persistence config is frozen; under the default battery-backed
+        # policy every dirtying access would otherwise pay two enum-property
+        # checks in _enforce_persistence for nothing.
+        self._persistence_active = (
+            config.persistence.is_write_through or config.persistence.is_periodic
+        )
         self._last_periodic_flush_ns = 0.0
         self.metadata_reads = 0
         self.metadata_writebacks = 0
@@ -65,6 +71,14 @@ class MetadataSystem:
         self._payload_version = 0
         self.tracer: TracerLike = NULL_TRACER
         self.timeline: TimelineLike = NULL_TIMELINE
+        # (base line, table lines) per table, precomputed: the layout's
+        # properties rebuild their dicts on every call, which shows up on
+        # the miss/writeback paths.  Same arithmetic as ``nvm_line_for``.
+        table_lines = layout.table_lines
+        self._line_map: dict[TableName, tuple[int, int]] = {
+            name: (layout.table_base(name), table_lines[name]) for name in self.caches
+        }
+        self._line_size = nvm.config.organization.line_size_bytes
 
     def access(
         self,
@@ -85,16 +99,30 @@ class MetadataSystem:
         NVM — there is nothing to fetch.
         """
         cache = self.caches[table]
+        # Fast path: resident block, no timeline observer.  Mirrors the hit
+        # arm of MetadataCache.access (same statistics, same LRU motion,
+        # same persistence hook) without allocating a CacheAccess.
+        blocks = cache._blocks
+        block = entry_index // cache.entries_per_block
+        if block in blocks and not self.timeline.enabled:
+            if fetch_on_miss:
+                cache.hits += 1
+            blocks.move_to_end(block)
+            if write:
+                blocks[block] = True
+                if self._persistence_active:
+                    self._enforce_persistence(table, entry_index, now_ns)
+            return 0.0
         result = cache.access(entry_index, write, is_insert=not fetch_on_miss)
         if self.timeline.enabled:
             self.timeline.record_metadata(now_ns, hit=result.hit)
         extra = 0.0
         if not result.hit and fetch_on_miss:
-            line = self.layout.nvm_line_for(table, result.block)
-            read = self.nvm.read(line, now_ns)
+            base, table_lines = self._line_map[table]
+            fetched = self.nvm.read_complete_ns(base + result.block % table_lines, now_ns)
             self.metadata_reads += 1
             if blocking:
-                extra = (read.complete_ns - now_ns) + self.decrypt_ns
+                extra = (fetched - now_ns) + self.decrypt_ns
             if self.tracer.enabled:
                 self.tracer.event(
                     "metadata.miss", sim_ns=now_ns, table=table, blocking=blocking
@@ -133,15 +161,27 @@ class MetadataSystem:
 
     def replay(self, touches: list[MetadataTouch], now_ns: float) -> None:
         """Post a batch of functional-update touches (non-blocking)."""
-        for touch in touches:
-            self.access(
-                touch.table,
-                touch.index,
-                touch.write,
-                now_ns,
-                blocking=False,
-                fetch_on_miss=not touch.insert,
-            )
+        caches = self.caches
+        timeline_off = not self.timeline.enabled
+        persistence = self._persistence_active
+        access = self.access
+        for table, index, write, insert in touches:
+            # Resident-block fast path, inlined from access(): posted
+            # touches are the hottest metadata traffic, and the call
+            # overhead alone is measurable on dedup-heavy traces.
+            cache = caches[table]
+            blocks = cache._blocks
+            block = index // cache.entries_per_block
+            if timeline_off and block in blocks:
+                if not insert:
+                    cache.hits += 1
+                blocks.move_to_end(block)
+                if write:
+                    blocks[block] = True
+                    if persistence:
+                        self._enforce_persistence(table, index, now_ns)
+                continue
+            access(table, index, write, now_ns, False, not insert)
 
     def flush(self, now_ns: float) -> int:
         """Write back every dirty block (shutdown / end of run)."""
@@ -175,18 +215,21 @@ class MetadataSystem:
             raise ValueError("negative metadata traffic counter")
 
     def _writeback(self, table: TableName, block: int, now_ns: float) -> None:
-        line = self.layout.nvm_line_for(table, block)
+        base, table_lines = self._line_map[table]
+        line = base + block % table_lines
         self._payload_version += 1
-        payload = self._payloads.pad(
-            line, self._payload_version, self.nvm.config.organization.line_size_bytes
-        )
+        payload = self._payloads.pad(line, self._payload_version, self._line_size)
         self.nvm.write(line, payload, now_ns)
         self.metadata_writebacks += 1
 
 
-@dataclass(frozen=True)
-class DetectionResult:
-    """Outcome of one duplication detection."""
+class DetectionResult(NamedTuple):
+    """Outcome of one duplication detection.
+
+    A NamedTuple rather than a dataclass: one is allocated per write on
+    the hot path.  Every constructor passes ``touches`` explicitly (the
+    ``()`` default is shared, never mutated).
+    """
 
     duplicate_target: int | None
     done_ns: float
@@ -196,7 +239,7 @@ class DetectionResult:
     pna_skipped: bool = False
     hash_hit_in_cache: bool = False
     queried_nvm_hash_table: bool = False
-    touches: list[MetadataTouch] = field(default_factory=list)
+    touches: "list[MetadataTouch] | tuple[MetadataTouch, ...]" = ()
 
     @property
     def is_duplicate(self) -> bool:
@@ -221,6 +264,18 @@ class DedupEngine:
         self.nvm = nvm
         self.cme = cme
         self.tracer: TracerLike = NULL_TRACER
+        # Hot-path constants hoisted from the frozen config.
+        self._fp_ns = config.fingerprint_latency_ns
+        self._compare_ns = config.compare_latency_ns
+        self._enable_pna = config.enable_pna
+        self._trust_fingerprint = config.trust_fingerprint
+        self._reference_cap = config.reference_cap
+        self._max_verify_reads = config.max_verify_reads
+        self._hash_cache = metadata.caches["hash_table"]
+        # The hash cache holds individual entries (entries_per_block == 1),
+        # so detect() can probe/refresh it with plain dict operations.
+        self._hash_blocks = self._hash_cache._blocks
+        self._nvm_line_size = nvm.config.organization.line_size_bytes
 
     def detect(
         self, plaintext: bytes, crc: int, arrival_ns: float, predicted_duplicate: bool
@@ -232,17 +287,19 @@ class DedupEngine:
         declare unique immediately) or a blocking in-NVM hash-table query,
         then one verify read + compare per surviving candidate.
         """
-        now = arrival_ns + self.config.fingerprint_latency_ns
+        now = arrival_ns + self._fp_ns
         touches: list[MetadataTouch] = []
 
-        hash_cache = self.metadata.caches["hash_table"]
-        cached = hash_cache.probe(crc)
+        hash_blocks = self._hash_blocks
+        cached = crc in hash_blocks
         queried_nvm = False
         if cached:
-            # Refresh LRU/dirtiness bookkeeping; guaranteed hit.
-            hash_cache.access(crc, write=False)
+            # Refresh LRU/hit bookkeeping; guaranteed hit (inlined
+            # MetadataCache.touch_hit for the 1-entry-per-block hash cache).
+            self._hash_cache.hits += 1
+            hash_blocks.move_to_end(crc)
         else:
-            if self.config.enable_pna and not predicted_duplicate:
+            if self._enable_pna and not predicted_duplicate:
                 # PNA: skip the expensive in-NVM query; declare non-duplicate.
                 return DetectionResult(
                     duplicate_target=None,
@@ -262,15 +319,17 @@ class DedupEngine:
         # is the live dedup target, so it must be checked first.  Saturated
         # entries are skipped without a read — they can never be targets.
         candidates = []
-        for physical, reference in reversed(self.index.candidates(crc)):
-            if reference >= self.config.reference_cap:
-                capped += 1
-                continue
-            candidates.append((physical, reference))
-            if len(candidates) >= self.config.max_verify_reads:
-                break
+        entry = self.index.candidate_entry(crc)
+        if entry:
+            for physical, reference in reversed(entry.items()):
+                if reference >= self._reference_cap:
+                    capped += 1
+                    continue
+                candidates.append((physical, reference))
+                if len(candidates) >= self._max_verify_reads:
+                    break
 
-        if self.config.trust_fingerprint:
+        if self._trust_fingerprint:
             # Traditional dedup (Table Ib): the cryptographic fingerprint is
             # trusted, so no verifying read — match means duplicate.
             if candidates:
@@ -284,6 +343,17 @@ class DedupEngine:
                 touches=touches,
             )
 
+        if candidates:
+            n = len(plaintext)
+            full_line = n == self._nvm_line_size
+            if full_line:
+                plaintext_int = int.from_bytes(plaintext, "little")
+            nvm = self.nvm
+            read_done = nvm.read_complete_ns
+            peek_int = nvm.peek_int
+            peek_counter = self.index.peek_counter
+            pad_int_for = self.cme.pad_int_for
+            add_dedup_op = nvm.energy.add_dedup_op
         for physical, reference in candidates:
             # Verify read: the asymmetric-latency trade of §III-B1.  The OTP
             # for the comparison overlaps the array read (Table Ib prices a
@@ -292,13 +362,19 @@ class DedupEngine:
             # trace=False: the verify read's interval lives inside the
             # enclosing write.dedup span; a device-level nvm.read span per
             # candidate would dominate the trace on dedup-heavy workloads.
-            read = self.nvm.read(physical, now, trace=False)
+            complete = read_done(physical, now, trace=False)
             verify_reads += 1
-            counter = self.index.peek_counter(physical)
-            candidate_plain = self.cme.decrypt(read.data, physical, counter)
-            self.nvm.energy.add_dedup_op()
-            now = read.complete_ns + self.config.compare_latency_ns
-            matched = candidate_plain == plaintext
+            counter = peek_counter(physical)
+            # Compare in the integer domain: stored ^ pad == plaintext is
+            # decrypt(stored) == plaintext for equal-length lines, minus two
+            # bytes<->int conversions.  Stored lines are always one full
+            # line, so an off-size probe plaintext can never match.
+            matched = (
+                full_line
+                and peek_int(physical) ^ pad_int_for(physical, counter, n) == plaintext_int
+            )
+            add_dedup_op()
+            now = complete + self._compare_ns
             # Only the anomalous case gets an event: a verify read that
             # fails to match is a CRC collision worth flagging per-candidate,
             # while the common confirmed-duplicate case is already fully

@@ -19,8 +19,10 @@ DeWrite.  Figs. 15 and 20 compare the three.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Literal
 
+from repro.core.batching import BatchOutcome
 from repro.core.config import DeWriteConfig
 from repro.core.dedup_engine import DedupEngine, MetadataSystem
 from repro.core.interface import MemoryController, ReadOutcome, WriteOutcome
@@ -30,6 +32,7 @@ from repro.core.tables import DedupIndex, MetadataLayout, MetadataTouch
 from repro.crypto.counter_mode import CounterModeEngine
 from repro.hashes.crc32 import line_fingerprint
 from repro.nvm.memory import NvmMainMemory
+from repro.obs.timeline import TimelineLike
 from repro.obs.trace import TracerLike
 
 IntegrationMode = Literal["predictive", "direct", "parallel"]
@@ -73,6 +76,17 @@ class DeWriteController(MemoryController):
         self.engine = DedupEngine(self.config, self.index, self.metadata, nvm, self.cme)
         self.predictor = HistoryWindowPredictor(window=self.config.history_window)
         self.stats = DeWriteStats()
+        # Hot-path constants: pure functions of the frozen config/layout,
+        # hoisted out of the per-request paths.
+        self._data_lines = self.layout.data_lines
+        self._aes_ns = self.config.aes_latency_ns
+        self._xor_ns = self.config.xor_latency_ns
+        self._use_crc32 = self.config.fingerprint == "crc32"
+        self._hash_ctor = (
+            None
+            if self._use_crc32
+            else getattr(hashlib, self.config.fingerprint, None)
+        )
 
     # -- write path (Fig. 10) ------------------------------------------------
 
@@ -185,12 +199,12 @@ class DeWriteController(MemoryController):
             # Encryption started at arrival, concurrently with detection;
             # the write issues once both have finished.
             crypto_start = arrival_ns
-            issue = max(arrival_ns + self.config.aes_latency_ns, detection.done_ns)
+            issue = max(arrival_ns + self._aes_ns, detection.done_ns)
         else:
             # Serial: detection first, then AES (the direct way / a
             # predicted-duplicate misprediction).
             crypto_start = detection.done_ns
-            issue = detection.done_ns + self.config.aes_latency_ns
+            issue = detection.done_ns + self._aes_ns
             if self.mode == "predictive" and predicted_dup:
                 stats.serialized_detections += 1
 
@@ -230,7 +244,7 @@ class DeWriteController(MemoryController):
             # device returns the erased (all-zero) pattern.
             issue = now
             read = self.nvm.read(address, now)
-            now = read.complete_ns + self.config.xor_latency_ns
+            now = read.complete_ns + self._xor_ns
             data = bytes(self.line_size)
         else:
             if physical != address:
@@ -243,7 +257,7 @@ class DeWriteController(MemoryController):
             issue = now
             read = self.nvm.read(physical, now)
             self.nvm.energy.add_aes_line()  # OTP generation for decryption
-            now = read.complete_ns + self.config.xor_latency_ns
+            now = read.complete_ns + self._xor_ns
             data = self.cme.decrypt(read.data, physical, counter)
 
         latency = now - arrival_ns
@@ -262,6 +276,241 @@ class DeWriteController(MemoryController):
             tracer.span("read", arrival_ns, now, redirected=redirected)
         return ReadOutcome(latency_ns=latency, data=data, complete_ns=now)
 
+    # -- batched request interface ---------------------------------------------
+
+    def service_batch(self, batch, cursor, max_requests=None):
+        """Fused single-stream write/read kernel (byte-identical to scalar).
+
+        Inlines the scalar :meth:`write` / :meth:`read` pipelines into the
+        issue loop with every per-request allocation (Write/ReadOutcome,
+        latency-accumulator calls, per-request stats syncs) hoisted into
+        locals that are written back once per batch.  Float arithmetic is
+        performed in exactly the scalar order, so reports are bit-identical
+        — the property suite enforces this per controller.
+
+        Falls back to the generic driver whenever per-request effects are
+        observable (tracer/timeline attached), the scalar methods are
+        overridden, or more than one core stream is active (the fused loop
+        services a single arrival-ordered stream).
+        """
+        cls = type(self)
+        if (
+            cls.write is not DeWriteController.write
+            or cls.read is not DeWriteController.read
+            or self.tracer.enabled
+            or self.timeline.enabled
+            or len(cursor.active) != 1
+        ):
+            return super().service_batch(batch, cursor, max_requests)
+
+        ops = batch.ops
+        addresses = batch.addresses
+        gaps = batch.gaps
+        persistent = batch.persistent
+        slots = batch.slots
+        payload = batch.payload
+        line_size = batch.line_size
+        npi = cursor.ns_per_instruction
+        exposure = cursor.read_stall_exposure
+        clock = cursor.clock_ghz
+        base_cpi = cursor.base_cpi
+
+        instructions = cursor.instructions
+        stall_cycles = cursor.stall_cycles
+        compute_cycles = cursor.compute_cycles
+        issued = reads = writes = deduplicated = 0
+
+        # Controller internals, hoisted once per batch.
+        stats = self.stats
+        engine = self.engine
+        detect = engine.detect
+        truth_has_duplicate = engine.truth_has_duplicate
+        energy = self.nvm.energy
+        add_dedup_op = energy.add_dedup_op
+        add_aes_line = energy.add_aes_line
+        index = self.index
+        apply_duplicate = index.apply_duplicate
+        physical_of = index.physical_of
+        counter_slot = index.counter_slot
+        replay = self.metadata.replay
+        metadata_access = self.metadata.access
+        commit_unique = self._commit_unique
+        nvm_read_done = self.nvm.read_complete_ns
+        enable_prediction = self.config.enable_prediction
+        predict = self.predictor.predict
+        score = self.predictor.complete
+        use_crc32 = self._use_crc32
+        slow_fingerprint = self._fingerprint
+        xor_ns = self._xor_ns
+        data_lines = self._data_lines
+        is_direct = self.mode == "direct"
+        is_parallel = self.mode == "parallel"
+        par_enc = self.config.enable_parallel_encryption
+
+        # Counter batching: plain integers, written back after the loop.
+        writes_requested = stats.writes_requested
+        writes_deduplicated = stats.writes_deduplicated
+        verify_reads_total = stats.verify_reads
+        crc_collisions = stats.crc_collisions
+        capped_rejects = stats.capped_reference_rejects
+        hash_matches = stats.hash_matches
+        missed_pna = stats.missed_duplicates_pna
+        wasted_encryptions = stats.wasted_encryptions
+        reads_requested = stats.reads_requested
+        reads_redirected = stats.reads_redirected
+        wl = stats.write_latency
+        wl_total = wl.total_ns
+        wl_count = wl.count
+        wl_max = wl.max_ns
+        wl_min = wl.min_ns
+        rl = stats.read_latency
+        rl_total = rl.total_ns
+        rl_count = rl.count
+        rl_max = rl.max_ns
+        rl_min = rl.min_ns
+
+        core = next(iter(cursor.active))
+        stream = cursor.streams[core]
+        position = cursor.positions[core]
+        length = len(stream)
+        now = cursor.core_time[core]
+
+        while position < length and issued != max_requests:
+            req = stream[position]
+            gap = gaps[req]
+            arrival = now + gap * npi
+            instructions += gap
+            compute_cycles += gap * base_cpi
+            address = addresses[req]
+            if ops[req]:
+                # ---- inlined write() ------------------------------------
+                slot = slots[req]
+                line = payload[slot : slot + line_size]
+                if len(line) != line_size:
+                    self._check_line(line)
+                if not 0 <= address < data_lines:
+                    self._check_data_address(address)
+                writes_requested += 1
+                predicted = predict() if enable_prediction else False
+                crc = line_fingerprint(line) if use_crc32 else slow_fingerprint(line)
+                detection = detect(line, crc, arrival, predicted)
+                add_dedup_op()
+                v = detection.verify_reads
+                if v:
+                    verify_reads_total += v
+                    hash_matches += 1
+                    crc_collisions += detection.collisions
+                capped_rejects += detection.capped_rejects
+                if detection.pna_skipped and truth_has_duplicate(line, crc):
+                    missed_pna += 1
+                target = detection.duplicate_target
+                if target is not None:
+                    # ---- inlined _commit_duplicate() --------------------
+                    writes_deduplicated += 1
+                    touches = list(detection.touches)
+                    apply_duplicate(address, target, touches)
+                    complete = detection.done_ns
+                    replay(touches, complete)
+                    if not is_direct and (
+                        is_parallel or (par_enc and not predicted)
+                    ):
+                        add_aes_line()
+                        wasted_encryptions += 1
+                    latency = complete - arrival
+                    dedup = True
+                    deduplicated += 1
+                else:
+                    outcome = commit_unique(
+                        address, line, crc, detection, predicted, arrival
+                    )
+                    latency = outcome.latency_ns
+                    complete = outcome.complete_ns
+                    dedup = False
+                if enable_prediction:
+                    score(predicted, dedup)
+                wl_total += latency
+                wl_count += 1
+                if latency > wl_max:
+                    wl_max = latency
+                if wl_count == 1 or latency < wl_min:
+                    wl_min = latency
+                writes += 1
+                if persistent[req]:
+                    now = complete
+                    stall_cycles += latency * clock
+                else:
+                    now = arrival
+            else:
+                # ---- inlined read() -------------------------------------
+                # The issue loop discards ReadOutcome.data, so the plaintext
+                # reconstruction (OTP decrypt / zero-line materialisation)
+                # is skipped; its timing surrogates (metadata access, array
+                # read, AES energy, xor latency) are all still charged.
+                if not 0 <= address < data_lines:
+                    self._check_data_address(address)
+                reads_requested += 1
+                rnow = arrival + metadata_access(
+                    "address_map", address, False, arrival, True
+                )
+                physical = physical_of(address)
+                if physical is None:
+                    rnow = nvm_read_done(address, rnow) + xor_ns
+                else:
+                    if physical != address:
+                        reads_redirected += 1
+                    slot_table = counter_slot(physical)
+                    if slot_table == "overflow":
+                        slot_table = "address_map"
+                    rnow += metadata_access(slot_table, physical, False, rnow, True)
+                    rnow = nvm_read_done(physical, rnow) + xor_ns
+                    add_aes_line()
+                latency = rnow - arrival
+                rl_total += latency
+                rl_count += 1
+                if latency > rl_max:
+                    rl_max = latency
+                if rl_count == 1 or latency < rl_min:
+                    rl_min = latency
+                exposed = latency * exposure
+                now = arrival + exposed
+                stall_cycles += exposed * clock
+                reads += 1
+            issued += 1
+            position += 1
+
+        # Write the batched counters and accumulators back.
+        stats.writes_requested = writes_requested
+        stats.writes_deduplicated = writes_deduplicated
+        stats.verify_reads = verify_reads_total
+        stats.crc_collisions = crc_collisions
+        stats.capped_reference_rejects = capped_rejects
+        stats.hash_matches = hash_matches
+        stats.missed_duplicates_pna = missed_pna
+        stats.wasted_encryptions = wasted_encryptions
+        stats.reads_requested = reads_requested
+        stats.reads_redirected = reads_redirected
+        wl.total_ns = wl_total
+        wl.count = wl_count
+        wl.max_ns = wl_max
+        wl.min_ns = wl_min
+        rl.total_ns = rl_total
+        rl.count = rl_count
+        rl.max_ns = rl_max
+        rl.min_ns = rl_min
+        if enable_prediction:
+            stats.predictions = self.predictor.predictions
+            stats.correct_predictions = self.predictor.correct
+        self._sync_metadata_stats()
+
+        cursor.positions[core] = position
+        cursor.core_time[core] = now
+        if position >= length:
+            cursor.active.discard(core)
+        cursor.instructions = instructions
+        cursor.stall_cycles = stall_cycles
+        cursor.compute_cycles = compute_cycles
+        return BatchOutcome(issued, reads, writes, deduplicated)
+
     # -- maintenance -----------------------------------------------------------
 
     def flush_metadata(self, now_ns: float = 0.0) -> int:
@@ -276,11 +525,9 @@ class DeWriteController(MemoryController):
 
     # -- internals -----------------------------------------------------------
 
-    def _propagate_tracer(self, tracer: TracerLike) -> None:
+    def _propagate_observers(self, tracer: TracerLike, timeline: TimelineLike) -> None:
         self.metadata.tracer = tracer
         self.engine.tracer = tracer
-
-    def _propagate_timeline(self, timeline) -> None:
         self.metadata.timeline = timeline
 
     def _fingerprint(self, data: bytes) -> int:
@@ -290,11 +537,14 @@ class DeWriteController(MemoryController):
         from-scratch implementations in :mod:`repro.hashes` are asserted
         bit-identical to them by the test suite.
         """
-        if self.config.fingerprint == "crc32":
+        if self._use_crc32:
             return line_fingerprint(data)
-        import hashlib
-
-        digest = hashlib.new(self.config.fingerprint, data).digest()
+        ctor = self._hash_ctor
+        digest = (
+            ctor(data).digest()
+            if ctor is not None
+            else hashlib.new(self.config.fingerprint, data).digest()
+        )
         return int.from_bytes(digest, "big")
 
     def _predict(self) -> bool:
@@ -327,7 +577,7 @@ class DeWriteController(MemoryController):
         self.stats.metadata_writebacks = self.metadata.metadata_writebacks
 
     def _check_data_address(self, address: int) -> None:
-        if not 0 <= address < self.layout.data_lines:
+        if not 0 <= address < self._data_lines:
             raise IndexError(
-                f"data line {address} out of range [0, {self.layout.data_lines})"
+                f"data line {address} out of range [0, {self._data_lines})"
             )

@@ -22,12 +22,15 @@ costs a posted NVM metadata write — the source of the ~2.6 % extra writes
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
-@dataclass(frozen=True)
-class CacheAccess:
-    """Outcome of one cache access."""
+class CacheAccess(NamedTuple):
+    """Outcome of one cache access.
+
+    A NamedTuple rather than a dataclass: one is allocated per metadata
+    touch on the hot path.
+    """
 
     hit: bool
     block: int
@@ -80,14 +83,15 @@ class MetadataCache:
         allocation is not a failed lookup, so it is excluded from the
         hit/miss statistics (Fig. 21 measures query hit rates).
         """
-        block = self.block_of(entry_index)
-        if block in self._blocks:
+        block = entry_index // self.entries_per_block
+        blocks = self._blocks
+        if block in blocks:
             if not is_insert:
                 self.hits += 1
-            self._blocks.move_to_end(block)
+            blocks.move_to_end(block)
             if write:
-                self._blocks[block] = True
-            return CacheAccess(hit=True, block=block)
+                blocks[block] = True
+            return CacheAccess(True, block)
 
         if not is_insert:
             self.misses += 1
@@ -106,6 +110,21 @@ class MetadataCache:
                 evicted = victim
         self._blocks[block] = write
         return CacheAccess(hit=False, block=block, evicted_dirty_block=evicted)
+
+    def touch_hit(self, entry_index: int, write: bool = False) -> None:
+        """Refresh a **known-resident** entry: LRU position, dirty bit, hit count.
+
+        Semantically identical to :meth:`access` when the entry's block is
+        resident (same statistics, same LRU motion) but without allocating
+        a :class:`CacheAccess` — the batched hot paths pair it with
+        :meth:`probe`.  Calling it for a non-resident entry is a bug; the
+        ``move_to_end`` raises ``KeyError`` rather than corrupting state.
+        """
+        self.hits += 1
+        block = entry_index // self.entries_per_block
+        self._blocks.move_to_end(block)
+        if write:
+            self._blocks[block] = True
 
     def flush(self) -> list[int]:
         """Write back and drop every dirty block (e.g. at shutdown).

@@ -78,8 +78,7 @@ def build_controller(name: str, nvm: "NvmMainMemory", **opts: Any) -> "MemoryCon
     ``tracer=...`` and ``timeline=...`` are handled here for every
     registered controller: each is popped before the builder runs and
     attached via
-    :meth:`~repro.core.interface.MemoryController.attach_tracer` /
-    :meth:`~repro.core.interface.MemoryController.attach_timeline`, so any
+    :meth:`~repro.core.interface.MemoryController.attach_observers`, so any
     caller (the ``trace``/``timeline`` CLI verbs, the overhead gate,
     tests) can observe any controller without per-builder wiring.  Both
     are in-process objects — they never travel inside serialised job
@@ -96,10 +95,8 @@ def build_controller(name: str, nvm: "NvmMainMemory", **opts: Any) -> "MemoryCon
             f"unknown controller {name!r}; registered: {known}"
         ) from None
     controller = builder(nvm, **opts)
-    if tracer is not None:
-        controller.attach_tracer(tracer)
-    if timeline is not None:
-        controller.attach_timeline(timeline)
+    if tracer is not None or timeline is not None:
+        controller.attach_observers(tracer=tracer, timeline=timeline)
     return controller
 
 

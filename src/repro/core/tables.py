@@ -33,19 +33,23 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Literal
+from typing import Literal, NamedTuple
+
+from repro.containers import PagedCounterStore
 
 TableName = Literal["address_map", "inverted_hash", "hash_table", "fsm"]
 
 TABLE_NAMES: tuple[TableName, ...] = ("address_map", "inverted_hash", "hash_table", "fsm")
 
 
-@dataclass(frozen=True)
-class MetadataTouch:
+class MetadataTouch(NamedTuple):
     """One access to a metadata table entry (for the timing layer).
 
     ``insert`` marks the creation of a brand-new hash entry: there is
     nothing to fetch from NVM, so a cache miss allocates without a read.
+
+    A NamedTuple rather than a dataclass: several are allocated per write
+    on the hot path.
     """
 
     table: TableName
@@ -72,7 +76,11 @@ class DedupIndex:
         self._mapping: dict[int, int] = {}  # logical -> physical (written lines only)
         self._stored: dict[int, int] = {}  # physical -> crc of live content
         self._hash_table: dict[int, dict[int, int]] = {}  # crc -> {physical: ref}
-        self._counters: dict[int, int] = {}  # physical -> write counter
+        # physical -> write counter, array-backed (8 B per touched line,
+        # no boxed ints): counters are written once per stored line and
+        # monotonically grow, exactly the dense-page access pattern
+        # PagedCounterStore is built for.
+        self._counters = PagedCounterStore()
 
         # Freed physical lines are recycled LIFO; fresh allocations grow
         # downward from the top of the device so they stay clear of the
@@ -100,6 +108,15 @@ class DedupIndex:
         if not entry:
             return []
         return list(entry.items())
+
+    def candidate_entry(self, crc: int) -> dict[int, int] | None:
+        """Live ``{physical: reference}`` dict under ``crc`` (None when absent).
+
+        The batched detection path iterates this in place;
+        :meth:`candidates` returns a defensive copy for everyone else.
+        Callers must not mutate the returned dict.
+        """
+        return self._hash_table.get(crc)
 
     def content_crc(self, physical: int) -> int | None:
         """CRC of the content stored at a physical line (inverted table)."""
@@ -135,11 +152,11 @@ class DedupIndex:
     def counter_of(self, physical: int, touches: list[MetadataTouch]) -> int:
         """Current encryption counter of a physical line."""
         self._touch_counter(physical, touches, write=False)
-        return self._counters.get(physical, 0)
+        return self._counters.get(physical)
 
     def peek_counter(self, physical: int) -> int:
         """Counter value without recording a metadata touch (timing-free)."""
-        return self._counters.get(physical, 0)
+        return self._counters.get(physical)
 
     def physical_of(self, logical: int) -> int | None:
         """Mapping lookup without recording a metadata touch (timing-free)."""
@@ -147,14 +164,13 @@ class DedupIndex:
 
     def bump_counter(self, physical: int, touches: list[MetadataTouch]) -> int:
         """Increment and return the counter (called once per physical write)."""
-        value = self._counters.get(physical, 0) + 1
-        self._counters[physical] = value
+        value = self._counters.add(physical, 1)
         self._touch_counter(physical, touches, write=True)
         return value
 
     def overflow_counters(self) -> int:
         """How many counters currently live in the overflow store."""
-        return sum(1 for p in self._counters if self.counter_slot(p) == "overflow")
+        return sum(1 for p in self._counters.keys() if self.counter_slot(p) == "overflow")
 
     def counter_items(self) -> tuple[tuple[int, int], ...]:
         """Snapshot of every (physical line, encryption counter) pair.
@@ -332,7 +348,7 @@ class DedupIndex:
             if counter < 0:
                 raise DedupIndexError(f"line {phys} has negative counter {counter}")
         for phys in self._stored:
-            if self._counters.get(phys, 0) < 1:
+            if self._counters.get(phys) < 1:
                 raise DedupIndexError(
                     f"line {phys} holds live data but was never encrypted (counter 0)"
                 )

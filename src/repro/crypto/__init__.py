@@ -24,7 +24,12 @@ Modules:
 from repro.crypto.aes import AES128
 from repro.crypto.counter_mode import CounterModeEngine, OtpReuseError
 from repro.crypto.direct import DirectEncryptionEngine
-from repro.crypto.otp import AesPadGenerator, PadGenerator, SplitmixPadGenerator
+from repro.crypto.otp import (
+    AesPadGenerator,
+    PadGenerator,
+    ShakePadGenerator,
+    SplitmixPadGenerator,
+)
 
 __all__ = [
     "AES128",
@@ -33,5 +38,6 @@ __all__ = [
     "DirectEncryptionEngine",
     "PadGenerator",
     "SplitmixPadGenerator",
+    "ShakePadGenerator",
     "AesPadGenerator",
 ]

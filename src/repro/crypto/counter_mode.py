@@ -17,7 +17,7 @@ the cryptographic contract:
 
 from __future__ import annotations
 
-from repro.crypto.otp import PadGenerator, SplitmixPadGenerator
+from repro.crypto.otp import PadGenerator, ShakePadGenerator
 
 
 class OtpReuseError(RuntimeError):
@@ -41,15 +41,23 @@ class CounterModeEngine:
         """Create an engine.
 
         Args:
-            pad_generator: pad source; defaults to the fast splitmix PRF.
+            pad_generator: pad source; defaults to the fast SHAKE-128 XOF.
             key: 128-bit key used only if ``pad_generator`` is None.
             track_otp_reuse: when True, remember every (address, counter)
                 used for encryption and raise :class:`OtpReuseError` on
                 reuse.  Costs memory; intended for tests and small runs.
         """
-        self._pads = pad_generator if pad_generator is not None else SplitmixPadGenerator(key)
+        self._pads = pad_generator if pad_generator is not None else ShakePadGenerator(key)
         self._track = track_otp_reuse
         self._used: set[tuple[int, int]] = set()
+        # Pads are pure functions of (address, counter, length), so repeated
+        # XORs against the same triple — dedup verify reads decrypt the same
+        # stored lines over and over — can reuse the pad.  Cached as ints
+        # (the XOR operand), saving one bytes->int conversion per call.
+        # Bounded so a multi-million-line run cannot hold every pad ever
+        # generated.
+        self._pad_cache: dict[tuple[int, int, int], int] = {}
+        self._pad_cache_cap = 8192
 
     def encrypt(self, plaintext: bytes, address: int, counter: int) -> bytes:
         """Encrypt one line stored at ``address`` under its ``counter``."""
@@ -66,9 +74,32 @@ class CounterModeEngine:
         """Decrypt one line; identical XOR with the same pad."""
         return self._xor_pad(ciphertext, address, counter)
 
+    def pad_int_for(self, address: int, counter: int, nbytes: int) -> int:
+        """The one-time pad as a little-endian integer (the XOR operand).
+
+        For callers that compare lines in the integer domain — e.g. the
+        dedup verify read, which only needs ``decrypt(stored) == candidate``
+        — this skips the two bytes<->int conversions of a full
+        :meth:`decrypt`.  Shares the bounded pad cache.
+        """
+        token = (address, counter, nbytes)
+        cache = self._pad_cache
+        pad_int = cache.get(token)
+        if pad_int is None:
+            if len(cache) >= self._pad_cache_cap:
+                cache.clear()
+            pad_int = int.from_bytes(self._pads.pad(address, counter, nbytes), "little")
+            cache[token] = pad_int
+        return pad_int
+
     def _xor_pad(self, data: bytes, address: int, counter: int) -> bytes:
-        pad = self._pads.pad(address, counter, len(data))
         n = len(data)
-        return (int.from_bytes(data, "little") ^ int.from_bytes(pad, "little")).to_bytes(
-            n, "little"
-        )
+        token = (address, counter, n)
+        cache = self._pad_cache
+        pad_int = cache.get(token)
+        if pad_int is None:
+            if len(cache) >= self._pad_cache_cap:
+                cache.clear()
+            pad_int = int.from_bytes(self._pads.pad(address, counter, n), "little")
+            cache[token] = pad_int
+        return (int.from_bytes(data, "little") ^ pad_int).to_bytes(n, "little")

@@ -75,11 +75,8 @@ class CrashSimulator(MemoryController):
     def stats(self):  # noqa: ANN201 - mirrors the wrapped controller's stats
         return self.inner.stats
 
-    def _propagate_tracer(self, tracer: TracerLike) -> None:
-        self.inner.attach_tracer(tracer)
-
-    def _propagate_timeline(self, timeline) -> None:
-        self.inner.attach_timeline(timeline)
+    def _propagate_observers(self, tracer: TracerLike, timeline) -> None:
+        self.inner.attach_observers(tracer=tracer, timeline=timeline)
 
     def _maybe_crash(self, arrival_ns: float) -> None:
         """Pull the plug before the current request if the plan says so."""
@@ -156,7 +153,7 @@ def run_crash_scenario(
 
     wrapper = CrashSimulator(controller, plan)
     if tracer is not None:
-        wrapper.attach_tracer(tracer)
+        wrapper.attach_observers(tracer=tracer)
     tracer = wrapper.tracer
 
     completed = False

@@ -13,6 +13,9 @@ three functions plus the hardware latency/size model of Table I:
   bit-identical to ``binascii.crc32``.
 - :func:`sha1` / :func:`md5` — pure-Python digests, bit-identical to
   ``hashlib``.
+- :func:`sha1_many` / :func:`md5_many` — SWAR batch kernels evaluating the
+  same circuits over a whole write burst at once (one 64-bit big-integer
+  lane per message), bit-identical to mapping the scalar functions.
 - :class:`HashModel` / :data:`CRC32_MODEL` etc. — Table Ia's latency and
   digest-size constants, consumed by the timing simulator.
 """
@@ -27,6 +30,7 @@ from repro.hashes.latency import (
 )
 from repro.hashes.md5 import md5, md5_hexdigest
 from repro.hashes.sha1 import sha1, sha1_hexdigest
+from repro.hashes.vector import md5_many, sha1_many
 
 __all__ = [
     "crc32",
@@ -34,8 +38,10 @@ __all__ = [
     "line_fingerprint",
     "sha1",
     "sha1_hexdigest",
+    "sha1_many",
     "md5",
     "md5_hexdigest",
+    "md5_many",
     "HashModel",
     "CRC32_MODEL",
     "SHA1_MODEL",

@@ -15,6 +15,7 @@ stdlib path for large simulations (same function, faster constant).
 from __future__ import annotations
 
 import binascii
+import struct
 
 _IEEE_POLY_REFLECTED = 0xEDB88320
 
@@ -36,16 +37,56 @@ def _build_table(poly: int) -> tuple[int, ...]:
 _TABLE = _build_table(_IEEE_POLY_REFLECTED)
 
 
+def _build_slice8_tables(base: tuple[int, ...]) -> tuple[tuple[int, ...], ...]:
+    """Derive the 8 slicing-by-8 tables from the classic byte table.
+
+    ``tables[n][b]`` is the CRC contribution of byte ``b`` when it sits
+    ``n`` positions before the end of an 8-byte chunk, letting the kernel
+    fold 8 input bytes per iteration instead of 1 (Intel's slicing-by-8
+    formulation; same polynomial, same function).
+    """
+    tables = [base]
+    for _ in range(7):
+        prev = tables[-1]
+        tables.append(tuple((entry >> 8) ^ base[entry & 0xFF] for entry in prev))
+    return tuple(tables)
+
+
+_T0, _T1, _T2, _T3, _T4, _T5, _T6, _T7 = _build_slice8_tables(_TABLE)
+
+
 def crc32(data: bytes, crc: int = 0) -> int:
     """Compute the CRC-32 of ``data``, from scratch.
 
     Parameters mirror ``binascii.crc32``: ``crc`` is the running checksum of
     previously processed data (0 to start), and the return value is the
     checksum of the concatenation.  The result is an unsigned 32-bit int.
+
+    The kernel uses slicing-by-8: each iteration folds the current checksum
+    into 8 message bytes through 8 precomputed tables, cutting interpreted
+    loop overhead ~4x versus the byte-at-a-time formulation while computing
+    the identical reflected IEEE CRC (cross-validated against
+    ``binascii.crc32`` in the test suite).
     """
     crc = (crc ^ 0xFFFFFFFF) & 0xFFFFFFFF
-    table = _TABLE
-    for byte in data:
+    tail = len(data) & 7
+    cut = len(data) - tail
+    words = struct.unpack_from(f"<{cut // 4}I", data)
+    for m in range(0, cut // 4, 2):
+        crc ^= words[m]
+        high = words[m + 1]
+        crc = (
+            _T7[crc & 0xFF]
+            ^ _T6[(crc >> 8) & 0xFF]
+            ^ _T5[(crc >> 16) & 0xFF]
+            ^ _T4[crc >> 24]
+            ^ _T3[high & 0xFF]
+            ^ _T2[(high >> 8) & 0xFF]
+            ^ _T1[(high >> 16) & 0xFF]
+            ^ _T0[high >> 24]
+        )
+    table = _T0
+    for byte in data[cut:]:
         crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
     return crc ^ 0xFFFFFFFF
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class Bank:
     """Two-clock bank model: a backlog clock for writes, a tail for reads.
 

@@ -24,6 +24,13 @@ class EnergyAccount:
     aes_nj: float = 0.0
     dedup_logic_nj: float = 0.0
 
+    def __post_init__(self) -> None:
+        # Per-op increments are pure functions of the (frozen) config;
+        # recomputing them inside every add_* call costs a method call and
+        # arithmetic on the hottest paths for the same constant.
+        self._aes_line_nj = self.config.aes_nj_per_line(self.line_size_bytes)
+        self._dedup_op_nj = self.config.dedup_logic_nj_per_op
+
     def add_line_read(self, row_hit: bool = False) -> None:
         """Array energy of one full-line read."""
         self.nvm_read_nj += self.config.read_nj_per_line(self.line_size_bytes, row_hit=row_hit)
@@ -36,11 +43,11 @@ class EnergyAccount:
 
     def add_aes_line(self) -> None:
         """AES engine energy for encrypting/decrypting one full line."""
-        self.aes_nj += self.config.aes_nj_per_line(self.line_size_bytes)
+        self.aes_nj += self._aes_line_nj
 
     def add_dedup_op(self) -> None:
         """CRC + comparator energy for one duplication check."""
-        self.dedup_logic_nj += self.config.dedup_logic_nj_per_op
+        self.dedup_logic_nj += self._dedup_op_nj
 
     @property
     def total_nj(self) -> float:

@@ -9,7 +9,7 @@ measured against the identical device.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.nvm.bank import Bank
 from repro.nvm.config import NvmConfig
@@ -19,9 +19,13 @@ from repro.obs.timeline import NULL_TIMELINE, TimelineLike
 from repro.obs.trace import NULL_TRACER, TracerLike
 
 
-@dataclass(frozen=True)
-class AccessResult:
-    """Timing outcome of one array access."""
+class AccessResult(NamedTuple):
+    """Timing outcome of one array access.
+
+    A NamedTuple rather than a dataclass: the device constructs one per
+    access on the hot path, and tuple allocation is several times cheaper
+    than dataclass ``__init__``.
+    """
 
     address: int
     start_ns: float
@@ -50,7 +54,13 @@ class NvmMainMemory:
     def __init__(self, config: NvmConfig | None = None) -> None:
         self.config = config if config is not None else NvmConfig()
         org = self.config.organization
+        timing = self.config.timing
         self._lines: dict[int, bytes] = {}
+        # Integer mirror of ``_lines`` (little-endian value of each stored
+        # line), maintained by write()/poke().  Bit-flip counting is then a
+        # single xor of cached ints instead of two bytes->int conversions
+        # per write.  Unwritten lines mirror to 0 == the all-zero line.
+        self._line_ints: dict[int, int] = {}
         self._banks = [Bank(index=i) for i in range(org.total_banks)]
         self._zero_line = bytes(org.line_size_bytes)
         self.wear = WearTracker()
@@ -61,6 +71,25 @@ class NvmMainMemory:
         self.writes = 0
         self.tracer: TracerLike = NULL_TRACER
         self.timeline: TimelineLike = NULL_TIMELINE
+        # Hot-path constants, hoisted out of the per-access property chains.
+        # All are pure functions of the (frozen) config, so precomputing
+        # them cannot change any simulated value.
+        self._total_lines = org.total_lines
+        self._bank_count = org.total_banks
+        self._line_size = org.line_size_bytes
+        self._t_read_ns = timing.read_ns
+        self._t_row_hit_ns = timing.row_hit_ns
+        self._t_write_ns = timing.write_ns
+        energy_cfg = self.config.energy
+        self._e_read_miss_nj = energy_cfg.read_nj_per_line(self._line_size, row_hit=False)
+        self._e_read_hit_nj = energy_cfg.read_nj_per_line(self._line_size, row_hit=True)
+        self._e_write_pj_per_bit = energy_cfg.write_pj_per_bit
+        self._full_line_bits = self._line_size * 8
+        # write()/read() inline the bank scheduling arithmetic, so the
+        # service-time validation Bank.schedule would perform moves here,
+        # once per device instead of once per access.
+        if min(self._t_read_ns, self._t_row_hit_ns, self._t_write_ns) < 0:
+            raise ValueError("NVM service times must be non-negative")
 
     # -- timed device interface ---------------------------------------------
 
@@ -76,17 +105,44 @@ class NvmMainMemory:
         already records and which would otherwise dominate the trace on
         dedup-heavy workloads.
         """
-        self._check_address(address)
-        bank = self._banks[self.config.organization.bank_of(address)]
+        if not 0 <= address < self._total_lines:
+            self._check_address(address)
+        bank = self._banks[address % self._bank_count]
         row_hit = bank.open_line == address
-        service = self.config.timing.row_hit_ns if row_hit else self.config.timing.read_ns
-        start, complete = bank.schedule_read(
-            arrival_ns, service, bypass_cap_ns=self.config.timing.write_ns
-        )
+        # Inlined Bank.schedule_read(arrival, service, bypass_cap=t_write)
+        # with the default drain watermark — arithmetic identical, but the
+        # call/validation overhead is off the per-access path.
+        service = self._t_row_hit_ns if row_hit else self._t_read_ns
+        t_write = self._t_write_ns
+        busy = bank.busy_until_ns
+        backlog = busy - arrival_ns
+        if backlog > bank.peak_backlog_ns:
+            bank.peak_backlog_ns = backlog
+        backlog_excess = backlog - t_write * 2
+        earliest = arrival_ns + backlog_excess if backlog_excess > 0 else arrival_ns
+        in_service_until = earliest + t_write
+        if busy < in_service_until:
+            in_service_until = busy
+        start = arrival_ns
+        if bank.read_tail_ns > start:
+            start = bank.read_tail_ns
+        if in_service_until > start:
+            start = in_service_until
+        complete = start + service
+        bank.read_tail_ns = complete
+        new_busy = (busy if busy > arrival_ns else arrival_ns) + service
+        if complete > new_busy:
+            new_busy = complete
+        bank.busy_until_ns = new_busy
+        bank.serviced_requests += 1
+        bank.total_wait_ns += start - arrival_ns
+        bank.total_service_ns += service
         if row_hit:
             bank.row_hits += 1
+            self.energy.nvm_read_nj += self._e_read_hit_nj
+        else:
+            self.energy.nvm_read_nj += self._e_read_miss_nj
         bank.open_line = address
-        self.energy.add_line_read(row_hit=row_hit)
         self.reads += 1
         if trace and self.tracer.enabled:
             self.tracer.span(
@@ -129,21 +185,33 @@ class NvmMainMemory:
                 their own figure; wear always additionally records the true
                 number of flipped cells.
         """
-        self._check_address(address)
-        line_size = self.config.organization.line_size_bytes
-        if len(data) != line_size:
-            raise ValueError(f"line must be {line_size} bytes, got {len(data)}")
-        bank = self._banks[self.config.organization.bank_of(address)]
-        start, complete = bank.schedule(arrival_ns, self.config.timing.write_ns)
+        if not 0 <= address < self._total_lines:
+            self._check_address(address)
+        if len(data) != self._line_size:
+            raise ValueError(f"line must be {self._line_size} bytes, got {len(data)}")
+        bank = self._banks[address % self._bank_count]
+        # Inlined Bank.schedule(arrival, t_write) — arithmetic identical.
+        busy = bank.busy_until_ns
+        backlog = busy - arrival_ns
+        if backlog > bank.peak_backlog_ns:
+            bank.peak_backlog_ns = backlog
+        start = arrival_ns if arrival_ns > busy else busy
+        complete = start + self._t_write_ns
+        bank.busy_until_ns = complete
+        bank.serviced_requests += 1
+        bank.total_wait_ns += start - arrival_ns
+        bank.total_service_ns += self._t_write_ns
         bank.open_line = address
 
-        old = self._lines.get(address, self._zero_line)
-        flips = self._bit_flips(old, data)
+        new_int = int.from_bytes(data, "little")
+        line_ints = self._line_ints
+        flips = (line_ints.get(address, 0) ^ new_int).bit_count()
         if bits_written is None:
-            bits_written = line_size * 8
+            bits_written = self._full_line_bits
         self.wear.record_write(address, bit_flips=flips, bits_written=bits_written)
-        self.energy.add_line_write(bits_written)
+        self.energy.nvm_write_nj += bits_written * self._e_write_pj_per_bit / 1000.0
         self._lines[address] = data
+        line_ints[address] = new_int
         self.writes += 1
         if self.tracer.enabled:
             self.tracer.span(
@@ -162,12 +230,197 @@ class NvmMainMemory:
             address=address, start_ns=start, complete_ns=complete, arrival_ns=arrival_ns
         )
 
+    def write_complete_ns(self, address: int, data: bytes, arrival_ns: float) -> float:
+        """:meth:`write` without the result object: returns the complete time.
+
+        Scheduling, wear, energy, statistics, tracer and timeline effects
+        are identical to :meth:`write` with the default (naive, full-line)
+        ``bits_written``; only the :class:`AccessResult` is elided.  For the
+        fused batch kernels, which discard everything but the completion
+        time.
+        """
+        if not 0 <= address < self._total_lines:
+            self._check_address(address)
+        if len(data) != self._line_size:
+            raise ValueError(f"line must be {self._line_size} bytes, got {len(data)}")
+        bank = self._banks[address % self._bank_count]
+        busy = bank.busy_until_ns
+        backlog = busy - arrival_ns
+        if backlog > bank.peak_backlog_ns:
+            bank.peak_backlog_ns = backlog
+        start = arrival_ns if arrival_ns > busy else busy
+        complete = start + self._t_write_ns
+        bank.busy_until_ns = complete
+        bank.serviced_requests += 1
+        bank.total_wait_ns += start - arrival_ns
+        bank.total_service_ns += self._t_write_ns
+        bank.open_line = address
+
+        new_int = int.from_bytes(data, "little")
+        line_ints = self._line_ints
+        flips = (line_ints.get(address, 0) ^ new_int).bit_count()
+        bits_written = self._full_line_bits
+        self.wear.record_write(address, flips, bits_written)
+        self.energy.nvm_write_nj += bits_written * self._e_write_pj_per_bit / 1000.0
+        self._lines[address] = data
+        line_ints[address] = new_int
+        self.writes += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                "nvm.write",
+                arrival_ns,
+                complete,
+                bank=bank.index,
+                wait_ns=start - arrival_ns,
+                bit_flips=flips,
+            )
+        if self.timeline.enabled:
+            self.timeline.record_nvm_write(
+                arrival_ns, bank=bank.index, wait_ns=start - arrival_ns, bit_flips=flips
+            )
+        return complete
+
+    def read_complete_ns(self, address: int, arrival_ns: float, *, trace: bool = True) -> float:
+        """:meth:`read` without the result object: returns the complete time.
+
+        Scheduling, energy, statistics, tracer and timeline effects are
+        identical to :meth:`read`; only the :class:`AccessResult` (and its
+        line-content lookup) is elided.  For callers that discard the data —
+        verify reads, fused batch kernels, counter fetches.
+        """
+        if not 0 <= address < self._total_lines:
+            self._check_address(address)
+        bank = self._banks[address % self._bank_count]
+        row_hit = bank.open_line == address
+        service = self._t_row_hit_ns if row_hit else self._t_read_ns
+        t_write = self._t_write_ns
+        busy = bank.busy_until_ns
+        backlog = busy - arrival_ns
+        if backlog > bank.peak_backlog_ns:
+            bank.peak_backlog_ns = backlog
+        backlog_excess = backlog - t_write * 2
+        earliest = arrival_ns + backlog_excess if backlog_excess > 0 else arrival_ns
+        in_service_until = earliest + t_write
+        if busy < in_service_until:
+            in_service_until = busy
+        start = arrival_ns
+        if bank.read_tail_ns > start:
+            start = bank.read_tail_ns
+        if in_service_until > start:
+            start = in_service_until
+        complete = start + service
+        bank.read_tail_ns = complete
+        new_busy = (busy if busy > arrival_ns else arrival_ns) + service
+        if complete > new_busy:
+            new_busy = complete
+        bank.busy_until_ns = new_busy
+        bank.serviced_requests += 1
+        bank.total_wait_ns += start - arrival_ns
+        bank.total_service_ns += service
+        if row_hit:
+            bank.row_hits += 1
+            self.energy.nvm_read_nj += self._e_read_hit_nj
+        else:
+            self.energy.nvm_read_nj += self._e_read_miss_nj
+        bank.open_line = address
+        self.reads += 1
+        if trace and self.tracer.enabled:
+            self.tracer.span(
+                "nvm.read",
+                arrival_ns,
+                complete,
+                bank=bank.index,
+                wait_ns=start - arrival_ns,
+                row_hit=row_hit,
+            )
+        if self.timeline.enabled:
+            self.timeline.record_nvm_read(
+                arrival_ns, bank=bank.index, wait_ns=start - arrival_ns
+            )
+        return complete
+
+    def read_burst(self, addresses: "range | list[int]", arrival_ns: float) -> None:
+        """Service a burst of line reads arriving together, results discarded.
+
+        Semantically identical to calling :meth:`read` (with ``trace=False``)
+        on each address in order and ignoring the returned data — same bank
+        scheduling, energy, wear-neutral accounting and statistics — but
+        fused into one loop with the per-request allocations (the
+        :class:`AccessResult`, the line-content lookup) elided.  Built for
+        scanners and verifiers that only need the bank occupancy side
+        effects of their reads, e.g. the out-of-line page-dedup scanner.
+        """
+        total_lines = self._total_lines
+        banks = self._banks
+        bank_count = self._bank_count
+        t_hit = self._t_row_hit_ns
+        t_read = self._t_read_ns
+        t_write = self._t_write_ns
+        e_hit = self._e_read_hit_nj
+        e_miss = self._e_read_miss_nj
+        energy = self.energy
+        timeline = self.timeline if self.timeline.enabled else None
+        count = 0
+        drain_threshold = t_write * 2
+        for address in addresses:
+            if not 0 <= address < total_lines:
+                self._check_address(address)
+            bank = banks[address % bank_count]
+            row_hit = bank.open_line == address
+            # Inlined Bank.schedule_read — same arithmetic as read().
+            service = t_hit if row_hit else t_read
+            busy = bank.busy_until_ns
+            backlog = busy - arrival_ns
+            if backlog > bank.peak_backlog_ns:
+                bank.peak_backlog_ns = backlog
+            backlog_excess = backlog - drain_threshold
+            earliest = arrival_ns + backlog_excess if backlog_excess > 0 else arrival_ns
+            in_service_until = earliest + t_write
+            if busy < in_service_until:
+                in_service_until = busy
+            start = arrival_ns
+            if bank.read_tail_ns > start:
+                start = bank.read_tail_ns
+            if in_service_until > start:
+                start = in_service_until
+            complete = start + service
+            bank.read_tail_ns = complete
+            new_busy = (busy if busy > arrival_ns else arrival_ns) + service
+            if complete > new_busy:
+                new_busy = complete
+            bank.busy_until_ns = new_busy
+            bank.serviced_requests += 1
+            bank.total_wait_ns += start - arrival_ns
+            bank.total_service_ns += service
+            if row_hit:
+                bank.row_hits += 1
+                energy.nvm_read_nj += e_hit
+            else:
+                energy.nvm_read_nj += e_miss
+            bank.open_line = address
+            count += 1
+            if timeline is not None:
+                timeline.record_nvm_read(
+                    arrival_ns, bank=bank.index, wait_ns=start - arrival_ns
+                )
+        self.reads += count
+
     # -- functional (untimed) interface ----------------------------------------
 
     def peek(self, address: int) -> bytes:
         """Read line contents with no timing or energy effect (testing aid)."""
         self._check_address(address)
         return self._lines.get(address, self._zero_line)
+
+    def peek_int(self, address: int) -> int:
+        """Line contents as a little-endian integer, untimed (0 if unwritten).
+
+        The integer mirror the write path already maintains for bit-flip
+        counting; exposed so verify-read compares can stay in the integer
+        domain instead of round-tripping through bytes.
+        """
+        self._check_address(address)
+        return self._line_ints.get(address, 0)
 
     def contains(self, address: int) -> bool:
         """Whether the line has ever been written."""
@@ -186,6 +439,7 @@ class NvmMainMemory:
         if len(data) != line_size:
             raise ValueError(f"line must be {line_size} bytes, got {len(data)}")
         self._lines[address] = data
+        self._line_ints[address] = int.from_bytes(data, "little")
 
     # -- statistics -------------------------------------------------------------
 

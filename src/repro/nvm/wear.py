@@ -10,8 +10,9 @@ estimates in the endurance example can be computed from one source.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, replace
+
+from repro.containers import PagedCounterStore
 
 
 @dataclass(frozen=True)
@@ -53,13 +54,22 @@ class RegionWear:
 
 
 class WearTracker:
-    """Per-line write and bit-flip counts plus global totals."""
+    """Per-line write and bit-flip counts plus global totals.
+
+    Per-line counts live in array-backed paged stores
+    (:class:`repro.containers.PagedCounterStore`) — 8 bytes per touched
+    line, no per-entry boxing — and the aggregate statistics are maintained
+    incrementally so :meth:`summary` is O(1) regardless of trace size.
+    """
 
     def __init__(self) -> None:
-        self._line_writes: Counter[int] = Counter()
-        self._line_flips: Counter[int] = Counter()
+        self._line_writes = PagedCounterStore()
+        self._line_flips = PagedCounterStore()
+        self._total_line_writes = 0
         self._total_bit_flips = 0
         self._total_bits_written = 0
+        self._max_line_writes = 0
+        self._distinct_lines = 0
 
     def record_write(self, line_address: int, bit_flips: int, bits_written: int) -> None:
         """Record one physical line write.
@@ -73,18 +83,24 @@ class WearTracker:
         """
         if bit_flips < 0 or bits_written < 0:
             raise ValueError("wear quantities must be non-negative")
-        self._line_writes[line_address] += 1
-        self._line_flips[line_address] += bit_flips
+        count = self._line_writes.add(line_address, 1)
+        if count == 1:
+            self._distinct_lines += 1
+        if count > self._max_line_writes:
+            self._max_line_writes = count
+        if bit_flips:
+            self._line_flips.add(line_address, bit_flips)
+        self._total_line_writes += 1
         self._total_bit_flips += bit_flips
         self._total_bits_written += bits_written
 
     def writes_to(self, line_address: int) -> int:
         """Write count of one line."""
-        return self._line_writes[line_address]
+        return self._line_writes.get(line_address)
 
     def flips_to(self, line_address: int) -> int:
         """Accumulated bit flips of one line."""
-        return self._line_flips[line_address]
+        return self._line_flips.get(line_address)
 
     def written_lines(self) -> tuple[int, ...]:
         """Every line written at least once, sorted.
@@ -93,7 +109,7 @@ class WearTracker:
         (:class:`repro.faults.injectors.CellFaultInjector`) samples its
         victims from this population, weighted by :meth:`writes_to`.
         """
-        return tuple(sorted(self._line_writes))
+        return tuple(self._line_writes.keys())
 
     def highest_line_written(self) -> int | None:
         """Largest line address written so far (``None`` before any write).
@@ -102,16 +118,16 @@ class WearTracker:
         bound — a 16 GiB device rendered over its full address space would
         collapse a small trace's working set into one cell.
         """
-        return max(self._line_writes, default=None)
+        return self._line_writes.max_key()
 
     def summary(self) -> WearSummary:
         """Aggregate statistics snapshot."""
         return WearSummary(
-            total_line_writes=sum(self._line_writes.values()),
+            total_line_writes=self._total_line_writes,
             total_bit_flips=self._total_bit_flips,
             total_bits_written=self._total_bits_written,
-            max_line_writes=max(self._line_writes.values(), default=0),
-            distinct_lines_written=len(self._line_writes),
+            max_line_writes=self._max_line_writes,
+            distinct_lines_written=self._distinct_lines,
         )
 
     def lifetime_factor(self, baseline: "WearTracker") -> float:
@@ -167,7 +183,7 @@ class WearTracker:
         for line, count in self._line_writes.items():
             group = group_of(line)
             writes[group] += count
-            flips[group] += self._line_flips[line]
+            flips[group] += self._line_flips.get(line)
             if count > peak[group]:
                 peak[group] = count
                 hottest[group] = line
@@ -231,5 +247,8 @@ class WearTracker:
         """Clear all recorded wear."""
         self._line_writes.clear()
         self._line_flips.clear()
+        self._total_line_writes = 0
         self._total_bit_flips = 0
         self._total_bits_written = 0
+        self._max_line_writes = 0
+        self._distinct_lines = 0

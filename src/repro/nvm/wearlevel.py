@@ -211,9 +211,33 @@ class WearLevelledNvm:
             self.levelling_writes += 1
         return result
 
+    def read_complete_ns(self, address: int, arrival_ns: float, *, trace: bool = True) -> float:
+        """Slim read through the translation (see ``NvmMainMemory``)."""
+        return self._nvm.read_complete_ns(self.mapper.translate(address), arrival_ns, trace=trace)
+
+    def write_complete_ns(self, address: int, data: bytes, arrival_ns: float) -> float:
+        """Slim write through the translation; occasionally moves the gap."""
+        complete = self._nvm.write_complete_ns(self.mapper.translate(address), data, arrival_ns)
+        move = self.mapper.record_write()
+        if move is not None:
+            source, dest = move
+            carried = self._nvm.peek(source)
+            self._nvm.write(dest, carried, complete)
+            self.levelling_writes += 1
+        return complete
+
+    def read_burst(self, addresses, arrival_ns: float) -> None:
+        """Burst read through the translation (see ``NvmMainMemory``)."""
+        translate = self.mapper.translate
+        self._nvm.read_burst([translate(a) for a in addresses], arrival_ns)
+
     def peek(self, address: int) -> bytes:
         """Functional read through the translation."""
         return self._nvm.peek(self.mapper.translate(address))
+
+    def peek_int(self, address: int) -> int:
+        """Functional integer read through the translation."""
+        return self._nvm.peek_int(self.mapper.translate(address))
 
     def contains(self, address: int) -> bool:
         """Whether the logical line's current slot holds data."""

@@ -54,11 +54,11 @@ def measure(
     def one_run(traced: bool) -> float:
         controller = build_controller("dewrite", NvmMainMemory())
         if traced:
-            controller.attach_tracer(Tracer(sink=None))
+            controller.attach_observers(tracer=Tracer(sink=None))
             if with_timeline:
                 from repro.obs.timeline import TimelineCollector
 
-                controller.attach_timeline(TimelineCollector())
+                controller.attach_observers(timeline=TimelineCollector())
         started = time.perf_counter()
         simulate(controller, trace)
         return time.perf_counter() - started

@@ -286,7 +286,7 @@ def _run_bitflips(params: dict[str, Any]) -> dict[str, Any]:
     from repro.workloads.oracle import DedupOracle, is_zero_line
 
     trace = trace_for(params["workload"], int(params["accesses"]), int(params["seed"]))
-    writes = trace.write_pairs()
+    writes = list(trace.as_batch().write_pairs())
 
     plain = BitFlipAnalyzer().run(writes)
     shredder = BitFlipAnalyzer().run(

@@ -15,14 +15,28 @@ Stall semantics (see :mod:`repro.system.cpu`):
   eliminated writes dissolve.
 
 IPC is aggregate: total instructions / cycles of the longest-running core.
+
+Two execution paths produce byte-identical reports:
+
+- the **batched path** (default): the trace's columnar
+  :class:`~repro.workloads.batch.AccessBatch` is driven through the
+  controller's :meth:`~repro.core.interface.MemoryController.service_batch`
+  in ``batch_size``-request slices, letting controllers fuse crypto/hash
+  work across a burst;
+- the **scalar path** (``batch_size=None``): the original per-access loop,
+  kept as the executable reference semantics the equivalence property
+  tests compare against.
 """
 
 from __future__ import annotations
 
+from repro.core.batching import BatchCursor
 from repro.core.interface import MemoryController
 from repro.system.cpu import CoreModelConfig
 from repro.system.metrics import SimulationReport
 from repro.workloads.trace import Trace
+
+DEFAULT_BATCH_SIZE = 1024
 
 
 class SystemSimulator:
@@ -33,13 +47,64 @@ class SystemSimulator:
         controller: MemoryController,
         trace: Trace,
         core_config: CoreModelConfig | None = None,
+        batch_size: int | None = DEFAULT_BATCH_SIZE,
     ) -> None:
+        """``batch_size`` caps the requests per ``service_batch`` call;
+        ``None`` selects the scalar reference loop."""
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive (or None for scalar)")
         self.controller = controller
         self.trace = trace
         self.core_config = core_config if core_config is not None else CoreModelConfig()
+        self.batch_size = batch_size
 
     def run(self) -> SimulationReport:
         """Execute the whole trace; returns the aggregated report."""
+        if self.batch_size is not None:
+            return self._run_batched()
+        return self._run_scalar()
+
+    # -- batched path (default) -------------------------------------------------
+
+    def _run_batched(self) -> SimulationReport:
+        cfg = self.core_config
+        batch = self.trace.as_batch()
+        cursor = BatchCursor(
+            batch,
+            ns_per_instruction=cfg.ns_per_instruction,
+            read_stall_exposure=cfg.read_stall_exposure,
+            clock_ghz=cfg.clock_ghz,
+            base_cpi=cfg.base_cpi,
+        )
+        controller = self.controller
+        size = self.batch_size
+        tracer = controller.tracer
+        while not cursor.done:
+            start_ns = cursor.makespan_ns()
+            outcome = controller.service_batch(batch, cursor, max_requests=size)
+            if tracer.enabled and outcome.serviced:
+                # One aggregated span per controller batch: the coarse
+                # counterpart of the per-request write/read spans, showing
+                # how the run was sliced into bursts.
+                tracer.span(
+                    "batch",
+                    start_ns,
+                    cursor.makespan_ns(),
+                    serviced=outcome.serviced,
+                    reads=outcome.reads,
+                    writes=outcome.writes,
+                    deduplicated=outcome.deduplicated,
+                )
+        return self._report(
+            cursor.instructions,
+            cursor.compute_cycles,
+            cursor.stall_cycles,
+            cursor.makespan_ns(),
+        )
+
+    # -- scalar path (reference semantics) --------------------------------------
+
+    def _run_scalar(self) -> SimulationReport:
         cfg = self.core_config
         ns_per_instruction = cfg.ns_per_instruction
 
@@ -85,6 +150,17 @@ class SystemSimulator:
                 active.discard(core)
 
         makespan = max(core_time.values(), default=0.0)
+        return self._report(instructions, compute_cycles, stall_cycles, makespan)
+
+    # -- shared report assembly --------------------------------------------------
+
+    def _report(
+        self,
+        instructions: int,
+        compute_cycles: float,
+        stall_cycles: float,
+        makespan: float,
+    ) -> SimulationReport:
         total_cycles = compute_cycles + stall_cycles
         ipc = instructions / total_cycles if total_cycles else 0.0
 
@@ -111,6 +187,7 @@ def simulate(
     controller: MemoryController,
     trace: Trace,
     core_config: CoreModelConfig | None = None,
+    batch_size: int | None = DEFAULT_BATCH_SIZE,
 ) -> SimulationReport:
     """One-shot convenience wrapper around :class:`SystemSimulator`."""
-    return SystemSimulator(controller, trace, core_config).run()
+    return SystemSimulator(controller, trace, core_config, batch_size=batch_size).run()

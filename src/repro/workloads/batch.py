@@ -1,0 +1,262 @@
+"""Columnar access batches — the hot-path representation of a trace.
+
+The scalar pipeline hands one :class:`~repro.workloads.trace.MemoryAccess`
+object per request to the controller; at millions of simulated accesses the
+object churn (allocation, attribute lookups, per-access validation)
+dominates the run.  :class:`AccessBatch` stores the same stream as parallel
+``array``/``bytes`` columns so the simulator, the controllers' batched
+kernels and the analysis tools can iterate integers instead of objects.
+
+Layout (all columns are parallel, indexed by access position):
+
+- ``ops`` — one byte per access, ``OP_READ`` (0) or ``OP_WRITE`` (1);
+- ``cores`` — issuing core id (``array('i')``);
+- ``addresses`` — line index (``array('q')``);
+- ``gaps`` — instruction gap before the access (``array('q')``);
+- ``persistent`` — one byte per access, 1 when the write is ordered by a
+  flush+fence (meaningless for reads, always 0 there);
+- ``payload`` — the concatenation of every write's line data, in access
+  order;
+- ``slots`` — byte offset of access *i*'s line inside ``payload``
+  (``-1`` for reads).
+
+Every write in a batch carries the same line size (the device's), so a
+write's data is ``payload[slots[i] : slots[i] + line_size]``.  Batches are
+immutable once built; build them with :class:`BatchBuilder` or via
+:meth:`AccessBatch.from_accesses` / :meth:`Trace.as_batch
+<repro.workloads.trace.Trace.as_batch>`.
+
+Fingerprint columns are computed lazily and cached per scheme (see
+:meth:`AccessBatch.fingerprints`), so a batch replayed through several
+dedup controllers hashes each line once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from array import array
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trace imports us)
+    from repro.workloads.trace import MemoryAccess
+
+OP_READ = 0
+OP_WRITE = 1
+
+
+class AccessBatch:
+    """An immutable columnar view of an ordered memory-access stream."""
+
+    __slots__ = (
+        "ops",
+        "cores",
+        "addresses",
+        "gaps",
+        "persistent",
+        "payload",
+        "slots",
+        "line_size",
+        "_fingerprint_cache",
+    )
+
+    def __init__(
+        self,
+        ops: bytes,
+        cores: array,
+        addresses: array,
+        gaps: array,
+        persistent: bytes,
+        payload: bytes,
+        slots: array,
+        line_size: int,
+    ) -> None:
+        n = len(ops)
+        if not (len(cores) == len(addresses) == len(gaps) == len(persistent) == len(slots) == n):
+            raise ValueError("batch columns must be parallel (equal length)")
+        self.ops = ops
+        self.cores = cores
+        self.addresses = addresses
+        self.gaps = gaps
+        self.persistent = persistent
+        self.payload = payload
+        self.slots = slots
+        self.line_size = line_size
+        self._fingerprint_cache: dict[str, list[int | bytes | None]] = {}
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def write_count(self) -> int:
+        """Number of write accesses in the batch."""
+        return self.ops.count(OP_WRITE)
+
+    @property
+    def read_count(self) -> int:
+        """Number of read accesses in the batch."""
+        return self.ops.count(OP_READ)
+
+    def payload_of(self, index: int) -> bytes:
+        """Line data of the write at ``index`` (raises for reads)."""
+        slot = self.slots[index]
+        if slot < 0:
+            raise ValueError(f"access {index} is a read; reads carry no data")
+        return self.payload[slot : slot + self.line_size]
+
+    def write_pairs(self) -> Iterator[tuple[int, bytes]]:
+        """Yield (address, data) for every write, in access order."""
+        payload = self.payload
+        line = self.line_size
+        addresses = self.addresses
+        for index, slot in enumerate(self.slots):
+            if slot >= 0:
+                yield addresses[index], payload[slot : slot + line]
+
+    def fingerprints(self, scheme: str) -> list[int | bytes | None]:
+        """Per-access fingerprint column for ``scheme`` (None at reads).
+
+        ``"crc32"`` yields ints (the hardware CRC circuit's output); any
+        other scheme name is treated as a :mod:`hashlib` algorithm and
+        yields digests.  The column is computed once per scheme and cached
+        on the batch, so several controllers replaying the same batch share
+        the work.
+        """
+        cached = self._fingerprint_cache.get(scheme)
+        if cached is not None:
+            return cached
+        column: list[int | bytes | None] = [None] * len(self.ops)
+        view = memoryview(self.payload)
+        line = self.line_size
+        if scheme == "crc32":
+            crc = zlib.crc32
+            for index, slot in enumerate(self.slots):
+                if slot >= 0:
+                    column[index] = crc(view[slot : slot + line])
+        else:
+            new = hashlib.new
+            for index, slot in enumerate(self.slots):
+                if slot >= 0:
+                    column[index] = new(scheme, view[slot : slot + line]).digest()
+        self._fingerprint_cache[scheme] = column
+        return column
+
+    @classmethod
+    def from_accesses(cls, accesses: list[MemoryAccess], line_size: int | None = None) -> AccessBatch:
+        """Build a batch from scalar :class:`MemoryAccess` objects."""
+        builder = BatchBuilder(line_size=line_size)
+        for access in accesses:
+            if access.op == "write":
+                builder.append_write(
+                    access.core,
+                    access.address,
+                    access.data,  # type: ignore[arg-type]
+                    gap_instructions=access.gap_instructions,
+                    persistent=access.persistent,
+                )
+            else:
+                builder.append_read(
+                    access.core, access.address, gap_instructions=access.gap_instructions
+                )
+        return builder.build()
+
+    def to_accesses(self) -> list[MemoryAccess]:
+        """Materialise scalar :class:`MemoryAccess` objects (compat path)."""
+        from repro.workloads.trace import MemoryAccess
+
+        payload = self.payload
+        line = self.line_size
+        out: list[MemoryAccess] = []
+        for index, op in enumerate(self.ops):
+            if op == OP_WRITE:
+                slot = self.slots[index]
+                out.append(
+                    MemoryAccess(
+                        core=self.cores[index],
+                        op="write",
+                        address=self.addresses[index],
+                        data=payload[slot : slot + line],
+                        gap_instructions=self.gaps[index],
+                        persistent=bool(self.persistent[index]),
+                    )
+                )
+            else:
+                out.append(
+                    MemoryAccess(
+                        core=self.cores[index],
+                        op="read",
+                        address=self.addresses[index],
+                        gap_instructions=self.gaps[index],
+                    )
+                )
+        return out
+
+
+class BatchBuilder:
+    """Append-only builder producing an :class:`AccessBatch`.
+
+    The workload generators append directly into the columns — no
+    intermediate ``MemoryAccess`` objects — then call :meth:`build`.
+    """
+
+    def __init__(self, line_size: int | None = None) -> None:
+        self._ops = bytearray()
+        self._cores = array("i")
+        self._addresses = array("q")
+        self._gaps = array("q")
+        self._persistent = bytearray()
+        self._payload = bytearray()
+        self._slots = array("q")
+        self._line_size = line_size
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def append_read(self, core: int, address: int, gap_instructions: int = 0) -> None:
+        """Append one read access."""
+        if gap_instructions < 0:
+            raise ValueError("gap_instructions must be non-negative")
+        self._ops.append(OP_READ)
+        self._cores.append(core)
+        self._addresses.append(address)
+        self._gaps.append(gap_instructions)
+        self._persistent.append(0)
+        self._slots.append(-1)
+
+    def append_write(
+        self,
+        core: int,
+        address: int,
+        data: bytes,
+        gap_instructions: int = 0,
+        persistent: bool = False,
+    ) -> None:
+        """Append one write access carrying ``data``."""
+        if gap_instructions < 0:
+            raise ValueError("gap_instructions must be non-negative")
+        if self._line_size is None:
+            self._line_size = len(data)
+        elif len(data) != self._line_size:
+            raise ValueError(
+                f"write data must be {self._line_size} bytes, got {len(data)}"
+            )
+        self._ops.append(OP_WRITE)
+        self._cores.append(core)
+        self._addresses.append(address)
+        self._gaps.append(gap_instructions)
+        self._persistent.append(1 if persistent else 0)
+        self._slots.append(len(self._payload))
+        self._payload.extend(data)
+
+    def build(self) -> AccessBatch:
+        """Freeze the columns into an immutable :class:`AccessBatch`."""
+        return AccessBatch(
+            ops=bytes(self._ops),
+            cores=self._cores,
+            addresses=self._addresses,
+            gaps=self._gaps,
+            persistent=bytes(self._persistent),
+            payload=bytes(self._payload),
+            slots=self._slots,
+            line_size=self._line_size if self._line_size is not None else 0,
+        )

@@ -56,6 +56,17 @@ class DedupOracle:
         self._refcounts[data] += 1
         return duplicate
 
+    def observe_batch(self, batch) -> list[bool]:
+        """Record every write in a columnar batch, in access order.
+
+        Returns the per-write duplicate verdicts (the ground-truth state
+        sequence the Fig. 4 predictors replay).  Dispatches through
+        ``observe_write`` so subclasses that hook single writes (e.g.
+        :class:`ReplayOracle`'s history capture) see every access.
+        """
+        observe = self.observe_write
+        return [observe(address, data) for address, data in batch.write_pairs()]
+
     @property
     def duplicate_ratio(self) -> float:
         """Fraction of observed writes that were duplicates (Fig. 2)."""

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from repro.workloads.batch import AccessBatch
 
 
 @dataclass(frozen=True)
@@ -66,8 +69,44 @@ class Trace:
         return [a for a in self.accesses if a.op == "read"]
 
     def write_pairs(self) -> list[tuple[int, bytes]]:
-        """(address, data) pairs of all writes — the bit-flip analyzer's input."""
-        return [(a.address, a.data) for a in self.accesses if a.op == "write"]
+        """Deprecated: use ``as_batch().write_pairs()``.
+
+        Kept as a thin wrapper over the columnar batch so old callers keep
+        working; the batch path avoids re-touching one ``MemoryAccess``
+        object per write.
+        """
+        warnings.warn(
+            "Trace.write_pairs() is deprecated; use Trace.as_batch().write_pairs()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return list(self.as_batch().write_pairs())
+
+    def as_batch(self) -> AccessBatch:
+        """Columnar view of this trace (cached after the first call).
+
+        The batch is the hot-path representation: the simulator, the
+        controllers' batched kernels and the analysis tools all consume it.
+        Traces built by the generators carry their batch from birth; traces
+        assembled access-by-access convert (and cache) on first use.
+        """
+        cached = getattr(self, "_batch_cache", None)
+        if cached is None:
+            cached = AccessBatch.from_accesses(self.accesses)
+            self._batch_cache = cached
+        return cached
+
+    @classmethod
+    def from_batch(cls, name: str, batch: AccessBatch, threads: int = 1) -> "Trace":
+        """Build a trace whose native representation is ``batch``.
+
+        The scalar ``accesses`` list is materialised once for the legacy
+        object API; ``as_batch()`` returns the original batch without a
+        conversion pass.
+        """
+        trace = cls(name=name, accesses=batch.to_accesses(), threads=threads)
+        trace._batch_cache = batch
+        return trace
 
     @property
     def total_instructions(self) -> int:

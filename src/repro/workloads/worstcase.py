@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import random
 
-from repro.workloads.trace import MemoryAccess, Trace
+from repro.workloads.batch import BatchBuilder
+from repro.workloads.trace import Trace
 
 
 def worst_case_trace(
@@ -27,7 +28,9 @@ def worst_case_trace(
     The fill phase writes each (row, col) line with unique random content
     in row-major bursts; the traversal phase reads the array back.  The
     access count splits roughly evenly between the two phases, repeating
-    passes until ``num_accesses`` is reached.
+    passes until ``num_accesses`` is reached.  Accesses are appended
+    straight into the columnar batch — no intermediate ``MemoryAccess``
+    objects.
     """
     if num_accesses <= 0:
         raise ValueError("num_accesses must be positive")
@@ -36,13 +39,13 @@ def worst_case_trace(
     # fill + traverse pass, so both phases always execute.
     lines = min(rows * cols, max(16, num_accesses // 3))
     cols = min(cols, lines)
-    accesses: list[MemoryAccess] = []
+    builder = BatchBuilder(line_size=line_size_bytes)
     nonce = 0
 
-    while len(accesses) < num_accesses:
+    while len(builder) < num_accesses:
         # Fill phase: unique random values, write bursts along each row.
         for index in range(lines):
-            if len(accesses) >= num_accesses:
+            if len(builder) >= num_accesses:
                 break
             nonce += 1
             data = bytearray(rng.randbytes(line_size_bytes))
@@ -53,23 +56,17 @@ def worst_case_trace(
                 if first_in_row
                 else rng.randint(1, 4)
             )
-            accesses.append(
-                MemoryAccess(
-                    core=0,
-                    op="write",
-                    address=index,
-                    data=bytes(data),
-                    gap_instructions=gap,
-                    persistent=rng.random() < persist_fraction,
-                )
+            builder.append_write(
+                0,
+                index,
+                bytes(data),
+                gap_instructions=gap,
+                persistent=rng.random() < persist_fraction,
             )
         # Traversal phase: read the array back in order.
         for index in range(lines):
-            if len(accesses) >= num_accesses:
+            if len(builder) >= num_accesses:
                 break
-            gap = rng.randint(2, 8)
-            accesses.append(
-                MemoryAccess(core=0, op="read", address=index, gap_instructions=gap)
-            )
+            builder.append_read(0, index, gap_instructions=rng.randint(2, 8))
 
-    return Trace(name="worstcase", accesses=accesses, threads=1)
+    return Trace.from_batch("worstcase", builder.build(), threads=1)

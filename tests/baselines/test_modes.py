@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
-from repro.baselines.modes import direct_way_controller, parallel_way_controller
+from repro.core.registry import build_controller
 from repro.nvm.config import NvmConfig, NvmOrganization
 from repro.nvm.memory import NvmMainMemory
 
 LINE = 256
+
+
+def direct_way_controller(nvm: NvmMainMemory):
+    return build_controller("direct", nvm)
+
+
+def parallel_way_controller(nvm: NvmMainMemory):
+    return build_controller("parallel", nvm)
 
 
 def make_nvm() -> NvmMainMemory:
@@ -21,10 +29,10 @@ def line(fill: int) -> bytes:
 
 class TestFactories:
     def test_direct_mode(self):
-        assert direct_way_controller(make_nvm()).mode == "direct"
+        assert build_controller("direct", make_nvm()).mode == "direct"
 
     def test_parallel_mode(self):
-        assert parallel_way_controller(make_nvm()).mode == "parallel"
+        assert build_controller("parallel", make_nvm()).mode == "parallel"
 
     def test_both_are_correct_memories(self):
         for factory in (direct_way_controller, parallel_way_controller):

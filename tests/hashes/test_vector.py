@@ -1,0 +1,66 @@
+"""SWAR batched hash kernels: bit-identical to the stdlib, lane by lane.
+
+``sha1_many``/``md5_many`` evaluate a whole write burst through packed
+lanes; the contract is exact digest identity with ``hashlib`` for every
+message independently, regardless of burst size or length mix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+
+from repro.hashes.vector import md5_many, sha1_many
+
+# Padding boundaries: empty, short, 55/56/57 (length-field straddle),
+# 63/64/65 (block straddle), one full line, line+1.
+LENGTHS = [0, 1, 3, 55, 56, 57, 63, 64, 65, 127, 128, 256, 257]
+
+
+def messages_of(lengths, seed=0):
+    rng = random.Random(seed)
+    return [rng.randbytes(n) for n in lengths]
+
+
+class TestSha1Many:
+    def test_empty_burst(self):
+        assert sha1_many([]) == []
+
+    def test_single_message(self):
+        assert sha1_many([b"abc"]) == [hashlib.sha1(b"abc").digest()]
+
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_every_padding_boundary(self, length):
+        message = messages_of([length], seed=length)[0]
+        assert sha1_many([message]) == [hashlib.sha1(message).digest()]
+
+    def test_mixed_length_burst(self):
+        burst = messages_of(LENGTHS, seed=42)
+        assert sha1_many(burst) == [hashlib.sha1(m).digest() for m in burst]
+
+    def test_large_uniform_burst(self):
+        burst = messages_of([256] * 64, seed=7)
+        assert sha1_many(burst) == [hashlib.sha1(m).digest() for m in burst]
+
+
+class TestMd5Many:
+    def test_empty_burst(self):
+        assert md5_many([]) == []
+
+    def test_single_message(self):
+        assert md5_many([b"abc"]) == [hashlib.md5(b"abc").digest()]
+
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_every_padding_boundary(self, length):
+        message = messages_of([length], seed=length)[0]
+        assert md5_many([message]) == [hashlib.md5(message).digest()]
+
+    def test_mixed_length_burst(self):
+        burst = messages_of(LENGTHS, seed=42)
+        assert md5_many(burst) == [hashlib.md5(m).digest() for m in burst]
+
+    def test_large_uniform_burst(self):
+        burst = messages_of([256] * 64, seed=7)
+        assert md5_many(burst) == [hashlib.md5(m).digest() for m in burst]

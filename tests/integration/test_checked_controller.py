@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines.i_nvmm import INvmmController
-from repro.baselines.modes import direct_way_controller, parallel_way_controller
+from repro.core.registry import build_controller
 from repro.baselines.out_of_line import OutOfLinePageDedupController
 from repro.baselines.secure_nvm import TraditionalSecureNvmController
 from repro.baselines.silent_shredder import SilentShredderController
@@ -41,8 +41,8 @@ CONTROLLER_FACTORIES = [
     ("dewrite-parallel", lambda: DeWriteController(make_nvm(), mode="parallel")),
     ("traditional", lambda: TraditionalSecureNvmController(make_nvm())),
     ("shredder", lambda: SilentShredderController(make_nvm())),
-    ("direct-way", lambda: direct_way_controller(make_nvm())),
-    ("parallel-way", lambda: parallel_way_controller(make_nvm())),
+    ("direct-way", lambda: build_controller("direct", make_nvm())),
+    ("parallel-way", lambda: build_controller("parallel", make_nvm())),
     ("sha1-dedup", lambda: traditional_dedup_controller(make_nvm())),
     ("i-nvmm", lambda: INvmmController(make_nvm())),
     ("page-dedup", lambda: OutOfLinePageDedupController(make_nvm())),

@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from repro.baselines.modes import direct_way_controller, parallel_way_controller
+from repro.core.registry import build_controller
 from repro.baselines.secure_nvm import TraditionalSecureNvmController
 from repro.baselines.silent_shredder import SilentShredderController
 from repro.baselines.traditional_dedup import traditional_dedup_controller
@@ -38,8 +38,8 @@ CONTROLLER_FACTORIES = [
     ("dewrite", lambda: DeWriteController(make_nvm())),
     ("traditional", lambda: TraditionalSecureNvmController(make_nvm())),
     ("shredder", lambda: SilentShredderController(make_nvm())),
-    ("direct", lambda: direct_way_controller(make_nvm())),
-    ("parallel", lambda: parallel_way_controller(make_nvm())),
+    ("direct", lambda: build_controller("direct", make_nvm())),
+    ("parallel", lambda: build_controller("parallel", make_nvm())),
     ("sha1-dedup", lambda: traditional_dedup_controller(make_nvm())),
 ]
 

@@ -53,7 +53,7 @@ class TestSection2Claims:
         ratios = []
         for profile in ALL_PROFILES:
             oracle = DedupOracle()
-            for a, d in generate_trace(profile, 3_000, seed=SEED).write_pairs():
+            for a, d in generate_trace(profile, 3_000, seed=SEED).as_batch().write_pairs():
                 oracle.observe_write(a, d)
             ratios.append(oracle.duplicate_ratio)
         assert statistics.fmean(ratios) == pytest.approx(0.58, abs=0.06)
@@ -63,7 +63,7 @@ class TestSection2Claims:
         ratios = []
         for profile in ALL_PROFILES:
             oracle = DedupOracle()
-            for a, d in generate_trace(profile, 3_000, seed=SEED).write_pairs():
+            for a, d in generate_trace(profile, 3_000, seed=SEED).as_batch().write_pairs():
                 oracle.observe_write(a, d)
             ratios.append(oracle.zero_ratio)
         assert statistics.fmean(ratios) == pytest.approx(0.16, abs=0.05)
@@ -77,7 +77,7 @@ class TestSection3Claims:
             oracle = DedupOracle()
             trace = generate_trace(profile_by_name(name), ACCESSES, seed=SEED)
             predictor = HistoryWindowPredictor(window=1)
-            for a, d in trace.write_pairs():
+            for a, d in trace.as_batch().write_pairs():
                 predictor.observe(oracle.observe_write(a, d))
             accuracies.append(predictor.accuracy)
         assert statistics.fmean(accuracies) == pytest.approx(0.92, abs=0.03)
@@ -119,7 +119,7 @@ class TestSection4Claims:
     def test_dcw_pinned_at_half_by_diffusion(self):
         """Fig. 13: DCW cannot beat ~50 % on encrypted data."""
         trace = generate_trace(profile_by_name("mcf"), 4_000, seed=SEED)
-        report = BitFlipAnalyzer().run(trace.write_pairs())
+        report = BitFlipAnalyzer().run(trace.as_batch().write_pairs())
         assert report.flip_fraction("dcw") == pytest.approx(0.50, abs=0.03)
 
     def test_dewrite_halves_bit_flips_of_every_technique(self):
@@ -127,7 +127,7 @@ class TestSection4Claims:
         for zero-heavy apps like sjeng DEUCE is already nearly free on
         zero-over-zero rewrites, so dedup adds less there)."""
         trace = generate_trace(profile_by_name("mcf"), 4_000, seed=SEED)
-        writes = trace.write_pairs()
+        writes = list(trace.as_batch().write_pairs())
         plain = BitFlipAnalyzer().run(writes)
         oracle = DedupOracle()
         combined = BitFlipAnalyzer().run(

@@ -251,7 +251,7 @@ class TestEndToEnd:
         nvm = NvmMainMemory()
         controller = build_controller("dewrite", nvm)
         assert controller.timeline is NULL_TIMELINE
-        controller.attach_timeline(timeline)
+        controller.attach_observers(timeline=timeline)
         assert controller.timeline is timeline
         assert nvm.timeline is timeline
         assert controller.metadata.timeline is timeline

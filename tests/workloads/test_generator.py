@@ -18,7 +18,7 @@ def measure(name: str, accesses: int = 12_000, seed: int = 3):
     profile = profile_by_name(name)
     trace = generate_trace(profile, accesses, seed=seed)
     oracle = DedupOracle()
-    for address, data in trace.write_pairs():
+    for address, data in trace.as_batch().write_pairs():
         oracle.observe_write(address, data)
     return profile, trace, oracle
 
@@ -31,7 +31,7 @@ def measure_mean_ratios(name: str, seeds=(0, 1, 2), accesses: int = 12_000):
     for seed in seeds:
         trace = generate_trace(profile, accesses, seed=seed)
         oracle = DedupOracle()
-        for address, data in trace.write_pairs():
+        for address, data in trace.as_batch().write_pairs():
             oracle.observe_write(address, data)
         dup += oracle.duplicate_ratio
         zero += oracle.zero_ratio
@@ -52,7 +52,7 @@ class TestDuplicationStatistics:
     def test_state_locality_matches_profile(self):
         profile, trace, _ = measure("mcf", accesses=20_000)
         oracle = DedupOracle()
-        states = [oracle.observe_write(a, d) for a, d in trace.write_pairs()]
+        states = [oracle.observe_write(a, d) for a, d in trace.as_batch().write_pairs()]
         same = sum(1 for a, b in zip(states, states[1:]) if a == b)
         locality = same / (len(states) - 1)
         assert locality == pytest.approx(profile.state_locality, abs=0.04)
@@ -61,7 +61,7 @@ class TestDuplicationStatistics:
         # The Fig. 4 structure: majority-of-3 beats last-value.
         _, trace, _ = measure("gcc", accesses=25_000)
         oracle = DedupOracle()
-        states = [oracle.observe_write(a, d) for a, d in trace.write_pairs()]
+        states = [oracle.observe_write(a, d) for a, d in trace.as_batch().write_pairs()]
         one = HistoryWindowPredictor(window=1)
         three = HistoryWindowPredictor(window=3)
         for state in states:

@@ -53,7 +53,16 @@ class TestTrace:
         trace = self.make()
         assert len(trace.writes) == 2
         assert len(trace.reads) == 1
-        assert trace.write_pairs() == [(0, bytes(LINE)), (1, b"\x01" * LINE)]
+        assert list(trace.as_batch().write_pairs()) == [
+            (0, bytes(LINE)),
+            (1, b"\x01" * LINE),
+        ]
+
+    def test_write_pairs_deprecated_but_equivalent(self):
+        trace = self.make()
+        with pytest.warns(DeprecationWarning, match="as_batch"):
+            legacy = trace.write_pairs()
+        assert legacy == list(trace.as_batch().write_pairs())
 
     def test_total_instructions(self):
         assert self.make().total_instructions == 60

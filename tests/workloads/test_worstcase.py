@@ -12,7 +12,7 @@ class TestWorstCase:
     def test_no_duplicates_at_all(self):
         trace = worst_case_trace(num_accesses=3_000, seed=1)
         oracle = DedupOracle()
-        for address, data in trace.write_pairs():
+        for address, data in trace.as_batch().write_pairs():
             oracle.observe_write(address, data)
         assert oracle.duplicates == 0
 
