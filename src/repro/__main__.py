@@ -9,6 +9,11 @@ Subcommands:
 - ``trace``    — run one figure's pipeline with the structured tracer
   attached and print the per-stage latency breakdown (p50/p95/p99);
   ``--out`` streams the raw span records as JSONL;
+- ``profile``  — run one figure's pipeline with the summary-mode stage
+  accumulator and the batch profiler attached: the fused kernels stay
+  active (full tracing forces the scalar path), the stage table is
+  deterministic, and ``--flamegraph`` writes collapsed-stack lines with
+  sim-ns weights; ``--manifest`` records the stage section for ``diff``;
 - ``stats``    — validate and summarise a run manifest (``--json`` emits
   the machine-readable digest the ``diff`` verb and CI consume);
 - ``timeline`` — run windowed simulations and print the in-run
@@ -47,6 +52,7 @@ Examples::
     python -m repro run --parallel 8
     python -m repro run system modes --apps lbm,mcf --accesses 5000
     python -m repro trace fig14 --out /tmp/trace.jsonl
+    python -m repro profile fig14 --flamegraph /tmp/stages.folded
     python -m repro stats manifest.json
     python -m repro timeline system --apps lbm --window-ns 2e5 --csv tl.csv
     python -m repro faults system --apps lbm --points 0.5 --cell-faults 2
@@ -144,6 +150,35 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--out", default="", metavar="PATH",
         help="stream raw span/event records to PATH as JSONL",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile one figure's pipeline on the fused fast path "
+        "(summary-mode stages + per-batch wall timing)",
+    )
+    profile.add_argument(
+        "figure",
+        help="figure id or paper alias (fig14/fig16/fig17/fig19 resolve to 'system')",
+    )
+    profile.add_argument("--app", default="lbm", help="workload to profile (default lbm)")
+    profile.add_argument("--accesses", type=int, default=2_000)
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument(
+        "--controller", default="dewrite",
+        help="controller to profile (default dewrite; see `list`)",
+    )
+    profile.add_argument(
+        "--flamegraph", default="", metavar="PATH",
+        help="write collapsed-stack flamegraph lines (sim-ns weights) to PATH",
+    )
+    profile.add_argument(
+        "--json", default="", metavar="PATH",
+        help="write the full profile payload (stages + wall section) to PATH",
+    )
+    profile.add_argument(
+        "--manifest", default="", metavar="PATH",
+        help="write a run manifest carrying the stage section (for `repro diff`)",
     )
 
     stats = sub.add_parser("stats", help="validate and summarise a run manifest")
@@ -568,6 +603,74 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profile(args: argparse.Namespace) -> int:
+    import time as _time
+    from pathlib import Path
+
+    from repro.core.registry import build_controller
+    from repro.nvm.memory import NvmMainMemory
+    from repro.obs.metrics import registry as metrics_registry
+    from repro.obs.profile import (
+        BatchProfiler,
+        render_stage_table,
+        render_wall_summary,
+    )
+    from repro.runner.jobs import trace_for
+    from repro.system.simulator import simulate
+
+    spec = figures.resolve_experiment(args.figure)
+    workload = trace_for(args.app, args.accesses, args.seed)
+    controller = build_controller(args.controller, NvmMainMemory())
+    profiler = BatchProfiler(controller)
+    started = _time.perf_counter()
+    with profiler:
+        simulate(controller, workload)
+    elapsed_s = _time.perf_counter() - started
+
+    print(
+        f"{spec.id} ({spec.anchor}) — {args.controller} on {args.app}, "
+        f"{args.accesses} accesses, seed {args.seed}"
+    )
+    print(render_stage_table(profiler))
+    print(render_wall_summary(profiler))
+    if args.flamegraph:
+        lines = profiler.collapsed_stacks()
+        Path(args.flamegraph).write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"wrote {len(lines)} flamegraph frame(s) to {args.flamegraph}", file=sys.stderr)
+    if args.json:
+        import json
+
+        Path(args.json).write_text(
+            json.dumps(profiler.report(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote profile payload to {args.json}", file=sys.stderr)
+    if args.manifest:
+        from repro.obs.manifest import build_manifest, write_manifest
+
+        payload = build_manifest(
+            figures=[spec.id],
+            settings={
+                "accesses": args.accesses,
+                "seed": args.seed,
+                "applications": [args.app],
+            },
+            options={"controller": args.controller, "command": "profile"},
+            jobs=[],
+            cache={
+                "planned": 1, "unique": 1, "disk_hits": 0,
+                "executed": 1, "simulations": 1, "retries": 0,
+            },
+            failures=[],
+            elapsed_s=elapsed_s,
+            metrics=metrics_registry().to_dict(),
+            stages=profiler.stages.to_dict(),
+        )
+        path = write_manifest(args.manifest, payload)
+        print(f"manifest: {path}", file=sys.stderr)
+    return 0
+
+
 def _run_stats(args: argparse.Namespace) -> int:
     from repro.obs.manifest import (
         ManifestError,
@@ -631,6 +734,31 @@ def _run_stats(args: argparse.Namespace) -> int:
             f"  faults:    {len(scenarios) if isinstance(scenarios, list) else 0} "
             f"scenario(s), interval {float(faults.get('interval_ns', 0) or 0):g} ns"
         )
+    stages = payload.get("stages")
+    if isinstance(stages, dict):
+        entries = stages.get("stages", {})
+        samples = sum(
+            entry.get("count", 0)
+            for entry in (entries.values() if isinstance(entries, dict) else [])
+            if isinstance(entry, dict)
+        )
+        print(
+            f"  stages:    {len(entries) if isinstance(entries, dict) else 0} "
+            f"stage(s), {samples} sample(s) (summary mode)"
+        )
+    metrics = payload.get("metrics", {})
+    if isinstance(metrics, dict):
+        # Fused kernels silently bail to the scalar loop under full
+        # tracing/timelines or multi-stream cursors; surface the why.
+        fallbacks = {
+            name: entry.get("value", 0)
+            for name, entry in sorted(metrics.items())
+            if name.startswith("batch.fallback.") and isinstance(entry, dict)
+        }
+        if fallbacks:
+            rendered = ", ".join(f"{name.rsplit('.', 1)[-1]}={value:g}"
+                                 for name, value in fallbacks.items())
+            print(f"  fallbacks: {rendered} (batches driven scalar)")
     failures = payload.get("failures", [])
     if failures:
         print(f"  failures:  {len(failures)}")
@@ -963,6 +1091,8 @@ def _run_diff(args: argparse.Namespace) -> int:
                 "timeline_windows_compared": diff.timeline_windows_compared,
                 "faults_drifts": diff.faults_drifts,
                 "faults_scenarios_compared": diff.faults_scenarios_compared,
+                "stages_drifts": diff.stages_drifts,
+                "stages_compared": diff.stages_compared,
                 "wall_clock_deltas": [
                     {"name": d.name, "kind": d.kind, "a": d.a, "b": d.b}
                     for d in diff.info_deltas
@@ -1012,6 +1142,9 @@ def _run_bench(args: argparse.Namespace) -> int:
     )
     print(f"bench: {len(cases)} case(s), best of {args.repeats} interleaved repeat(s)")
     results = bench.run_suite(cases, repeats=args.repeats)
+    stages = bench.collect_stage_breakdown(
+        accesses=args.accesses, seed=args.seed, controllers=controllers
+    )
     print(f"{'case':26s}{'best ms':>10s}{'ops':>8s}{'ns/op':>12s}")
     for name, entry in sorted(results.items()):
         print(
@@ -1026,6 +1159,7 @@ def _run_bench(args: argparse.Namespace) -> int:
             "repeats": args.repeats,
             "controllers": controllers if controllers is not None else "all",
         },
+        stages=stages,
     )
     path = bench.write_record(record, args.out)
     print(f"wrote {path}", file=sys.stderr)
@@ -1230,6 +1364,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_run(args)
         if args.command == "trace":
             return _run_trace(args)
+        if args.command == "profile":
+            return _run_profile(args)
         if args.command == "stats":
             return _run_stats(args)
         if args.command == "timeline":

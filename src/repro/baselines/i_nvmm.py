@@ -88,6 +88,14 @@ class INvmmController(TraditionalSecureNvmController):
         self._counters.pop(address, None)
         latency = written.complete_ns - arrival_ns
         self.stats.write_latency.add(latency)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span("write.nvm", now, written.complete_ns, encrypted=False)
+            tracer.span("write", arrival_ns, written.complete_ns, deduplicated=False)
+        stages = self.stages
+        if stages.enabled:
+            stages.record("write.nvm", written.complete_ns - now)
+            stages.record("write", written.complete_ns - arrival_ns)
         return WriteOutcome(
             latency_ns=latency, deduplicated=False, complete_ns=written.complete_ns
         )
@@ -108,6 +116,16 @@ class INvmmController(TraditionalSecureNvmController):
         self._hot.move_to_end(address)
         latency = read.complete_ns - arrival_ns
         self.stats.read_latency.add(latency)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span("read.metadata", arrival_ns, now, redirected=False)
+            tracer.span("read.nvm", now, read.complete_ns)
+            tracer.span("read", arrival_ns, read.complete_ns, hot=True)
+        stages = self.stages
+        if stages.enabled:
+            stages.record("read.metadata", now - arrival_ns)
+            stages.record("read.nvm", read.complete_ns - now)
+            stages.record("read", read.complete_ns - arrival_ns)
         return ReadOutcome(latency_ns=latency, data=read.data, complete_ns=read.complete_ns)
 
     def service_batch(self, batch, cursor, max_requests=None):
@@ -117,8 +135,9 @@ class INvmmController(TraditionalSecureNvmController):
         reads replay the parent's inlined CME read pipeline.  Hot-set
         evictions (rare) fall back to :meth:`_encrypt_cold_line`.  Scalar
         float order is preserved so reports stay byte-identical; the
-        generic driver handles subclasses, split-counter mode, attached
-        observers, and multi-stream cursors.
+        generic driver handles subclasses, split-counter mode, an attached
+        tracer/timeline, and multi-stream cursors.  A stage accumulator
+        (summary mode) keeps the kernel fused via columnar batch flushes.
         """
         cls = type(self)
         if (
@@ -163,6 +182,16 @@ class INvmmController(TraditionalSecureNvmController):
         access_counter = self._access_counter
         xor_ns = self.config.xor_latency_ns
         data_lines = self.data_lines
+
+        # Summary-mode stage accounting (columnar, flushed per batch).
+        stages = self.stages
+        stage_on = stages.enabled
+        st_wnvm: list[float] = []
+        st_write: list[float] = []
+        st_rmeta: list[float] = []
+        st_rnvm: list[float] = []
+        st_rcrypto: list[float] = []
+        st_read: list[float] = []
 
         plaintext_bus = self.plaintext_bus_transfers
         writes_requested = stats.writes_requested
@@ -222,6 +251,9 @@ class INvmmController(TraditionalSecureNvmController):
                 written_set.add(address)
                 counters.pop(address, None)
                 latency = complete - arrival
+                if stage_on:
+                    st_wnvm.append(complete - wnow)
+                    st_write.append(complete - arrival)
                 wl_total += latency
                 wl_count += 1
                 if latency > wl_max:
@@ -247,8 +279,12 @@ class INvmmController(TraditionalSecureNvmController):
                         rnow = arrival
                     else:
                         rnow = arrival + access_counter(address, False, arrival)
+                    issue = rnow
                     rnow = nvm_read_done(address, rnow)
                     hot.move_to_end(address)
+                    if stage_on:
+                        st_rmeta.append(issue - arrival)
+                        st_rnvm.append(rnow - issue)
                 else:
                     # Cold read: the parent's CME read pipeline.
                     if block in cache_blocks:
@@ -259,8 +295,16 @@ class INvmmController(TraditionalSecureNvmController):
                         rnow = arrival + access_counter(address, False, arrival)
                     if address in counters:
                         add_aes_line()
-                    rnow = nvm_read_done(address, rnow) + xor_ns
+                    issue = rnow
+                    rc = nvm_read_done(address, rnow)
+                    rnow = rc + xor_ns
+                    if stage_on:
+                        st_rmeta.append(issue - arrival)
+                        st_rnvm.append(rc - issue)
+                        st_rcrypto.append(rnow - rc)
                 latency = rnow - arrival
+                if stage_on:
+                    st_read.append(latency)
                 rl_total += latency
                 rl_count += 1
                 if latency > rl_max:
@@ -286,6 +330,15 @@ class INvmmController(TraditionalSecureNvmController):
         rl.count = rl_count
         rl.max_ns = rl_max
         rl.min_ns = rl_min
+
+        if stage_on:
+            record_many = stages.record_many
+            record_many("write.nvm", st_wnvm)
+            record_many("write", st_write)
+            record_many("read.metadata", st_rmeta)
+            record_many("read.nvm", st_rnvm)
+            record_many("read.crypto", st_rcrypto)
+            record_many("read", st_read)
 
         cursor.positions[core] = position
         cursor.core_time[core] = now

@@ -129,6 +129,17 @@ class OutOfLinePageDedupController(TraditionalSecureNvmController):
         xor_ns = self.config.xor_latency_ns
         data_lines = self.data_lines
 
+        # Summary-mode stage accounting (columnar, flushed per batch).
+        stages = self.stages
+        stage_on = stages.enabled
+        st_wcrypto: list[float] = []
+        st_wnvm: list[float] = []
+        st_write: list[float] = []
+        st_rmeta: list[float] = []
+        st_rnvm: list[float] = []
+        st_rcrypto: list[float] = []
+        st_read: list[float] = []
+
         plain = self._plain
         page_fp = self._page_fp
         pages = self._pages
@@ -189,6 +200,10 @@ class OutOfLinePageDedupController(TraditionalSecureNvmController):
                 complete = nvm_write_done(address, ciphertext, issue)
                 written_set.add(address)
                 latency = complete - arrival
+                if stage_on:
+                    st_wcrypto.append(issue - cnow)
+                    st_wnvm.append(complete - issue)
+                    st_write.append(latency)
                 wl_total += latency
                 wl_count += 1
                 if latency > wl_max:
@@ -227,8 +242,15 @@ class OutOfLinePageDedupController(TraditionalSecureNvmController):
                     rnow = arrival + access_counter(address, False, arrival)
                 if address in counters:
                     add_aes_line()
-                rnow = nvm_read_done(address, rnow) + xor_ns
+                issue = rnow
+                rc = nvm_read_done(address, rnow)
+                rnow = rc + xor_ns
                 latency = rnow - arrival
+                if stage_on:
+                    st_rmeta.append(issue - arrival)
+                    st_rnvm.append(rc - issue)
+                    st_rcrypto.append(rnow - rc)
+                    st_read.append(latency)
                 rl_total += latency
                 rl_count += 1
                 if latency > rl_max:
@@ -254,6 +276,16 @@ class OutOfLinePageDedupController(TraditionalSecureNvmController):
         rl.max_ns = rl_max
         rl.min_ns = rl_min
         self._writes_since_scan = writes_since_scan
+
+        if stage_on:
+            record_many = stages.record_many
+            record_many("write.crypto", st_wcrypto)
+            record_many("write.nvm", st_wnvm)
+            record_many("write", st_write)
+            record_many("read.metadata", st_rmeta)
+            record_many("read.nvm", st_rnvm)
+            record_many("read.crypto", st_rcrypto)
+            record_many("read", st_read)
 
         cursor.positions[core] = position
         cursor.core_time[core] = now

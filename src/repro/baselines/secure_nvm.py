@@ -118,6 +118,11 @@ class TraditionalSecureNvmController(MemoryController):
             tracer.span("write.crypto", now, issue)
             tracer.span("write.nvm", issue, written.complete_ns, wait_ns=written.wait_ns)
             tracer.span("write", arrival_ns, written.complete_ns, deduplicated=False)
+        stages = self.stages
+        if stages.enabled:
+            stages.record("write.crypto", issue - now)
+            stages.record("write.nvm", written.complete_ns - issue)
+            stages.record("write", written.complete_ns - arrival_ns)
         return WriteOutcome(
             latency_ns=latency, deduplicated=False, complete_ns=written.complete_ns
         )
@@ -169,6 +174,12 @@ class TraditionalSecureNvmController(MemoryController):
             tracer.span("read.nvm", issue, read.complete_ns, wait_ns=read.wait_ns)
             tracer.span("read.crypto", read.complete_ns, now, decrypted=counter is not None)
             tracer.span("read", arrival_ns, now, redirected=False)
+        stages = self.stages
+        if stages.enabled:
+            stages.record("read.metadata", issue - arrival_ns)
+            stages.record("read.nvm", read.complete_ns - issue)
+            stages.record("read.crypto", now - read.complete_ns)
+            stages.record("read", now - arrival_ns)
         return ReadOutcome(latency_ns=latency, data=data, complete_ns=now)
 
     # -- batched request interface -------------------------------------------
@@ -181,8 +192,10 @@ class TraditionalSecureNvmController(MemoryController):
         accumulators batched into locals, float arithmetic in scalar order
         so reports stay byte-identical.  Falls back to the generic driver
         for subclasses (Silent Shredder, i-NVMM, out-of-line dedup override
-        the scalar methods), split-counter mode, attached observers, or
-        multi-stream cursors.
+        the scalar methods), split-counter mode, attached tracer/timeline
+        observers, or multi-stream cursors.  A stage accumulator (summary
+        mode) does not force the fallback: stage durations are collected
+        columnar and flushed per batch.
         """
         cls = type(self)
         if (
@@ -227,6 +240,17 @@ class TraditionalSecureNvmController(MemoryController):
         aes_ns = self.config.aes_latency_ns
         xor_ns = self.config.xor_latency_ns
         data_lines = self.data_lines
+
+        # Summary-mode stage accounting (columnar, flushed per batch).
+        stages = self.stages
+        stage_on = stages.enabled
+        st_wcrypto: list[float] = []
+        st_wnvm: list[float] = []
+        st_write: list[float] = []
+        st_rmeta: list[float] = []
+        st_rnvm: list[float] = []
+        st_rcrypto: list[float] = []
+        st_read: list[float] = []
 
         writes_requested = stats.writes_requested
         writes_stored = stats.writes_stored
@@ -281,6 +305,10 @@ class TraditionalSecureNvmController(MemoryController):
                 issue = cnow + aes_ns
                 complete = nvm_write_done(address, ciphertext, issue)
                 written_set.add(address)
+                if stage_on:
+                    st_wcrypto.append(issue - cnow)
+                    st_wnvm.append(complete - issue)
+                    st_write.append(complete - arrival)
                 latency = complete - arrival
                 wl_total += latency
                 wl_count += 1
@@ -309,7 +337,14 @@ class TraditionalSecureNvmController(MemoryController):
                     rnow = arrival + access_counter(address, False, arrival)
                 if address in counters:
                     add_aes_line()
-                rnow = nvm_read_done(address, rnow) + xor_ns
+                issue = rnow
+                rc = nvm_read_done(address, rnow)
+                rnow = rc + xor_ns
+                if stage_on:
+                    st_rmeta.append(issue - arrival)
+                    st_rnvm.append(rc - issue)
+                    st_rcrypto.append(rnow - rc)
+                    st_read.append(rnow - arrival)
                 latency = rnow - arrival
                 rl_total += latency
                 rl_count += 1
@@ -335,6 +370,15 @@ class TraditionalSecureNvmController(MemoryController):
         rl.count = rl_count
         rl.max_ns = rl_max
         rl.min_ns = rl_min
+        if stage_on:
+            record_many = stages.record_many
+            record_many("write.crypto", st_wcrypto)
+            record_many("write.nvm", st_wnvm)
+            record_many("write", st_write)
+            record_many("read.metadata", st_rmeta)
+            record_many("read.nvm", st_rnvm)
+            record_many("read.crypto", st_rcrypto)
+            record_many("read", st_read)
 
         cursor.positions[core] = position
         cursor.core_time[core] = now

@@ -53,6 +53,14 @@ class SilentShredderController(TraditionalSecureNvmController):
         complete = arrival_ns + extra
         latency = complete - arrival_ns
         self.stats.write_latency.add(latency)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span("write.meta", arrival_ns, complete, shredded=True)
+            tracer.span("write", arrival_ns, complete, deduplicated=True)
+        stages = self.stages
+        if stages.enabled:
+            stages.record("write.meta", complete - arrival_ns)
+            stages.record("write", complete - arrival_ns)
         return WriteOutcome(latency_ns=latency, deduplicated=True, complete_ns=complete)
 
     def read(self, address: int, arrival_ns: float) -> ReadOutcome:
@@ -63,9 +71,20 @@ class SilentShredderController(TraditionalSecureNvmController):
         self._check_data_address(address)
         self.stats.reads_requested += 1
         extra = self._access_counter(address, write=False, now_ns=arrival_ns)
-        complete = arrival_ns + extra + self.config.xor_latency_ns
+        meta_done = arrival_ns + extra
+        complete = meta_done + self.config.xor_latency_ns
         latency = complete - arrival_ns
         self.stats.read_latency.add(latency)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span("read.metadata", arrival_ns, meta_done, redirected=False)
+            tracer.span("read.crypto", meta_done, complete, decrypted=False)
+            tracer.span("read", arrival_ns, complete, shredded=True)
+        stages = self.stages
+        if stages.enabled:
+            stages.record("read.metadata", meta_done - arrival_ns)
+            stages.record("read.crypto", complete - meta_done)
+            stages.record("read", complete - arrival_ns)
         return ReadOutcome(latency_ns=latency, data=self._zero_line, complete_ns=complete)
 
     def service_batch(self, batch, cursor, max_requests=None):
@@ -75,7 +94,9 @@ class SilentShredderController(TraditionalSecureNvmController):
         lines and the counter-manipulation shortcut for all-zero lines /
         shredded reads, in scalar float order so reports stay
         byte-identical.  Falls back to the generic driver for subclasses,
-        split-counter mode, attached observers, or multi-stream cursors.
+        split-counter mode, an attached tracer/timeline, or multi-stream
+        cursors; a stage accumulator (summary mode) keeps the kernel fused
+        and is fed by columnar per-batch flushes.
         """
         cls = type(self)
         if (
@@ -121,6 +142,18 @@ class SilentShredderController(TraditionalSecureNvmController):
         aes_ns = self.config.aes_latency_ns
         xor_ns = self.config.xor_latency_ns
         data_lines = self.data_lines
+
+        # Summary-mode stage accounting (columnar, flushed per batch).
+        stages = self.stages
+        stage_on = stages.enabled
+        st_wmeta: list[float] = []
+        st_wcrypto: list[float] = []
+        st_wnvm: list[float] = []
+        st_write: list[float] = []
+        st_rmeta: list[float] = []
+        st_rnvm: list[float] = []
+        st_rcrypto: list[float] = []
+        st_read: list[float] = []
 
         writes_requested = stats.writes_requested
         writes_stored = stats.writes_stored
@@ -177,6 +210,9 @@ class SilentShredderController(TraditionalSecureNvmController):
                     issue = cnow + aes_ns
                     complete = nvm_write_done(address, ciphertext, issue)
                     written_set.add(address)
+                    if stage_on:
+                        st_wcrypto.append(issue - cnow)
+                        st_wnvm.append(complete - issue)
                 else:
                     # All-zero: cancel the write; one counter manipulation.
                     writes_deduplicated += 1
@@ -189,7 +225,11 @@ class SilentShredderController(TraditionalSecureNvmController):
                         complete = arrival
                     else:
                         complete = arrival + access_counter(address, True, arrival)
+                    if stage_on:
+                        st_wmeta.append(complete - arrival)
                 latency = complete - arrival
+                if stage_on:
+                    st_write.append(latency)
                 wl_total += latency
                 wl_count += 1
                 if latency > wl_max:
@@ -211,9 +251,13 @@ class SilentShredderController(TraditionalSecureNvmController):
                     if block in cache_blocks:
                         cache.hits += 1
                         cache_blocks.move_to_end(block)
-                        rnow = arrival + xor_ns
+                        meta_done = arrival
                     else:
-                        rnow = arrival + access_counter(address, False, arrival) + xor_ns
+                        meta_done = arrival + access_counter(address, False, arrival)
+                    rnow = meta_done + xor_ns
+                    if stage_on:
+                        st_rmeta.append(meta_done - arrival)
+                        st_rcrypto.append(rnow - meta_done)
                 else:
                     if block in cache_blocks:
                         cache.hits += 1
@@ -223,8 +267,16 @@ class SilentShredderController(TraditionalSecureNvmController):
                         rnow = arrival + access_counter(address, False, arrival)
                     if address in counters:
                         add_aes_line()
-                    rnow = nvm_read_done(address, rnow) + xor_ns
+                    issue = rnow
+                    rc = nvm_read_done(address, rnow)
+                    rnow = rc + xor_ns
+                    if stage_on:
+                        st_rmeta.append(issue - arrival)
+                        st_rnvm.append(rc - issue)
+                        st_rcrypto.append(rnow - rc)
                 latency = rnow - arrival
+                if stage_on:
+                    st_read.append(latency)
                 rl_total += latency
                 rl_count += 1
                 if latency > rl_max:
@@ -250,6 +302,17 @@ class SilentShredderController(TraditionalSecureNvmController):
         rl.count = rl_count
         rl.max_ns = rl_max
         rl.min_ns = rl_min
+
+        if stage_on:
+            record_many = stages.record_many
+            record_many("write.meta", st_wmeta)
+            record_many("write.crypto", st_wcrypto)
+            record_many("write.nvm", st_wnvm)
+            record_many("write", st_write)
+            record_many("read.metadata", st_rmeta)
+            record_many("read.nvm", st_rnvm)
+            record_many("read.crypto", st_rcrypto)
+            record_many("read", st_read)
 
         cursor.positions[core] = position
         cursor.core_time[core] = now

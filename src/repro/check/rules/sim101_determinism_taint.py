@@ -33,7 +33,8 @@ actually corrupt a result:
 
 Taint propagates caller-inherits-from-callee through resolved call edges
 and, for unresolvable ``<expr>.meth()`` calls, through name-based method
-edges.  :data:`BARRIER_MODULES` (the trace bus) are the sanctioned
+edges.  :data:`BARRIER_MODULES` (the trace bus and the batch profiler) are
+the sanctioned
 wall-clock consumers: their wall-time spans are segregated from simulated
 results by the runtime diff gates (PR 4), so taint neither originates in
 nor propagates through them.  The violation message reconstructs the
@@ -55,7 +56,7 @@ if TYPE_CHECKING:
 
 #: Modules whose wall-clock use is sanctioned and never escapes into
 #: simulated results (enforced at runtime by the `repro diff` gates).
-BARRIER_MODULES = frozenset({"repro.obs.trace"})
+BARRIER_MODULES = frozenset({"repro.obs.trace", "repro.obs.profile"})
 
 #: Resolved call targets that read the host clock or entropy.
 SOURCE_CALLS = {

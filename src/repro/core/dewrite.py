@@ -115,6 +115,10 @@ class DeWriteController(MemoryController):
                 verify_reads=detection.verify_reads,
                 pna_skipped=detection.pna_skipped,
             )
+        if self.stages.enabled:
+            hash_done = arrival_ns + self.config.fingerprint_latency_ns
+            self.stages.record("write.hash", hash_done - arrival_ns)
+            self.stages.record("write.dedup", detection.done_ns - hash_done)
         stats.verify_reads += detection.verify_reads
         stats.crc_collisions += detection.collisions
         stats.capped_reference_rejects += detection.capped_rejects
@@ -145,6 +149,8 @@ class DeWriteController(MemoryController):
                 deduplicated=outcome.deduplicated,
                 predicted_dup=predicted_dup,
             )
+        if self.stages.enabled:
+            self.stages.record("write", outcome.complete_ns - arrival_ns)
         return outcome
 
     def _commit_duplicate(
@@ -171,6 +177,10 @@ class DeWriteController(MemoryController):
                     arrival_ns,
                     arrival_ns + self.config.aes_latency_ns,
                     wasted=True,
+                )
+            if self.stages.enabled:
+                self.stages.record(
+                    "write.crypto", arrival_ns + self.config.aes_latency_ns - arrival_ns
                 )
         return WriteOutcome(
             latency_ns=done - arrival_ns, deduplicated=True, complete_ns=done
@@ -220,6 +230,11 @@ class DeWriteController(MemoryController):
             self.tracer.span(
                 "write.nvm", issue, write.complete_ns, dest=dest, wait_ns=write.wait_ns
             )
+        if self.stages.enabled:
+            self.stages.record(
+                "write.crypto", crypto_start + self.config.aes_latency_ns - crypto_start
+            )
+            self.stages.record("write.nvm", write.complete_ns - issue)
         return WriteOutcome(
             latency_ns=write.complete_ns - arrival_ns,
             deduplicated=False,
@@ -274,6 +289,12 @@ class DeWriteController(MemoryController):
                 "read.crypto", read.complete_ns, now, decrypted=physical is not None
             )
             tracer.span("read", arrival_ns, now, redirected=redirected)
+        stages = self.stages
+        if stages.enabled:
+            stages.record("read.metadata", issue - arrival_ns)
+            stages.record("read.nvm", read.complete_ns - issue)
+            stages.record("read.crypto", now - read.complete_ns)
+            stages.record("read", now - arrival_ns)
         return ReadOutcome(latency_ns=latency, data=data, complete_ns=now)
 
     # -- batched request interface ---------------------------------------------
@@ -291,7 +312,10 @@ class DeWriteController(MemoryController):
         Falls back to the generic driver whenever per-request effects are
         observable (tracer/timeline attached), the scalar methods are
         overridden, or more than one core stream is active (the fused loop
-        services a single arrival-ordered stream).
+        services a single arrival-ordered stream).  A stage accumulator
+        (summary mode) does *not* force the fallback: the kernel collects
+        per-stage durations columnar and flushes them per batch, producing
+        the same per-stage sums the scalar trace spans would aggregate to.
         """
         cls = type(self)
         if (
@@ -346,6 +370,24 @@ class DeWriteController(MemoryController):
         is_direct = self.mode == "direct"
         is_parallel = self.mode == "parallel"
         par_enc = self.config.enable_parallel_encryption
+        aes_ns = self._aes_ns
+        fp_ns = self.config.fingerprint_latency_ns
+
+        # Summary-mode stage accounting: durations are collected into
+        # plain lists (request order) and flushed once per batch.  The
+        # write.crypto/write.nvm samples of unique writes are recorded by
+        # _commit_unique itself, so the wasted-encryption sample below
+        # also records directly to keep that stage's sample order scalar.
+        stages = self.stages
+        stage_on = stages.enabled
+        stage_record = stages.record
+        st_whash: list[float] = []
+        st_wdedup: list[float] = []
+        st_write: list[float] = []
+        st_rmeta: list[float] = []
+        st_rnvm: list[float] = []
+        st_rcrypto: list[float] = []
+        st_read: list[float] = []
 
         # Counter batching: plain integers, written back after the loop.
         writes_requested = stats.writes_requested
@@ -403,6 +445,10 @@ class DeWriteController(MemoryController):
                 capped_rejects += detection.capped_rejects
                 if detection.pna_skipped and truth_has_duplicate(line, crc):
                     missed_pna += 1
+                if stage_on:
+                    hash_done = arrival + fp_ns
+                    st_whash.append(hash_done - arrival)
+                    st_wdedup.append(detection.done_ns - hash_done)
                 target = detection.duplicate_target
                 if target is not None:
                     # ---- inlined _commit_duplicate() --------------------
@@ -416,6 +462,8 @@ class DeWriteController(MemoryController):
                     ):
                         add_aes_line()
                         wasted_encryptions += 1
+                        if stage_on:
+                            stage_record("write.crypto", arrival + aes_ns - arrival)
                     latency = complete - arrival
                     dedup = True
                     deduplicated += 1
@@ -428,6 +476,8 @@ class DeWriteController(MemoryController):
                     dedup = False
                 if enable_prediction:
                     score(predicted, dedup)
+                if stage_on:
+                    st_write.append(complete - arrival)
                 wl_total += latency
                 wl_count += 1
                 if latency > wl_max:
@@ -454,7 +504,9 @@ class DeWriteController(MemoryController):
                 )
                 physical = physical_of(address)
                 if physical is None:
-                    rnow = nvm_read_done(address, rnow) + xor_ns
+                    issue = rnow
+                    rc = nvm_read_done(address, rnow)
+                    rnow = rc + xor_ns
                 else:
                     if physical != address:
                         reads_redirected += 1
@@ -462,8 +514,15 @@ class DeWriteController(MemoryController):
                     if slot_table == "overflow":
                         slot_table = "address_map"
                     rnow += metadata_access(slot_table, physical, False, rnow, True)
-                    rnow = nvm_read_done(physical, rnow) + xor_ns
+                    issue = rnow
+                    rc = nvm_read_done(physical, rnow)
+                    rnow = rc + xor_ns
                     add_aes_line()
+                if stage_on:
+                    st_rmeta.append(issue - arrival)
+                    st_rnvm.append(rc - issue)
+                    st_rcrypto.append(rnow - rc)
+                    st_read.append(rnow - arrival)
                 latency = rnow - arrival
                 rl_total += latency
                 rl_count += 1
@@ -501,6 +560,15 @@ class DeWriteController(MemoryController):
             stats.predictions = self.predictor.predictions
             stats.correct_predictions = self.predictor.correct
         self._sync_metadata_stats()
+        if stage_on:
+            record_many = stages.record_many
+            record_many("write.hash", st_whash)
+            record_many("write.dedup", st_wdedup)
+            record_many("write", st_write)
+            record_many("read.metadata", st_rmeta)
+            record_many("read.nvm", st_rnvm)
+            record_many("read.crypto", st_rcrypto)
+            record_many("read", st_read)
 
         cursor.positions[core] = position
         cursor.core_time[core] = now

@@ -24,6 +24,8 @@ from typing import TYPE_CHECKING, NamedTuple
 
 from repro.core.batching import BatchCursor, BatchOutcome
 from repro.nvm.memory import NvmMainMemory
+from repro.obs.metrics import registry
+from repro.obs.stages import NULL_STAGES, StagesLike
 from repro.obs.timeline import NULL_TIMELINE, TimelineLike
 from repro.obs.trace import NULL_TRACER, TracerLike
 
@@ -62,6 +64,7 @@ class MemoryController(abc.ABC):
         self.line_size = nvm.config.organization.line_size_bytes
         self.tracer: TracerLike = NULL_TRACER
         self.timeline: TimelineLike = NULL_TIMELINE
+        self.stages: StagesLike = NULL_STAGES
 
     # -- observability ----------------------------------------------------------
 
@@ -69,15 +72,24 @@ class MemoryController(abc.ABC):
         self,
         tracer: TracerLike | None = None,
         timeline: TimelineLike | None = None,
+        stages: StagesLike | None = None,
     ) -> None:
         """Route this controller's (and its device's) observability streams.
 
-        Either argument may be omitted to leave that stream unchanged.  The
+        Any argument may be omitted to leave that stream unchanged.  The
         defaults are the shared no-op :data:`~repro.obs.trace.NULL_TRACER` /
-        :data:`~repro.obs.timeline.NULL_TIMELINE`, so instrumented paths
-        cost one ``enabled`` check until a real observer is attached.
+        :data:`~repro.obs.timeline.NULL_TIMELINE` /
+        :data:`~repro.obs.stages.NULL_STAGES`, so instrumented paths cost
+        one ``enabled`` check until a real observer is attached.
         Subclasses with instrumented internals override
-        :meth:`_propagate_observers` to forward both observers to them.
+        :meth:`_propagate_observers` to forward the observers to them.
+
+        Observability modes and the batch path: attaching a *tracer* or
+        *timeline* records per-request detail, which forces the fused
+        ``service_batch`` kernels back onto the scalar loop (counted in
+        ``batch.fallback.*``).  Attaching only a *stages* accumulator is
+        **summary mode** — the fused kernels feed it with columnar
+        per-batch flushes and stay fused.
         """
         if tracer is not None:
             self.tracer = tracer
@@ -85,6 +97,8 @@ class MemoryController(abc.ABC):
         if timeline is not None:
             self.timeline = timeline
             self.nvm.timeline = timeline
+        if stages is not None:
+            self.stages = stages
         self._propagate_observers(self.tracer, self.timeline)
 
     def _propagate_observers(self, tracer: TracerLike, timeline: TimelineLike) -> None:
@@ -139,6 +153,19 @@ class MemoryController(abc.ABC):
         :meth:`read` methods, so tracing, timelines and subclass overrides
         all behave identically to scalar servicing.
         """
+        if cursor.active and type(self).service_batch is not MemoryController.service_batch:
+            # A fused kernel bailed out to this scalar-driving loop.  The
+            # fallback is correct but silent; count why it happened so
+            # `repro stats` and the overhead gate can see it.
+            if self.tracer.enabled:
+                reason = "tracer"
+            elif self.timeline.enabled:
+                reason = "timeline"
+            elif len(cursor.active) > 1:
+                reason = "multi_stream"
+            else:
+                reason = "overridden_scalar"
+            registry().counter(f"batch.fallback.{reason}").inc()
         ops = batch.ops
         addresses = batch.addresses
         gaps = batch.gaps

@@ -75,18 +75,19 @@ def available_controllers() -> dict[str, str]:
 def build_controller(name: str, nvm: "NvmMainMemory", **opts: Any) -> "MemoryController":
     """Construct the controller registered under ``name`` on ``nvm``.
 
-    ``tracer=...`` and ``timeline=...`` are handled here for every
-    registered controller: each is popped before the builder runs and
-    attached via
+    ``tracer=...``, ``timeline=...`` and ``stages=...`` are handled here
+    for every registered controller: each is popped before the builder
+    runs and attached via
     :meth:`~repro.core.interface.MemoryController.attach_observers`, so any
-    caller (the ``trace``/``timeline`` CLI verbs, the overhead gate,
-    tests) can observe any controller without per-builder wiring.  Both
-    are in-process objects — they never travel inside serialised job
-    specs (the ``simulate`` job kind carries a ``timeline_window_ns``
+    caller (the ``trace``/``timeline``/``profile`` CLI verbs, the overhead
+    gate, tests) can observe any controller without per-builder wiring.
+    All three are in-process objects — they never travel inside serialised
+    job specs (the ``simulate`` job kind carries a ``timeline_window_ns``
     parameter instead and builds the collector worker-side).
     """
     tracer = opts.pop("tracer", None)
     timeline = opts.pop("timeline", None)
+    stages = opts.pop("stages", None)
     try:
         builder, _ = _BUILDERS[name]
     except KeyError:
@@ -95,8 +96,8 @@ def build_controller(name: str, nvm: "NvmMainMemory", **opts: Any) -> "MemoryCon
             f"unknown controller {name!r}; registered: {known}"
         ) from None
     controller = builder(nvm, **opts)
-    if tracer is not None or timeline is not None:
-        controller.attach_observers(tracer=tracer, timeline=timeline)
+    if tracer is not None or timeline is not None or stages is not None:
+        controller.attach_observers(tracer=tracer, timeline=timeline, stages=stages)
     return controller
 
 

@@ -18,14 +18,23 @@ The observability layer for the simulator stack:
 - :mod:`repro.obs.diff` — run-to-run comparison separating deterministic
   simulation drift from wall-clock noise (``python -m repro diff``);
 - :mod:`repro.obs.bench` — the continuous microbenchmark harness and its
-  ``BENCH_<gitsha>.json`` regression gate (``python -m repro bench``).
+  ``BENCH_<gitsha>.json`` regression gate (``python -m repro bench``);
+- :mod:`repro.obs.stages` — summary-mode per-stage latency accounting
+  (:class:`~repro.obs.stages.StageAccumulator`) that the fused batch
+  kernels feed with columnar flushes, keeping them fused where full
+  tracing would force the scalar path;
+- :mod:`repro.obs.profile` — the deterministic batch profiler behind
+  ``python -m repro profile`` (stage tables, collapsed-stack
+  flamegraphs, per-batch wall timing kept out of sim state).
 """
 
 from repro.obs.bench import (
+    ACCEPTED_BENCH_SCHEMA_VERSIONS,
     BENCH_KIND,
     BENCH_SCHEMA_VERSION,
     BenchCase,
     BenchComparison,
+    collect_stage_breakdown,
     compare_records,
     default_suite,
     load_record,
@@ -36,9 +45,23 @@ from repro.obs.diff import (
     ManifestDiff,
     diff_figure_dirs,
     diff_manifests,
+    diff_stage_sections,
     diff_stages,
     diff_timelines,
     stage_percentiles,
+)
+from repro.obs.profile import (
+    PROFILE_SCHEMA_VERSION,
+    BatchProfiler,
+    render_stage_table,
+    render_wall_summary,
+)
+from repro.obs.stages import (
+    NULL_STAGES,
+    STAGES_SCHEMA_VERSION,
+    NullStageAccumulator,
+    StageAccumulator,
+    StagesLike,
 )
 from repro.obs.manifest import (
     MANIFEST_KIND,
@@ -84,10 +107,12 @@ __all__ = [
     "summarize_manifest",
     "validate_manifest",
     "write_manifest",
+    "ACCEPTED_BENCH_SCHEMA_VERSIONS",
     "BENCH_KIND",
     "BENCH_SCHEMA_VERSION",
     "BenchCase",
     "BenchComparison",
+    "collect_stage_breakdown",
     "compare_records",
     "default_suite",
     "load_record",
@@ -96,9 +121,19 @@ __all__ = [
     "ManifestDiff",
     "diff_figure_dirs",
     "diff_manifests",
+    "diff_stage_sections",
     "diff_stages",
     "diff_timelines",
     "stage_percentiles",
+    "PROFILE_SCHEMA_VERSION",
+    "BatchProfiler",
+    "render_stage_table",
+    "render_wall_summary",
+    "NULL_STAGES",
+    "STAGES_SCHEMA_VERSION",
+    "NullStageAccumulator",
+    "StageAccumulator",
+    "StagesLike",
     "LATENCY_BOUNDS_NS",
     "SECONDS_BOUNDS",
     "Counter",

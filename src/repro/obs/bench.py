@@ -34,7 +34,11 @@ from typing import Any, Callable
 from repro.obs.manifest import git_sha
 
 #: Bump when the bench record shape changes.
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
+
+#: Schema versions :func:`load_record` still accepts (v1 records lack the
+#: optional per-controller ``stages`` breakdown, nothing else changed).
+ACCEPTED_BENCH_SCHEMA_VERSIONS = (1, 2)
 
 #: Marker distinguishing bench records from other JSON lying around.
 BENCH_KIND = "repro-bench"
@@ -150,6 +154,47 @@ def default_suite(
     return cases
 
 
+def collect_stage_breakdown(
+    *,
+    accesses: int = 1200,
+    seed: int = 1,
+    app: str = "lbm",
+    controllers: list[str] | None = None,
+) -> dict[str, dict[str, Any]]:
+    """Per-controller stage totals at bench scale (summary mode).
+
+    One simulation per controller with a
+    :class:`~repro.obs.stages.StageAccumulator` attached — the fused
+    kernels stay active, and the totals are functions of the simulated
+    clock only, so this section is **deterministic** across hosts (unlike
+    the wall-clock ``results``).  Keys match the ``controller.<name>``
+    case names so :func:`compare_records` can attribute a case regression
+    to the stage whose simulated cost drifted.
+    """
+    from repro.core.registry import available_controllers, build_controller
+    from repro.nvm.memory import NvmMainMemory
+    from repro.obs.stages import StageAccumulator
+    from repro.runner.jobs import trace_for
+    from repro.system.simulator import simulate
+
+    trace = trace_for(app, accesses, seed)
+    names = controllers if controllers is not None else sorted(available_controllers())
+    breakdown: dict[str, dict[str, Any]] = {}
+    for name in names:
+        accumulator = StageAccumulator()
+        controller = build_controller(name, NvmMainMemory(), stages=accumulator)
+        simulate(controller, trace)
+        stages: dict[str, Any] = {
+            stage: {"count": histogram.count, "total_ns": histogram.total}
+            for stage, histogram in accumulator.histograms().items()
+        }
+        breakdown[f"controller.{name}"] = {
+            "kernel": f"{type(controller).__name__}.service_batch",
+            "stages": stages,
+        }
+    return breakdown
+
+
 def run_suite(cases: list[BenchCase], *, repeats: int = 3) -> dict[str, dict[str, Any]]:
     """Best-of-``repeats`` wall time per case, interleaved round-robin.
 
@@ -179,10 +224,17 @@ def run_suite(cases: list[BenchCase], *, repeats: int = 3) -> dict[str, dict[str
 
 
 def build_record(
-    results: dict[str, dict[str, Any]], *, scale: dict[str, Any]
+    results: dict[str, dict[str, Any]],
+    *,
+    scale: dict[str, Any],
+    stages: dict[str, dict[str, Any]] | None = None,
 ) -> dict[str, Any]:
-    """Assemble a schema-valid bench record around measured results."""
-    return {
+    """Assemble a schema-valid bench record around measured results.
+
+    ``stages`` is the optional deterministic per-controller breakdown
+    from :func:`collect_stage_breakdown`.
+    """
+    record = {
         "schema": BENCH_SCHEMA_VERSION,
         "kind": BENCH_KIND,
         "created_unix_s": time.time(),
@@ -192,6 +244,9 @@ def build_record(
         "scale": dict(scale),
         "results": {name: dict(entry) for name, entry in sorted(results.items())},
     }
+    if stages is not None:
+        record["stages"] = {name: dict(entry) for name, entry in sorted(stages.items())}
+    return record
 
 
 def validate_record(payload: Any) -> list[str]:
@@ -199,9 +254,10 @@ def validate_record(payload: Any) -> list[str]:
     problems: list[str] = []
     if not isinstance(payload, dict):
         return [f"bench record must be a JSON object, got {type(payload).__name__}"]
-    if payload.get("schema") != BENCH_SCHEMA_VERSION:
+    if payload.get("schema") not in ACCEPTED_BENCH_SCHEMA_VERSIONS:
         problems.append(
-            f"schema must be {BENCH_SCHEMA_VERSION}, got {payload.get('schema')!r}"
+            f"schema must be one of {ACCEPTED_BENCH_SCHEMA_VERSIONS}, "
+            f"got {payload.get('schema')!r}"
         )
     if payload.get("kind") != BENCH_KIND:
         problems.append(f"kind must be {BENCH_KIND!r}, got {payload.get('kind')!r}")
@@ -214,6 +270,27 @@ def validate_record(payload: Any) -> list[str]:
         problems.append("field 'git_sha' must be a string or null")
     if not isinstance(payload.get("scale"), dict):
         problems.append("field 'scale' must be an object")
+    stages = payload.get("stages")
+    if stages is not None:
+        if not isinstance(stages, dict):
+            problems.append("field 'stages' must be an object when present")
+        else:
+            for case, entry in stages.items():
+                if not isinstance(entry, dict) or not isinstance(entry.get("stages"), dict):
+                    problems.append(f"stages[{case!r}] must be an object with 'stages'")
+                    continue
+                if not isinstance(entry.get("kernel"), str):
+                    problems.append(f"stages[{case!r}].kernel must be a string")
+                for stage, fields in entry["stages"].items():
+                    if not isinstance(fields, dict):
+                        problems.append(f"stages[{case!r}].stages[{stage!r}] must be an object")
+                        continue
+                    if not isinstance(fields.get("count"), int):
+                        problems.append(f"stages[{case!r}].stages[{stage!r}].count must be an int")
+                    if not isinstance(fields.get("total_ns"), (int, float)):
+                        problems.append(
+                            f"stages[{case!r}].stages[{stage!r}].total_ns must be a number"
+                        )
     results = payload.get("results")
     if not isinstance(results, dict) or not results:
         problems.append("field 'results' must be a non-empty object")
@@ -263,6 +340,10 @@ class BenchComparison:
     appeared: list[str] = field(default_factory=list)
     vanished: list[str] = field(default_factory=list)
     within: int = 0
+    #: Informational per-regression attribution from the stage-breakdown
+    #: sections (never gates): which kernel/stage's simulated cost moved,
+    #: or that the sim totals are unchanged (a host-side slowdown).
+    stage_notes: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -289,6 +370,8 @@ class BenchComparison:
             lines.append(f"  appeared (no baseline): {', '.join(self.appeared)}")
         if self.vanished:
             lines.append(f"  vanished (baseline only): {', '.join(self.vanished)}")
+        for note in self.stage_notes:
+            lines.append(f"  stage: {note}")
         return "\n".join(lines)
 
 
@@ -307,6 +390,12 @@ def compare_records(
     a pass is trustworthy while a fail may warrant a re-run on a quieter
     machine.  Cases present on only one side are reported separately,
     never as ±inf regressions.
+
+    When both records carry a ``stages`` section (schema 2), every
+    regressed controller case gets an informational note naming the
+    kernel stage whose simulated total moved the most — or stating that
+    the simulated totals are unchanged, which pins the slowdown on the
+    host-side code rather than the modelled workload.
     """
     current_results = current.get("results", {})
     baseline_results = baseline.get("results", {})
@@ -325,6 +414,16 @@ def compare_records(
             improvements.append(entry)
         else:
             within += 1
+    stage_notes = [
+        note
+        for entry in regressions
+        if (
+            note := _attribute_stage_drift(
+                entry["name"], current.get("stages"), baseline.get("stages")
+            )
+        )
+        is not None
+    ]
     return BenchComparison(
         threshold=threshold,
         regressions=regressions,
@@ -332,4 +431,48 @@ def compare_records(
         appeared=sorted(set(current_results) - set(baseline_results)),
         vanished=sorted(set(baseline_results) - set(current_results)),
         within=within,
+        stage_notes=stage_notes,
+    )
+
+
+def _attribute_stage_drift(
+    case: str, current_stages: Any, baseline_stages: Any
+) -> str | None:
+    """Name the stage whose simulated total moved most for ``case``.
+
+    Returns ``None`` when either record lacks a breakdown for the case
+    (v1 baselines, non-controller cases), so the note list degrades
+    gracefully against old anchors.
+    """
+    if not isinstance(current_stages, dict) or not isinstance(baseline_stages, dict):
+        return None
+    current_entry = current_stages.get(case)
+    baseline_entry = baseline_stages.get(case)
+    if not isinstance(current_entry, dict) or not isinstance(baseline_entry, dict):
+        return None
+    kernel = current_entry.get("kernel", case)
+    current_totals = {
+        stage: float(fields.get("total_ns", 0.0))
+        for stage, fields in current_entry.get("stages", {}).items()
+    }
+    baseline_totals = {
+        stage: float(fields.get("total_ns", 0.0))
+        for stage, fields in baseline_entry.get("stages", {}).items()
+    }
+    worst_stage = None
+    worst_drift = 0.0
+    for stage in sorted(set(current_totals) | set(baseline_totals)):
+        drift = abs(current_totals.get(stage, 0.0) - baseline_totals.get(stage, 0.0))
+        if drift > worst_drift:
+            worst_drift = drift
+            worst_stage = stage
+    if worst_stage is None:
+        return (
+            f"{case}: simulated stage totals unchanged in {kernel} — "
+            "the slowdown is host-side (code), not modelled work"
+        )
+    return (
+        f"{case}: largest simulated drift in {kernel} stage {worst_stage!r} "
+        f"({baseline_totals.get(worst_stage, 0.0):.0f} -> "
+        f"{current_totals.get(worst_stage, 0.0):.0f} sim ns)"
     )

@@ -12,6 +12,9 @@ JSONs) and separates **deterministic** divergence from wall-clock noise:
 - the *faults* section (crash-recovery consistency verdicts from seeded
   fault plans — see :mod:`repro.faults`) is a pure product of the seed
   and the fault plan, so any scenario mismatch is deterministic drift;
+- the *stages* section (summary-mode per-stage totals written by
+  ``python -m repro profile``) tracks the simulated clock only, so any
+  histogram mismatch is deterministic drift;
 - per-stage latency percentiles extracted from JSONL sinks use the
   **sim** clock only, so p50/p95/p99 deltas are code-behaviour changes,
   not scheduler luck;
@@ -47,7 +50,10 @@ _WALL_METRIC_KINDS = ("gauge", "histogram")
 #: on cache warmth (a warm run executes zero jobs), not on what the
 #: simulation computed.  They compare informationally, so two runs of the
 #: same figure at the same SHA diff clean whatever the cache state.
-_ENVIRONMENT_COUNTER_PREFIXES = ("jobs.", "simulations")
+#: ``batch.fallback.*`` counts batches driven down the scalar path (a
+#: property of which observers were attached, not of the simulated
+#: results — fused and scalar paths are equivalence-tested identical).
+_ENVIRONMENT_COUNTER_PREFIXES = ("jobs.", "simulations", "batch.fallback.")
 
 
 def _environment_counter(name: str) -> bool:
@@ -81,6 +87,8 @@ class ManifestDiff:
     timeline_windows_compared: int = 0
     faults_drifts: list[str] = field(default_factory=list)
     faults_scenarios_compared: int = 0
+    stages_drifts: list[str] = field(default_factory=list)
+    stages_compared: int = 0
 
     @property
     def deterministic_drift(self) -> bool:
@@ -91,6 +99,7 @@ class ManifestDiff:
             or self.vanished_counters
             or self.timeline_drifts
             or self.faults_drifts
+            or self.stages_drifts
         )
 
     def render(self) -> str:
@@ -102,19 +111,22 @@ class ManifestDiff:
                 f"{len(self.appeared_counters)} appeared, "
                 f"{len(self.vanished_counters)} vanished, "
                 f"{len(self.timeline_drifts)} timeline divergence(s), "
-                f"{len(self.faults_drifts)} fault-scenario divergence(s)"
+                f"{len(self.faults_drifts)} fault-scenario divergence(s), "
+                f"{len(self.stages_drifts)} stage divergence(s)"
             )
             lines.extend(f"  {delta}" for delta in self.counter_drifts)
             lines.extend(f"  appeared: {name}" for name in self.appeared_counters)
             lines.extend(f"  vanished: {name}" for name in self.vanished_counters)
             lines.extend(f"  timeline: {note}" for note in self.timeline_drifts)
             lines.extend(f"  faults: {note}" for note in self.faults_drifts)
+            lines.extend(f"  stages: {note}" for note in self.stages_drifts)
         else:
             lines.append(
                 f"deterministic state identical "
                 f"({self.counters_compared} counters, "
                 f"{self.timeline_windows_compared} timeline windows, "
-                f"{self.faults_scenarios_compared} fault scenarios)"
+                f"{self.faults_scenarios_compared} fault scenarios, "
+                f"{self.stages_compared} stages)"
             )
         if self.info_deltas:
             lines.append(f"wall-clock deltas (informational, {len(self.info_deltas)}):")
@@ -183,6 +195,10 @@ def diff_manifests(a: dict[str, Any], b: dict[str, Any]) -> ManifestDiff:
     notes, compared = diff_faults(a.get("faults"), b.get("faults"))
     diff.faults_drifts.extend(notes)
     diff.faults_scenarios_compared = compared
+
+    notes, compared = diff_stage_sections(a.get("stages"), b.get("stages"))
+    diff.stages_drifts.extend(notes)
+    diff.stages_compared = compared
 
     for which, summary in (("a", summary_a), ("b", summary_b)):
         elapsed = summary.get("elapsed_s")
@@ -282,6 +298,39 @@ def diff_faults(
                 if scenarios_a[key].get(name) != scenarios_b[key].get(name)
             )
             notes.append(f"scenario {label(key)} diverges in {', '.join(deviating)}")
+    return notes, compared
+
+
+def diff_stage_sections(
+    a: dict[str, Any] | None, b: dict[str, Any] | None
+) -> tuple[list[str], int]:
+    """Deterministic divergences between two manifest ``stages`` sections.
+
+    Stage totals in summary mode are functions of the simulated clock
+    only (the reconciliation suite pins them to the scalar trace spans),
+    so any count/total/min/max/bucket mismatch is drift.  Returns
+    ``(notes, stages compared)``; both-absent compares nothing.
+    """
+    if a is None and b is None:
+        return [], 0
+    if a is None or b is None:
+        return [f"stages section present only in manifest {'b' if a is None else 'a'}"], 0
+    if a.get("bounds") != b.get("bounds"):
+        return ["stage histogram bounds differ"], 0
+    stages_a = a.get("stages", {}) or {}
+    stages_b = b.get("stages", {}) or {}
+    notes = [f"stage only in a: {name}" for name in sorted(set(stages_a) - set(stages_b))]
+    notes += [f"stage only in b: {name}" for name in sorted(set(stages_b) - set(stages_a))]
+    compared = 0
+    for name in sorted(set(stages_a) & set(stages_b)):
+        compared += 1
+        if stages_a[name] != stages_b[name]:
+            deviating = sorted(
+                key
+                for key in set(stages_a[name]) | set(stages_b[name])
+                if stages_a[name].get(key) != stages_b[name].get(key)
+            )
+            notes.append(f"stage {name} diverges in {', '.join(deviating)}")
     return notes, compared
 
 

@@ -13,7 +13,10 @@ as the gate.
 
 Schema history: version 2 added the optional ``faults`` section written
 by ``python -m repro faults`` (per-scenario crash-recovery verdicts);
-version-1 manifests remain valid and loadable.
+version 3 added the optional ``stages`` section written by
+``python -m repro profile`` (the summary-mode
+:meth:`~repro.obs.stages.StageAccumulator.to_dict` snapshot).  Older
+manifests remain valid and loadable.
 """
 
 from __future__ import annotations
@@ -29,10 +32,10 @@ from pathlib import Path
 from typing import Any
 
 #: Bump when the manifest shape changes; `stats` refuses unknown versions.
-MANIFEST_SCHEMA_VERSION = 2
+MANIFEST_SCHEMA_VERSION = 3
 
 #: Older versions that are still valid (purely-additive schema changes).
-ACCEPTED_SCHEMA_VERSIONS = (1, MANIFEST_SCHEMA_VERSION)
+ACCEPTED_SCHEMA_VERSIONS = (1, 2, MANIFEST_SCHEMA_VERSION)
 
 #: Marker distinguishing manifests from other JSON lying around.
 MANIFEST_KIND = "repro-run-manifest"
@@ -85,6 +88,7 @@ def build_manifest(
     command: list[str] | None = None,
     timeline: dict[str, Any] | None = None,
     faults: dict[str, Any] | None = None,
+    stages: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble a schema-valid manifest for one run.
 
@@ -92,8 +96,10 @@ def build_manifest(
     :meth:`~repro.obs.timeline.TimelineCollector.to_dict` snapshot of a
     windowed run (``python -m repro timeline``); ``faults`` is the
     optional per-scenario verdict section of a fault campaign
-    (``python -m repro faults``).  Plain ``run`` manifests omit both
-    fields entirely.
+    (``python -m repro faults``); ``stages`` is the optional
+    summary-mode :meth:`~repro.obs.stages.StageAccumulator.to_dict`
+    snapshot of a profiled run (``python -m repro profile``).  Plain
+    ``run`` manifests omit all three fields entirely.
     """
     payload = {
         "schema": MANIFEST_SCHEMA_VERSION,
@@ -117,6 +123,8 @@ def build_manifest(
         payload["timeline"] = dict(timeline)
     if faults is not None:
         payload["faults"] = dict(faults)
+    if stages is not None:
+        payload["stages"] = dict(stages)
     return payload
 
 
@@ -251,6 +259,32 @@ def validate_manifest(payload: Any) -> list[str]:
                         f"faults.scenarios[{index}].report verdicts do not "
                         f"partition total_lines"
                     )
+
+    # Optional stage-accounting section (written by `repro profile`).
+    if "stages" in payload:
+        stages = payload["stages"]
+        if not isinstance(stages, dict):
+            problems.append("field 'stages' must be an object when present")
+        else:
+            if not isinstance(stages.get("schema"), int):
+                problems.append("stages.schema must be an integer")
+            if not isinstance(stages.get("bounds"), list):
+                problems.append("stages.bounds must be a list")
+            entries = stages.get("stages")
+            if not isinstance(entries, dict):
+                problems.append("stages.stages must be an object")
+                entries = {}
+            for name, entry in entries.items():
+                if not isinstance(entry, dict):
+                    problems.append(f"stages.stages[{name!r}] must be an object")
+                    continue
+                if not isinstance(entry.get("count"), int):
+                    problems.append(f"stages.stages[{name!r}].count must be an integer")
+                for key in ("total_ns", "min_ns", "max_ns"):
+                    if not isinstance(entry.get(key), (int, float)):
+                        problems.append(f"stages.stages[{name!r}].{key} must be a number")
+                if not isinstance(entry.get("counts"), list):
+                    problems.append(f"stages.stages[{name!r}].counts must be a list")
     return problems
 
 
@@ -313,6 +347,23 @@ def summarize_manifest(payload: dict[str, Any]) -> dict[str, Any]:
             "interval_ns": faults.get("interval_ns"),
             "scenarios": len(scenarios) if isinstance(scenarios, list) else 0,
             **verdicts,
+        }
+    stages = payload.get("stages")
+    if isinstance(stages, dict):
+        entries = stages.get("stages", {})
+        samples = 0
+        total_ns = 0.0
+        if isinstance(entries, dict):
+            for entry in entries.values():
+                if isinstance(entry, dict):
+                    if isinstance(entry.get("count"), int):
+                        samples += entry["count"]
+                    if isinstance(entry.get("total_ns"), (int, float)):
+                        total_ns += entry["total_ns"]
+        summary["stages"] = {
+            "stages": len(entries) if isinstance(entries, dict) else 0,
+            "samples": samples,
+            "total_ns": total_ns,
         }
     return summary
 

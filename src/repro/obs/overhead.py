@@ -33,6 +33,7 @@ def measure(
     repeats: int = 10,
     early_exit_budget: float | None = None,
     with_timeline: bool = False,
+    with_stages: bool = False,
 ) -> dict[str, Any]:
     """Best-of-``repeats`` traced and untraced wall times, interleaved.
 
@@ -43,22 +44,41 @@ def measure(
     additionally attaches a windowed
     :class:`~repro.obs.timeline.TimelineCollector` in the instrumented
     arm, so the same budget covers tracer + timeline together.
+
+    ``with_stages`` measures the *summary mode* instead: the
+    instrumented arm attaches only a
+    :class:`~repro.obs.stages.StageAccumulator` (no tracer), which must
+    keep the fused batch kernels active — the result carries the
+    ``batch.fallback.*`` counters observed during the instrumented runs
+    under ``"fallbacks"``, and the gate fails if any fired.
     """
+    if with_stages and with_timeline:
+        raise ValueError("with_stages and with_timeline are separate arms; pick one")
     from repro.core.registry import build_controller
     from repro.nvm.memory import NvmMainMemory
+    from repro.obs.metrics import registry
+    from repro.obs.stages import StageAccumulator
     from repro.runner.jobs import trace_for
     from repro.system.simulator import simulate
 
     trace = trace_for(app, accesses, seed)
+    fallbacks_before = {
+        name: registry().get(name).value  # type: ignore[union-attr]
+        for name in registry().names()
+        if name.startswith("batch.fallback.")
+    }
 
     def one_run(traced: bool) -> float:
         controller = build_controller("dewrite", NvmMainMemory())
         if traced:
-            controller.attach_observers(tracer=Tracer(sink=None))
-            if with_timeline:
-                from repro.obs.timeline import TimelineCollector
+            if with_stages:
+                controller.attach_observers(stages=StageAccumulator())
+            else:
+                controller.attach_observers(tracer=Tracer(sink=None))
+                if with_timeline:
+                    from repro.obs.timeline import TimelineCollector
 
-                controller.attach_observers(timeline=TimelineCollector())
+                    controller.attach_observers(timeline=TimelineCollector())
         started = time.perf_counter()
         simulate(controller, trace)
         return time.perf_counter() - started
@@ -77,7 +97,7 @@ def measure(
         ):
             break
     overhead = traced / untraced - 1.0 if untraced > 0 else 0.0
-    return {
+    result = {
         "app": app,
         "accesses": accesses,
         "pairs": pairs,
@@ -85,6 +105,23 @@ def measure(
         "traced_s": traced,
         "overhead": overhead,
     }
+    if with_stages:
+        # Summary mode must never knock a kernel off the fused path: any
+        # batch.fallback.* increment during the measured runs means the
+        # stage accumulator itself caused scalar fallbacks.  Compare
+        # against the pre-measurement snapshot so counters accumulated by
+        # earlier work in this process don't leak into the verdict.
+        snapshot = registry()
+        result["fallbacks"] = {
+            name: delta
+            for name in snapshot.names()
+            if name.startswith("batch.fallback.")
+            and (
+                delta := snapshot.get(name).value  # type: ignore[union-attr]
+                - fallbacks_before.get(name, 0.0)
+            )
+        }
+    return result
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -105,6 +142,11 @@ def main(argv: list[str] | None = None) -> int:
         "--with-timeline", action="store_true",
         help="also attach a windowed TimelineCollector in the traced arm",
     )
+    parser.add_argument(
+        "--with-stages", action="store_true",
+        help="measure summary mode instead: attach only a StageAccumulator "
+        "(fused kernels must stay active — any batch fallback fails the gate)",
+    )
     args = parser.parse_args(argv)
     result = measure(
         app=args.app,
@@ -113,14 +155,29 @@ def main(argv: list[str] | None = None) -> int:
         repeats=args.repeats,
         early_exit_budget=args.budget,
         with_timeline=args.with_timeline,
+        with_stages=args.with_stages,
     )
-    instrumented = "traced+timeline" if args.with_timeline else "traced"
+    if args.with_stages:
+        instrumented = "staged"
+    elif args.with_timeline:
+        instrumented = "traced+timeline"
+    else:
+        instrumented = "traced"
     stdout_line(
         f"tracing overhead: untraced {result['untraced_s']:.3f}s, "
         f"{instrumented} {result['traced_s']:.3f}s, overhead {result['overhead']:+.1%} "
         f"(budget {args.budget:.0%}, {result['app']}/{result['accesses']} accesses, "
         f"{result['pairs']} pairs)"
     )
+    if args.with_stages:
+        fallbacks = result.get("fallbacks", {})
+        if fallbacks:
+            stdout_line(
+                "summary mode knocked kernels off the fused path: "
+                + ", ".join(f"{name}={value:g}" for name, value in sorted(fallbacks.items()))
+            )
+            return 1
+        stdout_line("fused kernels stayed active (zero batch.fallback.* increments)")
     return 0 if result["overhead"] <= args.budget else 1
 
 

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.obs.bench import (
+    ACCEPTED_BENCH_SCHEMA_VERSIONS,
     BENCH_KIND,
     BENCH_SCHEMA_VERSION,
     BenchCase,
@@ -155,3 +156,91 @@ class TestGate:
             entry["change"] not in (float("inf"), float("-inf"))
             for entry in comparison.regressions + comparison.improvements
         )
+
+
+class TestStageBreakdown:
+    """Schema v2 ``stages`` section and regression attribution."""
+
+    def stage_section(self, total_crypto: float = 5000.0, total_nvm: float = 9000.0):
+        return {
+            "controller.dewrite": {
+                "kernel": "DeWriteController.service_batch",
+                "stages": {
+                    "write.crypto": {"count": 10, "total_ns": total_crypto},
+                    "write.nvm": {"count": 10, "total_ns": total_nvm},
+                },
+            }
+        }
+
+    def record_with_stages(self, best_s: float, **stage_kwargs) -> dict:
+        return build_record(
+            {
+                "controller.dewrite": {
+                    "best_s": best_s,
+                    "ops": 10,
+                    "per_op_ns": best_s / 10 * 1e9,
+                }
+            },
+            scale={"accesses": 10},
+            stages=self.stage_section(**stage_kwargs),
+        )
+
+    def test_record_with_stages_validates(self):
+        record = self.record_with_stages(0.01)
+        assert record["schema"] == BENCH_SCHEMA_VERSION
+        assert validate_record(record) == []
+        assert list(record["stages"]) == ["controller.dewrite"]
+
+    def test_v1_record_without_stages_still_accepted(self):
+        # Committed v1 anchors must keep loading under the v2 gate.
+        record = make_record({"controller.dewrite": 0.01})
+        record["schema"] = 1
+        assert 1 in ACCEPTED_BENCH_SCHEMA_VERSIONS
+        assert validate_record(record) == []
+
+    def test_malformed_stages_rejected(self):
+        record = self.record_with_stages(0.01)
+        record["stages"]["controller.dewrite"]["stages"]["write.crypto"]["count"] = "x"
+        assert any("count" in problem for problem in validate_record(record))
+        record = self.record_with_stages(0.01)
+        record["stages"] = []
+        assert any("stages" in problem for problem in validate_record(record))
+
+    def test_collect_stage_breakdown_shape(self):
+        from repro.obs.bench import collect_stage_breakdown
+
+        breakdown = collect_stage_breakdown(accesses=120, controllers=["dewrite"])
+        entry = breakdown["controller.dewrite"]
+        assert entry["kernel"] == "DeWriteController.service_batch"
+        assert "write.crypto" in entry["stages"]
+        for fields in entry["stages"].values():
+            assert fields["count"] > 0
+            assert fields["total_ns"] >= 0.0
+
+    def test_regression_attributed_to_drifted_stage(self):
+        baseline = self.record_with_stages(0.010)
+        current = self.record_with_stages(0.020, total_nvm=50_000.0)
+        comparison = compare_records(current, baseline, threshold=0.30)
+        assert not comparison.ok
+        (note,) = comparison.stage_notes
+        assert "write.nvm" in note
+        assert "DeWriteController.service_batch" in note
+        assert "stage:" in comparison.render()
+
+    def test_unchanged_stage_totals_blame_host_side(self):
+        # Same simulated work, 2x wall time: the bench got slower without
+        # the model doing more — the code (host side) regressed.
+        baseline = self.record_with_stages(0.010)
+        current = self.record_with_stages(0.020)
+        comparison = compare_records(current, baseline, threshold=0.30)
+        (note,) = comparison.stage_notes
+        assert "host-side" in note
+
+    def test_v1_baseline_degrades_gracefully(self):
+        # Regression against a stage-less v1 anchor: gate still fires,
+        # attribution is silently absent.
+        baseline = make_record({"controller.dewrite": 0.010})
+        current = self.record_with_stages(0.020)
+        comparison = compare_records(current, baseline, threshold=0.30)
+        assert not comparison.ok
+        assert comparison.stage_notes == []

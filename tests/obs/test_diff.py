@@ -271,3 +271,65 @@ class TestFigureDirs:
         reports, notes = diff_figure_dirs(dir_a, dir_b, tolerance=0.05)
         assert not reports["fig12.json"].clean
         assert notes == ["figure only.json only in a"]
+
+
+class TestStageSectionDiff:
+    """Summary-mode stage sections: deterministic, so any delta is drift."""
+
+    def stages(self, crypto_total=350.0):
+        from repro.obs.stages import StageAccumulator
+
+        accumulator = StageAccumulator()
+        accumulator.record_many("write.crypto", [100.0, crypto_total - 100.0])
+        accumulator.record("write.nvm", 900.0)
+        return accumulator.to_dict()
+
+    def test_identical_sections_diff_clean(self):
+        from repro.obs.diff import diff_stage_sections
+
+        notes, compared = diff_stage_sections(self.stages(), self.stages())
+        assert notes == []
+        assert compared == 2
+
+    def test_total_divergence_names_stage_and_fields(self):
+        from repro.obs.diff import diff_stage_sections
+
+        notes, compared = diff_stage_sections(self.stages(350.0), self.stages(400.0))
+        assert compared == 2
+        (note,) = notes
+        assert "write.crypto" in note and "total_ns" in note
+
+    def test_one_sided_section_reported(self):
+        from repro.obs.diff import diff_stage_sections
+
+        notes, compared = diff_stage_sections(self.stages(), None)
+        assert compared == 0
+        assert "present only in manifest a" in notes[0]
+        assert diff_stage_sections(None, None) == ([], 0)
+
+    def test_bounds_mismatch_short_circuits(self):
+        from repro.obs.diff import diff_stage_sections
+
+        other = self.stages()
+        other["bounds"] = [1.0, 2.0]
+        notes, compared = diff_stage_sections(self.stages(), other)
+        assert notes == ["stage histogram bounds differ"]
+        assert compared == 0
+
+    def test_manifest_diff_integrates_stage_drift(self):
+        clean = diff_manifests(
+            make_manifest(stages=self.stages()), make_manifest(stages=self.stages())
+        )
+        assert not clean.deterministic_drift
+        assert clean.stages_compared == 2
+        assert "2 stages" in clean.render()
+
+        drifted = diff_manifests(
+            make_manifest(stages=self.stages(350.0)),
+            make_manifest(stages=self.stages(400.0)),
+        )
+        assert drifted.deterministic_drift
+        assert len(drifted.stages_drifts) == 1
+        rendered = drifted.render()
+        assert "1 stage divergence(s)" in rendered
+        assert "stages: " in rendered

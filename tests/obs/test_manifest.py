@@ -218,3 +218,63 @@ class TestWriteLoadRoundTrip:
     def test_load_rejects_missing_file(self, tmp_path):
         with pytest.raises(ManifestError):
             load_manifest(tmp_path / "absent.json")
+
+
+class TestStagesSection:
+    """Schema v3: the optional summary-mode ``stages`` section."""
+
+    def stages_payload(self):
+        from repro.obs.stages import StageAccumulator
+
+        accumulator = StageAccumulator()
+        accumulator.record_many("write.crypto", [100.0, 250.0])
+        accumulator.record("write.nvm", 900.0)
+        return accumulator.to_dict()
+
+    def test_manifest_with_stages_validates(self):
+        payload = minimal_manifest(stages=self.stages_payload())
+        assert validate_manifest(payload) == []
+        assert payload["schema"] == MANIFEST_SCHEMA_VERSION
+
+    def test_build_manifest_accepts_stages_kwarg(self):
+        payload = build_manifest(
+            figures=["fig14"],
+            settings={"accesses": 500, "seed": 1, "applications": ["lbm"]},
+            options={}, jobs=[],
+            cache={"planned": 1, "unique": 1, "disk_hits": 0,
+                   "executed": 1, "simulations": 1, "retries": 0},
+            failures=[], elapsed_s=0.1, metrics={},
+            stages=self.stages_payload(),
+        )
+        assert validate_manifest(payload) == []
+        assert set(payload["stages"]["stages"]) == {"write.crypto", "write.nvm"}
+
+    def test_older_schemas_still_accepted(self):
+        for version in (1, 2):
+            payload = minimal_manifest(schema=version)
+            assert validate_manifest(payload) == [], version
+
+    def test_malformed_stages_rejected(self):
+        payload = minimal_manifest(stages=[])
+        assert any("stages" in p for p in validate_manifest(payload))
+        stages = self.stages_payload()
+        stages["stages"]["write.crypto"]["count"] = "two"
+        payload = minimal_manifest(stages=stages)
+        assert any("count" in p for p in validate_manifest(payload))
+
+    def test_summary_digest_includes_stage_totals(self):
+        from repro.obs.manifest import summarize_manifest
+
+        summary = summarize_manifest(minimal_manifest(stages=self.stages_payload()))
+        assert summary["stages"]["stages"] == 2
+        assert summary["stages"]["samples"] == 3
+        assert summary["stages"]["total_ns"] == 1250.0
+
+    def test_stages_round_trip_through_manifest(self, tmp_path):
+        from repro.obs.stages import StageAccumulator
+
+        payload = minimal_manifest(stages=self.stages_payload())
+        path = write_manifest(tmp_path / "manifest.json", payload)
+        loaded = load_manifest(path)
+        rebuilt = StageAccumulator.from_dict(loaded["stages"])
+        assert rebuilt.to_dict() == self.stages_payload()

@@ -329,3 +329,69 @@ class TestBench:
         assert main([*self.BENCH, "--out", str(tmp_path),
                      "--check", str(tmp_path / "absent.json")]) == 2
         assert "cannot load baseline" in capsys.readouterr().err
+
+
+class TestProfile:
+    PROFILE = ["profile", "fig14", "--accesses", "300"]
+
+    def test_profile_prints_stage_table_and_wall_footer(self, capsys):
+        assert main(self.PROFILE) == 0
+        out = capsys.readouterr().out
+        assert "kernel: DeWriteController.service_batch" in out
+        for stage in ("write.dedup", "write.crypto", "read.nvm"):
+            assert stage in out
+        assert "wall (host, non-deterministic)" in out
+
+    def test_profile_keeps_kernels_fused(self, capsys):
+        from repro.obs.metrics import registry
+
+        assert main(self.PROFILE) == 0
+        fallbacks = [n for n in registry().names() if n.startswith("batch.fallback.")]
+        assert fallbacks == []
+
+    def test_profile_writes_flamegraph_and_json(self, tmp_path, capsys):
+        from repro.obs.profile import PROFILE_SCHEMA_VERSION
+
+        folded = tmp_path / "stages.folded"
+        report_path = tmp_path / "profile.json"
+        assert main([*self.PROFILE, "--flamegraph", str(folded),
+                     "--json", str(report_path)]) == 0
+        frames = folded.read_text().splitlines()
+        assert frames
+        for frame in frames:
+            stack, _, weight = frame.rpartition(" ")
+            assert int(weight) > 0
+            assert stack.startswith("controller;DeWriteController.service_batch;")
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == PROFILE_SCHEMA_VERSION
+        assert report["flamegraph"] == frames
+        assert report["wall"]["requests"] == 300
+
+    def test_profile_manifest_carries_stages_for_diff(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*self.PROFILE, "--manifest", str(a)]) == 0
+        assert main([*self.PROFILE, "--manifest", str(b)]) == 0
+        payload = json.loads(a.read_text())
+        assert validate_manifest(payload) == []
+        assert payload["stages"]["stages"], "manifest carries no stage entries"
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "deterministic state identical" in capsys.readouterr().out
+
+    def test_stats_reports_stages_and_fallback_sections(self, tmp_path, capsys):
+        manifest = tmp_path / "profiled.json"
+        assert main([*self.PROFILE, "--manifest", str(manifest)]) == 0
+        # Doctor in a fallback counter to exercise the stats rendering.
+        payload = json.loads(manifest.read_text())
+        payload["metrics"]["batch.fallback.tracer"] = {"kind": "counter", "value": 3.0}
+        manifest.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["stats", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "stages:" in out and "summary mode" in out
+        assert "fallbacks: tracer=3 (batches driven scalar)" in out
+
+    def test_profile_other_controller(self, capsys):
+        assert main(["profile", "fig14", "--accesses", "200",
+                     "--controller", "silent-shredder"]) == 0
+        assert "SilentShredderController.service_batch" in capsys.readouterr().out

@@ -1,0 +1,25 @@
+"""The overhead gate's summary-mode arm (``--with-stages``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.overhead import measure
+
+
+class TestWithStages:
+    def test_stages_and_timeline_arms_are_exclusive(self):
+        with pytest.raises(ValueError, match="separate arms"):
+            measure(with_stages=True, with_timeline=True)
+
+    def test_staged_arm_reports_zero_fallbacks(self):
+        # One pair at a small scale: correctness of the fallback
+        # accounting, not the timing gate (CI runs the real budget).
+        result = measure(accesses=300, repeats=1, with_stages=True)
+        assert result["fallbacks"] == {}
+        assert result["pairs"] == 1
+        assert result["untraced_s"] > 0.0 and result["traced_s"] > 0.0
+
+    def test_traced_arm_has_no_fallback_verdict(self):
+        result = measure(accesses=200, repeats=1)
+        assert "fallbacks" not in result
