@@ -8,7 +8,19 @@ Subcommands:
   the output (see :mod:`repro.obs.manifest`);
 - ``trace``    — run one figure's pipeline with the structured tracer
   attached and print the per-stage latency breakdown (p50/p95/p99);
-  ``--out`` streams the raw span records as JSONL;
+  ``--out`` streams the raw span records as JSONL; ``--chrome`` exports
+  the spans in Chrome trace-event format (sim-time timeline, worker
+  lanes), either from the run just traced or from an existing JSONL
+  file via ``--from-jsonl``;
+- ``watch``    — live terminal dashboard over the event stream a run
+  emits with ``run --events``: jobs in flight, warm-cache hit rate,
+  throughput, ETA from the content-keyed plan, and the stage split when
+  snapshots carry one (see :mod:`repro.obs.watch`);
+- ``ledger``   — append-only cross-run index over bench records and run
+  manifests (``ledger add``/``ledger ls``; see :mod:`repro.obs.ledger`);
+- ``trend``    — per-case time series across the committed bench anchors
+  (or a ledger file) with step-regression flags and stage-drift
+  attribution;
 - ``profile``  — run one figure's pipeline with the summary-mode stage
   accumulator and the batch profiler attached: the fused kernels stay
   active (full tracing forces the scalar path), the stage table is
@@ -32,7 +44,8 @@ Subcommands:
   gates the exit code, wall-clock deltas are informational;
 - ``bench``    — time the hot paths (controller loops, hash circuits,
   metadata cache), write a ``BENCH_<gitsha>.json`` record and optionally
-  gate against a baseline record (``--check``);
+  gate against a baseline record (``--check``) or against *every*
+  committed anchor in a directory (``--gate``);
 - ``compare``  — run one application under the traditional secure NVM and
   under DeWrite, print the side-by-side report;
 - ``figure``   — regenerate one of the paper's tables/figures by id;
@@ -51,7 +64,12 @@ Examples::
 
     python -m repro run --parallel 8
     python -m repro run system modes --apps lbm,mcf --accesses 5000
+    python -m repro run --parallel 4 --events /tmp/events.jsonl
+    python -m repro watch /tmp/events.jsonl --once
     python -m repro trace fig14 --out /tmp/trace.jsonl
+    python -m repro trace --from-jsonl /tmp/trace.jsonl --chrome /tmp/trace.chrome.json
+    python -m repro ledger add benchmarks/results/BENCH_*.json
+    python -m repro trend benchmarks/results
     python -m repro profile fig14 --flamegraph /tmp/stages.folded
     python -m repro stats manifest.json
     python -m repro timeline system --apps lbm --window-ns 2e5 --csv tl.csv
@@ -132,13 +150,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-manifest", action="store_true",
         help="skip writing the run manifest",
     )
+    run.add_argument(
+        "--events", default="", metavar="PATH",
+        help="stream schema-v1 lifecycle events to PATH "
+             "(JSONL file, or an existing unix socket a `repro watch` holds)",
+    )
 
     trace = sub.add_parser(
         "trace", help="trace one figure's pipeline; print per-stage latency percentiles"
     )
     trace.add_argument(
-        "figure",
-        help="figure id or paper alias (fig14/fig16/fig17/fig19 resolve to 'system')",
+        "figure", nargs="?", default="",
+        help="figure id or paper alias (fig14/fig16/fig17/fig19 resolve to "
+             "'system'; optional with --from-jsonl)",
     )
     trace.add_argument("--app", default="lbm", help="workload to trace (default lbm)")
     trace.add_argument("--accesses", type=int, default=2_000)
@@ -150,6 +174,75 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--out", default="", metavar="PATH",
         help="stream raw span/event records to PATH as JSONL",
+    )
+    trace.add_argument(
+        "--chrome", default="", metavar="PATH",
+        help="export the trace in Chrome trace-event format to PATH "
+             "(open in chrome://tracing or Perfetto)",
+    )
+    trace.add_argument(
+        "--from-jsonl", default="", metavar="PATH", dest="from_jsonl",
+        help="convert an existing trace JSONL instead of running a simulation "
+             "(requires --chrome)",
+    )
+
+    watch = sub.add_parser(
+        "watch", help="live dashboard over a run's event stream (see run --events)"
+    )
+    watch.add_argument(
+        "target",
+        help="events.jsonl path, a run directory containing events.jsonl, "
+             "or (with --socket) a unix socket path to bind",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="refresh interval (default 0.5)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render one frame from the stream's current state and exit",
+    )
+    watch.add_argument(
+        "--socket", action="store_true",
+        help="bind TARGET as a unix datagram socket and watch live "
+             "(start the watcher first, then `repro run --events TARGET`)",
+    )
+    watch.add_argument(
+        "--max-wait", type=float, default=0.0, metavar="SECONDS",
+        help="give up after this much wall time without run_finished "
+             "(default 0: wait indefinitely)",
+    )
+
+    ledger = sub.add_parser(
+        "ledger", help="append-only cross-run index over bench records and manifests"
+    )
+    ledger.add_argument("action", choices=("add", "ls"), help="add records / list entries")
+    ledger.add_argument(
+        "records", nargs="*", metavar="FILE",
+        help="bench BENCH_*.json or manifest.json files to index (for `add`)",
+    )
+    ledger.add_argument(
+        "--ledger", default="ledger.json", metavar="PATH", dest="ledger_path",
+        help="ledger file location (default: ./ledger.json)",
+    )
+    ledger.add_argument(
+        "--json", action="store_true", help="emit `ls` output as JSON"
+    )
+
+    trend = sub.add_parser(
+        "trend", help="per-case bench time series across commits, with regression flags"
+    )
+    trend.add_argument(
+        "source", nargs="?", default="benchmarks/results",
+        help="ledger file or directory of BENCH_*.json anchors "
+             "(default: benchmarks/results)",
+    )
+    trend.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="relative step-regression threshold (default 30 %%)",
+    )
+    trend.add_argument(
+        "--json", action="store_true", help="emit the trend report as JSON"
     )
 
     profile = sub.add_parser(
@@ -359,8 +452,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="baseline BENCH_*.json to gate against (exit 1 on regression)",
     )
     bench.add_argument(
+        "--gate", default="", metavar="DIR",
+        help="gate against every BENCH_*.json anchor in DIR at once "
+             "(composite per-case-best baseline; exit 1 on regression)",
+    )
+    bench.add_argument(
         "--threshold", type=float, default=0.30,
-        help="relative regression threshold for --check (default 30 %%)",
+        help="relative regression threshold for --check/--gate (default 30 %%)",
     )
 
     compare = sub.add_parser("compare", help="baseline vs DeWrite on one application")
@@ -457,8 +555,9 @@ def _configure_runner(args: argparse.Namespace):
     return cache
 
 
-def _warm_jobs(args: argparse.Namespace, jobs, cache, progress=None):
+def _warm_jobs(args: argparse.Namespace, jobs, cache, progress=None, events=None):
     """Resolve planned jobs (parallel when requested); returns the report."""
+    from repro.obs.events import NULL_EVENTS
     from repro.runner.engine import run_jobs
 
     return run_jobs(
@@ -467,7 +566,25 @@ def _warm_jobs(args: argparse.Namespace, jobs, cache, progress=None):
         cache=cache,
         job_timeout_s=getattr(args, "job_timeout", 600.0),
         progress=progress,
+        events=events if events is not None else NULL_EVENTS,
     )
+
+
+def _event_bus(path: str):
+    """Build the run's event bus for ``--events PATH``.
+
+    An existing unix socket at PATH (a waiting ``repro watch --socket``)
+    gets a datagram sink; anything else is treated as a JSONL file.
+    """
+    import pathlib
+
+    from repro.obs.events import EventBus, SocketSink
+    from repro.obs.sinks import JsonlSink
+
+    target = pathlib.Path(path)
+    if target.exists() and target.is_socket():
+        return EventBus(SocketSink(target))
+    return EventBus(JsonlSink(path))
 
 
 def _run_run(args: argparse.Namespace) -> int:
@@ -485,9 +602,22 @@ def _run_run(args: argparse.Namespace) -> int:
     cache = _configure_runner(args)
     jobs = figures.plan_for(ids, settings)
     show_progress = args.progress or args.parallel > 1
-    report = _warm_jobs(
-        args, jobs, cache, progress=stderr_progress if show_progress else None
-    )
+    events = _event_bus(args.events) if args.events else None
+    try:
+        report = _warm_jobs(
+            args, jobs, cache,
+            progress=stderr_progress if show_progress else None,
+            events=events,
+        )
+    finally:
+        if events is not None:
+            events.close()
+    if events is not None:
+        print(
+            f"events: {events.emitted} emitted, {events.dropped} dropped "
+            f"-> {args.events}",
+            file=sys.stderr,
+        )
     for failure in report.failures:
         print(
             f"run: FAILED {failure.spec.label} after {failure.attempts} attempt(s): "
@@ -572,6 +702,25 @@ def _run_trace(args: argparse.Namespace) -> int:
     from repro.runner.jobs import trace_for
     from repro.system.simulator import simulate
 
+    if args.from_jsonl:
+        # Pure conversion: an existing trace JSONL becomes a Chrome
+        # trace-event file, no simulation involved.
+        if not args.chrome:
+            print("trace: --from-jsonl requires --chrome OUT", file=sys.stderr)
+            return 2
+        from repro.obs.chrome import read_trace_jsonl, write_chrome_trace
+
+        try:
+            path = write_chrome_trace(read_trace_jsonl(args.from_jsonl), args.chrome)
+        except (OSError, ValueError) as error:
+            print(f"trace: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote Chrome trace to {path}")
+        return 0
+    if not args.figure:
+        print("trace: a figure id is required (or use --from-jsonl)", file=sys.stderr)
+        return 2
+
     spec = figures.resolve_experiment(args.figure)
     workload = trace_for(args.app, args.accesses, args.seed)
     sink = JsonlSink(args.out) if args.out else None
@@ -600,6 +749,11 @@ def _run_trace(args: argparse.Namespace) -> int:
         )
     if args.out:
         print(f"\nwrote {len(tracer.records)} records to {args.out}")
+    if args.chrome:
+        from repro.obs.chrome import write_chrome_trace
+
+        path = write_chrome_trace(tracer.records, args.chrome)
+        print(f"wrote Chrome trace to {path}")
     return 0
 
 
@@ -759,6 +913,17 @@ def _run_stats(args: argparse.Namespace) -> int:
             rendered = ", ".join(f"{name.rsplit('.', 1)[-1]}={value:g}"
                                  for name, value in fallbacks.items())
             print(f"  fallbacks: {rendered} (batches driven scalar)")
+        # Live-telemetry stream health: environment counters like the
+        # fallbacks above (a property of the attached sink, never drift).
+        stream = {
+            name: entry.get("value", 0)
+            for name, entry in sorted(metrics.items())
+            if name.startswith("events.") and isinstance(entry, dict)
+        }
+        if stream:
+            rendered = ", ".join(f"{name.rsplit('.', 1)[-1]}={value:g}"
+                                 for name, value in stream.items())
+            print(f"  events:    {rendered} (live telemetry stream)")
     failures = payload.get("failures", [])
     if failures:
         print(f"  failures:  {len(failures)}")
@@ -1163,6 +1328,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     )
     path = bench.write_record(record, args.out)
     print(f"wrote {path}", file=sys.stderr)
+    exit_code = 0
     if args.check:
         try:
             baseline = bench.load_record(args.check)
@@ -1171,8 +1337,133 @@ def _run_bench(args: argparse.Namespace) -> int:
             return 2
         comparison = bench.compare_records(record, baseline, threshold=args.threshold)
         print(comparison.render())
-        return 0 if comparison.ok else 1
+        exit_code |= 0 if comparison.ok else 1
+    if args.gate:
+        try:
+            anchors = bench.discover_anchors(args.gate)
+            records = [bench.load_record(anchor) for anchor in anchors]
+        except (OSError, ValueError) as error:
+            print(f"bench: cannot load anchors: {error}", file=sys.stderr)
+            return 2
+        if not records:
+            print(f"bench: no BENCH_*.json anchors in {args.gate}", file=sys.stderr)
+            return 2
+        baseline = bench.composite_baseline(records)
+        print(
+            f"gating against {len(records)} anchor(s) in {args.gate} "
+            f"(per-case best-ever baseline)"
+        )
+        comparison = bench.compare_records(record, baseline, threshold=args.threshold)
+        print(comparison.render())
+        exit_code |= 0 if comparison.ok else 1
+    return exit_code
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.watch import follow_file, follow_socket
+
+    max_wait = args.max_wait if args.max_wait > 0 else None
+    if args.socket:
+        target = Path(args.target)
+        if target.exists():
+            print(f"watch: {target} already exists; refusing to bind", file=sys.stderr)
+            return 2
+        model = follow_socket(target, interval_s=args.interval, max_wait_s=max_wait)
+    else:
+        target = Path(args.target)
+        if target.is_dir():
+            target = target / "events.jsonl"
+        if args.once and not target.exists():
+            print(f"watch: no event stream at {target}", file=sys.stderr)
+            return 2
+        model = follow_file(
+            target, interval_s=args.interval, once=args.once, max_wait_s=max_wait
+        )
+    return 1 if model.failed else 0
+
+
+def _run_ledger(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.ledger import Ledger, LedgerError
+
+    path = Path(args.ledger_path)
+    if path.exists():
+        try:
+            ledger = Ledger.load(path)
+        except LedgerError as error:
+            print(f"ledger: {error}", file=sys.stderr)
+            return 2
+    else:
+        ledger = Ledger()
+
+    if args.action == "add":
+        if not args.records:
+            print("ledger: add needs at least one record file", file=sys.stderr)
+            return 2
+        added = 0
+        for record_path in args.records:
+            try:
+                payload = json.loads(Path(record_path).read_text(encoding="utf-8"))
+                if ledger.add_record(payload, source=str(record_path)):
+                    added += 1
+            except (OSError, json.JSONDecodeError, LedgerError) as error:
+                print(f"ledger: {record_path}: {error}", file=sys.stderr)
+                return 2
+        ledger.dump(path)
+        duplicates = len(args.records) - added
+        print(
+            f"ledger: indexed {added} new record(s)"
+            + (f", {duplicates} already present" if duplicates else "")
+            + f" -> {path} ({len(ledger)} total)"
+        )
+        return 0
+
+    entries = ledger.entries()
+    if args.json:
+        print(json.dumps(ledger.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"ledger: {path} — {len(entries)} entr(y/ies)")
+    for entry in entries:
+        sha = (entry.git_sha or "nogit")[:12]
+        if entry.record_kind == "bench":
+            detail = f"{len(entry.summary.get('results', {}))} case(s)"
+        else:
+            jobs = entry.summary.get("jobs", {})
+            detail = f"{jobs.get('total', 0)} job(s), {entry.summary.get('failures', 0)} failed"
+        print(f"  {entry.entry_id}  {entry.record_kind:8s} {sha:12s} {detail}"
+              + (f"  [{entry.source}]" if entry.source else ""))
     return 0
+
+
+def _run_trend(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import bench
+    from repro.obs.ledger import Ledger, LedgerError, compute_trend, ledger_from_records
+
+    source = Path(args.source)
+    try:
+        if source.is_dir():
+            anchors = bench.discover_anchors(source)
+            ledger = ledger_from_records(
+                (bench.load_record(anchor), str(anchor)) for anchor in anchors
+            )
+        else:
+            ledger = Ledger.load(source)
+    except (OSError, ValueError, LedgerError) as error:
+        print(f"trend: {error}", file=sys.stderr)
+        return 2
+    report = compute_trend(ledger.entries(record_kind="bench"), threshold=args.threshold)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _run_compare(args: argparse.Namespace) -> int:
@@ -1378,6 +1669,12 @@ def main(argv: list[str] | None = None) -> int:
             return _run_diff(args)
         if args.command == "bench":
             return _run_bench(args)
+        if args.command == "watch":
+            return _run_watch(args)
+        if args.command == "ledger":
+            return _run_ledger(args)
+        if args.command == "trend":
+            return _run_trend(args)
         if args.command == "compare":
             return _run_compare(args)
         if args.command == "figure":

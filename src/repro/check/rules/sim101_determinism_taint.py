@@ -33,11 +33,14 @@ actually corrupt a result:
 
 Taint propagates caller-inherits-from-callee through resolved call edges
 and, for unresolvable ``<expr>.meth()`` calls, through name-based method
-edges.  :data:`BARRIER_MODULES` (the trace bus and the batch profiler) are
-the sanctioned
-wall-clock consumers: their wall-time spans are segregated from simulated
-results by the runtime diff gates (PR 4), so taint neither originates in
-nor propagates through them.  The violation message reconstructs the
+edges.  :data:`BARRIER_MODULES` (the trace bus, the batch profiler, the
+live event bus, the cross-run ledger, and their watch/chrome consumers)
+are the sanctioned
+wall-clock consumers: their wall-time spans and record timestamps are
+segregated from simulated results by the runtime diff gates (PR 4; the
+``events.*`` counters and ledger provenance stamps are environment
+metadata, never sim state), so taint neither originates in nor
+propagates through them.  The violation message reconstructs the
 call chain from sink to source so the report reads as a data-flow
 explanation, not a bare location.
 """
@@ -56,7 +59,16 @@ if TYPE_CHECKING:
 
 #: Modules whose wall-clock use is sanctioned and never escapes into
 #: simulated results (enforced at runtime by the `repro diff` gates).
-BARRIER_MODULES = frozenset({"repro.obs.trace", "repro.obs.profile"})
+BARRIER_MODULES = frozenset(
+    {
+        "repro.obs.trace",
+        "repro.obs.profile",
+        "repro.obs.events",
+        "repro.obs.ledger",
+        "repro.obs.watch",
+        "repro.obs.chrome",
+    }
+)
 
 #: Resolved call targets that read the host clock or entropy.
 SOURCE_CALLS = {

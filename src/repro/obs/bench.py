@@ -330,6 +330,57 @@ def load_record(path: str | Path) -> dict[str, Any]:
     return payload
 
 
+def discover_anchors(directory: str | Path) -> list[Path]:
+    """Every committed ``BENCH_*.json`` anchor in ``directory``, oldest first.
+
+    Ordering is by each record's ``created_unix_s`` (filename as the
+    tiebreak), not by filename — shas don't sort chronologically.  An
+    invalid record raises rather than being skipped: a corrupt committed
+    anchor should fail the gate loudly, not silently shrink the baseline.
+    """
+    paths = sorted(Path(directory).glob("BENCH_*.json"))
+    records = [(load_record(path), path) for path in paths]
+    records.sort(key=lambda pair: (float(pair[0].get("created_unix_s", 0.0)), pair[1].name))
+    return [path for _, path in records]
+
+
+def composite_baseline(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Fold every anchor into one gate baseline: per-case best-ever time.
+
+    ``repro bench --gate`` compares against *all* committed anchors, not
+    just the newest — a regression vs any point in history is a
+    regression.  Min-of-anchors per case is the natural composite under
+    the suite's min-of-repeats sampling (noise only ever inflates, so the
+    historical best is the trustworthy bound).  Provenance fields and the
+    deterministic ``stages`` section come from the newest anchor, since
+    stage totals are functions of the current simulator model, not of
+    which anchor happened to post the best wall time.
+    """
+    if not records:
+        raise ValueError("need at least one bench anchor to build a baseline")
+    ordered = sorted(records, key=lambda record: float(record.get("created_unix_s", 0.0)))
+    results: dict[str, dict[str, Any]] = {}
+    for record in ordered:
+        for name, entry in record.get("results", {}).items():
+            best = results.get(name)
+            if best is None or float(entry["best_s"]) < float(best["best_s"]):
+                results[name] = dict(entry)
+    newest = ordered[-1]
+    baseline = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": BENCH_KIND,
+        "created_unix_s": newest.get("created_unix_s"),
+        "git_sha": newest.get("git_sha"),
+        "python": newest.get("python"),
+        "platform": newest.get("platform"),
+        "scale": dict(newest.get("scale", {})),
+        "results": {name: results[name] for name in sorted(results)},
+    }
+    if isinstance(newest.get("stages"), dict):
+        baseline["stages"] = newest["stages"]
+    return baseline
+
+
 @dataclass(frozen=True)
 class BenchComparison:
     """Outcome of gating a current bench record against a baseline."""

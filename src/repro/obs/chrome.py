@@ -1,0 +1,164 @@
+"""Chrome trace-event export: trace JSONL → ``chrome://tracing`` / Perfetto.
+
+``python -m repro trace --jsonl`` streams plain-JSON span/event records
+(the :class:`~repro.obs.trace.Tracer` shape).  This module converts that
+stream into the Chrome trace-event JSON-object format, which both
+``chrome://tracing`` and Perfetto's legacy importer open directly:
+
+- **sim time is the timeline**: sim-clock spans land on one process
+  track with their simulated nanoseconds as ``ts``/``dur`` (microsecond
+  units, as the format requires), so the viewer shows exactly the
+  latency the modelled hardware charged;
+- wall-clock spans (runner ``job`` spans) land on a second process
+  track, since host time and sim time share no origin;
+- **lanes** (``tid``) derive from each record's ``ctx``/``attrs`` —
+  worker shard, job label or controller — so a parallel run fans out
+  into one swim-lane per shard;
+- instantaneous events become ``ph: "i"`` instants; track names are
+  declared up front with ``ph: "M"`` metadata records.
+
+The conversion is a pure function of the input records — no clocks, no
+host state — so the export is byte-deterministic and pinned by a
+golden-file test (``tests/obs/test_chrome.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+#: ``pid`` of the simulated-clock track (spans with ``clock == "sim"``).
+SIM_PID = 1
+
+#: ``pid`` of the host-clock track (runner ``job`` spans, untimed events).
+WALL_PID = 2
+
+_PROCESS_NAMES = {SIM_PID: "sim time", WALL_PID: "wall clock"}
+
+#: Context keys consulted, in order, to pick a record's swim-lane.
+LANE_KEYS = ("worker", "shard", "job", "label", "controller")
+
+
+def _lane_name(record: dict[str, Any]) -> str:
+    """The swim-lane a record belongs to (first matching context key)."""
+    for section in ("ctx", "attrs"):
+        fields = record.get(section)
+        if not isinstance(fields, dict):
+            continue
+        for key in LANE_KEYS:
+            value = fields.get(key)
+            if value is not None:
+                return f"{key}:{value}"
+    return "main"
+
+
+def chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Convert tracer records into one Chrome trace-event JSON object.
+
+    Lane ids are assigned in first-appearance order and declared via
+    ``thread_name`` metadata, so the output depends only on the input
+    sequence.  Records with an unknown ``type`` are ignored (forward
+    compatibility with future tracer record kinds).
+    """
+    lanes: dict[tuple[int, str], int] = {}
+    body: list[dict[str, Any]] = []
+
+    def lane_tid(pid: int, record: dict[str, Any]) -> int:
+        key = (pid, _lane_name(record))
+        tid = lanes.get(key)
+        if tid is None:
+            tid = len(lanes) + 1
+            lanes[key] = tid
+        return tid
+
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            pid = SIM_PID if record.get("clock") == "sim" else WALL_PID
+            args = dict(record.get("attrs") or {})
+            ctx = record.get("ctx")
+            if isinstance(ctx, dict):
+                args.update(ctx)
+            body.append(
+                {
+                    "ph": "X",
+                    "name": record["name"],
+                    "pid": pid,
+                    "tid": lane_tid(pid, record),
+                    "ts": float(record["start_ns"]) / 1000.0,
+                    "dur": float(record["dur_ns"]) / 1000.0,
+                    "args": args,
+                }
+            )
+        elif kind == "event":
+            # Events with a sim timestamp sit on the sim timeline; the
+            # rest (job.retry etc.) use the host-relative wall stamp.
+            sim_ns = record.get("sim_ns")
+            pid = SIM_PID if sim_ns is not None else WALL_PID
+            ts_ns = sim_ns if sim_ns is not None else record.get("wall_ns", 0)
+            args = dict(record.get("attrs") or {})
+            ctx = record.get("ctx")
+            if isinstance(ctx, dict):
+                args.update(ctx)
+            body.append(
+                {
+                    "ph": "i",
+                    "name": record["name"],
+                    "pid": pid,
+                    "tid": lane_tid(pid, record),
+                    "ts": float(ts_ns) / 1000.0,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+
+    metadata: list[dict[str, Any]] = []
+    used_pids = sorted({pid for pid, _ in lanes})
+    for pid in used_pids:
+        metadata.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": _PROCESS_NAMES[pid]},
+            }
+        )
+    for (pid, name), tid in sorted(lanes.items(), key=lambda item: item[1]):
+        metadata.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": metadata + body, "displayTimeUnit": "ns"}
+
+
+def read_trace_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Iterate the records of one trace JSONL file (skips blank lines)."""
+    with Path(path).open(encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid trace JSONL ({error})"
+                ) from error
+
+
+def write_chrome_trace(records: Iterable[dict[str, Any]], out_path: str | Path) -> Path:
+    """Convert and write one Chrome trace JSON file; returns the path."""
+    target = Path(out_path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(chrome_trace(records), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target

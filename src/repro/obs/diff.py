@@ -53,7 +53,9 @@ _WALL_METRIC_KINDS = ("gauge", "histogram")
 #: ``batch.fallback.*`` counts batches driven down the scalar path (a
 #: property of which observers were attached, not of the simulated
 #: results — fused and scalar paths are equivalence-tested identical).
-_ENVIRONMENT_COUNTER_PREFIXES = ("jobs.", "simulations", "batch.fallback.")
+#: ``events.*`` counts live-telemetry records emitted/dropped, a property
+#: of whether an event sink was attached and how healthy it was.
+_ENVIRONMENT_COUNTER_PREFIXES = ("jobs.", "simulations", "batch.fallback.", "events.")
 
 
 def _environment_counter(name: str) -> bool:

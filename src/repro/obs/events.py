@@ -1,0 +1,276 @@
+"""Live run telemetry: schema-versioned per-job lifecycle events.
+
+A long parallel campaign gives zero feedback until it finishes; this
+module is the streaming half of the obs stack.  The runner engine emits
+one record per job lifecycle transition — ``planned`` / ``cache_hit`` /
+``started`` / ``retried`` / ``finished`` — bracketed by ``run_started``
+/ ``run_finished``, plus periodic ``snapshot`` records carrying the
+mergeable :mod:`~repro.obs.metrics` registry state (and, when a producer
+has one, a summary-mode :class:`~repro.obs.stages.StageAccumulator`
+section).  ``python -m repro watch`` consumes the stream and renders a
+live dashboard (see :mod:`repro.obs.watch`).
+
+Design contract (mirrors the tracer and the stage accumulator):
+
+- the disabled path is the shared :data:`NULL_EVENTS` null object, so an
+  instrumented site costs one ``events.enabled`` attribute check;
+- records are plain JSON with a ``schema`` version stamp;
+  :func:`validate_event` returns the schema problems of one record
+  (empty list = valid) and is the CI watch-smoke gate;
+- sinks are callables taking one record dict — a
+  :class:`~repro.obs.sinks.JsonlSink` for files, :class:`SocketSink`
+  for a unix datagram socket.  A sink failure **drops** the record and
+  increments ``events.dropped`` instead of killing the run: telemetry
+  must never take the campaign down with it;
+- every record carries a host wall-clock stamp (``wall_unix_s``) —
+  emission timing is observability, never simulation state, which is why
+  this module is a registered SIM101 determinism **barrier**: wall time
+  stops here and cannot taint sim state through it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.obs.metrics import registry as metrics_registry
+
+#: Bump when the event record shape changes.
+EVENTS_SCHEMA_VERSION = 1
+
+#: Marker distinguishing event records from other JSON lying around.
+EVENT_KIND = "repro-event"
+
+#: Every event name of schema v1 mapped to its required payload fields
+#: (field name -> accepted types).  ``snapshot`` may additionally carry
+#: an optional ``stages`` object (a StageAccumulator ``to_dict``).
+EVENT_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
+    "run_started": {"planned": (int,), "unique": (int,)},
+    "planned": {"key": (str,), "label": (str,), "job_kind": (str,)},
+    "cache_hit": {"key": (str,), "label": (str,)},
+    "started": {"key": (str,), "label": (str,), "attempt": (int,)},
+    "retried": {"key": (str,), "label": (str,), "attempt": (int,), "error": (str,)},
+    "finished": {
+        "key": (str,),
+        "label": (str,),
+        "status": (str,),
+        "compute_s": (int, float),
+        "queue_s": (int, float),
+        "attempts": (int,),
+    },
+    "snapshot": {
+        "done": (int,),
+        "failed": (int,),
+        "in_flight": (int,),
+        "total": (int,),
+        "metrics": (dict,),
+    },
+    "run_finished": {"done": (int,), "failed": (int,), "elapsed_s": (int, float)},
+}
+
+#: Terminal job statuses a ``finished`` record may carry.
+FINISHED_STATUSES = ("ok", "failed")
+
+Sink = Callable[[dict[str, Any]], None]
+
+
+class NullEventBus:
+    """The disabled bus: every method is a no-op, ``enabled`` is False."""
+
+    enabled = False
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Discard one lifecycle event."""
+
+    def maybe_snapshot(self, **fields: Any) -> bool:
+        """Discard a snapshot opportunity; nothing is ever due."""
+        return False
+
+    def close(self) -> None:
+        """Nothing to flush."""
+
+
+#: Shared no-op bus every instrumented site points at by default.
+NULL_EVENTS = NullEventBus()
+
+
+class EventBus:
+    """Sequenced event emitter with drop-don't-crash sink semantics.
+
+    ``sink`` receives one plain-JSON record dict per event.  ``clock``
+    is an injection point for deterministic tests (defaults to
+    :func:`time.time`, the wall stamp consumers order streams by).
+    ``snapshot_interval_s`` throttles :meth:`maybe_snapshot` so a tight
+    scheduler loop cannot flood the stream.  ``stages`` optionally
+    attaches a summary-mode :class:`~repro.obs.stages.StageAccumulator`
+    whose snapshot rides along on every ``snapshot`` record (the
+    dashboard's per-controller stage split); emitters that have no
+    accumulator leave the default null object in place.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Sink,
+        *,
+        clock: Callable[[], float] = time.time,
+        snapshot_interval_s: float = 1.0,
+        stages: Any = None,
+    ) -> None:
+        self._sink = sink
+        self._clock = clock
+        self._seq = 0
+        self.snapshot_interval_s = float(snapshot_interval_s)
+        self._last_snapshot_s: float | None = None
+        self._stages = stages
+        self.emitted = 0
+        self.dropped = 0
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Emit one event record; a failing sink drops it, never raises.
+
+        Unknown event names are a programming error and raise — the
+        schema table is the contract ``repro watch`` renders against.
+        """
+        if event not in EVENT_FIELDS:
+            known = ", ".join(sorted(EVENT_FIELDS))
+            raise ValueError(f"unknown event {event!r}; schema v1 events: {known}")
+        if event == "snapshot" and self._stages is not None and self._stages.enabled:
+            fields.setdefault("stages", self._stages.to_dict())
+        record: dict[str, Any] = {
+            "schema": EVENTS_SCHEMA_VERSION,
+            "kind": EVENT_KIND,
+            "event": event,
+            "seq": self._seq,
+            "wall_unix_s": self._clock(),
+            **fields,
+        }
+        self._seq += 1
+        try:
+            self._sink(record)
+        except (OSError, RuntimeError):
+            # Telemetry is best-effort: a full disk, a vanished socket
+            # reader or a closed sink must not kill the campaign.  The
+            # drop is visible (counter + events.dropped in the metrics
+            # registry), never silent.
+            self.dropped += 1
+            metrics_registry().counter("events.dropped").inc()
+            return
+        self.emitted += 1
+        metrics_registry().counter("events.emitted").inc()
+
+    def maybe_snapshot(self, **fields: Any) -> bool:
+        """Emit a ``snapshot`` if the throttle interval elapsed.
+
+        Returns whether a record was emitted.  The first call always
+        emits, so even a run shorter than the interval produces one
+        snapshot for the dashboard.
+        """
+        now_s = self._clock()
+        if (
+            self._last_snapshot_s is not None
+            and now_s - self._last_snapshot_s < self.snapshot_interval_s
+        ):
+            return False
+        self._last_snapshot_s = now_s
+        self.emit("snapshot", **fields)
+        return True
+
+    def close(self) -> None:
+        """Close the sink, if it supports closing (idempotent)."""
+        close = getattr(self._sink, "close", None)
+        if close is not None:
+            close()
+
+
+#: Anything accepting the bus emission surface (real or null).
+EventBusLike = EventBus | NullEventBus
+
+
+class SocketSink:
+    """Unix-datagram sink: one JSON record per datagram.
+
+    The socket is unconnected; every send targets ``path``.  A missing
+    or full receiver raises ``OSError`` to the bus, which counts the
+    record as dropped — a watcher that detaches mid-run costs dropped
+    records, never a crashed run.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        import socket
+
+        self.path = str(path)
+        self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_DGRAM)
+        self._socket.setblocking(False)
+
+    def __call__(self, record: dict[str, Any]) -> None:
+        """Send one record as a JSON datagram (raises OSError on failure)."""
+        self._socket.sendto(
+            json.dumps(record, sort_keys=True).encode("utf-8"), self.path
+        )
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        self._socket.close()
+
+
+def validate_event(record: Any) -> list[str]:
+    """Schema problems of one event record (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"event record must be a JSON object, got {type(record).__name__}"]
+    if record.get("schema") != EVENTS_SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {EVENTS_SCHEMA_VERSION}, got {record.get('schema')!r}"
+        )
+    if record.get("kind") != EVENT_KIND:
+        problems.append(f"kind must be {EVENT_KIND!r}, got {record.get('kind')!r}")
+    if not isinstance(record.get("seq"), int) or isinstance(record.get("seq"), bool):
+        problems.append("field 'seq' must be an integer")
+    if not isinstance(record.get("wall_unix_s"), (int, float)):
+        problems.append("field 'wall_unix_s' must be a number")
+    event = record.get("event")
+    fields = EVENT_FIELDS.get(event) if isinstance(event, str) else None
+    if fields is None:
+        known = ", ".join(sorted(EVENT_FIELDS))
+        problems.append(f"event must be one of {known}; got {event!r}")
+        return problems
+    for name, types in fields.items():
+        value = record.get(name)
+        if isinstance(value, bool) or not isinstance(value, types):
+            type_names = "/".join(t.__name__ for t in types)
+            problems.append(f"{event}.{name} must be {type_names}, got {value!r}")
+    if event == "finished" and record.get("status") not in FINISHED_STATUSES:
+        problems.append(
+            f"finished.status must be one of {FINISHED_STATUSES}, "
+            f"got {record.get('status')!r}"
+        )
+    if event == "snapshot" and "stages" in record and not isinstance(
+        record["stages"], dict
+    ):
+        problems.append("snapshot.stages must be an object when present")
+    return problems
+
+
+def read_events(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Iterate the records of one events JSONL file.
+
+    Malformed JSON raises — a truncated stream is an input error, not
+    data (the JsonlSink atexit flush exists so this cannot happen from a
+    normal run).  Schema validation is the caller's choice: a dashboard
+    tolerates unknown events, the CI gate does not.
+    """
+    with Path(path).open(encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid event JSONL ({error})"
+                ) from error

@@ -34,6 +34,7 @@ def measure(
     early_exit_budget: float | None = None,
     with_timeline: bool = False,
     with_stages: bool = False,
+    with_events: bool = False,
 ) -> dict[str, Any]:
     """Best-of-``repeats`` traced and untraced wall times, interleaved.
 
@@ -51,9 +52,20 @@ def measure(
     keep the fused batch kernels active — the result carries the
     ``batch.fallback.*`` counters observed during the instrumented runs
     under ``"fallbacks"``, and the gate fails if any fired.
+
+    ``with_events`` measures the *live telemetry* path: the instrumented
+    arm attaches a StageAccumulator **and** streams schema-v1 lifecycle
+    records plus a full metrics+stages snapshot per run through an
+    :class:`~repro.obs.events.EventBus` onto a JSONL sink — emission
+    happens inside the timed interval, so the budget covers everything
+    ``repro run --events`` adds.  Carries the same ``"fallbacks"``
+    verdict as ``with_stages``, plus an ``"events"`` section with the
+    emitted/dropped counts and the stream path for schema validation.
     """
-    if with_stages and with_timeline:
-        raise ValueError("with_stages and with_timeline are separate arms; pick one")
+    if with_stages + with_timeline + with_events > 1:
+        raise ValueError(
+            "with_stages, with_timeline and with_events are separate arms; pick one"
+        )
     from repro.core.registry import build_controller
     from repro.nvm.memory import NvmMainMemory
     from repro.obs.metrics import registry
@@ -68,11 +80,55 @@ def measure(
         if name.startswith("batch.fallback.")
     }
 
+    events_bus = None
+    events_path: str | None = None
+    if with_events:
+        import tempfile
+        from pathlib import Path
+
+        from repro.obs.events import EventBus
+        from repro.obs.sinks import JsonlSink
+
+        events_path = str(
+            Path(tempfile.mkdtemp(prefix="repro-overhead-events-")) / "events.jsonl"
+        )
+        # Zero interval: every maybe_snapshot emits, the worst case for
+        # the live path (the engine throttles to one per second).
+        events_bus = EventBus(JsonlSink(events_path), snapshot_interval_s=0.0)
+
     def one_run(traced: bool) -> float:
         controller = build_controller("dewrite", NvmMainMemory())
+        label = f"{app}/{accesses}"
         if traced:
             if with_stages:
                 controller.attach_observers(stages=StageAccumulator())
+            elif with_events:
+                accumulator = StageAccumulator()
+                controller.attach_observers(stages=accumulator)
+                if events_bus is None:
+                    raise RuntimeError("with_events arm requires an event bus")
+                started = time.perf_counter()
+                events_bus.emit("started", key=app, label=label, attempt=1)
+                simulate(controller, trace)
+                events_bus.maybe_snapshot(
+                    done=1,
+                    failed=0,
+                    in_flight=0,
+                    total=1,
+                    metrics=registry().to_dict(),
+                    stages=accumulator.to_dict(),
+                )
+                elapsed = time.perf_counter() - started
+                events_bus.emit(
+                    "finished",
+                    key=app,
+                    label=label,
+                    status="ok",
+                    compute_s=elapsed,
+                    queue_s=0.0,
+                    attempts=1,
+                )
+                return time.perf_counter() - started
             else:
                 controller.attach_observers(tracer=Tracer(sink=None))
                 if with_timeline:
@@ -105,12 +161,13 @@ def measure(
         "traced_s": traced,
         "overhead": overhead,
     }
-    if with_stages:
-        # Summary mode must never knock a kernel off the fused path: any
-        # batch.fallback.* increment during the measured runs means the
-        # stage accumulator itself caused scalar fallbacks.  Compare
-        # against the pre-measurement snapshot so counters accumulated by
-        # earlier work in this process don't leak into the verdict.
+    if with_stages or with_events:
+        # Neither summary mode nor the live event path may knock a kernel
+        # off the fused path: any batch.fallback.* increment during the
+        # measured runs means the instrumentation itself caused scalar
+        # fallbacks.  Compare against the pre-measurement snapshot so
+        # counters accumulated by earlier work in this process don't leak
+        # into the verdict.
         snapshot = registry()
         result["fallbacks"] = {
             name: delta
@@ -120,6 +177,13 @@ def measure(
                 delta := snapshot.get(name).value  # type: ignore[union-attr]
                 - fallbacks_before.get(name, 0.0)
             )
+        }
+    if with_events and events_bus is not None:
+        events_bus.close()
+        result["events"] = {
+            "emitted": events_bus.emitted,
+            "dropped": events_bus.dropped,
+            "path": events_path,
         }
     return result
 
@@ -147,6 +211,13 @@ def main(argv: list[str] | None = None) -> int:
         help="measure summary mode instead: attach only a StageAccumulator "
         "(fused kernels must stay active — any batch fallback fails the gate)",
     )
+    parser.add_argument(
+        "--with-events", action="store_true",
+        help="measure the live telemetry path: StageAccumulator plus an "
+        "EventBus streaming lifecycle records and per-run snapshots to "
+        "JSONL (fused kernels must stay active; emitted records are "
+        "schema-validated)",
+    )
     args = parser.parse_args(argv)
     result = measure(
         app=args.app,
@@ -156,8 +227,11 @@ def main(argv: list[str] | None = None) -> int:
         early_exit_budget=args.budget,
         with_timeline=args.with_timeline,
         with_stages=args.with_stages,
+        with_events=args.with_events,
     )
-    if args.with_stages:
+    if args.with_events:
+        instrumented = "staged+events"
+    elif args.with_stages:
         instrumented = "staged"
     elif args.with_timeline:
         instrumented = "traced+timeline"
@@ -169,15 +243,30 @@ def main(argv: list[str] | None = None) -> int:
         f"(budget {args.budget:.0%}, {result['app']}/{result['accesses']} accesses, "
         f"{result['pairs']} pairs)"
     )
-    if args.with_stages:
+    if args.with_stages or args.with_events:
         fallbacks = result.get("fallbacks", {})
         if fallbacks:
             stdout_line(
-                "summary mode knocked kernels off the fused path: "
+                "instrumentation knocked kernels off the fused path: "
                 + ", ".join(f"{name}={value:g}" for name, value in sorted(fallbacks.items()))
             )
             return 1
         stdout_line("fused kernels stayed active (zero batch.fallback.* increments)")
+    if args.with_events:
+        from repro.obs.events import read_events, validate_event
+
+        events = result["events"]
+        problems: list[str] = []
+        for record in read_events(events["path"]):
+            problems.extend(validate_event(record))
+        stdout_line(
+            f"events: {events['emitted']} emitted, {events['dropped']} dropped, "
+            f"{len(problems)} schema problem(s)"
+        )
+        if problems or events["dropped"] or not events["emitted"]:
+            for problem in problems[:10]:
+                stdout_line(f"  schema: {problem}")
+            return 1
     return 0 if result["overhead"] <= args.budget else 1
 
 

@@ -1,0 +1,310 @@
+"""Live run dashboard: consume an event stream, render terminal frames.
+
+``python -m repro watch <run-dir|events.jsonl|socket>`` tails the
+schema-v1 stream emitted by :mod:`repro.obs.events` and keeps one small
+model of the run: jobs in flight, warm-cache hit rate, retry/failure
+counts, throughput, and an ETA derived from the content-keyed plan (the
+``planned`` records announce every unique job up front, so *remaining*
+is exact, not guessed).  When snapshots carry a stage section the frame
+also shows the per-stage sim-time split from PR 8's summary-mode
+accumulator.
+
+The split is strict: :class:`WatchModel` is a pure fold over records and
+:func:`render_dashboard` is a pure string function of the model, so the
+whole pipeline is unit-testable without a terminal; only
+:func:`follow_file` / :func:`follow_socket` touch the world (polling a
+growing JSONL file, or binding an ``AF_UNIX`` datagram socket the run's
+:class:`~repro.obs.events.SocketSink` sends to).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs.events import EVENT_KIND, EVENTS_SCHEMA_VERSION
+from repro.obs.sinks import stdout_line
+
+#: ANSI "clear screen, cursor home" prefix for live reframing.
+CLEAR_FRAME = "\x1b[2J\x1b[H"
+
+
+class WatchModel:
+    """Pure fold over event records: the run state a dashboard needs."""
+
+    def __init__(self) -> None:
+        self.planned_total: int | None = None
+        self.unique_total: int | None = None
+        self.labels: dict[str, str] = {}
+        self.in_flight: dict[str, str] = {}
+        self.cache_hits = 0
+        self.executed_ok = 0
+        self.failed = 0
+        self.retries = 0
+        self.records_seen = 0
+        self.ignored = 0
+        self.seq_gaps = 0
+        self.run_finished = False
+        self.elapsed_s: float | None = None
+        self.first_wall_s: float | None = None
+        self.last_wall_s: float | None = None
+        self.last_snapshot: dict[str, Any] | None = None
+        self.recent: list[str] = []
+        self._max_seq = -1
+
+    # -- folding -------------------------------------------------------------
+
+    def consume(self, record: dict[str, Any]) -> None:
+        """Fold one stream record in; non-event JSON counts as ignored."""
+        if not isinstance(record, dict) or record.get("kind") != EVENT_KIND:
+            self.ignored += 1
+            return
+        if record.get("schema") != EVENTS_SCHEMA_VERSION:
+            self.ignored += 1
+            return
+        self.records_seen += 1
+        wall = record.get("wall_unix_s")
+        if isinstance(wall, (int, float)):
+            if self.first_wall_s is None:
+                self.first_wall_s = float(wall)
+            self.last_wall_s = float(wall)
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            # Datagram transports may drop records; surface the gap count
+            # instead of silently rendering a partial run as complete.
+            if self._max_seq >= 0 and seq > self._max_seq + 1:
+                self.seq_gaps += seq - self._max_seq - 1
+            self._max_seq = max(self._max_seq, seq)
+        event = record.get("event")
+        key = record.get("key")
+        label = record.get("label")
+        if isinstance(key, str) and isinstance(label, str):
+            self.labels[key] = label
+        if event == "run_started":
+            self.planned_total = record.get("planned")
+            self.unique_total = record.get("unique")
+        elif event == "cache_hit":
+            self.cache_hits += 1
+        elif event == "started":
+            if isinstance(key, str):
+                self.in_flight[key] = self.labels.get(key, key)
+        elif event == "retried":
+            self.retries += 1
+        elif event == "finished":
+            if isinstance(key, str):
+                self.in_flight.pop(key, None)
+            status = record.get("status")
+            if status == "ok":
+                self.executed_ok += 1
+            else:
+                self.failed += 1
+            shown = label if isinstance(label, str) else str(key)
+            compute_s = record.get("compute_s")
+            if isinstance(compute_s, (int, float)):
+                shown = f"{shown}: {status} ({compute_s:.2f}s)"
+            else:
+                shown = f"{shown}: {status}"
+            self.recent.append(shown)
+            del self.recent[:-5]
+        elif event == "snapshot":
+            self.last_snapshot = record
+        elif event == "run_finished":
+            self.run_finished = True
+            elapsed = record.get("elapsed_s")
+            if isinstance(elapsed, (int, float)):
+                self.elapsed_s = float(elapsed)
+
+    # -- derived state -------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Unique jobs in the plan (0 until ``run_started`` arrives)."""
+        if self.unique_total is not None:
+            return int(self.unique_total)
+        return len(self.labels)
+
+    @property
+    def done(self) -> int:
+        """Jobs resolved successfully (cache hits + executions)."""
+        return self.cache_hits + self.executed_ok
+
+    @property
+    def hit_rate(self) -> float:
+        """Warm-cache share of resolved jobs (0.0 when nothing resolved)."""
+        resolved = self.done
+        return self.cache_hits / resolved if resolved else 0.0
+
+    def wall_elapsed_s(self) -> float:
+        """Stream-observed wall time (first to last record stamp)."""
+        if self.first_wall_s is None or self.last_wall_s is None:
+            return 0.0
+        return max(0.0, self.last_wall_s - self.first_wall_s)
+
+    def throughput(self) -> float:
+        """Resolved jobs per second of observed wall time."""
+        elapsed = self.wall_elapsed_s()
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+    def eta_s(self) -> float | None:
+        """Projected seconds to finish the remaining planned jobs.
+
+        Extrapolates the observed resolution rate over the exact
+        remaining count from the content-keyed plan; ``None`` until at
+        least one job resolved (no rate to extrapolate).
+        """
+        if self.run_finished:
+            return 0.0
+        remaining = max(0, self.total - self.done - self.failed)
+        rate = self.throughput()
+        if rate <= 0:
+            return None
+        return remaining / rate
+
+
+def render_dashboard(model: WatchModel) -> str:
+    """One dashboard frame as plain text (pure function of the model)."""
+    total = model.total
+    header = (
+        f"repro watch — {model.done}/{total or '?'} done, "
+        f"{model.failed} failed, {len(model.in_flight)} in flight, "
+        f"{model.retries} retried"
+    )
+    if model.run_finished:
+        elapsed = model.elapsed_s if model.elapsed_s is not None else model.wall_elapsed_s()
+        header += f" — FINISHED in {elapsed:.1f}s"
+    lines = [header]
+    eta = model.eta_s()
+    lines.append(
+        f"  warm cache {model.hit_rate:.0%} · {model.throughput():.2f} jobs/s · "
+        f"elapsed {model.wall_elapsed_s():.1f}s · "
+        f"eta {'—' if eta is None else f'~{eta:.1f}s'}"
+    )
+    if model.in_flight:
+        shown = sorted(model.in_flight.values())
+        preview = ", ".join(shown[:4])
+        if len(shown) > 4:
+            preview += f", … +{len(shown) - 4}"
+        lines.append(f"  in flight: {preview}")
+    for entry in model.recent:
+        lines.append(f"  recent: {entry}")
+    snapshot = model.last_snapshot
+    if snapshot is not None:
+        stages = snapshot.get("stages")
+        if isinstance(stages, dict) and isinstance(stages.get("stages"), dict):
+            entries = stages["stages"]
+            total_ns = sum(
+                float(fields.get("total_ns", 0.0)) for fields in entries.values()
+            ) or 1.0
+            split = " · ".join(
+                f"{name} {float(fields.get('total_ns', 0.0)) / total_ns:.0%}"
+                for name, fields in sorted(entries.items())
+            )
+            lines.append(f"  stage split (sim time): {split}")
+        metrics = snapshot.get("metrics")
+        if isinstance(metrics, dict):
+            counters = metrics.get("counters")
+            if isinstance(counters, dict):
+                simulations = counters.get("simulations")
+                if simulations is not None:
+                    lines.append(f"  simulations so far: {simulations}")
+    health = f"  stream: {model.records_seen} record(s)"
+    if model.seq_gaps:
+        health += f", {model.seq_gaps} dropped"
+    if model.ignored:
+        health += f", {model.ignored} ignored"
+    lines.append(health)
+    return "\n".join(lines)
+
+
+def follow_file(
+    path: str | Path,
+    *,
+    interval_s: float = 0.5,
+    once: bool = False,
+    emit: Callable[[str], None] = stdout_line,
+    max_wait_s: float | None = None,
+) -> WatchModel:
+    """Tail one events JSONL file, rendering a frame per poll interval.
+
+    Stops when the stream's ``run_finished`` record arrives, after one
+    frame with ``once``, or when ``max_wait_s`` of wall time passes
+    without the run finishing (``None`` = wait indefinitely).  Returns
+    the final model so the caller can pick an exit status.
+    """
+    target = Path(path)
+    model = WatchModel()
+    deadline = time.monotonic() + max_wait_s if max_wait_s is not None else None
+    offset = 0
+    while True:
+        if target.exists():
+            with target.open(encoding="utf-8") as handle:
+                handle.seek(offset)
+                for line in handle:
+                    if not line.endswith("\n"):
+                        break  # partial tail line: re-read next poll
+                    offset += len(line.encode("utf-8"))
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        model.consume(json.loads(line))
+                    except json.JSONDecodeError:
+                        model.ignored += 1
+        frame = render_dashboard(model)
+        emit(frame if once else CLEAR_FRAME + frame)
+        if once or model.run_finished:
+            return model
+        if deadline is not None and time.monotonic() >= deadline:
+            return model
+        time.sleep(interval_s)
+
+
+def follow_socket(
+    path: str | Path,
+    *,
+    interval_s: float = 0.5,
+    emit: Callable[[str], None] = stdout_line,
+    max_wait_s: float | None = None,
+) -> WatchModel:
+    """Bind an ``AF_UNIX`` datagram socket and render frames as records land.
+
+    The watcher owns the socket file (created on bind, removed on exit);
+    the run is started afterwards with ``--events <socket-path>`` and its
+    :class:`~repro.obs.events.SocketSink` sends records here.  Stops on
+    ``run_finished`` or after ``max_wait_s``.
+    """
+    import socket
+
+    target = Path(path)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_DGRAM)
+    sock.bind(str(target))
+    sock.settimeout(interval_s)
+    model = WatchModel()
+    deadline = time.monotonic() + max_wait_s if max_wait_s is not None else None
+    try:
+        while True:
+            try:
+                datagram = sock.recv(1 << 20)
+            except TimeoutError:
+                datagram = None
+            except OSError:
+                break
+            if datagram is not None:
+                try:
+                    model.consume(json.loads(datagram.decode("utf-8")))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    model.ignored += 1
+            emit(CLEAR_FRAME + render_dashboard(model))
+            if model.run_finished:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+    finally:
+        sock.close()
+        try:
+            target.unlink()
+        except OSError:
+            pass
+    return model

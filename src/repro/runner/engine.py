@@ -30,6 +30,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.events import NULL_EVENTS, EventBusLike
 from repro.obs.metrics import registry as metrics_registry
 from repro.obs.sinks import stderr_line
 from repro.obs.trace import NULL_TRACER, TracerLike
@@ -109,6 +110,7 @@ def _execute_with_retry(
     retries: int,
     report: RunReport,
     tracer: TracerLike = NULL_TRACER,
+    events: EventBusLike = NULL_EVENTS,
 ) -> tuple[dict[str, Any] | None, float, int]:
     """Serial fallback path: run in-process, retrying once on any error.
 
@@ -116,6 +118,8 @@ def _execute_with_retry(
     the final attempt failed (the failure is recorded on ``report``).
     """
     for attempt in range(1, retries + 2):
+        if events.enabled:
+            events.emit("started", key=job_key(spec), label=spec.label, attempt=attempt)
         started = time.perf_counter()
         try:
             payload = execute_job(spec)
@@ -129,6 +133,14 @@ def _execute_with_retry(
                         label=spec.label,
                         error=repr(exc),
                         attempt=attempt,
+                    )
+                if events.enabled:
+                    events.emit(
+                        "retried",
+                        key=job_key(spec),
+                        label=spec.label,
+                        attempt=attempt,
+                        error=repr(exc),
                     )
                 continue
             report.failures.append(
@@ -157,6 +169,7 @@ def run_jobs(
     progress: ProgressFn | None = None,
     prime: bool = True,
     tracer: TracerLike = NULL_TRACER,
+    events: EventBusLike = NULL_EVENTS,
 ) -> RunReport:
     """Resolve every job; fan cache misses out over worker processes.
 
@@ -174,6 +187,10 @@ def run_jobs(
             figure rendering in this process executes nothing.
         tracer: observability sink for wall-clock ``job`` spans and
             ``job.retry`` / ``job.failed`` events (default: no-op).
+        events: live-telemetry bus receiving schema-v1 lifecycle records
+            (``run_started``/``planned``/``cache_hit``/``started``/
+            ``retried``/``finished``/``snapshot``/``run_finished``) for
+            ``repro watch`` (default: no-op; the caller owns ``close()``).
 
     Worker-side metrics snapshots are merged into this process's
     :func:`repro.obs.metrics.registry` as each pool job completes, so the
@@ -189,6 +206,15 @@ def run_jobs(
         unique.setdefault(spec.identity, spec)
     report.unique = len(unique)
     total = len(unique)
+
+    if events.enabled:
+        events.emit("run_started", planned=report.planned, unique=report.unique)
+        # One planned record per unique job: the content-keyed plan the
+        # dashboard derives its ETA and in-flight labels from.
+        for spec in unique.values():
+            events.emit(
+                "planned", key=job_key(spec), label=spec.label, job_kind=spec.kind
+            )
 
     results: dict[tuple[str, str], dict[str, Any]] = {}
 
@@ -219,6 +245,8 @@ def run_jobs(
             results[identity] = payload
             report.disk_hits += 1
             timing(spec, "cache", 0.0, 0.0, 0)
+            if events.enabled:
+                events.emit("cache_hit", key=job_key(spec), label=spec.label)
             note(spec, "cached")
         else:
             misses.append(spec)
@@ -237,13 +265,25 @@ def run_jobs(
         timing(spec, "executed", compute_s, queue_s, attempts)
         if cache is not None:
             cache.put(job_key(spec), payload, meta={"label": spec.label})
+        if events.enabled:
+            events.emit(
+                "finished",
+                key=job_key(spec),
+                label=spec.label,
+                status="ok",
+                compute_s=compute_s,
+                queue_s=queue_s,
+                attempts=attempts,
+            )
         note(spec, "done")
 
     # Phase 2 — execute misses (serial, or across a process pool).
     if parallel <= 1 or len(misses) <= 1:
         for spec in misses:
             wall_start = time.perf_counter_ns()
-            payload, compute_s, attempts = _execute_with_retry(spec, retries, report, tracer)
+            payload, compute_s, attempts = _execute_with_retry(
+                spec, retries, report, tracer, events
+            )
             if payload is not None:
                 record(spec, payload, compute_s=compute_s, queue_s=0.0, attempts=attempts)
                 if tracer.enabled:
@@ -257,7 +297,25 @@ def run_jobs(
                     )
             else:
                 timing(spec, "failed", 0.0, 0.0, attempts)
+                if events.enabled:
+                    events.emit(
+                        "finished",
+                        key=job_key(spec),
+                        label=spec.label,
+                        status="failed",
+                        compute_s=0.0,
+                        queue_s=0.0,
+                        attempts=attempts,
+                    )
                 note(spec, "FAILED")
+            if events.enabled:
+                events.maybe_snapshot(
+                    done=report.disk_hits + report.executed,
+                    failed=len(report.failures),
+                    in_flight=0,
+                    total=report.unique,
+                    metrics=metrics_registry().to_dict(),
+                )
     elif misses:
         _run_pool(
             misses,
@@ -269,6 +327,7 @@ def run_jobs(
             report=report,
             note=note,
             tracer=tracer,
+            events=events,
         )
 
     # Phase 3 — prime the in-process provider for the render phase.
@@ -278,6 +337,24 @@ def run_jobs(
             active.prime(unique[identity], payload)
 
     report.elapsed_s = time.monotonic() - started
+    if events.enabled:
+        done = report.disk_hits + report.executed
+        # Unthrottled final snapshot so the dashboard always converges on
+        # the end-of-run totals, then the terminal bracket.
+        events.emit(
+            "snapshot",
+            done=done,
+            failed=len(report.failures),
+            in_flight=0,
+            total=report.unique,
+            metrics=metrics_registry().to_dict(),
+        )
+        events.emit(
+            "run_finished",
+            done=done,
+            failed=len(report.failures),
+            elapsed_s=report.elapsed_s,
+        )
     return report
 
 
@@ -292,6 +369,7 @@ def _run_pool(
     report: RunReport,
     note: Callable[[JobSpec, str], None],
     tracer: TracerLike = NULL_TRACER,
+    events: EventBusLike = NULL_EVENTS,
 ) -> None:
     """Scheduler loop: submit, collect, enforce timeouts, retry crashes."""
     max_workers = min(parallel, len(misses))
@@ -309,6 +387,16 @@ def _run_pool(
                 error=error,
                 attempts=attempt,
             )
+        if events.enabled:
+            events.emit(
+                "finished",
+                key=job_key(spec),
+                label=spec.label,
+                status="failed",
+                compute_s=0.0,
+                queue_s=0.0,
+                attempts=attempt,
+            )
         note(spec, f"FAILED ({error})")
 
     def submit(spec: JobSpec, attempt: int) -> None:
@@ -319,6 +407,8 @@ def _run_pool(
             attempt,
             time.perf_counter_ns(),
         )
+        if events.enabled:
+            events.emit("started", key=job_key(spec), label=spec.label, attempt=attempt)
 
     def resubmit_or_fail(spec: JobSpec, error: str, attempt: int) -> None:
         if attempt <= retries:
@@ -330,6 +420,14 @@ def _run_pool(
                     label=spec.label,
                     error=error,
                     attempt=attempt,
+                )
+            if events.enabled:
+                events.emit(
+                    "retried",
+                    key=job_key(spec),
+                    label=spec.label,
+                    attempt=attempt,
+                    error=error,
                 )
             submit(spec, attempt + 1)
         else:
@@ -390,6 +488,14 @@ def _run_pool(
                             compute_s=compute_s,
                             queue_s=queue_s,
                         )
+            if events.enabled:
+                events.maybe_snapshot(
+                    done=report.disk_hits + report.executed,
+                    failed=len(report.failures),
+                    in_flight=len(pending),
+                    total=report.unique,
+                    metrics=metrics_registry().to_dict(),
+                )
             if broken:
                 continue
             now = time.monotonic()

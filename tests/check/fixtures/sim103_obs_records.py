@@ -1,0 +1,27 @@
+"""Fixture: broken round trips in event/ledger-style records (SIM103)."""
+
+
+class OneWayEventRecord:
+    """Serialises a lifecycle event but offers no way back."""
+
+    def __init__(self, event: str, seq: int) -> None:
+        self.event = event
+        self.seq = seq
+
+    def to_dict(self) -> dict:
+        return {"event": self.event, "seq": self.seq}
+
+
+class LossyLedgerEntry:
+    """from_dict silently drops the source path the writer emitted."""
+
+    def __init__(self, entry_id: str, source: str = "") -> None:
+        self.entry_id = entry_id
+        self.source = source
+
+    def to_dict(self) -> dict:
+        return {"entry_id": self.entry_id, "source": self.source}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LossyLedgerEntry":
+        return cls(payload["entry_id"])

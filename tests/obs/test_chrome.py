@@ -1,0 +1,147 @@
+"""Chrome trace-event export: golden file, lane assignment, timelines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.chrome import (
+    SIM_PID,
+    WALL_PID,
+    chrome_trace,
+    read_trace_jsonl,
+    write_chrome_trace,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _span(name: str, *, clock: str = "sim", ctx: dict | None = None, **attrs) -> dict:
+    return {
+        "type": "span",
+        "name": name,
+        "clock": clock,
+        "start_ns": 100.0,
+        "end_ns": 350.0,
+        "dur_ns": 250.0,
+        "depth": 0,
+        "seq": 0,
+        "wall_ns": 1,
+        "attrs": attrs,
+        "ctx": ctx or {},
+    }
+
+
+class TestGoldenExport:
+    """The export format is a published contract: pinned byte-for-byte.
+
+    The fixture is a recorded ``repro trace --out`` stream (sim-clock
+    controller spans and metadata events) plus wall-clock runner ``job``
+    spans across two worker lanes.  Regenerate the golden only for a
+    deliberate, documented schema change::
+
+        PYTHONPATH=src python -c "
+        from repro.obs.chrome import read_trace_jsonl, write_chrome_trace
+        write_chrome_trace(
+            read_trace_jsonl('tests/obs/fixtures/trace_sample.jsonl'),
+            'tests/obs/fixtures/trace_sample.chrome.json')"
+    """
+
+    def test_recorded_fixture_converts_to_pinned_golden(self, tmp_path):
+        out = tmp_path / "converted.json"
+        write_chrome_trace(
+            read_trace_jsonl(FIXTURES / "trace_sample.jsonl"), out
+        )
+        golden = (FIXTURES / "trace_sample.chrome.json").read_text()
+        assert out.read_text() == golden
+
+    def test_conversion_is_deterministic(self):
+        records = list(read_trace_jsonl(FIXTURES / "trace_sample.jsonl"))
+        first = json.dumps(chrome_trace(records), sort_keys=True)
+        second = json.dumps(chrome_trace(records), sort_keys=True)
+        assert first == second
+
+    def test_golden_is_valid_trace_event_json(self):
+        payload = json.loads((FIXTURES / "trace_sample.chrome.json").read_text())
+        assert payload["displayTimeUnit"] == "ns"
+        phases = {event["ph"] for event in payload["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+        for event in payload["traceEvents"]:
+            assert {"ph", "name", "pid", "tid"} <= set(event)
+
+
+class TestTimelines:
+    def test_sim_and_wall_spans_land_on_separate_processes(self):
+        trace = chrome_trace(
+            [
+                _span("write.hash", clock="sim", ctx={"controller": "dewrite"}),
+                _span("job", clock="wall", ctx={"worker": 0}),
+            ]
+        )
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {s["pid"] for s in spans} == {SIM_PID, WALL_PID}
+
+    def test_timestamps_are_microseconds(self):
+        trace = chrome_trace([_span("write.hash")])
+        (span,) = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert span["ts"] == 0.1  # 100 ns -> 0.1 us
+        assert span["dur"] == 0.25
+
+    def test_events_pick_timeline_by_sim_stamp(self):
+        base = {"type": "event", "name": "metadata.miss", "seq": 0, "attrs": {}}
+        trace = chrome_trace(
+            [
+                {**base, "sim_ns": 441.0},
+                {**base, "name": "job.retry", "wall_ns": 2000},
+            ]
+        )
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert [e["pid"] for e in instants] == [SIM_PID, WALL_PID]
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_lanes_assigned_by_first_context_key(self):
+        trace = chrome_trace(
+            [
+                _span("job", clock="wall", ctx={"worker": 0}),
+                _span("job", clock="wall", ctx={"worker": 1}),
+                _span("job", clock="wall", ctx={"worker": 0}),
+            ]
+        )
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert [names[s["tid"]] for s in spans] == ["worker:0", "worker:1", "worker:0"]
+
+    def test_unlaned_records_share_the_main_lane(self):
+        trace = chrome_trace([_span("write.hash", ctx={}), _span("nvm.read", ctx={})])
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {names[s["tid"]] for s in spans} == {"main"}
+
+    def test_span_args_merge_attrs_and_ctx(self):
+        trace = chrome_trace(
+            [_span("write.hash", ctx={"app": "lbm"}, fingerprint="crc32")]
+        )
+        (span,) = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert span["args"] == {"fingerprint": "crc32", "app": "lbm"}
+
+    def test_unknown_record_types_are_skipped(self):
+        trace = chrome_trace([{"type": "annotation", "name": "future"}])
+        assert trace["traceEvents"] == []
+
+
+class TestReadTraceJsonl:
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            list(read_trace_jsonl(path))

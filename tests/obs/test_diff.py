@@ -76,6 +76,19 @@ class TestManifestDiff:
         assert not diff.deterministic_drift
         assert {d.name for d in diff.info_deltas} == {"jobs.simulate", "simulations"}
 
+    def test_event_stream_counters_are_informational(self):
+        # A watched run vs an unwatched rerun: `events.*` counts what the
+        # telemetry sink saw, a property of the attachment, not the sim.
+        diff = diff_manifests(
+            make_manifest({"events.emitted": counter(42.0),
+                           "events.dropped": counter(1.0)}),
+            make_manifest({}),
+        )
+        assert not diff.deterministic_drift
+        assert {d.name for d in diff.info_deltas} == {
+            "events.emitted", "events.dropped",
+        }
+
     def test_wall_clock_metrics_never_gate(self):
         diff = diff_manifests(
             make_manifest({"peak.rss": {"kind": "gauge", "value": 100.0}}),

@@ -1,0 +1,236 @@
+"""The live telemetry event bus: schema, throttling, drop semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_FIELDS,
+    EVENT_KIND,
+    EVENTS_SCHEMA_VERSION,
+    NULL_EVENTS,
+    EventBus,
+    SocketSink,
+    read_events,
+    validate_event,
+)
+from repro.obs.metrics import registry, reset_registry
+from repro.obs.sinks import JsonlSink
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+class _FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestEmit:
+    def test_envelope_is_stamped_and_sequenced(self):
+        seen: list[dict] = []
+        clock = _FakeClock(42.0)
+        bus = EventBus(seen.append, clock=clock)
+        bus.emit("run_started", planned=3, unique=2)
+        clock.now = 43.5
+        bus.emit("cache_hit", key="k", label="fig12/lbm")
+        assert [r["seq"] for r in seen] == [0, 1]
+        assert seen[0]["schema"] == EVENTS_SCHEMA_VERSION
+        assert seen[0]["kind"] == EVENT_KIND
+        assert seen[0]["wall_unix_s"] == 42.0
+        assert seen[1]["wall_unix_s"] == 43.5
+        assert seen[1]["label"] == "fig12/lbm"
+        assert bus.emitted == 2 and bus.dropped == 0
+
+    def test_every_schema_event_validates(self):
+        seen: list[dict] = []
+        bus = EventBus(seen.append, clock=_FakeClock())
+        bus.emit("run_started", planned=1, unique=1)
+        bus.emit("planned", key="k", label="l", job_kind="simulate")
+        bus.emit("cache_hit", key="k", label="l")
+        bus.emit("started", key="k", label="l", attempt=1)
+        bus.emit("retried", key="k", label="l", attempt=1, error="ValueError()")
+        bus.emit(
+            "finished", key="k", label="l", status="ok",
+            compute_s=0.5, queue_s=0.0, attempts=1,
+        )
+        bus.emit("snapshot", done=1, failed=0, in_flight=0, total=1, metrics={})
+        bus.emit("run_finished", done=1, failed=0, elapsed_s=0.5)
+        assert len(seen) == len(EVENT_FIELDS)
+        for record in seen:
+            assert validate_event(record) == []
+
+    def test_unknown_event_raises(self):
+        bus = EventBus(lambda record: None)
+        with pytest.raises(ValueError, match="unknown event"):
+            bus.emit("teleported", key="k")
+
+    def test_failing_sink_drops_and_counts(self):
+        def sink(record: dict) -> None:
+            raise OSError("disk full")
+
+        bus = EventBus(sink, clock=_FakeClock())
+        bus.emit("cache_hit", key="k", label="l")
+        assert (bus.emitted, bus.dropped) == (0, 1)
+        assert registry().get("events.dropped").value == 1.0
+        assert registry().get("events.emitted") is None
+
+    def test_metrics_counters_track_emission(self):
+        bus = EventBus(lambda record: None, clock=_FakeClock())
+        bus.emit("cache_hit", key="k", label="l")
+        bus.emit("cache_hit", key="k2", label="l2")
+        assert registry().get("events.emitted").value == 2.0
+
+
+class TestSnapshots:
+    def test_first_snapshot_always_emits(self):
+        seen: list[dict] = []
+        bus = EventBus(seen.append, clock=_FakeClock(), snapshot_interval_s=60.0)
+        assert bus.maybe_snapshot(done=0, failed=0, in_flight=1, total=2, metrics={})
+        assert seen[0]["event"] == "snapshot"
+
+    def test_interval_throttles_then_releases(self):
+        seen: list[dict] = []
+        clock = _FakeClock(10.0)
+        bus = EventBus(seen.append, clock=clock, snapshot_interval_s=1.0)
+        fields = dict(done=0, failed=0, in_flight=1, total=2, metrics={})
+        assert bus.maybe_snapshot(**fields)
+        clock.now = 10.5
+        assert not bus.maybe_snapshot(**fields)
+        clock.now = 11.1
+        assert bus.maybe_snapshot(**fields)
+        assert len(seen) == 2
+
+    def test_zero_interval_emits_every_call(self):
+        seen: list[dict] = []
+        bus = EventBus(seen.append, clock=_FakeClock(), snapshot_interval_s=0.0)
+        fields = dict(done=0, failed=0, in_flight=0, total=1, metrics={})
+        assert bus.maybe_snapshot(**fields)
+        assert bus.maybe_snapshot(**fields)
+        assert len(seen) == 2
+
+    def test_attached_stages_ride_along_on_snapshots(self):
+        class _Stages:
+            enabled = True
+
+            def to_dict(self) -> dict:
+                return {"schema": 1, "stages": {"write.hash": {"count": 3}}}
+
+        seen: list[dict] = []
+        bus = EventBus(seen.append, clock=_FakeClock(), stages=_Stages())
+        bus.emit("snapshot", done=0, failed=0, in_flight=0, total=1, metrics={})
+        bus.emit("cache_hit", key="k", label="l")
+        assert seen[0]["stages"]["stages"] == {"write.hash": {"count": 3}}
+        assert "stages" not in seen[1]
+        assert validate_event(seen[0]) == []
+
+
+class TestNullBus:
+    def test_null_bus_is_disabled_and_inert(self):
+        assert NULL_EVENTS.enabled is False
+        NULL_EVENTS.emit("anything-goes", junk=object())
+        assert NULL_EVENTS.maybe_snapshot(done=1) is False
+        NULL_EVENTS.close()
+
+
+class TestValidation:
+    def _valid(self) -> dict:
+        return {
+            "schema": EVENTS_SCHEMA_VERSION,
+            "kind": EVENT_KIND,
+            "event": "cache_hit",
+            "seq": 0,
+            "wall_unix_s": 1.0,
+            "key": "k",
+            "label": "l",
+        }
+
+    def test_valid_record_has_no_problems(self):
+        assert validate_event(self._valid()) == []
+
+    def test_wrong_schema_and_kind_reported(self):
+        record = self._valid()
+        record["schema"] = 99
+        record["kind"] = "something"
+        problems = validate_event(record)
+        assert any("schema" in p for p in problems)
+        assert any("kind" in p for p in problems)
+
+    def test_bool_does_not_satisfy_int_fields(self):
+        record = self._valid()
+        record["seq"] = True
+        assert any("seq" in p for p in validate_event(record))
+
+    def test_bad_finished_status_rejected(self):
+        record = self._valid()
+        record.update(
+            event="finished", status="exploded",
+            compute_s=0.1, queue_s=0.0, attempts=1,
+        )
+        assert any("finished.status" in p for p in validate_event(record))
+
+    def test_unknown_event_name_rejected(self):
+        record = self._valid()
+        record["event"] = "teleported"
+        assert any("event must be one of" in p for p in validate_event(record))
+
+    def test_non_object_rejected(self):
+        assert validate_event(["not", "a", "dict"])
+
+
+class TestFileRoundTrip:
+    def test_jsonl_sink_round_trips_through_read_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(JsonlSink(path), clock=_FakeClock())
+        bus.emit("run_started", planned=2, unique=2)
+        bus.emit("run_finished", done=2, failed=0, elapsed_s=0.1)
+        bus.close()
+        records = list(read_events(path))
+        assert [r["event"] for r in records] == ["run_started", "run_finished"]
+        for record in records:
+            assert validate_event(record) == []
+
+    def test_read_events_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json at all\n')
+        with pytest.raises(ValueError, match="line"):
+            list(read_events(path))
+
+    def test_read_events_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('\n{"event": "x"}\n\n')
+        assert list(read_events(path)) == [{"event": "x"}]
+
+
+class TestSocketSink:
+    def test_datagrams_reach_a_bound_receiver(self, tmp_path):
+        import socket
+
+        target = tmp_path / "events.sock"
+        receiver = socket.socket(socket.AF_UNIX, socket.SOCK_DGRAM)
+        receiver.bind(str(target))
+        receiver.settimeout(2.0)
+        try:
+            bus = EventBus(SocketSink(target), clock=_FakeClock())
+            bus.emit("cache_hit", key="k", label="l")
+            record = json.loads(receiver.recv(1 << 16).decode("utf-8"))
+            assert record["event"] == "cache_hit"
+            assert validate_event(record) == []
+            bus.close()
+        finally:
+            receiver.close()
+
+    def test_missing_receiver_counts_dropped_not_raises(self, tmp_path):
+        bus = EventBus(SocketSink(tmp_path / "nobody-home.sock"), clock=_FakeClock())
+        bus.emit("cache_hit", key="k", label="l")
+        assert (bus.emitted, bus.dropped) == (0, 1)
+        bus.close()

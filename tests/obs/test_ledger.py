@@ -1,0 +1,273 @@
+"""The cross-run ledger: idempotent append, deterministic merge, trend."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.bench import BENCH_KIND, BENCH_SCHEMA_VERSION
+from repro.obs.ledger import (
+    Ledger,
+    LedgerError,
+    TrendReport,
+    compute_trend,
+    entry_for,
+    ledger_from_records,
+)
+
+ANCHORS = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+
+def bench_payload(
+    *,
+    results: dict[str, float],
+    created: float = 1000.0,
+    sha: str | None = "a" * 40,
+    stages: dict | None = None,
+) -> dict:
+    """A schema-valid bench record around per-case best seconds."""
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": BENCH_KIND,
+        "created_unix_s": created,
+        "git_sha": sha,
+        "python": "3.12.0",
+        "platform": "linux-test",
+        "scale": {"accesses": 1200, "repeats": 3},
+        "results": {
+            name: {"best_s": best_s, "per_op_ns": best_s * 1e9 / 1200, "ops": 1200}
+            for name, best_s in results.items()
+        },
+    }
+    if stages is not None:
+        payload["stages"] = stages
+    return payload
+
+
+# -- strategies ---------------------------------------------------------------
+
+_case_names = st.lists(
+    st.sampled_from(
+        ["controller.dewrite", "controller.direct", "hash.crc32", "cache.lookup"]
+    ),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+
+_payloads = st.builds(
+    lambda names, seconds, created, sha: bench_payload(
+        results=dict(zip(names, seconds)),
+        created=created,
+        sha=sha,
+    ),
+    _case_names,
+    st.lists(
+        st.floats(min_value=1e-6, max_value=10.0, allow_nan=False),
+        min_size=4,
+        max_size=4,
+    ),
+    st.floats(min_value=0.0, max_value=2e9, allow_nan=False),
+    st.one_of(st.none(), st.text("0123456789abcdef", min_size=8, max_size=40)),
+)
+
+
+class TestAppendIdempotence:
+    @settings(max_examples=50, deadline=None)
+    @given(payloads=st.lists(_payloads, min_size=1, max_size=6))
+    def test_readding_every_record_changes_nothing(self, payloads):
+        ledger = Ledger()
+        for payload in payloads:
+            ledger.add_record(payload, source="first.json")
+        size = len(ledger)
+        serialized = ledger.to_dict()
+        for payload in payloads:
+            assert ledger.add_record(payload, source="second-path.json") is False
+        assert len(ledger) == size
+        assert ledger.to_dict() == serialized
+
+    def test_source_path_is_not_identity(self):
+        payload = bench_payload(results={"controller.dewrite": 0.5})
+        a = entry_for(payload, source="checkout-a/BENCH_x.json")
+        b = entry_for(payload, source="checkout-b/BENCH_x.json")
+        assert a.entry_id == b.entry_id
+
+    def test_distinct_summaries_get_distinct_ids(self):
+        a = entry_for(bench_payload(results={"x": 0.5}))
+        b = entry_for(bench_payload(results={"x": 0.6}))
+        assert a.entry_id != b.entry_id
+
+
+class TestMergeDeterminism:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        payloads=st.lists(_payloads, min_size=1, max_size=6),
+        order=st.randoms(use_true_random=False),
+    )
+    def test_insertion_order_never_shows_in_serialization(self, payloads, order):
+        forward = Ledger()
+        for payload in payloads:
+            forward.add_record(payload, source="s.json")
+        shuffled = list(payloads)
+        order.shuffle(shuffled)
+        backward = Ledger()
+        for payload in shuffled:
+            backward.add_record(payload, source="s.json")
+        assert forward.to_dict() == backward.to_dict()
+        assert json.dumps(forward.to_dict(), sort_keys=True) == json.dumps(
+            backward.to_dict(), sort_keys=True
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        left=st.lists(_payloads, min_size=0, max_size=4),
+        right=st.lists(_payloads, min_size=0, max_size=4),
+    )
+    def test_merge_is_commutative_up_to_source_hints(self, left, right):
+        # ``source`` is a human hint, not identity: when the same record
+        # arrives from two paths the first-seen hint wins, so
+        # commutativity is asserted on everything except that field.
+        def canonical(ledger: Ledger) -> dict:
+            payload = ledger.to_dict()
+            for entry in payload["entries"]:
+                entry.pop("source")
+            return payload
+
+        a = ledger_from_records((p, "a.json") for p in left)
+        b = ledger_from_records((p, "b.json") for p in right)
+        ab = ledger_from_records((p, "a.json") for p in left)
+        ab.merge(b)
+        ba = ledger_from_records((p, "b.json") for p in right)
+        ba.merge(a)
+        assert canonical(ab) == canonical(ba)
+
+
+class TestSerialization:
+    def test_round_trip_is_lossless(self, tmp_path):
+        ledger = Ledger()
+        ledger.add_record(bench_payload(results={"x": 0.5}), source="x.json")
+        ledger.add_record(
+            bench_payload(results={"y": 0.25}, created=2000.0, sha="b" * 40),
+            source="y.json",
+        )
+        path = tmp_path / "ledger.json"
+        ledger.dump(path)
+        reloaded = Ledger.load(path)
+        assert reloaded.to_dict() == ledger.to_dict()
+
+    def test_load_rejects_non_ledger_json(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text('{"schema": 1, "kind": "something-else", "entries": []}')
+        with pytest.raises(LedgerError, match="kind"):
+            Ledger.load(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(LedgerError, match="cannot read"):
+            Ledger.load(tmp_path / "absent.json")
+
+    def test_unindexable_record_rejected(self):
+        with pytest.raises(LedgerError, match="record kind"):
+            entry_for({"kind": "shopping-list"})
+
+    def test_invalid_bench_record_rejected(self):
+        broken = bench_payload(results={"x": 0.5})
+        del broken["results"]
+        with pytest.raises(LedgerError, match="bench record failed validation"):
+            entry_for(broken)
+
+
+class TestTrend:
+    def test_improving_series_is_ok(self):
+        entries = [
+            entry_for(bench_payload(results={"x": 1.0}, created=1.0, sha="a" * 40)),
+            entry_for(bench_payload(results={"x": 0.5}, created=2.0, sha="b" * 40)),
+            entry_for(bench_payload(results={"x": 0.2}, created=3.0, sha="c" * 40)),
+        ]
+        report = compute_trend(entries)
+        assert report.ok
+        assert report.points == 3
+        (case,) = report.cases
+        assert case["verdict"] == "improved"
+        assert case["points"] == 3
+
+    def test_step_regression_is_flagged_even_when_net_flat(self):
+        # Regressed in the middle, recovered at the end: the per-case row
+        # reads flat, the offending step is still flagged.
+        entries = [
+            entry_for(bench_payload(results={"x": 0.10}, created=1.0, sha="a" * 40)),
+            entry_for(bench_payload(results={"x": 0.50}, created=2.0, sha="b" * 40)),
+            entry_for(bench_payload(results={"x": 0.10}, created=3.0, sha="c" * 40)),
+        ]
+        report = compute_trend(entries, threshold=0.30)
+        assert not report.ok
+        (step,) = report.steps
+        assert step["from_sha"] == "a" * 40
+        assert step["to_sha"] == "b" * 40
+        assert step["regressions"][0]["name"] == "x"
+        assert report.cases[0]["verdict"] == "flat"
+        assert "STEP REGRESSION" in report.render()
+
+    def test_noise_below_floor_and_threshold_is_flat(self):
+        entries = [
+            entry_for(bench_payload(results={"x": 0.100}, created=1.0)),
+            entry_for(bench_payload(results={"x": 0.101}, created=2.0)),
+        ]
+        report = compute_trend(entries)
+        assert report.ok
+        assert report.cases[0]["verdict"] == "flat"
+
+    def test_single_anchor_renders_placeholder(self):
+        report = compute_trend([entry_for(bench_payload(results={"x": 0.1}))])
+        assert report.ok
+        assert "need at least two anchors" in report.render()
+
+    def test_report_round_trips_and_recomputes_ok(self):
+        entries = [
+            entry_for(bench_payload(results={"x": 0.1}, created=1.0)),
+            entry_for(bench_payload(results={"x": 0.9}, created=2.0)),
+        ]
+        report = compute_trend(entries)
+        payload = report.to_dict()
+        assert payload["ok"] is False
+        rebuilt = TrendReport.from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.ok is report.ok
+
+    def test_committed_anchors_report_an_improving_trajectory(self):
+        # The acceptance check of this PR: the two committed bench
+        # anchors (PR 6 baseline, PR 7 columnar pipeline) form a monotone
+        # improvement with zero flagged steps.
+        from repro.obs.bench import discover_anchors, load_record
+
+        paths = discover_anchors(ANCHORS)
+        assert len(paths) >= 2, "expected the two committed bench anchors"
+        ledger = ledger_from_records(
+            (load_record(path), str(path)) for path in paths
+        )
+        report = compute_trend(ledger.entries(record_kind="bench"))
+        assert report.ok, report.render()
+        assert all(row["verdict"] != "regressed" for row in report.cases)
+        assert any(row["verdict"] == "improved" for row in report.cases)
+
+
+class TestCompositeBaseline:
+    def test_gate_baseline_is_per_case_best_across_anchors(self):
+        from repro.obs.bench import composite_baseline, discover_anchors, load_record
+
+        records = [load_record(path) for path in discover_anchors(ANCHORS)]
+        baseline = composite_baseline(records)
+        for name, entry in baseline["results"].items():
+            assert entry["best_s"] == min(
+                record["results"][name]["best_s"]
+                for record in records
+                if name in record["results"]
+            )
+
+    def test_empty_anchor_set_rejected(self):
+        from repro.obs.bench import composite_baseline
+
+        with pytest.raises(ValueError):
+            composite_baseline([])

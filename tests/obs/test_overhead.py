@@ -23,3 +23,29 @@ class TestWithStages:
     def test_traced_arm_has_no_fallback_verdict(self):
         result = measure(accesses=200, repeats=1)
         assert "fallbacks" not in result
+
+
+class TestWithEvents:
+    def test_events_arm_is_exclusive_with_the_others(self):
+        with pytest.raises(ValueError, match="separate arms"):
+            measure(with_events=True, with_stages=True)
+        with pytest.raises(ValueError, match="separate arms"):
+            measure(with_events=True, with_timeline=True)
+
+    def test_events_arm_streams_a_valid_schema_with_zero_fallbacks(self):
+        from repro.obs.events import read_events, validate_event
+
+        result = measure(accesses=300, repeats=1, with_events=True)
+        assert result["fallbacks"] == {}
+        events = result["events"]
+        assert events["dropped"] == 0
+        assert events["emitted"] > 0
+        records = list(read_events(events["path"]))
+        assert len(records) == events["emitted"]
+        for record in records:
+            assert validate_event(record) == [], record
+        # One run = started, per-run snapshot (with stages), finished.
+        names = [record["event"] for record in records]
+        assert names.count("started") == names.count("finished") == 1
+        snapshots = [r for r in records if r["event"] == "snapshot"]
+        assert snapshots and all("stages" in r for r in snapshots)

@@ -1,0 +1,147 @@
+"""The engine's live telemetry stream: lifecycle events on the bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import EventBus, validate_event
+from repro.runner.cache import ResultCache, job_key
+from repro.runner.engine import run_jobs
+from repro.runner.jobs import JobSpec, canonical_json, register_job_kind
+
+register_job_kind(
+    "events-echo", lambda params: {"token": params["token"], "simulations": 1},
+    replace=True,
+)
+
+
+def _fails(params):
+    raise ValueError("synthetic failure")
+
+
+register_job_kind("events-fails", _fails, replace=True)
+
+
+def _spec(token: str) -> JobSpec:
+    return JobSpec("events-echo", canonical_json({"token": token}))
+
+
+@pytest.fixture()
+def stream():
+    seen: list[dict] = []
+    bus = EventBus(seen.append, snapshot_interval_s=0.0)
+    return seen, bus
+
+
+def _names(seen: list[dict]) -> list[str]:
+    return [record["event"] for record in seen]
+
+
+class TestSerialEmission:
+    def test_cold_run_emits_the_full_lifecycle(self, stream):
+        seen, bus = stream
+        jobs = [_spec("a"), _spec("a"), _spec("b")]
+        report = run_jobs(jobs, events=bus)
+        assert report.ok
+        for record in seen:
+            assert validate_event(record) == [], record
+        names = _names(seen)
+        assert names[0] == "run_started"
+        assert seen[0]["planned"] == 3 and seen[0]["unique"] == 2
+        assert names.count("planned") == 2  # one per unique spec
+        assert names.count("started") == 2
+        assert names.count("finished") == 2
+        assert names[-1] == "run_finished"
+        assert names[-2] == "snapshot"  # final unthrottled snapshot
+        assert seen[-1]["done"] == 2 and seen[-1]["failed"] == 0
+
+    def test_planned_records_carry_key_label_kind(self, stream):
+        seen, bus = stream
+        spec = _spec("a")
+        run_jobs([spec], events=bus)
+        (planned,) = [r for r in seen if r["event"] == "planned"]
+        assert planned["key"] == job_key(spec)
+        assert planned["label"] == spec.label
+        assert planned["job_kind"] == "events-echo"
+
+    def test_warm_cache_run_emits_cache_hits(self, stream, tmp_path):
+        seen, bus = stream
+        cache = ResultCache(tmp_path)
+        jobs = [_spec("a"), _spec("b")]
+        run_jobs(jobs, cache=cache)  # cold, unobserved
+        run_jobs(jobs, cache=cache, events=bus)
+        names = _names(seen)
+        assert names.count("cache_hit") == 2
+        assert names.count("started") == 0
+        final = seen[-1]
+        assert final["event"] == "run_finished" and final["done"] == 2
+
+    def test_failure_emits_retried_then_finished_failed(self, stream):
+        seen, bus = stream
+        spec = JobSpec("events-fails", canonical_json({"n": 1}))
+        report = run_jobs([spec], retries=1, events=bus)
+        assert not report.ok
+        names = _names(seen)
+        assert names.count("retried") == 1
+        (retried,) = [r for r in seen if r["event"] == "retried"]
+        assert "ValueError" in retried["error"]
+        (finished,) = [r for r in seen if r["event"] == "finished"]
+        assert finished["status"] == "failed"
+        assert finished["attempts"] == 2
+        assert seen[-1]["failed"] == 1
+
+    def test_finished_ok_carries_timings(self, stream):
+        seen, bus = stream
+        run_jobs([_spec("a")], events=bus)
+        (finished,) = [r for r in seen if r["event"] == "finished"]
+        assert finished["status"] == "ok"
+        assert finished["compute_s"] >= 0.0
+        assert finished["attempts"] == 1
+
+    def test_snapshots_carry_progress_and_metrics(self, stream):
+        seen, bus = stream
+        run_jobs([_spec("a"), _spec("b")], events=bus)
+        snapshots = [r for r in seen if r["event"] == "snapshot"]
+        assert snapshots, "zero-interval bus should snapshot every iteration"
+        final = snapshots[-1]
+        assert (final["done"], final["failed"], final["total"]) == (2, 0, 2)
+        assert isinstance(final["metrics"], dict)
+
+    def test_default_null_bus_emits_nothing(self):
+        # No events argument: the run must not require a bus at all.
+        report = run_jobs([_spec("a")])
+        assert report.ok
+
+
+class TestParallelEmission:
+    def test_pool_run_emits_the_same_lifecycle(self, stream):
+        seen, bus = stream
+        jobs = [_spec(f"t{i}") for i in range(5)]
+        report = run_jobs(jobs, parallel=2, events=bus)
+        assert report.ok
+        for record in seen:
+            assert validate_event(record) == [], record
+        names = _names(seen)
+        assert names[0] == "run_started"
+        assert names.count("planned") == 5
+        assert names.count("started") == 5
+        assert names.count("finished") == 5
+        assert all(r["status"] == "ok" for r in seen if r["event"] == "finished")
+        assert names[-1] == "run_finished"
+        assert seen[-1]["done"] == 5
+
+    def test_pool_failure_path_emits_finished_failed(self, stream):
+        seen, bus = stream
+        bad = JobSpec("events-fails", canonical_json({"n": 2}))
+        good = _spec("ok")
+        report = run_jobs([bad, good], parallel=2, retries=0, events=bus)
+        assert not report.ok
+        statuses = sorted(r["status"] for r in seen if r["event"] == "finished")
+        assert statuses == ["failed", "ok"]
+        assert seen[-1]["event"] == "run_finished"
+        assert seen[-1]["failed"] == 1
+
+    def test_sequence_numbers_are_gapless(self, stream):
+        seen, bus = stream
+        run_jobs([_spec(f"t{i}") for i in range(4)], parallel=2, events=bus)
+        assert [r["seq"] for r in seen] == list(range(len(seen)))
