@@ -46,6 +46,14 @@ Subcommands:
   metadata cache), write a ``BENCH_<gitsha>.json`` record and optionally
   gate against a baseline record (``--check``) or against *every*
   committed anchor in a directory (``--gate``);
+- ``serve``    — run the sharded multi-tenant dedup-memory service:
+  synthesize seeded zipfian tenant traffic, drive it through N data-plane
+  shards under the lease/heartbeat control plane, and report cross-tenant
+  dedup ratio, per-shard wear balance and p50/p99 simulated latency
+  (``--events`` streams lifecycle records for ``repro watch``);
+- ``loadgen``  — synthesize the same seeded traffic plan without running
+  a simulation: per-shard tenant/access balance, admission outcomes and
+  a content census predicting the dedup ratio;
 - ``compare``  — run one application under the traditional secure NVM and
   under DeWrite, print the side-by-side report;
 - ``figure``   — regenerate one of the paper's tables/figures by id;
@@ -77,6 +85,8 @@ Examples::
     python -m repro wear fig12 --app lbm --metric flips
     python -m repro diff old/manifest.json new/manifest.json
     python -m repro bench --out bench/ --check bench/BENCH_abc123.json
+    python -m repro serve --tenants 1000000 --shards 8 --accesses 250000
+    python -m repro loadgen --tenants 1000000 --shards 8 --json plan.json
     python -m repro compare --app lbm --accesses 20000
     python -m repro figure fig13 --apps lbm,mcf,vips
     python -m repro check --lint src/repro
@@ -97,6 +107,27 @@ def _add_settings_args(parser: argparse.ArgumentParser, default_accesses: int) -
     parser.add_argument("--apps", default="", help="comma-separated subset (default: all)")
     parser.add_argument("--accesses", type=int, default=default_accesses)
     parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_traffic_args(parser: argparse.ArgumentParser) -> None:
+    """The seeded multi-tenant traffic knobs shared by serve and loadgen."""
+    parser.add_argument("--tenants", type=int, default=1_000_000,
+                        help="addressable tenant population (default 1,000,000)")
+    parser.add_argument("--accesses", type=int, default=250_000,
+                        help="global interleaved access budget (default 250,000)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--zipf", type=float, default=1.1, dest="zipf_s",
+                        help="zipf skew of tenant popularity (default 1.1)")
+    parser.add_argument("--overlap", type=float, default=0.35,
+                        help="cross-tenant shared-content write fraction (default 0.35)")
+    parser.add_argument("--pool-lines", type=int, default=4096,
+                        help="shared content pool size in lines (default 4096)")
+    parser.add_argument("--lines-per-tenant", type=int, default=64,
+                        help="address window carved per tenant (default 64 lines)")
+    parser.add_argument("--read-fraction", type=float, default=0.3,
+                        help="read share of admitted accesses (default 0.3)")
+    parser.add_argument("--persistent-fraction", type=float, default=0.05,
+                        help="flush+fence-ordered write share (default 0.05)")
 
 
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
@@ -526,6 +557,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline", default="", metavar="PATH",
         help="record the current findings as the new baseline and exit 0",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sharded multi-tenant dedup-memory service over seeded traffic",
+    )
+    _add_traffic_args(serve)
+    serve.add_argument("--shards", type=int, default=8,
+                       help="data-plane shard count (default 8)")
+    serve.add_argument("--controller", default="dewrite",
+                       help="controller each shard runs (default dewrite)")
+    serve.add_argument("--quota", type=int, default=0, metavar="N",
+                       help="per-tenant admitted-access quota (0 = unbounded)")
+    serve.add_argument("--max-slots", type=int, default=0, metavar="N",
+                       help="per-shard tenant address-slot cap (0 = unbounded)")
+    _add_cache_args(serve)
+    serve.add_argument("--events", default="", metavar="PATH",
+                       help="emit lifecycle events (JSONL file or watch socket)")
+    serve.add_argument("--json", default="", dest="json_out", metavar="PATH",
+                       help="write the service report as canonical JSON")
+    serve.add_argument("--tables", default="", metavar="DIR",
+                       help="write wear-balance and dedup-ratio CSV tables to DIR")
+    serve.add_argument("--progress", action="store_true",
+                       help="print one line per resolved shard job")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="synthesize the seeded multi-tenant traffic plan without simulating",
+    )
+    _add_traffic_args(loadgen)
+    loadgen.add_argument("--shards", type=int, default=8,
+                         help="shard count the plan routes over (default 8)")
+    loadgen.add_argument("--quota", type=int, default=0, metavar="N",
+                         help="per-tenant admitted-access quota (0 = unbounded)")
+    loadgen.add_argument("--max-slots", type=int, default=0, metavar="N",
+                         help="per-shard tenant address-slot cap (0 = unbounded)")
+    loadgen.add_argument("--json", default="", dest="json_out", metavar="PATH",
+                         help="write the plan as canonical JSON")
 
     sub.add_parser("list", help="list figure ids, applications and controllers")
     return parser
@@ -1384,6 +1452,90 @@ def _run_watch(args: argparse.Namespace) -> int:
     return 1 if model.failed else 0
 
 
+def _traffic_config(args: argparse.Namespace):
+    from repro.workloads.tenants import TenantTrafficConfig
+
+    return TenantTrafficConfig(
+        tenants=args.tenants,
+        accesses=args.accesses,
+        seed=args.seed,
+        zipf_s=args.zipf_s,
+        content_overlap=args.overlap,
+        shared_pool_lines=args.pool_lines,
+        lines_per_tenant=args.lines_per_tenant,
+        read_fraction=args.read_fraction,
+        persistent_fraction=args.persistent_fraction,
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.events import NULL_EVENTS
+    from repro.runner.engine import stderr_progress
+    from repro.serve.control import AdmissionPolicy
+    from repro.serve.service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        traffic=_traffic_config(args),
+        policy=AdmissionPolicy(max_tenant_slots=args.max_slots, tenant_quota=args.quota),
+        shards=args.shards,
+        controller=args.controller,
+    )
+    cache = _configure_runner(args)
+    events = _event_bus(args.events) if args.events else NULL_EVENTS
+    progress = stderr_progress if args.progress else None
+    try:
+        outcome = run_service(
+            config,
+            parallel=args.parallel,
+            cache=cache,
+            job_timeout_s=args.job_timeout,
+            events=events,
+            progress=progress,
+        )
+    except RuntimeError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if events is not NULL_EVENTS:
+            events.close()
+    report = outcome.report
+    print(report.render())
+    print(outcome.leases.render(), file=sys.stderr)
+    print(outcome.run.cache_stats_line(), file=sys.stderr)
+    if args.json_out:
+        blob = json.dumps(report.to_dict(), sort_keys=True, indent=2)
+        Path(args.json_out).write_text(blob + "\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.tables:
+        tables = Path(args.tables)
+        tables.mkdir(parents=True, exist_ok=True)
+        (tables / "wear_balance.csv").write_text(report.wear_table_csv())
+        (tables / "dedup_ratio.csv").write_text(report.dedup_table_csv())
+        print(f"wrote {tables}/wear_balance.csv and {tables}/dedup_ratio.csv",
+              file=sys.stderr)
+    return 0
+
+
+def _run_loadgen(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serve.control import AdmissionPolicy
+    from repro.serve.loadgen import build_load_plan
+
+    policy = AdmissionPolicy(max_tenant_slots=args.max_slots, tenant_quota=args.quota)
+    plan = build_load_plan(_traffic_config(args), policy, args.shards)
+    print(plan.render())
+    if args.json_out:
+        blob = json.dumps(plan.to_dict(), sort_keys=True, indent=2)
+        Path(args.json_out).write_text(blob + "\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    return 0
+
+
 def _run_ledger(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -1671,6 +1823,10 @@ def main(argv: list[str] | None = None) -> int:
             return _run_bench(args)
         if args.command == "watch":
             return _run_watch(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "loadgen":
+            return _run_loadgen(args)
         if args.command == "ledger":
             return _run_ledger(args)
         if args.command == "trend":

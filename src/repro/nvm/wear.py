@@ -33,6 +33,26 @@ class WearSummary:
         return self.total_bit_flips / self.total_line_writes
 
 
+def combine_summaries(summaries: "list[WearSummary]") -> WearSummary:
+    """Fold per-shard wear summaries into one device-pool rollup.
+
+    Valid only when the inputs cover *disjoint* physical devices (each
+    serve shard owns its own NVM array): totals and distinct-line counts
+    add, and the pool's hottest line is the max over shards.  Summing
+    ``distinct_lines_written`` would double-count if two summaries shared
+    an address space — the serve merge never does.
+    """
+    if not summaries:
+        raise ValueError("need at least one summary to combine")
+    return WearSummary(
+        total_line_writes=sum(s.total_line_writes for s in summaries),
+        total_bit_flips=sum(s.total_bit_flips for s in summaries),
+        total_bits_written=sum(s.total_bits_written for s in summaries),
+        max_line_writes=max(s.max_line_writes for s in summaries),
+        distinct_lines_written=sum(s.distinct_lines_written for s in summaries),
+    )
+
+
 @dataclass(frozen=True)
 class RegionWear:
     """Wear accumulated by one contiguous address region (or one bank)."""

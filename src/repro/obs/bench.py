@@ -364,7 +364,14 @@ def composite_baseline(records: list[dict[str, Any]]) -> dict[str, Any]:
         for name, entry in record.get("results", {}).items():
             best = results.get(name)
             if best is None or float(entry["best_s"]) < float(best["best_s"]):
-                results[name] = dict(entry)
+                # Stamp which committed anchor set this case's bar, so a
+                # gate failure names the run to compare against, not just
+                # the case.
+                winning = dict(entry)
+                sha = record.get("git_sha")
+                if isinstance(sha, str) and sha:
+                    winning["anchor_git_sha"] = sha
+                results[name] = winning
     newest = ordered[-1]
     baseline = {
         "schema": BENCH_SCHEMA_VERSION,
@@ -379,6 +386,14 @@ def composite_baseline(records: list[dict[str, Any]]) -> dict[str, Any]:
     if isinstance(newest.get("stages"), dict):
         baseline["stages"] = newest["stages"]
     return baseline
+
+
+def _anchor_suffix(entry: dict[str, Any]) -> str:
+    """`` [anchor <sha>]`` when the composite baseline recorded provenance."""
+    sha = entry.get("anchor_git_sha")
+    if isinstance(sha, str) and sha:
+        return f" [anchor {sha[:12]}]"
+    return ""
 
 
 @dataclass(frozen=True)
@@ -411,11 +426,13 @@ class BenchComparison:
             lines.append(
                 f"  REGRESSED {entry['name']}: {entry['baseline_s'] * 1000:.2f}ms -> "
                 f"{entry['current_s'] * 1000:.2f}ms ({entry['change']:+.1%})"
+                + _anchor_suffix(entry)
             )
         for entry in self.improvements:
             lines.append(
                 f"  improved  {entry['name']}: {entry['baseline_s'] * 1000:.2f}ms -> "
                 f"{entry['current_s'] * 1000:.2f}ms ({entry['change']:+.1%})"
+                + _anchor_suffix(entry)
             )
         if self.appeared:
             lines.append(f"  appeared (no baseline): {', '.join(self.appeared)}")
@@ -459,6 +476,9 @@ def compare_records(
         delta = cur - base
         change = delta / base if base > 0 else 0.0
         entry = {"name": name, "baseline_s": base, "current_s": cur, "change": change}
+        anchor_sha = baseline_results[name].get("anchor_git_sha")
+        if isinstance(anchor_sha, str) and anchor_sha:
+            entry["anchor_git_sha"] = anchor_sha
         if delta > absolute_floor_s and change > threshold:
             regressions.append(entry)
         elif -delta > absolute_floor_s and -change > threshold:

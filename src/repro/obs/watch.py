@@ -162,6 +162,48 @@ class WatchModel:
             return None
         return remaining / rate
 
+    def snapshot_counters(self) -> dict[str, float]:
+        """Counter values from the last snapshot's flat metrics section."""
+        if self.last_snapshot is None:
+            return {}
+        metrics = self.last_snapshot.get("metrics")
+        if not isinstance(metrics, dict):
+            return {}
+        counters: dict[str, float] = {}
+        for name, entry in metrics.items():
+            if isinstance(entry, dict) and entry.get("kind") == "counter":
+                value = entry.get("value")
+                if isinstance(value, (int, float)):
+                    counters[name] = float(value)
+        return counters
+
+    def fallback_counters(self) -> dict[str, float]:
+        """Non-zero ``batch.fallback.<reason>`` counters, by bare reason.
+
+        A non-empty result means some simulation fell off the fused batch
+        path mid-run — worth surfacing live, not just in post-hoc stats.
+        """
+        return {
+            name.split(".", 2)[2]: value
+            for name, value in sorted(self.snapshot_counters().items())
+            if name.startswith("batch.fallback.") and value
+        }
+
+    def shard_lanes(self) -> dict[int, float]:
+        """Per-shard serviced-access counters from ``serve.shard.<k>.accesses``."""
+        lanes: dict[int, float] = {}
+        for name, value in self.snapshot_counters().items():
+            parts = name.split(".")
+            if (
+                len(parts) == 4
+                and parts[0] == "serve"
+                and parts[1] == "shard"
+                and parts[3] == "accesses"
+                and parts[2].isdigit()
+            ):
+                lanes[int(parts[2])] = value
+        return dict(sorted(lanes.items()))
+
 
 def render_dashboard(model: WatchModel) -> str:
     """One dashboard frame as plain text (pure function of the model)."""
@@ -202,18 +244,27 @@ def render_dashboard(model: WatchModel) -> str:
                 for name, fields in sorted(entries.items())
             )
             lines.append(f"  stage split (sim time): {split}")
-        metrics = snapshot.get("metrics")
-        if isinstance(metrics, dict):
-            counters = metrics.get("counters")
-            if isinstance(counters, dict):
-                simulations = counters.get("simulations")
-                if simulations is not None:
-                    lines.append(f"  simulations so far: {simulations}")
+        simulations = model.snapshot_counters().get("simulations")
+        if simulations is not None:
+            lines.append(f"  simulations so far: {simulations:g}")
+        lanes = model.shard_lanes()
+        if lanes:
+            shown = list(lanes.items())
+            preview = " · ".join(f"s{shard} {count:g}" for shard, count in shown[:8])
+            if len(shown) > 8:
+                preview += f" · … +{len(shown) - 8}"
+            lines.append(f"  shard lanes (accesses): {preview}")
     health = f"  stream: {model.records_seen} record(s)"
     if model.seq_gaps:
         health += f", {model.seq_gaps} dropped"
     if model.ignored:
         health += f", {model.ignored} ignored"
+    fallbacks = model.fallback_counters()
+    if fallbacks:
+        reasons = ", ".join(
+            f"{reason}={value:g}" for reason, value in fallbacks.items()
+        )
+        health += f" — FALLBACKS: {reasons}"
     lines.append(health)
     return "\n".join(lines)
 

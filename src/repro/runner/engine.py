@@ -375,6 +375,7 @@ def _run_pool(
     max_workers = min(parallel, len(misses))
     executor = ProcessPoolExecutor(max_workers=max_workers)
     pending: dict[Future, tuple[JobSpec, float, int, int]] = {}
+    abandoned = False
 
     def fail(spec: JobSpec, error: str, attempt: int) -> None:
         report.failures.append(JobFailure(spec=spec, error=error, attempts=attempt))
@@ -504,11 +505,17 @@ def _run_pool(
                     continue
                 # A running worker cannot be interrupted; abandon the
                 # future (its eventual result is ignored) and move on.
+                abandoned = True
                 future.cancel()
                 del pending[future]
                 resubmit_or_fail(spec, f"timeout after {job_timeout_s:.0f}s", attempt)
     finally:
-        executor.shutdown(wait=False, cancel_futures=True)
+        # Join the pool when every future resolved; a non-waiting
+        # shutdown leaves the management thread to the interpreter's
+        # atexit hook, which races its own pipe teardown and spews
+        # "Exception ignored" noise on exit.  Only an abandoned
+        # (timed-out) future justifies not waiting.
+        executor.shutdown(wait=not abandoned, cancel_futures=True)
 
 
 def stderr_progress(line: str) -> None:

@@ -19,7 +19,11 @@ Job kinds (extensible via :func:`register_job_kind`):
   application;
 - ``"crash-recovery"``  — one fault-injection scenario: simulate until
   power loss, recover the metadata, audit every written line against the
-  replay oracle (see :mod:`repro.faults.campaign`).
+  replay oracle (see :mod:`repro.faults.campaign`);
+- ``"serve-shard"``     — one shard of the multi-tenant dedup-memory
+  service: re-derive the shard's seeded tenant stream and drive a
+  controller over it through the fused batch path (see
+  :mod:`repro.serve.service`).
 
 Payloads are plain JSON types only: they must survive the on-disk cache
 and transport between worker processes.
@@ -311,7 +315,15 @@ def _run_crash_recovery(params: dict[str, Any]) -> dict[str, Any]:
     return run_crash_recovery_job(params)
 
 
+def _run_serve_shard(params: dict[str, Any]) -> dict[str, Any]:
+    # Lazy import: the serve subsystem only loads when a shard job runs.
+    from repro.serve.service import run_shard_job
+
+    return run_shard_job(params)
+
+
 register_job_kind("simulate", _run_simulate)
 register_job_kind("metadata-sweep", _run_metadata_sweep)
 register_job_kind("bitflips", _run_bitflips)
 register_job_kind("crash-recovery", _run_crash_recovery)
+register_job_kind("serve-shard", _run_serve_shard)

@@ -1,0 +1,35 @@
+"""Fixture: broken round trips in serve control-plane records (SIM103).
+
+Mirrors the real :mod:`repro.serve.tenants` shapes — a shard map and a
+tenant registry — each seeded with one round-trip defect, so the rule is
+pinned against exactly the record family the serve subsystem added.
+"""
+
+
+class OneWayShardMap:
+    """Serialises the shard routing config but offers no way back."""
+
+    def __init__(self, shards: int, seed: int) -> None:
+        self.shards = shards
+        self.seed = seed
+
+    def to_dict(self) -> dict:
+        return {"shards": self.shards, "seed": self.seed}
+
+
+class LossyTenantRegistry:
+    """from_dict silently drops the slot cap the writer emitted."""
+
+    def __init__(self, lines_per_tenant: int, max_slots: int = 0) -> None:
+        self.lines_per_tenant = lines_per_tenant
+        self.max_slots = max_slots
+
+    def to_dict(self) -> dict:
+        return {
+            "lines_per_tenant": self.lines_per_tenant,
+            "max_slots": self.max_slots,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LossyTenantRegistry":
+        return cls(payload["lines_per_tenant"])

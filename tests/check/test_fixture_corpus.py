@@ -30,6 +30,7 @@ EXPECTED: dict[str, dict[str, int]] = {
     "sim102_units.py": {"SIM102": 3},
     "sim103_roundtrip.py": {"SIM103": 2},
     "sim103_obs_records.py": {"SIM103": 2},
+    "sim103_serve_records.py": {"SIM103": 2},
     "sim104_registry.py": {"SIM104": 5},
 }
 

@@ -181,3 +181,48 @@ class TestProjectedLifetime:
         full = tracker.projected_lifetime_years(**kwargs)
         half = tracker.projected_lifetime_years(duty_cycle=0.5, **kwargs)
         assert half == pytest.approx(2 * full)
+
+
+class TestCombineSummaries:
+    """Pool rollup over disjoint shard devices (the serve merge fold)."""
+
+    def _summary(self, **overrides) -> "WearSummary":
+        from repro.nvm.wear import WearSummary
+
+        base = dict(
+            total_line_writes=10, total_bit_flips=100, total_bits_written=1000,
+            max_line_writes=4, distinct_lines_written=6,
+        )
+        base.update(overrides)
+        return WearSummary(**base)
+
+    def test_totals_add_and_hottest_line_is_max(self):
+        from repro.nvm.wear import combine_summaries
+
+        combined = combine_summaries(
+            [self._summary(), self._summary(max_line_writes=9, total_line_writes=3)]
+        )
+        assert combined.total_line_writes == 13
+        assert combined.total_bit_flips == 200
+        assert combined.total_bits_written == 2000
+        assert combined.max_line_writes == 9
+        assert combined.distinct_lines_written == 12
+
+    def test_single_summary_is_identity(self):
+        from repro.nvm.wear import combine_summaries
+
+        summary = self._summary()
+        assert combine_summaries([summary]) == summary
+
+    def test_empty_list_rejected(self):
+        from repro.nvm.wear import combine_summaries
+
+        with pytest.raises(ValueError):
+            combine_summaries([])
+
+    def test_mean_flips_per_write_recomputes_from_pool_sums(self):
+        from repro.nvm.wear import combine_summaries
+
+        a = self._summary(total_line_writes=10, total_bit_flips=100)
+        b = self._summary(total_line_writes=30, total_bit_flips=60)
+        assert combine_summaries([a, b]).mean_flips_per_write == pytest.approx(4.0)

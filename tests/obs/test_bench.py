@@ -158,6 +158,56 @@ class TestGate:
         )
 
 
+class TestAnchorProvenance:
+    """The composite baseline names which anchor set each case's bar."""
+
+    def _anchor(self, results: dict[str, float], sha: str, created: float) -> dict:
+        record = make_record(results)
+        record["git_sha"] = sha
+        record["created_unix_s"] = created
+        return record
+
+    def test_winning_anchor_sha_stamped_per_case(self):
+        from repro.obs.bench import composite_baseline
+
+        old = self._anchor({"a": 0.010, "b": 0.005}, "a" * 40, 1.0)
+        new = self._anchor({"a": 0.008, "b": 0.007}, "b" * 40, 2.0)
+        baseline = composite_baseline([old, new])
+        assert baseline["results"]["a"]["anchor_git_sha"] == "b" * 40
+        assert baseline["results"]["b"]["anchor_git_sha"] == "a" * 40
+
+    def test_gate_failure_names_the_anchor(self):
+        from repro.obs.bench import composite_baseline
+
+        anchor = self._anchor({"a": 0.010}, "deadbeef" * 5, 1.0)
+        baseline = composite_baseline([anchor])
+        current = make_record({"a": 0.025})
+        comparison = compare_records(current, baseline, threshold=0.30)
+        assert not comparison.ok
+        assert comparison.regressions[0]["anchor_git_sha"] == "deadbeef" * 5
+        assert "[anchor deadbeefdead]" in comparison.render()
+
+    def test_improvement_line_names_the_anchor_too(self):
+        from repro.obs.bench import composite_baseline
+
+        anchor = self._anchor({"a": 0.020}, "cafef00d" * 5, 1.0)
+        baseline = composite_baseline([anchor])
+        comparison = compare_records(
+            make_record({"a": 0.010}), baseline, threshold=0.30
+        )
+        assert comparison.ok
+        assert "[anchor cafef00dcafe]" in comparison.render()
+
+    def test_sha_free_baseline_renders_without_suffix(self):
+        baseline = make_record({"a": 0.010})
+        baseline["results"]["a"].pop("anchor_git_sha", None)
+        comparison = compare_records(
+            make_record({"a": 0.025}), baseline, threshold=0.30
+        )
+        assert not comparison.ok
+        assert "[anchor" not in comparison.render()
+
+
 class TestStageBreakdown:
     """Schema v2 ``stages`` section and regression attribution."""
 

@@ -1,0 +1,132 @@
+"""Socket transport resilience: vanishing consumers, watcher resync.
+
+The drop-don't-crash contract has two halves.  The *producer* half: a
+run streaming to a ``SocketSink`` must survive its watcher detaching
+mid-run — later emissions are counted dropped, the run itself is
+unperturbed.  The *consumer* half: a watcher that reattaches resumes
+from the next sequence number, surfacing the missed records as
+``seq_gaps`` instead of rendering a partial run as complete.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.obs.events import EventBus, SocketSink, validate_event
+from repro.obs.metrics import registry, reset_registry
+from repro.obs.watch import WatchModel, render_dashboard
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+class _FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _receiver(path) -> socket.socket:
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_DGRAM)
+    sock.bind(str(path))
+    sock.settimeout(2.0)
+    return sock
+
+
+def _fold(records) -> WatchModel:
+    model = WatchModel()
+    for record in records:
+        model.consume(record)
+    return model
+
+
+class TestConsumerDisappears:
+    def test_emits_after_detach_drop_without_raising(self, tmp_path):
+        path = tmp_path / "watch.sock"
+        receiver = _receiver(path)
+        bus = EventBus(SocketSink(path), clock=_FakeClock())
+        try:
+            bus.emit("run_started", planned=2, unique=2)
+            first = json.loads(receiver.recv(1 << 16))
+            assert validate_event(first) == []
+        finally:
+            receiver.close()
+        path.unlink()  # the watcher is gone, socket file and all
+
+        # The producer keeps going: every subsequent emit is a drop, not
+        # a crash, and the drops are visible on the metrics registry.
+        bus.emit("started", key="a", label="a", attempt=1)
+        bus.emit(
+            "finished", key="a", label="a", status="ok",
+            compute_s=0.1, queue_s=0.0, attempts=1,
+        )
+        assert bus.emitted == 1
+        assert bus.dropped == 2
+        snapshot = registry().to_dict()
+        assert snapshot["events.dropped"]["value"] == 2
+        bus.close()
+
+    def test_sequence_numbers_advance_across_drops(self, tmp_path):
+        # Dropped records still consume sequence numbers — that is what
+        # lets a reattached watcher *see* the hole.
+        path = tmp_path / "watch.sock"
+        receiver = _receiver(path)
+        bus = EventBus(SocketSink(path), clock=_FakeClock())
+        bus.emit("run_started", planned=2, unique=2)
+        before = json.loads(receiver.recv(1 << 16))
+        receiver.close()
+        path.unlink()
+        bus.emit("started", key="a", label="a", attempt=1)  # dropped
+
+        rejoined = _receiver(path)
+        try:
+            bus.emit("cache_hit", key="b", label="b")
+            after = json.loads(rejoined.recv(1 << 16))
+        finally:
+            rejoined.close()
+        assert before["seq"] == 0
+        assert after["seq"] == 2  # seq 1 died with the detached watcher
+        bus.close()
+
+
+class TestWatcherResync:
+    def _records(self) -> list[dict]:
+        seen: list[dict] = []
+        bus = EventBus(seen.append, clock=_FakeClock())
+        bus.emit("run_started", planned=3, unique=3)
+        for key in ("a", "b", "c"):
+            bus.emit("started", key=key, label=key, attempt=1)
+            bus.emit(
+                "finished", key=key, label=key, status="ok",
+                compute_s=0.1, queue_s=0.0, attempts=1,
+            )
+        bus.emit("run_finished", status="ok", elapsed_s=1.0)
+        return seen
+
+    def test_gap_is_counted_not_fatal(self):
+        records = self._records()
+        # The watcher missed records 2..4 while detached.
+        model = _fold(records[:2] + records[5:])
+        assert model.seq_gaps == 3
+        assert model.run_finished
+        assert model.records_seen == len(records) - 3
+
+    def test_dashboard_surfaces_the_gap(self):
+        records = self._records()
+        model = _fold(records[:2] + records[5:])
+        frame = render_dashboard(model)
+        assert "3 dropped" in frame
+
+    def test_contiguous_stream_reports_no_gaps(self):
+        model = _fold(self._records())
+        assert model.seq_gaps == 0
+        assert "dropped" not in render_dashboard(model)

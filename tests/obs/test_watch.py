@@ -108,7 +108,7 @@ class TestRenderDashboard:
         bus.emit(
             "snapshot",
             done=1, failed=0, in_flight=0, total=2,
-            metrics={"counters": {"simulations": 7.0}},
+            metrics={"simulations": {"kind": "counter", "value": 7.0}},
             stages={
                 "schema": 1,
                 "stages": {
@@ -120,7 +120,50 @@ class TestRenderDashboard:
         frame = render_dashboard(_fold(seen))
         assert "write.hash 75%" in frame
         assert "nvm.write 25%" in frame
-        assert "simulations so far: 7.0" in frame
+        assert "simulations so far: 7" in frame
+
+    def test_fallback_counters_surface_in_the_health_line(self):
+        seen, bus = _stream()
+        bus.emit(
+            "snapshot",
+            done=1, failed=0, in_flight=0, total=2,
+            metrics={
+                "batch.fallback.multi_stream": {"kind": "counter", "value": 3.0},
+                "batch.fallback.tracer": {"kind": "counter", "value": 0.0},
+                "simulations": {"kind": "counter", "value": 2.0},
+            },
+        )
+        model = _fold(seen)
+        assert model.fallback_counters() == {"multi_stream": 3.0}
+        frame = render_dashboard(model)
+        assert "FALLBACKS: multi_stream=3" in frame
+        assert "tracer" not in frame  # zero counters stay quiet
+
+    def test_clean_run_renders_no_fallback_warning(self):
+        seen, bus = _stream()
+        bus.emit(
+            "snapshot",
+            done=1, failed=0, in_flight=0, total=1,
+            metrics={"simulations": {"kind": "counter", "value": 1.0}},
+        )
+        assert "FALLBACKS" not in render_dashboard(_fold(seen))
+
+    def test_shard_lanes_render_capped_preview(self):
+        seen, bus = _stream()
+        metrics = {
+            f"serve.shard.{shard}.accesses": {"kind": "counter", "value": 100.0 + shard}
+            for shard in range(10)
+        }
+        metrics["serve.shard.bogus.accesses"] = {"kind": "counter", "value": 1.0}
+        bus.emit(
+            "snapshot", done=0, failed=0, in_flight=10, total=10, metrics=metrics
+        )
+        model = _fold(seen)
+        lanes = model.shard_lanes()
+        assert list(lanes) == list(range(10))  # numeric sort, bogus dropped
+        frame = render_dashboard(model)
+        assert "shard lanes (accesses): s0 100" in frame
+        assert "… +2" in frame
 
     def test_finished_run_renders_banner_and_recent(self):
         seen, bus = _stream()

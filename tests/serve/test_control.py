@@ -1,0 +1,185 @@
+"""Control plane: shard routing, tenant registry, admission, leases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.control import AdmissionPolicy, LeaseTable, ShardLease
+from repro.serve.tenants import MIN_SHARD_LINES, ShardMap, TenantRegistry
+
+
+class _FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestShardMap:
+    def test_routing_is_stable_and_in_range(self):
+        shard_map = ShardMap(shards=8, seed=7)
+        for tenant in range(500):
+            shard = shard_map.shard_of(tenant)
+            assert 0 <= shard < 8
+            assert shard == shard_map.shard_of(tenant)
+
+    def test_routing_spreads_tenants(self):
+        shard_map = ShardMap(shards=4, seed=3)
+        hit = {shard_map.shard_of(tenant) for tenant in range(200)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_seed_changes_routing(self):
+        a = ShardMap(shards=16, seed=1)
+        b = ShardMap(shards=16, seed=2)
+        assert any(a.shard_of(t) != b.shard_of(t) for t in range(64))
+
+    def test_round_trip(self):
+        shard_map = ShardMap(shards=8, seed=7)
+        assert ShardMap.from_dict(shard_map.to_dict()) == shard_map
+
+    def test_rejects_non_positive_shards(self):
+        with pytest.raises(ValueError):
+            ShardMap(shards=0, seed=1)
+
+
+class TestTenantRegistry:
+    def test_slots_assigned_in_first_appearance_order(self):
+        registry = TenantRegistry(lines_per_tenant=64)
+        assert registry.slot_of(900) == 0
+        assert registry.slot_of(5) == 1
+        assert registry.slot_of(900) == 0
+        assert registry.tenants_registered == 2
+
+    def test_window_covers_the_slot(self):
+        registry = TenantRegistry(lines_per_tenant=32)
+        registry.slot_of(42)
+        registry.slot_of(43)
+        assert registry.window(43) == (32, 32)
+        assert registry.window(999) is None
+
+    def test_max_slots_backpressure(self):
+        registry = TenantRegistry(lines_per_tenant=8, max_slots=2)
+        assert registry.slot_of(1) == 0
+        assert registry.slot_of(2) == 1
+        assert registry.slot_of(3) is None
+        # Existing tenants keep their slots when the registry is full.
+        assert registry.slot_of(1) == 0
+
+    def test_device_lines_has_a_floor(self):
+        registry = TenantRegistry(lines_per_tenant=64)
+        registry.slot_of(1)
+        assert registry.capacity_lines() == 64
+        assert registry.device_lines() == MIN_SHARD_LINES
+
+    def test_round_trip_preserves_slots(self):
+        registry = TenantRegistry(lines_per_tenant=16, max_slots=10)
+        for tenant in (7, 3, 11):
+            registry.slot_of(tenant)
+        clone = TenantRegistry.from_dict(registry.to_dict())
+        assert clone.to_dict() == registry.to_dict()
+        assert clone.slot_of(3) == registry.slot_of(3)
+
+
+class TestAdmissionPolicy:
+    def test_round_trip(self):
+        policy = AdmissionPolicy(max_tenant_slots=10, tenant_quota=3)
+        assert AdmissionPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_rejects_negative_knobs(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_tenant_slots=-1)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(tenant_quota=-1)
+
+
+class TestLeaseTable:
+    def test_claim_stamps_custody(self):
+        clock = _FakeClock(100.0)
+        table = LeaseTable(4, clock=clock, lease_s=30.0)
+        lease = table.claim(2, "wave-1")
+        assert lease.state == "leased"
+        assert lease.worker == "wave-1"
+        assert lease.attempts == 1
+        assert lease.claimed_unix_s == 100.0
+        assert lease.expires_unix_s == 130.0
+        assert table.state_of(2) == "leased"
+
+    def test_claiming_a_live_or_done_lease_raises(self):
+        table = LeaseTable(2, clock=_FakeClock())
+        table.claim(0, "a")
+        with pytest.raises(ValueError):
+            table.claim(0, "b")
+        table.mark_done(0)
+        with pytest.raises(ValueError):
+            table.claim(0, "c")
+
+    def test_failed_shard_is_reclaimable(self):
+        table = LeaseTable(2, clock=_FakeClock())
+        table.claim(1, "wave-1")
+        table.mark_failed(1)
+        lease = table.claim(1, "wave-2")
+        assert lease.attempts == 2
+        assert lease.worker == "wave-2"
+
+    def test_heartbeat_extends_the_lease(self):
+        clock = _FakeClock(100.0)
+        table = LeaseTable(1, clock=clock, lease_s=30.0)
+        table.claim(0, "w")
+        clock.now = 120.0
+        table.heartbeat(0)
+        assert table.lease(0).heartbeat_unix_s == 120.0
+        assert table.lease(0).expires_unix_s == 150.0
+
+    def test_heartbeat_requires_a_live_lease(self):
+        table = LeaseTable(1, clock=_FakeClock())
+        with pytest.raises(ValueError):
+            table.heartbeat(0)
+
+    def test_reclaim_stale_returns_expired_leases_sorted(self):
+        clock = _FakeClock(100.0)
+        table = LeaseTable(4, clock=clock, lease_s=10.0)
+        for shard in (3, 0, 1):
+            table.claim(shard, "w")
+        table.mark_done(1)
+        clock.now = 200.0
+        assert table.reclaim_stale() == [0, 3]
+        assert table.state_of(0) == "pending"
+        assert table.state_of(1) == "done"
+        # Live leases survive.
+        clock.now = 201.0
+        table.claim(0, "w2")
+        assert table.reclaim_stale() == []
+
+    def test_counts_and_render(self):
+        table = LeaseTable(3, clock=_FakeClock())
+        table.claim(0, "w")
+        table.mark_done(0)
+        table.claim(1, "w")
+        assert table.counts() == {"pending": 1, "leased": 1, "done": 1, "failed": 0}
+        line = table.render()
+        assert "1 done" in line
+        assert "2 claim(s)" in line
+
+    def test_round_trip(self):
+        clock = _FakeClock(50.0)
+        table = LeaseTable(3, clock=clock, lease_s=15.0)
+        table.claim(0, "w")
+        table.mark_failed(0)
+        table.claim(2, "w")
+        clone = LeaseTable.from_dict(table.to_dict(), clock=clock)
+        assert clone.to_dict() == table.to_dict()
+        assert len(clone) == 3
+        assert clone.state_of(0) == "failed"
+
+    def test_shard_lease_round_trip(self):
+        lease = ShardLease(shard=5, state="leased", worker="w", attempts=2,
+                           claimed_unix_s=1.0, heartbeat_unix_s=2.0,
+                           expires_unix_s=3.0)
+        assert ShardLease.from_dict(lease.to_dict()) == lease
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            LeaseTable(0)
+        with pytest.raises(ValueError):
+            LeaseTable(1, lease_s=0.0)

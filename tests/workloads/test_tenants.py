@@ -1,0 +1,156 @@
+"""Multi-tenant traffic synthesis: determinism, routing partition, admission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.tenants import ShardMap, TenantRegistry
+from repro.workloads.batch import OP_WRITE
+from repro.workloads.tenants import (
+    TenantTrafficConfig,
+    mix01,
+    mix64,
+    synthesize_shard_stream,
+    tenant_line,
+    zipf_rank,
+)
+
+CFG = TenantTrafficConfig(tenants=2000, accesses=1500, seed=13)
+
+
+def _stream(config: TenantTrafficConfig, shards: int, shard: int, **kwargs):
+    shard_map = ShardMap(shards=shards, seed=config.seed)
+    registry = TenantRegistry(config.lines_per_tenant,
+                              max_slots=kwargs.pop("max_slots", 0))
+    return synthesize_shard_stream(
+        config, shard=shard, shard_of=shard_map.shard_of, registry=registry, **kwargs
+    ), registry
+
+
+class TestMixers:
+    def test_mix64_is_deterministic_and_part_sensitive(self):
+        assert mix64(1, 2, 3) == mix64(1, 2, 3)
+        assert mix64(1, 2, 3) != mix64(1, 2, 4)
+        assert mix64(1, 2, 3) != mix64(3, 2, 1)
+
+    def test_mix01_in_unit_interval(self):
+        for i in range(200):
+            assert 0.0 <= mix01(7, i) < 1.0
+
+    def test_zipf_rank_bounds_and_skew(self):
+        ranks = [zipf_rank(mix01(3, i), 1000, 1.1) for i in range(5000)]
+        assert all(0 <= r < 1000 for r in ranks)
+        # Zipfian skew: rank 0 must dominate the tail.
+        head = sum(1 for r in ranks if r < 10)
+        tail = sum(1 for r in ranks if r >= 500)
+        assert head > tail
+
+    def test_zipf_rank_population_one(self):
+        assert zipf_rank(0.99, 1, 1.1) == 0
+
+    def test_zipf_rank_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            zipf_rank(0.5, 0, 1.1)
+
+    def test_tenant_line_deterministic_and_sized(self):
+        a = tenant_line(7, 42, 3, line_size=256)
+        assert a == tenant_line(7, 42, 3, line_size=256)
+        assert len(a) == 256
+        assert a != tenant_line(7, 42, 4, line_size=256)
+
+
+class TestConfig:
+    def test_round_trip(self):
+        assert TenantTrafficConfig.from_dict(CFG.to_dict()) == CFG
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            TenantTrafficConfig(read_fraction=1.5)
+        with pytest.raises(ValueError):
+            TenantTrafficConfig(content_overlap=-0.1)
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            TenantTrafficConfig(line_size=100)
+
+
+class TestSynthesis:
+    def test_shards_partition_the_global_stream(self):
+        # Every global access lands in exactly one shard: admitted counts
+        # across shards sum to the global budget (no quotas/caps).
+        streams = [_stream(CFG, 4, shard)[0] for shard in range(4)]
+        assert sum(s.admitted for s in streams) == CFG.accesses
+        assert sum(s.offered for s in streams) == CFG.accesses
+
+    def test_stream_is_deterministic(self):
+        a, _ = _stream(CFG, 4, 1)
+        b, _ = _stream(CFG, 4, 1)
+        assert a.batch.ops == b.batch.ops
+        assert a.batch.addresses == b.batch.addresses
+        assert a.batch.payload == b.batch.payload
+
+    def test_single_core_stream(self):
+        stream, _ = _stream(CFG, 2, 0)
+        assert set(stream.batch.cores) == {0}
+
+    def test_first_access_per_tenant_is_a_write(self):
+        config = TenantTrafficConfig(
+            tenants=50, accesses=800, seed=5, read_fraction=0.9
+        )
+        stream, _ = _stream(config, 1, 0)
+        seen: set[int] = set()
+        for index, op in enumerate(stream.batch.ops):
+            address = stream.batch.addresses[index]
+            window = address // config.lines_per_tenant
+            if window not in seen:
+                assert op == OP_WRITE
+                seen.add(window)
+
+    def test_reads_target_last_written_line(self):
+        config = TenantTrafficConfig(tenants=20, accesses=600, seed=9,
+                                     read_fraction=0.5)
+        stream, _ = _stream(config, 1, 0)
+        last: dict[int, int] = {}
+        for index, op in enumerate(stream.batch.ops):
+            address = stream.batch.addresses[index]
+            window = address // config.lines_per_tenant
+            if op == OP_WRITE:
+                last[window] = address
+            else:
+                assert last[window] == address
+
+    def test_addresses_stay_inside_the_tenant_window(self):
+        stream, registry = _stream(CFG, 2, 1)
+        for address in stream.batch.addresses:
+            slot = address // CFG.lines_per_tenant
+            assert slot < registry.tenants_registered
+
+    def test_quota_defers_over_budget_tenants(self):
+        full, _ = _stream(CFG, 1, 0)
+        capped, _ = _stream(CFG, 1, 0, tenant_quota=2)
+        assert capped.deferred > 0
+        assert capped.admitted + capped.deferred == full.admitted
+        assert capped.offered == full.offered
+
+    def test_slot_cap_rejects_late_tenants(self):
+        stream, registry = _stream(CFG, 1, 0, max_slots=3)
+        assert registry.tenants_registered == 3
+        assert stream.rejected > 0
+        assert stream.offered == stream.admitted + stream.deferred + stream.rejected
+
+    def test_accounting_invariant_holds(self):
+        for shard in range(3):
+            stream, _ = _stream(CFG, 3, shard, tenant_quota=4)
+            assert stream.offered == stream.admitted + stream.deferred + stream.rejected
+            assert len(stream.batch) == stream.admitted
+
+    def test_content_overlap_shares_lines_across_tenants(self):
+        config = TenantTrafficConfig(
+            tenants=500, accesses=2000, seed=3,
+            content_overlap=0.9, shared_pool_lines=8, read_fraction=0.0,
+        )
+        stream, _ = _stream(config, 1, 0)
+        contents = {data for _, data in stream.batch.write_pairs()}
+        # 2000 writes drawing 90 % from an 8-line pool: far fewer distinct
+        # lines than writes.
+        assert len(contents) < stream.admitted / 2
